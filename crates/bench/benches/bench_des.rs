@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the simulation kernel: event queue throughput and
+//! end-to-end engine dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsps_des::{Ctx, Dur, EventQueue, Model, SimRng, Simulation, Time};
+
+fn queue_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            let mut rng = SimRng::seed_from(1);
+            let times: Vec<Time> = (0..n)
+                .map(|_| Time::from_ticks(rng.int_range(0, 1_000_000)))
+                .collect();
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(t, i);
+                }
+                let mut count = 0usize;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                assert_eq!(count, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn engine_dispatch(c: &mut Criterion) {
+    struct Chain {
+        left: u64,
+    }
+    impl Model for Chain {
+        type Event = ();
+        fn handle(&mut self, _: Time, _: (), ctx: &mut Ctx<'_, ()>) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.schedule_in(Dur::from_ticks(1), ());
+            }
+        }
+    }
+    c.bench_function("engine_100k_chained_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Chain { left: 100_000 });
+            sim.schedule_at(Time::ZERO, ());
+            sim.run_to_completion(200_000)
+        });
+    });
+}
+
+criterion_group!(benches, queue_throughput, engine_dispatch);
+criterion_main!(benches);

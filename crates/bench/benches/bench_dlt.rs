@@ -1,0 +1,57 @@
+//! Divisible-load solver cost: closed forms scale with worker count, the
+//! self-scheduling simulator with chunk count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsps_dlt::multiround::multi_round;
+use lsps_dlt::{
+    self_schedule, star_single_round, star_steady_state, MultiRoundParams, Worker, WorkerOrder,
+};
+
+fn workers(n: usize) -> Vec<Worker> {
+    (0..n)
+        .map(|i| {
+            Worker::new(
+                1.0 + (i % 4) as f64 * 0.25,
+                5.0 + (i % 3) as f64,
+                1e-4,
+            )
+        })
+        .collect()
+}
+
+fn dlt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlt");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[16usize, 128, 1024] {
+        let ws = workers(n);
+        group.bench_with_input(BenchmarkId::new("star_closed_form", n), &n, |b, _| {
+            b.iter(|| star_single_round(1e5, &ws, WorkerOrder::ByBandwidth));
+        });
+        group.bench_with_input(BenchmarkId::new("steady_state", n), &n, |b, _| {
+            b.iter(|| star_steady_state(&ws));
+        });
+        group.bench_with_input(BenchmarkId::new("multi_round_8", n), &n, |b, _| {
+            b.iter(|| {
+                multi_round(
+                    1e5,
+                    &ws,
+                    MultiRoundParams {
+                        rounds: 8,
+                        growth: 1.5,
+                    },
+                )
+            });
+        });
+    }
+    group.bench_function("self_sched_10k_chunks", |b| {
+        let ws = workers(64);
+        b.iter(|| self_schedule(1e4, &ws, 1.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dlt);
+criterion_main!(benches);

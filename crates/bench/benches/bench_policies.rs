@@ -1,0 +1,92 @@
+//! Scheduling-policy construction cost: how long each §4 algorithm takes to
+//! build a schedule, as instance size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsps_core::backfill::{backfill_schedule, BackfillPolicy};
+use lsps_core::bicriteria::{bicriteria_schedule, BiCriteriaParams};
+use lsps_core::list::{list_schedule, JobOrder};
+use lsps_core::mrt::{mrt_schedule, MrtParams};
+use lsps_core::smart::smart_schedule;
+use lsps_des::{Dur, SimRng, Time};
+use lsps_workload::{Job, MoldableProfile, SpeedupModel};
+
+const M: usize = 100;
+
+fn rigid_jobs(n: usize, online: bool, seed: u64) -> Vec<Job> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut clock = 0u64;
+    (0..n)
+        .map(|i| {
+            if online {
+                clock += rng.int_range(0, 100);
+            }
+            Job::rigid(
+                i as u64,
+                rng.int_range(1, M as u64 / 2) as usize,
+                Dur::from_ticks(rng.int_range(10, 2_000)),
+            )
+            .released_at(Time::from_ticks(clock))
+            .with_weight(rng.range(0.5, 5.0))
+        })
+        .collect()
+}
+
+fn moldable_jobs(n: usize, seed: u64) -> Vec<Job> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            Job::moldable(
+                i as u64,
+                MoldableProfile::from_model(
+                    Dur::from_ticks(rng.int_range(50, 5_000)),
+                    &SpeedupModel::Amdahl {
+                        seq_fraction: rng.range(0.0, 0.3),
+                    },
+                    rng.int_range(1, M as u64) as usize,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policies");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &n in &[100usize, 400] {
+        let rigid0 = {
+            let mut js = rigid_jobs(n, false, 1);
+            for j in &mut js {
+                j.release = Time::ZERO;
+            }
+            js
+        };
+        let rigid_online = rigid_jobs(n, true, 2);
+        let moldable = moldable_jobs(n, 3);
+
+        group.bench_with_input(BenchmarkId::new("list_fcfs", n), &n, |b, _| {
+            b.iter(|| list_schedule(&rigid0, M, JobOrder::Fcfs));
+        });
+        group.bench_with_input(BenchmarkId::new("smart_weighted", n), &n, |b, _| {
+            b.iter(|| smart_schedule(&rigid0, M, true));
+        });
+        group.bench_with_input(BenchmarkId::new("backfill_easy", n), &n, |b, _| {
+            b.iter(|| backfill_schedule(&rigid_online, M, &[], BackfillPolicy::Easy));
+        });
+        group.bench_with_input(BenchmarkId::new("backfill_conservative", n), &n, |b, _| {
+            b.iter(|| backfill_schedule(&rigid_online, M, &[], BackfillPolicy::Conservative));
+        });
+        group.bench_with_input(BenchmarkId::new("mrt", n), &n, |b, _| {
+            b.iter(|| mrt_schedule(&moldable, M, MrtParams::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("bicriteria", n), &n, |b, _| {
+            b.iter(|| bicriteria_schedule(&rigid_online, M, BiCriteriaParams::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policies);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmarks of `ProcSet` — the bitset every allocation goes
+//! through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsps_platform::ProcSet;
+
+fn set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("procset");
+    group.sample_size(30);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &m in &[128usize, 512, 4096] {
+        let a = ProcSet::from_indices((0..m).filter(|i| i % 3 != 0));
+        let b = ProcSet::from_indices((0..m).filter(|i| i % 2 == 0));
+        group.bench_with_input(BenchmarkId::new("union", m), &m, |bch, _| {
+            bch.iter(|| a.union(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("difference", m), &m, |bch, _| {
+            bch.iter(|| a.difference(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("is_disjoint", m), &m, |bch, _| {
+            bch.iter(|| a.is_disjoint(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("iter_sum", m), &m, |bch, _| {
+            bch.iter(|| a.iter().map(|p| p.index()).sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("take_first_half", m), &m, |bch, _| {
+            bch.iter(|| a.take_first(a.len() / 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, set_ops);
+criterion_main!(benches);

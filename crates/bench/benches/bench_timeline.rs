@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the availability timeline — the backfilling and
+//! hole-filling workhorse.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use lsps_des::{Dur, SimRng, Time};
+use lsps_platform::{BookingKind, ProcSet, Timeline};
+
+fn loaded_timeline(m: usize, bookings: usize, rng: &mut SimRng) -> Timeline {
+    let mut tl = Timeline::with_procs(m);
+    let mut placed = 0;
+    while placed < bookings {
+        let q = rng.int_range(1, (m as u64 / 4).max(1)) as usize;
+        let len = Dur::from_ticks(rng.int_range(10, 500));
+        let (start, procs) = tl
+            .earliest_slot(Time::from_ticks(rng.int_range(0, 50_000)), len, q)
+            .expect("fits");
+        tl.book(start, start + len, procs, BookingKind::Job);
+        placed += 1;
+    }
+    tl
+}
+
+fn timeline_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timeline");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &bookings in &[100usize, 500, 2000] {
+        let mut rng = SimRng::seed_from(3);
+        let tl = loaded_timeline(128, bookings, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("earliest_slot", bookings),
+            &bookings,
+            |b, _| {
+                b.iter(|| {
+                    tl.earliest_slot(Time::from_ticks(10_000), Dur::from_ticks(100), 16)
+                        .expect("fits")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("free_profile_10k", bookings),
+            &bookings,
+            |b, _| {
+                b.iter(|| tl.free_profile(Time::ZERO, Time::from_ticks(10_000)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("free_at", bookings),
+            &bookings,
+            |b, _| {
+                b.iter(|| tl.free_at(Time::from_ticks(25_000)));
+            },
+        );
+    }
+    // Booking churn: book + remove cycles.
+    group.bench_function("book_remove_cycle", |b| {
+        let mut tl = Timeline::with_procs(64);
+        b.iter(|| {
+            let id = tl.book(
+                Time::from_ticks(100),
+                Time::from_ticks(200),
+                ProcSet::range(0, 8),
+                BookingKind::Job,
+            );
+            tl.remove(id).expect("present");
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, timeline_ops);
+criterion_main!(benches);

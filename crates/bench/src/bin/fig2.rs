@@ -1,0 +1,81 @@
+//! FIG2 — regenerates Figure 2 of the paper.
+//!
+//! "A simulated implementation of a variation of the bi-criteria algorithm
+//! has been realized […] the simulation assumed a cluster of 100 machines,
+//! parallel and non-parallel jobs, and two criteria Cmax and Σ ωiCi."
+//!
+//! For n = 50..1000 tasks and the two job populations, this binary runs the
+//! doubling-batch bi-criteria algorithm and reports the two ratios the
+//! figure plots — Σ ωiCi and Cmax against the optimum, approximated from
+//! below by certified lower bounds (the reported ratios upper-bound the
+//! true ones; see DESIGN.md §2).
+//!
+//! Expected shape (paper): ratios between 1 and ~2.8, decreasing with the
+//! number of tasks, the non-parallel series above the parallel one for
+//! Σ ωiCi.
+
+use lsps_bench::{write_csv, Table};
+use lsps_core::{bicriteria_schedule, BiCriteriaParams};
+use lsps_des::SimRng;
+use lsps_metrics::{cmax_lower_bound, wsum_lower_bound, Criteria, Summary};
+use lsps_workload::WorkloadSpec;
+
+const M: usize = 100;
+const SEEDS: u64 = 10;
+
+fn run_point(n: usize, parallel: bool) -> (Summary, Summary) {
+    let mut wici = Summary::new();
+    let mut cmax = Summary::new();
+    for seed in 0..SEEDS {
+        let spec = if parallel {
+            WorkloadSpec::fig2_parallel(n)
+        } else {
+            WorkloadSpec::fig2_sequential(n)
+        };
+        let mut rng = SimRng::seed_from(1000 + seed).child(n as u64);
+        let jobs = spec.generate(M, &mut rng);
+        let sched = bicriteria_schedule(&jobs, M, BiCriteriaParams::default());
+        sched.validate(&jobs).expect("valid schedule");
+        let crit = Criteria::evaluate(&sched.completed(&jobs));
+        let wsum_lb = wsum_lower_bound(&jobs, M);
+        let cmax_lb = cmax_lower_bound(&jobs, M).as_secs_f64();
+        wici.add(crit.weighted_sum_completion / wsum_lb);
+        cmax.add(crit.cmax / cmax_lb);
+    }
+    (wici, cmax)
+}
+
+fn main() {
+    println!("FIG2 — bi-criteria simulation on {M} machines ({SEEDS} seeds/point)\n");
+    let ns = [50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+    let mut table = Table::new(&[
+        "n", "series", "WiCi ratio", "±", "Cmax ratio", "±",
+    ]);
+    let mut csv = String::from("n,series,wici_ratio_mean,wici_ratio_std,cmax_ratio_mean,cmax_ratio_std\n");
+    for &n in &ns {
+        for (parallel, name) in [(false, "Non Parallel"), (true, "Parallel")] {
+            let (wici, cmax) = run_point(n, parallel);
+            table.row(vec![
+                n.to_string(),
+                name.to_string(),
+                format!("{:.3}", wici.mean()),
+                format!("{:.3}", wici.std_dev()),
+                format!("{:.3}", cmax.mean()),
+                format!("{:.3}", cmax.std_dev()),
+            ]);
+            csv.push_str(&format!(
+                "{n},{name},{:.6},{:.6},{:.6},{:.6}\n",
+                wici.mean(),
+                wici.std_dev(),
+                cmax.mean(),
+                cmax.std_dev()
+            ));
+        }
+    }
+    table.print();
+    write_csv("fig2.csv", &csv);
+    println!(
+        "\npaper shape check: ratios should start high at small n and decrease \
+         toward 1 as n grows (both plots of Fig. 2)."
+    );
+}

@@ -1,0 +1,15 @@
+//! FIG1 — renders the platform models (the paper's light-grid picture and
+//! the Fig. 3 CIMENT inventory) as text + JSON.
+
+use lsps_bench::write_csv;
+use lsps_platform::presets;
+
+fn main() {
+    println!("FIG1/FIG3 — platform inventory\n");
+    let platforms = [presets::ciment(), presets::imag(), presets::fig2()];
+    for p in &platforms {
+        println!("{}", p.render());
+    }
+    let json = serde_json::to_string_pretty(&platforms.to_vec()).expect("serializable");
+    write_csv("platforms.json", &json);
+}

@@ -1,0 +1,92 @@
+//! Shared plumbing for the experiment binaries: result files, tables.
+//!
+//! Every binary writes machine-readable CSV under `results/` (created at
+//! the workspace root when run from inside it) and a human-readable table
+//! on stdout. EXPERIMENTS.md references both.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Resolve (and create) the results directory.
+pub fn results_dir() -> PathBuf {
+    let mut base = std::env::current_dir().expect("cwd");
+    for candidate in [base.clone(), base.join("../..")] {
+        if candidate.join("Cargo.toml").exists() && candidate.join("crates").exists() {
+            base = candidate;
+            break;
+        }
+    }
+    let dir = base.join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write CSV content to `results/<name>` and report the path on stdout.
+pub fn write_csv(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    fs::write(&path, content).expect("write results file");
+    println!("\n[written] {}", path.display());
+}
+
+/// Fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given headers.
+    pub fn new(headers: &[&str]) -> Table {
+        let mut t = Table {
+            widths: headers.iter().map(|h| h.len()).collect(),
+            rows: Vec::new(),
+        };
+        t.row(headers.iter().map(|s| s.to_string()).collect());
+        t
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.widths.len(), "ragged table row");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Render with a separator under the header.
+    pub fn print(&self) {
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+            if i == 0 {
+                let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+                println!("{}", sep.join("  "));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["12345".into(), "1".into()]);
+        t.print(); // smoke: no panic, widths grow
+        assert_eq!(t.widths, vec![5, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Allotment selection for moldable tasks.
+//!
+//! "It is natural to decompose the problem in two successive phases:
+//! determining first the number of processors for executing the jobs, then
+//! solve the corresponding scheduling problem with rigid jobs." (§4)
+//!
+//! This module provides the first phase as standalone strategies (the second
+//! phase is [`crate::list`] / [`crate::shelf`]); the MRT algorithm
+//! ([`crate::mrt`]) couples the two phases through its knapsack instead.
+
+use lsps_des::Dur;
+use lsps_workload::Job;
+
+use crate::list::{list_schedule_allotted, JobOrder};
+use crate::schedule::Schedule;
+
+/// Allotment-selection strategies for the two-phase approach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllotRule {
+    /// Everything sequential (`k = 1`): minimal work, maximal length.
+    Sequential,
+    /// Shortest execution time (`k = argmin p(k)`): minimal length,
+    /// maximal work — floods the machine.
+    MinTime,
+    /// The classical compromise (Ludwig–Tiwari style): the smallest `k`
+    /// whose *efficiency loss* stays bounded, chosen as the `k` minimising
+    /// `max(p(k), W_total-aware budget)` — concretely, the `k` that
+    /// minimises `max(p(k), w(k)·n/m)` where `n` is the job count, a proxy
+    /// for balancing height against average machine load.
+    Balanced,
+}
+
+/// Choose an allotment for `job` on an `m`-processor machine.
+/// `n_jobs` informs the [`AllotRule::Balanced`] trade-off.
+pub fn choose_allotment(job: &Job, m: usize, n_jobs: usize, rule: AllotRule) -> usize {
+    let kmax = job.max_procs().min(m);
+    let kmin = job.min_procs().min(kmax);
+    match rule {
+        AllotRule::Sequential => kmin,
+        AllotRule::MinTime => {
+            // Smallest k achieving the minimal time (profiles are monotone,
+            // but flat tails are common — do not waste processors).
+            let profile = match job.profile() {
+                Some(p) => p,
+                None => return kmin,
+            };
+            let best = profile.truncated(kmax).min_time();
+            (kmin..=kmax)
+                .find(|&k| profile.time(k) == best)
+                .unwrap_or(kmax)
+        }
+        AllotRule::Balanced => {
+            let profile = match job.profile() {
+                Some(p) => p,
+                None => return kmin,
+            };
+            let mut best_k = kmin;
+            let mut best_val = u128::MAX;
+            for k in kmin..=kmax {
+                let p = profile.time(k).ticks() as u128;
+                let w = profile.work(k).ticks() as u128;
+                // Height vs. average-load proxy: w·n/m is the time the
+                // machine needs if every job carried this work.
+                let load = w * n_jobs as u128 / m as u128;
+                let val = p.max(load);
+                if val < best_val {
+                    best_val = val;
+                    best_k = k;
+                }
+            }
+            best_k
+        }
+    }
+}
+
+/// Two-phase moldable scheduling: pick allotments with `rule`, then
+/// list-schedule the resulting rigid jobs in `order`.
+pub fn two_phase_moldable(jobs: &[Job], m: usize, rule: AllotRule, order: JobOrder) -> Schedule {
+    let items: Vec<(&Job, usize)> = jobs
+        .iter()
+        .map(|j| (j, choose_allotment(j, m, jobs.len(), rule)))
+        .collect();
+    list_schedule_allotted(&items, m, order)
+}
+
+/// Total work (CPU-time) of the chosen allotments — the efficiency price of
+/// a rule, used by the ablation benches.
+pub fn total_work(jobs: &[Job], m: usize, rule: AllotRule) -> Dur {
+    jobs.iter()
+        .map(|j| {
+            let k = choose_allotment(j, m, jobs.len(), rule);
+            match j.profile() {
+                Some(p) => p.work(k),
+                None => j.min_work(),
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_workload::{MoldableProfile, SpeedupModel};
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn amdahl_job(id: u64, seq: u64, kmax: usize) -> Job {
+        Job::moldable(
+            id,
+            MoldableProfile::from_model(d(seq), &SpeedupModel::Amdahl { seq_fraction: 0.1 }, kmax),
+        )
+    }
+
+    #[test]
+    fn sequential_rule_picks_one() {
+        let j = amdahl_job(1, 1000, 16);
+        assert_eq!(choose_allotment(&j, 32, 10, AllotRule::Sequential), 1);
+    }
+
+    #[test]
+    fn min_time_picks_smallest_fastest() {
+        // CommPenalty saturates: the flat tail must not waste processors.
+        let j = Job::moldable(
+            1,
+            MoldableProfile::from_model(
+                d(1000),
+                &SpeedupModel::CommPenalty { overhead: 0.1 },
+                32,
+            ),
+        );
+        let k = choose_allotment(&j, 32, 10, AllotRule::MinTime);
+        let prof = j.profile().unwrap();
+        assert_eq!(prof.time(k), prof.min_time());
+        if k > 1 {
+            assert!(prof.time(k - 1) > prof.min_time(), "k is minimal");
+        }
+        assert!(k < 32, "saturated profile should not take the whole machine");
+    }
+
+    #[test]
+    fn balanced_between_extremes() {
+        let j = amdahl_job(1, 10_000, 64);
+        let seq = choose_allotment(&j, 64, 20, AllotRule::Sequential);
+        let fast = choose_allotment(&j, 64, 20, AllotRule::MinTime);
+        let bal = choose_allotment(&j, 64, 20, AllotRule::Balanced);
+        assert!(seq <= bal && bal <= fast, "{seq} <= {bal} <= {fast}");
+    }
+
+    #[test]
+    fn balanced_shrinks_with_more_jobs() {
+        let j = amdahl_job(1, 10_000, 64);
+        let few = choose_allotment(&j, 64, 2, AllotRule::Balanced);
+        let many = choose_allotment(&j, 64, 200, AllotRule::Balanced);
+        assert!(many <= few, "more competing jobs ⇒ narrower allotments");
+        assert_eq!(many, 1);
+    }
+
+    #[test]
+    fn rigid_jobs_keep_their_count() {
+        let j = Job::rigid(1, 4, d(10));
+        for rule in [AllotRule::Sequential, AllotRule::MinTime, AllotRule::Balanced] {
+            assert_eq!(choose_allotment(&j, 8, 5, rule), 4);
+        }
+    }
+
+    #[test]
+    fn two_phase_schedules_validate() {
+        let jobs: Vec<Job> = (0..12).map(|i| amdahl_job(i, 500 + 100 * i, 16)).collect();
+        for rule in [AllotRule::Sequential, AllotRule::MinTime, AllotRule::Balanced] {
+            let s = two_phase_moldable(&jobs, 16, rule, JobOrder::Lpt);
+            assert!(s.validate(&jobs).is_ok(), "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn work_ordering_of_rules() {
+        let jobs: Vec<Job> = (0..8).map(|i| amdahl_job(i, 2000, 16)).collect();
+        let w_seq = total_work(&jobs, 16, AllotRule::Sequential);
+        let w_bal = total_work(&jobs, 16, AllotRule::Balanced);
+        let w_fast = total_work(&jobs, 16, AllotRule::MinTime);
+        assert!(w_seq <= w_bal && w_bal <= w_fast);
+    }
+}

@@ -1,0 +1,517 @@
+//! Backfilling with advance reservations (§5.1 of the paper).
+//!
+//! The production policy family of cluster batch systems, and the one the
+//! CiGri layer fills holes around:
+//!
+//! * **Conservative backfilling** — every queued job is booked at the
+//!   earliest slot that does not disturb any earlier booking; later
+//!   submissions may only slide into genuine holes. Start guarantees are
+//!   absolute.
+//! * **EASY (aggressive) backfilling** — only the queue head holds a
+//!   reservation (its *shadow*); any other queued job may start immediately
+//!   if it either finishes before the shadow time or avoids the shadow
+//!   processors.
+//!
+//! **Advance reservations** ("a given number of processors in a given time
+//! window", §5.1) are pre-booked intervals both policies must respect —
+//! the paper notes batch algorithms handle these awkwardly; the timeline
+//! representation handles them exactly.
+//!
+//! Jobs must be rigid (choose moldable allotments first, see
+//! [`crate::allot`]). The builder replays the on-line process from release
+//! dates, so the result is exactly what the on-line policy would have done
+//! with clairvoyant (exact) runtimes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lsps_des::Time;
+use lsps_platform::{BookingKind, ProcSet, Timeline};
+use lsps_workload::{Job, JobKind};
+
+use crate::schedule::Schedule;
+
+/// An advance reservation: `procs` processors blocked during
+/// `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reservation {
+    /// Window start.
+    pub start: Time,
+    /// Window end (exclusive).
+    pub end: Time,
+    /// Number of processors reserved.
+    pub procs: usize,
+}
+
+/// Backfilling flavours.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackfillPolicy {
+    /// Book every queued job (absolute start guarantees).
+    Conservative,
+    /// Book only the queue head; others may jump in if harmless.
+    Easy,
+}
+
+/// Schedule rigid `jobs` on `m` processors around `reservations` with the
+/// chosen backfilling policy. Queue order is FCFS by `(release, id)`.
+///
+/// # Panics
+/// If a job is not rigid, needs more than `m` processors, or a reservation
+/// cannot be placed.
+pub fn backfill_schedule(
+    jobs: &[Job],
+    m: usize,
+    reservations: &[Reservation],
+    policy: BackfillPolicy,
+) -> Schedule {
+    backfill_schedule_estimated(jobs, m, reservations, policy, 1.0)
+}
+
+/// [`backfill_schedule`] with *inexact* runtime estimates — the §4.2
+/// clairvoyance knob. Placement decisions use `estimate = ⌈true ×
+/// estimate_factor⌉` (users systematically over-request wall time); jobs
+/// still *complete* at their true length, and the freed tail becomes
+/// visible to later decisions at the completion instant.
+///
+/// `estimate_factor >= 1` is required: under-estimates would let a running
+/// job outlive its booking, which real systems handle by killing — that
+/// path is modelled by `lsps_core::nonclairvoyant` instead.
+pub fn backfill_schedule_estimated(
+    jobs: &[Job],
+    m: usize,
+    reservations: &[Reservation],
+    policy: BackfillPolicy,
+    estimate_factor: f64,
+) -> Schedule {
+    assert!(
+        estimate_factor >= 1.0 && estimate_factor.is_finite(),
+        "estimates must not undershoot (got factor {estimate_factor})"
+    );
+    for j in jobs {
+        assert!(
+            matches!(j.kind, JobKind::Rigid { .. }),
+            "backfill_schedule expects rigid jobs; job {} is not",
+            j.id
+        );
+        assert!(j.min_procs() <= m, "job {} wider than machine", j.id);
+    }
+    let mut tl = Timeline::with_procs(m);
+    for (i, r) in reservations.iter().enumerate() {
+        assert!(r.end > r.start && r.procs >= 1, "degenerate reservation {i}");
+        let free = tl.free_during(r.start, r.end);
+        assert!(
+            free.len() >= r.procs,
+            "reservation {i} does not fit ({} free, {} wanted)",
+            free.len(),
+            r.procs
+        );
+        tl.book(r.start, r.end, free.take_first(r.procs), BookingKind::Reservation);
+    }
+    match policy {
+        BackfillPolicy::Conservative => conservative(jobs, m, tl, estimate_factor),
+        BackfillPolicy::Easy => easy(jobs, m, tl, estimate_factor),
+    }
+}
+
+fn estimate(len: lsps_des::Dur, factor: f64) -> lsps_des::Dur {
+    len.scale_ceil(factor).max(len)
+}
+
+fn fcfs_order(jobs: &[Job]) -> Vec<&Job> {
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_by_key(|j| (j.release, j.id));
+    order
+}
+
+fn conservative(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
+    // Conservative semantics with estimates: every queued job is booked at
+    // its *estimated* length (no compression on early completion — later
+    // bookings keep their guaranteed starts); the actual execution is the
+    // true length inside that booking.
+    let mut sched = Schedule::new(m);
+    for job in fcfs_order(jobs) {
+        let q = job.min_procs();
+        let est = estimate(job.time_on(q), factor);
+        let (start, procs) = tl
+            .earliest_slot(job.release, est, q)
+            .expect("q <= m, so a slot always exists");
+        tl.book(start, start + est, procs.clone(), BookingKind::Job);
+        sched.place(job, start, procs);
+    }
+    sched
+}
+
+fn easy(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
+    let order = fcfs_order(jobs);
+    let mut sched = Schedule::new(m);
+    // Event-driven replay: next_release pointer + completion/shadow events.
+    let mut events: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
+    let mut next = 0usize; // first not-yet-released job in `order`
+    let mut queue: Vec<usize> = Vec::new(); // indices into `order`, FCFS
+    // Running bookings with their TRUE completion; the estimate tail is
+    // released when the job actually finishes.
+    let mut running: Vec<(lsps_platform::BookingId, Time)> = Vec::new();
+    if let Some(j) = order.first() {
+        events.push(Reverse(j.release));
+    }
+
+    while next < order.len() || !queue.is_empty() {
+        let now = match events.pop() {
+            Some(Reverse(t)) => t,
+            None => unreachable!("queue non-empty implies a pending event"),
+        };
+        // Coalesce same-instant events.
+        while matches!(events.peek(), Some(Reverse(t)) if *t == now) {
+            events.pop();
+        }
+        // Early completions: truncate the over-estimated bookings so the
+        // freed tail becomes visible to this decision round.
+        running.retain(|&(bk, true_end)| {
+            if true_end <= now {
+                tl.truncate(bk, true_end);
+                false
+            } else {
+                true
+            }
+        });
+        while next < order.len() && order[next].release <= now {
+            queue.push(next);
+            next += 1;
+        }
+        if next < order.len() {
+            events.push(Reverse(order[next].release));
+        }
+
+        // Start the head while it fits (per its estimate).
+        while let Some(&h) = queue.first() {
+            let job = order[h];
+            let q = job.min_procs();
+            let dur = job.time_on(q);
+            let est = estimate(dur, factor);
+            let free = tl.free_during(now, now + est);
+            if free.len() >= q {
+                let procs = free.take_first(q);
+                let bk = tl.book(now, now + est, procs.clone(), BookingKind::Job);
+                running.push((bk, now + dur));
+                sched.place(job, now, procs);
+                events.push(Reverse(now + dur));
+                queue.remove(0);
+            } else {
+                break;
+            }
+        }
+        if queue.is_empty() {
+            continue;
+        }
+
+        // Head blocked: compute its shadow reservation (estimate-sized).
+        let head = order[queue[0]];
+        let hq = head.min_procs();
+        let hest = estimate(head.time_on(hq), factor);
+        let (shadow_t, shadow_procs) = tl
+            .earliest_slot(now, hest, hq)
+            .expect("hq <= m, so a slot always exists");
+        events.push(Reverse(shadow_t));
+
+        // Backfill the rest of the queue without delaying the shadow.
+        let mut i = 1;
+        while i < queue.len() {
+            let job = order[queue[i]];
+            let q = job.min_procs();
+            let dur = job.time_on(q);
+            let est = estimate(dur, factor);
+            let free = tl.free_during(now, now + est);
+            let candidate = if now + est <= shadow_t {
+                // Its estimate ends before the head starts: any free procs.
+                free
+            } else {
+                // Crosses the shadow: must leave the shadow processors.
+                free.difference(&shadow_procs)
+            };
+            if candidate.len() >= q {
+                let procs = candidate.take_first(q);
+                let bk = tl.book(now, now + est, procs.clone(), BookingKind::Job);
+                running.push((bk, now + dur));
+                sched.place(job, now, procs);
+                events.push(Reverse(now + dur));
+                queue.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+    sched
+}
+
+/// Convenience: does `sched` keep every reservation interval untouched?
+/// (Schedule validation cannot know about reservations, so tests use this.)
+pub fn respects_reservations(sched: &Schedule, m: usize, reservations: &[Reservation]) -> bool {
+    // Rebuild reservation procsets exactly as `backfill_schedule` placed
+    // them (deterministic first-fit from an empty timeline).
+    let mut tl = Timeline::with_procs(m);
+    let mut resv_books: Vec<(Time, Time, ProcSet)> = Vec::new();
+    for r in reservations {
+        let free = tl.free_during(r.start, r.end);
+        let procs = free.take_first(r.procs);
+        tl.book(r.start, r.end, procs.clone(), BookingKind::Reservation);
+        resv_books.push((r.start, r.end, procs));
+    }
+    sched.assignments().iter().all(|a| {
+        resv_books.iter().all(|(s, e, procs)| {
+            let time_overlap = a.start < *e && *s < a.end;
+            !time_overlap || a.procs.is_disjoint(procs)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::Dur;
+    use lsps_workload::JobId;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn start_of(s: &Schedule, id: u64) -> Time {
+        s.assignments()
+            .iter()
+            .find(|a| a.job == JobId(id))
+            .expect("job scheduled")
+            .start
+    }
+
+    #[test]
+    fn both_policies_fill_holes_behind_a_wide_head() {
+        // m=2: A(q1,10) runs on p0; B(q2,5) must wait; C(q1,10) fits on p1
+        // alongside A and ends exactly when B can start — both policies
+        // backfill it.
+        let jobs = vec![
+            Job::rigid(1, 1, d(10)),
+            Job::rigid(2, 2, d(5)),
+            Job::rigid(3, 1, d(10)),
+        ];
+        for policy in [BackfillPolicy::Conservative, BackfillPolicy::Easy] {
+            let s = backfill_schedule(&jobs, 2, &[], policy);
+            assert!(s.validate(&jobs).is_ok(), "{policy:?}");
+            assert_eq!(start_of(&s, 3), t(0), "{policy:?} backfills C");
+            assert_eq!(start_of(&s, 2), t(10), "{policy:?} head at 10");
+            assert_eq!(s.makespan(), t(15), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn easy_blocks_backfill_that_would_delay_head() {
+        // m=2: A(q1,10) on p0. Head B(q2,5) shadow at t=10 on {0,1}.
+        // C(q1,20) would cross the shadow and needs a shadow proc → must
+        // wait; it may start only once B is running.
+        let jobs = vec![
+            Job::rigid(1, 1, d(10)),
+            Job::rigid(2, 2, d(5)),
+            Job::rigid(3, 1, d(20)),
+        ];
+        let s = backfill_schedule(&jobs, 2, &[], BackfillPolicy::Easy);
+        assert!(s.validate(&jobs).is_ok());
+        assert_eq!(start_of(&s, 2), t(10), "head not delayed");
+        assert!(start_of(&s, 3) >= t(10), "C not allowed to push B");
+    }
+
+    #[test]
+    fn conservative_respects_booked_order() {
+        let jobs = vec![
+            Job::rigid(1, 2, d(10)),              // [0,10) both procs
+            Job::rigid(2, 2, d(10)),              // booked [10,20)
+            Job::rigid(3, 1, d(5)).released_at(t(1)), // must go after, at 20
+        ];
+        let s = backfill_schedule(&jobs, 2, &[], BackfillPolicy::Conservative);
+        assert!(s.validate(&jobs).is_ok());
+        assert_eq!(start_of(&s, 2), t(10));
+        assert_eq!(start_of(&s, 3), t(20));
+    }
+
+    #[test]
+    fn conservative_slides_into_real_holes() {
+        // m=2: A(q2,10) at 0; B(q1,30) at 10 on p0; C(q1,10) released 5
+        // fits the hole on p1 at t=10.
+        let jobs = vec![
+            Job::rigid(1, 2, d(10)),
+            Job::rigid(2, 1, d(30)),
+            Job::rigid(3, 1, d(10)).released_at(t(5)),
+        ];
+        let s = backfill_schedule(&jobs, 2, &[], BackfillPolicy::Conservative);
+        assert!(s.validate(&jobs).is_ok());
+        assert_eq!(start_of(&s, 3), t(10));
+        assert_eq!(s.makespan(), t(40));
+    }
+
+    #[test]
+    fn reservations_are_inviolable() {
+        let resv = [Reservation {
+            start: t(5),
+            end: t(15),
+            procs: 2,
+        }];
+        let jobs = vec![
+            Job::rigid(1, 2, d(10)), // cannot fit before the reservation
+            Job::rigid(2, 1, d(4)),  // fits before it
+        ];
+        for policy in [BackfillPolicy::Conservative, BackfillPolicy::Easy] {
+            let s = backfill_schedule(&jobs, 2, &resv, policy);
+            assert!(s.validate(&jobs).is_ok(), "{policy:?}");
+            assert!(respects_reservations(&s, 2, &resv), "{policy:?}");
+            assert_eq!(start_of(&s, 1), t(15), "{policy:?} wide job after window");
+            assert_eq!(start_of(&s, 2), t(0), "{policy:?} small job before window");
+        }
+    }
+
+    #[test]
+    fn release_dates_honoured() {
+        let jobs = vec![Job::rigid(1, 1, d(5)).released_at(t(42))];
+        for policy in [BackfillPolicy::Conservative, BackfillPolicy::Easy] {
+            let s = backfill_schedule(&jobs, 4, &[], policy);
+            assert_eq!(start_of(&s, 1), t(42), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn estimates_factor_one_matches_exact() {
+        let jobs = vec![
+            Job::rigid(1, 1, d(10)),
+            Job::rigid(2, 2, d(5)),
+            Job::rigid(3, 1, d(20)).released_at(t(3)),
+        ];
+        for policy in [BackfillPolicy::Conservative, BackfillPolicy::Easy] {
+            let exact = backfill_schedule(&jobs, 2, &[], policy);
+            let est = backfill_schedule_estimated(&jobs, 2, &[], policy, 1.0);
+            assert_eq!(exact, est, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn overestimates_still_yield_valid_schedules() {
+        let jobs = vec![
+            Job::rigid(1, 1, d(10)),
+            Job::rigid(2, 2, d(8)),
+            Job::rigid(3, 1, d(6)).released_at(t(2)),
+            Job::rigid(4, 1, d(4)).released_at(t(5)),
+        ];
+        for factor in [1.5, 3.0, 10.0] {
+            for policy in [BackfillPolicy::Conservative, BackfillPolicy::Easy] {
+                let s = backfill_schedule_estimated(&jobs, 2, &[], policy, factor);
+                assert_eq!(s.validate(&jobs), Ok(()), "{policy:?} @ {factor}");
+                assert_eq!(s.len(), jobs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn easy_recovers_overestimated_tails_conservative_does_not() {
+        // m=1. A's true length 10 but estimated 30; B arrives at 12.
+        // Conservative booked B after the estimate (t=30); EASY sees the
+        // early completion at t=10 and starts B at its release.
+        let jobs = vec![
+            Job::rigid(1, 1, d(10)),
+            Job::rigid(2, 1, d(5)).released_at(t(12)),
+        ];
+        let cons = backfill_schedule_estimated(
+            &jobs, 1, &[], BackfillPolicy::Conservative, 3.0,
+        );
+        let easy = backfill_schedule_estimated(&jobs, 1, &[], BackfillPolicy::Easy, 3.0);
+        assert!(cons.validate(&jobs).is_ok() && easy.validate(&jobs).is_ok());
+        let start_of = |s: &Schedule, id: u64| {
+            s.assignments().iter().find(|a| a.job == JobId(id)).unwrap().start
+        };
+        assert_eq!(start_of(&cons, 2), t(30), "conservative trusts the estimate");
+        assert_eq!(start_of(&easy, 2), t(12), "EASY reuses the freed tail");
+        assert!(easy.makespan() < cons.makespan());
+    }
+
+    #[test]
+    #[should_panic]
+    fn underestimates_rejected() {
+        backfill_schedule_estimated(
+            &[Job::rigid(1, 1, d(10))],
+            1,
+            &[],
+            BackfillPolicy::Easy,
+            0.5,
+        );
+    }
+
+    #[test]
+    fn empty_workload_is_fine() {
+        for policy in [BackfillPolicy::Conservative, BackfillPolicy::Easy] {
+            let s = backfill_schedule(&[], 4, &[], policy);
+            assert!(s.is_empty(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn moldable_jobs_rejected() {
+        use lsps_workload::{MoldableProfile, SpeedupModel};
+        let j = Job::moldable(
+            1,
+            MoldableProfile::from_model(d(10), &SpeedupModel::Linear, 2),
+        );
+        backfill_schedule(&[j], 4, &[], BackfillPolicy::Easy);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_reservation_rejected() {
+        backfill_schedule(
+            &[],
+            2,
+            &[Reservation {
+                start: t(0),
+                end: t(10),
+                procs: 3,
+            }],
+            BackfillPolicy::Easy,
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use lsps_des::Dur;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Both policies always produce valid schedules that respect
+        /// reservations, and neither beats the area lower bound.
+        #[test]
+        fn backfill_always_valid(
+            specs in prop::collection::vec((1usize..4, 1u64..30, 0u64..60), 1..25),
+            resv_start in 0u64..40,
+            resv_len in 1u64..20,
+            resv_procs in 1usize..3,
+            easy in any::<bool>(),
+        ) {
+            let m = 4;
+            let jobs: Vec<Job> = specs.iter().enumerate()
+                .map(|(i, &(q, len, rel))| {
+                    Job::rigid(i as u64, q, Dur::from_ticks(len))
+                        .released_at(Time::from_ticks(rel))
+                })
+                .collect();
+            let resv = [Reservation {
+                start: Time::from_ticks(resv_start),
+                end: Time::from_ticks(resv_start + resv_len),
+                procs: resv_procs,
+            }];
+            let policy = if easy { BackfillPolicy::Easy } else { BackfillPolicy::Conservative };
+            let s = backfill_schedule(&jobs, m, &resv, policy);
+            prop_assert_eq!(s.validate(&jobs), Ok(()));
+            prop_assert!(respects_reservations(&s, m, &resv));
+            let lb = lsps_metrics::cmax_lower_bound(&jobs, m);
+            prop_assert!(s.makespan().since_epoch() >= lb.min(s.makespan().since_epoch()));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Gantt chart rendering: SVG export for schedules.
+//!
+//! The ASCII renderer ([`Schedule::gantt_ascii`]) is for terminals; this
+//! module produces a standalone SVG — one lane per processor, one rectangle
+//! per assignment, color-keyed by job id — suitable for inspecting the
+//! two-shelf structure of MRT or the batch pattern of the bi-criteria
+//! algorithm at a glance.
+
+use std::fmt::Write;
+
+use lsps_des::Time;
+
+use crate::schedule::Schedule;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GanttOptions {
+    /// Total drawing width in pixels (time axis).
+    pub width: u32,
+    /// Height of one processor lane in pixels.
+    pub lane_height: u32,
+    /// Draw job-id labels when rectangles are wide enough.
+    pub labels: bool,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions {
+            width: 1000,
+            lane_height: 14,
+            labels: true,
+        }
+    }
+}
+
+/// Deterministic pastel color for a job id (golden-angle hue walk).
+fn color(job: u64) -> String {
+    let hue = (job as f64 * 137.507_764) % 360.0;
+    format!("hsl({hue:.1}, 65%, 62%)")
+}
+
+/// Render `sched` as a standalone SVG document.
+pub fn gantt_svg(sched: &Schedule, opts: GanttOptions) -> String {
+    let m = sched.machine_size();
+    let span = sched.makespan().ticks().max(1);
+    let w = opts.width.max(100) as f64;
+    let lane = opts.lane_height.max(4) as f64;
+    let height = lane * m as f64 + 30.0;
+    let x_of = |t: Time| -> f64 { t.ticks() as f64 / span as f64 * w };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{height}" viewBox="0 0 {w} {height}">"#
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect width="{w}" height="{height}" fill="#ffffff"/>"##
+    );
+    // Lane separators.
+    for i in 0..=m {
+        let y = i as f64 * lane;
+        let _ = writeln!(
+            out,
+            r##"<line x1="0" y1="{y}" x2="{w}" y2="{y}" stroke="#eeeeee" stroke-width="1"/>"##
+        );
+    }
+    // Assignments.
+    for a in sched.assignments() {
+        let x0 = x_of(a.start);
+        let x1 = x_of(a.end).max(x0 + 1.0);
+        let fill = color(a.job.0);
+        for p in a.procs.iter() {
+            let y = p.index() as f64 * lane;
+            let _ = writeln!(
+                out,
+                r##"<rect x="{x0:.2}" y="{y:.2}" width="{:.2}" height="{lane:.2}" fill="{fill}" stroke="#333333" stroke-width="0.4"><title>{} [{} - {}] procs {}</title></rect>"##,
+                x1 - x0,
+                a.job,
+                a.start,
+                a.end,
+                a.procs,
+            );
+        }
+        if opts.labels && x1 - x0 > 24.0 {
+            let first = a.procs.first().unwrap_or(0);
+            let y = first as f64 * lane + lane * 0.75;
+            let _ = writeln!(
+                out,
+                r##"<text x="{:.2}" y="{y:.2}" font-size="{:.1}" font-family="monospace" fill="#222222">{}</text>"##,
+                x0 + 2.0,
+                lane * 0.7,
+                a.job,
+            );
+        }
+    }
+    // Time axis caption.
+    let _ = writeln!(
+        out,
+        r##"<text x="2" y="{:.1}" font-size="11" font-family="monospace" fill="#555555">0 .. {} ({} procs, {} jobs)</text>"##,
+        lane * m as f64 + 20.0,
+        sched.makespan(),
+        m,
+        sched.len(),
+    );
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::Dur;
+    use lsps_platform::ProcSet;
+    use lsps_workload::Job;
+
+    fn sample() -> (Schedule, Vec<Job>) {
+        let jobs = vec![Job::rigid(1, 2, Dur::from_ticks(50)), Job::rigid(2, 1, Dur::from_ticks(30))];
+        let mut s = Schedule::new(3);
+        s.place(&jobs[0], Time::ZERO, ProcSet::range(0, 2));
+        s.place(&jobs[1], Time::from_ticks(10), ProcSet::from_indices([2]));
+        (s, jobs)
+    }
+
+    #[test]
+    fn svg_structure() {
+        let (s, jobs) = sample();
+        assert!(s.validate(&jobs).is_ok());
+        let svg = gantt_svg(&s, GanttOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per (assignment, proc) + background: job 1 covers 2
+        // procs, job 2 one proc.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, 1 + 3);
+        assert!(svg.contains("j1") && svg.contains("j2"));
+        assert!(svg.contains("3 procs, 2 jobs"));
+    }
+
+    #[test]
+    fn colors_are_deterministic_and_distinct() {
+        assert_eq!(color(5), color(5));
+        assert_ne!(color(5), color(6));
+    }
+
+    #[test]
+    fn empty_schedule_renders() {
+        let s = Schedule::new(2);
+        let svg = gantt_svg(&s, GanttOptions::default());
+        assert!(svg.contains("</svg>"));
+        assert!(svg.contains("0 jobs"));
+    }
+
+    #[test]
+    fn tiny_width_clamped() {
+        let (s, _) = sample();
+        let svg = gantt_svg(
+            &s,
+            GanttOptions {
+                width: 1,
+                lane_height: 1,
+                labels: false,
+            },
+        );
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Malleable tasks: allotments that change *during* execution (§2.2).
+//!
+//! "Malleable jobs when the number of processors may change during the
+//! execution (by preemption of the tasks or simply by data
+//! redistributions). […] Malleability is much more easily usable from the
+//! scheduling point of view but requires advanced capabilities from the
+//! runtime environment."
+//!
+//! The classic malleable policy is **dynamic equipartition (DEQ)**: at
+//! every arrival and completion the machine is re-divided evenly among the
+//! active jobs (capped by each job's useful parallelism). A malleable
+//! execution is a sequence of [`MalleableSegment`]s per job; a job
+//! completes when its accumulated progress `Σ len/p(k)` reaches 1 — the
+//! natural work model for profiles with monotone work.
+//!
+//! [`MalleableSchedule::validate`] checks processor-disjointness exactly
+//! (integer sweep) and progress completeness within one tick of rounding
+//! per segment.
+
+use std::collections::HashMap;
+
+use lsps_des::{Dur, Time};
+use lsps_metrics::CompletedJob;
+use lsps_platform::ProcSet;
+use lsps_workload::{Job, JobId, JobKind};
+
+/// One constant-allotment slice of a malleable execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MalleableSegment {
+    /// The job.
+    pub job: JobId,
+    /// Slice start.
+    pub start: Time,
+    /// Slice end (exclusive).
+    pub end: Time,
+    /// Processors held during the slice.
+    pub procs: ProcSet,
+}
+
+/// A complete malleable schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MalleableSchedule {
+    m: usize,
+    segments: Vec<MalleableSegment>,
+}
+
+/// Why a malleable schedule failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MalleableError {
+    /// Two segments overlap on a shared processor.
+    Overlap(JobId, JobId),
+    /// A segment starts before the job's release.
+    EarlyStart(JobId),
+    /// A segment uses an inadmissible allotment or outside the machine.
+    BadSegment(JobId),
+    /// Accumulated progress differs from 1 beyond rounding tolerance.
+    WrongProgress(JobId),
+    /// A job has no segments.
+    Missing(JobId),
+}
+
+impl MalleableSchedule {
+    /// An empty schedule on `m` processors.
+    pub fn new(m: usize) -> Self {
+        assert!(m >= 1);
+        MalleableSchedule {
+            m,
+            segments: Vec::new(),
+        }
+    }
+
+    /// The segments, in insertion order.
+    pub fn segments(&self) -> &[MalleableSegment] {
+        &self.segments
+    }
+
+    /// Append a segment.
+    pub fn push(&mut self, seg: MalleableSegment) {
+        self.segments.push(seg);
+    }
+
+    /// Latest segment end.
+    pub fn makespan(&self) -> Time {
+        self.segments.iter().map(|s| s.end).fold(Time::ZERO, Time::max)
+    }
+
+    /// Per-job completion records (`procs` reports the maximal allotment
+    /// the job ever held).
+    pub fn completed(&self, jobs: &[Job]) -> Vec<CompletedJob> {
+        let by_id: HashMap<JobId, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
+        let mut spans: HashMap<JobId, (Time, Time, usize)> = HashMap::new();
+        for s in &self.segments {
+            let e = spans
+                .entry(s.job)
+                .or_insert((s.start, s.end, s.procs.len()));
+            e.0 = e.0.min(s.start);
+            e.1 = e.1.max(s.end);
+            e.2 = e.2.max(s.procs.len());
+        }
+        let mut out: Vec<CompletedJob> = spans
+            .into_iter()
+            .map(|(id, (start, end, k))| {
+                let job = by_id.get(&id).unwrap_or_else(|| panic!("unknown job {id}"));
+                CompletedJob::from_job(job, start, end, k)
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Full validation (see module docs). `tol_ticks_per_segment` bounds
+    /// the rounding slack granted per segment (1 tick is the natural
+    /// choice: every segment end is rounded up to the grid).
+    pub fn validate(&self, jobs: &[Job]) -> Result<(), MalleableError> {
+        let by_id: HashMap<JobId, &Job> = jobs.iter().map(|j| (j.id, j)).collect();
+        let machine = ProcSet::full(self.m);
+        let mut progress: HashMap<JobId, (f64, usize)> = HashMap::new(); // (sum, segments)
+        for s in &self.segments {
+            let job = by_id.get(&s.job).ok_or(MalleableError::BadSegment(s.job))?;
+            if s.start < job.release {
+                return Err(MalleableError::EarlyStart(s.job));
+            }
+            let k = s.procs.len();
+            let profile = match &job.kind {
+                JobKind::Malleable { profile } | JobKind::Moldable { profile } => profile,
+                _ => return Err(MalleableError::BadSegment(s.job)),
+            };
+            if k < 1 || k > profile.max_procs() || !s.procs.is_subset(&machine) || s.end < s.start
+            {
+                return Err(MalleableError::BadSegment(s.job));
+            }
+            let e = progress.entry(s.job).or_insert((0.0, 0));
+            e.0 += (s.end - s.start).ticks() as f64 / profile.time(k).ticks() as f64;
+            e.1 += 1;
+        }
+        for j in jobs {
+            let Some(&(p, n_segs)) = progress.get(&j.id) else {
+                return Err(MalleableError::Missing(j.id));
+            };
+            // Each segment end is rounded up by at most one tick; grant the
+            // corresponding progress slack.
+            let tol = n_segs as f64 / j.min_time().ticks().max(1) as f64 + 1e-9;
+            if p < 1.0 - 1e-9 || p > 1.0 + tol {
+                return Err(MalleableError::WrongProgress(j.id));
+            }
+        }
+        // Exact disjointness sweep.
+        let mut order: Vec<&MalleableSegment> = self.segments.iter().collect();
+        order.sort_by_key(|s| (s.start, s.end, s.job));
+        let mut active: Vec<&MalleableSegment> = Vec::new();
+        for s in order {
+            active.retain(|b| b.end > s.start);
+            for b in &active {
+                if !b.procs.is_disjoint(&s.procs) && s.end > s.start && b.job != s.job {
+                    return Err(MalleableError::Overlap(b.job, s.job));
+                }
+            }
+            if s.end > s.start {
+                active.push(s);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Dynamic equipartition: re-divide the machine among active jobs at every
+/// arrival/completion. Jobs must be malleable or moldable (their profile is
+/// interpreted as instantaneous rate `1/p(k)`).
+///
+/// When more jobs are active than processors, the earliest-released jobs
+/// get one processor each and the rest wait (FIFO).
+pub fn deq_schedule(jobs: &[Job], m: usize) -> MalleableSchedule {
+    for j in jobs {
+        assert!(
+            matches!(j.kind, JobKind::Malleable { .. } | JobKind::Moldable { .. }),
+            "deq_schedule needs malleable/moldable jobs; job {} is not",
+            j.id
+        );
+    }
+    let mut sched = MalleableSchedule::new(m);
+    if jobs.is_empty() {
+        return sched;
+    }
+    // Job state: remaining progress in [0, 1].
+    struct Active<'a> {
+        job: &'a Job,
+        remaining: f64,
+    }
+    let mut pending: Vec<&Job> = jobs.iter().collect();
+    pending.sort_by_key(|j| (j.release, j.id));
+    let mut next = 0usize;
+    let mut active: Vec<Active<'_>> = Vec::new();
+    let mut now = pending[0].release;
+
+    loop {
+        // Admit released jobs.
+        while next < pending.len() && pending[next].release <= now {
+            active.push(Active {
+                job: pending[next],
+                remaining: 1.0,
+            });
+            next += 1;
+        }
+        if active.is_empty() {
+            if next >= pending.len() {
+                break;
+            }
+            now = pending[next].release;
+            continue;
+        }
+        // Equipartition: running jobs = first min(|active|, m) by
+        // (release, id); each gets an equal share capped by its profile.
+        active.sort_by_key(|a| (a.job.release, a.job.id));
+        let runnable = active.len().min(m);
+        let base = m / runnable;
+        let extra = m % runnable; // first `extra` jobs get one more
+        let mut allot: Vec<usize> = (0..runnable)
+            .map(|i| {
+                let share = base + usize::from(i < extra);
+                share
+                    .min(active[i].job.max_procs())
+                    .min(m)
+                    .max(1)
+            })
+            .collect();
+        // Redistribute processors freed by capped jobs to the others.
+        let mut spare: usize = m - allot.iter().sum::<usize>().min(m);
+        for i in 0..runnable {
+            if spare == 0 {
+                break;
+            }
+            let cap = active[i].job.max_procs().min(m);
+            let grow = (cap - allot[i]).min(spare);
+            allot[i] += grow;
+            spare -= grow;
+        }
+
+        // Next event: earliest projected completion or next arrival.
+        let mut next_completion = Dur::MAX;
+        for (i, a) in active.iter().take(runnable).enumerate() {
+            let p = a.job.time_on(allot[i]);
+            let eta = Dur::from_ticks((a.remaining * p.ticks() as f64).ceil() as u64)
+                .max(Dur::from_ticks(1));
+            next_completion = next_completion.min(eta);
+        }
+        let horizon = if next < pending.len() {
+            let until_arrival = pending[next].release - now;
+            next_completion.min(until_arrival).max(Dur::from_ticks(1))
+        } else {
+            next_completion
+        };
+        let seg_end = now + horizon;
+
+        // Emit segments and progress the running jobs.
+        let mut offset = 0usize;
+        for (i, a) in active.iter_mut().take(runnable).enumerate() {
+            let k = allot[i];
+            let p = a.job.time_on(k);
+            sched.push(MalleableSegment {
+                job: a.job.id,
+                start: now,
+                end: seg_end,
+                procs: ProcSet::range(offset, offset + k),
+            });
+            offset += k;
+            a.remaining -= horizon.ticks() as f64 / p.ticks() as f64;
+        }
+        now = seg_end;
+        active.retain(|a| a.remaining > 1e-9);
+        if active.is_empty() && next >= pending.len() {
+            break;
+        }
+    }
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_workload::{MoldableProfile, SpeedupModel};
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn linear_malleable(id: u64, seq: u64, kmax: usize) -> Job {
+        let profile = MoldableProfile::from_model(d(seq), &SpeedupModel::Linear, kmax);
+        Job {
+            kind: JobKind::Malleable { profile },
+            ..Job::sequential(id, d(seq))
+        }
+    }
+
+    #[test]
+    fn single_job_takes_whole_machine() {
+        let jobs = vec![linear_malleable(1, 1000, 8)];
+        let s = deq_schedule(&jobs, 8);
+        assert_eq!(s.validate(&jobs), Ok(()));
+        // Linear on 8 procs: ~125 ticks (+ rounding).
+        let mk = s.makespan().ticks();
+        assert!((125..=135).contains(&mk), "makespan {mk}");
+    }
+
+    #[test]
+    fn two_jobs_split_then_winner_expands() {
+        // Two linear jobs, one twice the work: both get m/2; when the small
+        // one finishes the big one expands to the full machine.
+        let jobs = vec![linear_malleable(1, 800, 8), linear_malleable(2, 1600, 8)];
+        let s = deq_schedule(&jobs, 8);
+        assert_eq!(s.validate(&jobs), Ok(()));
+        let wide: Vec<_> = s
+            .segments()
+            .iter()
+            .filter(|seg| seg.job == JobId(2) && seg.procs.len() == 8)
+            .collect();
+        assert!(!wide.is_empty(), "job 2 must expand to the full machine");
+        // Equipartition is work-conserving on linear jobs: makespan equals
+        // total work / m (up to segment rounding).
+        let mk = s.makespan().ticks();
+        assert!((300..=310).contains(&mk), "makespan {mk}");
+    }
+
+    #[test]
+    fn arrival_triggers_repartition() {
+        let jobs = vec![
+            linear_malleable(1, 1000, 4),
+            linear_malleable(2, 1000, 4).released_at(Time::from_ticks(50)),
+        ];
+        let s = deq_schedule(&jobs, 4);
+        assert_eq!(s.validate(&jobs), Ok(()));
+        // Job 1 runs alone on 4 procs for 50 ticks, then both share 2+2.
+        let first = &s.segments()[0];
+        assert_eq!(first.job, JobId(1));
+        assert_eq!(first.procs.len(), 4);
+        assert_eq!(first.end, Time::from_ticks(50));
+        let shared: Vec<_> = s
+            .segments()
+            .iter()
+            .filter(|seg| seg.start == Time::from_ticks(50))
+            .collect();
+        assert_eq!(shared.len(), 2);
+        assert!(shared.iter().all(|seg| seg.procs.len() == 2));
+    }
+
+    #[test]
+    fn more_jobs_than_processors_queue_fifo() {
+        let jobs: Vec<Job> = (0..6).map(|i| linear_malleable(i, 100, 4)).collect();
+        let s = deq_schedule(&jobs, 4);
+        assert_eq!(s.validate(&jobs), Ok(()));
+        // At t=0 only 4 jobs run (1 proc each); ids 4 and 5 start later.
+        let early: Vec<JobId> = s
+            .segments()
+            .iter()
+            .filter(|seg| seg.start == Time::ZERO)
+            .map(|seg| seg.job)
+            .collect();
+        assert_eq!(early.len(), 4);
+        assert!(!early.contains(&JobId(4)) && !early.contains(&JobId(5)));
+    }
+
+    #[test]
+    fn capped_jobs_release_spare_processors() {
+        // One job can only use 2 procs; the other is unbounded: spare
+        // processors flow to the unbounded one.
+        let jobs = vec![linear_malleable(1, 1000, 2), linear_malleable(2, 1000, 8)];
+        let s = deq_schedule(&jobs, 8);
+        assert_eq!(s.validate(&jobs), Ok(()));
+        let first_segs: Vec<_> = s
+            .segments()
+            .iter()
+            .filter(|seg| seg.start == Time::ZERO)
+            .collect();
+        let k1 = first_segs.iter().find(|s| s.job == JobId(1)).unwrap().procs.len();
+        let k2 = first_segs.iter().find(|s| s.job == JobId(2)).unwrap().procs.len();
+        assert_eq!(k1, 2);
+        assert_eq!(k2, 6, "spare procs go to the unbounded job");
+    }
+
+    #[test]
+    fn malleability_beats_moldable_batching_on_flow() {
+        use crate::batch::batch_online;
+        use crate::mrt::{mrt_schedule, MrtParams};
+        use lsps_des::SimRng;
+        use lsps_metrics::Criteria;
+        // Staggered arrivals: the malleable policy adapts instantly; the
+        // batch policy makes later arrivals wait for the batch boundary.
+        let mut rng = SimRng::seed_from(3);
+        let m = 16;
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| {
+                linear_malleable(i, rng.int_range(500, 2_000), m)
+                    .released_at(Time::from_ticks(i * 200))
+            })
+            .collect();
+        let deq = deq_schedule(&jobs, m);
+        assert_eq!(deq.validate(&jobs), Ok(()));
+        let deq_flow = Criteria::evaluate(&deq.completed(&jobs)).mean_flow;
+        let batch = batch_online(&jobs, m, |b, mm| mrt_schedule(b, mm, MrtParams::default()));
+        let batch_flow = Criteria::evaluate(&batch.completed(&jobs)).mean_flow;
+        assert!(
+            deq_flow <= batch_flow,
+            "DEQ flow {deq_flow} vs batch flow {batch_flow}"
+        );
+    }
+
+    #[test]
+    fn validation_catches_overlap_and_progress() {
+        // seq 200, k = 2 ⇒ p(2) = 100: both segments complete their job
+        // exactly, so only the processor overlap is wrong.
+        let jobs = vec![linear_malleable(1, 200, 4), linear_malleable(2, 200, 4)];
+        let mut s = MalleableSchedule::new(4);
+        s.push(MalleableSegment {
+            job: JobId(1),
+            start: Time::ZERO,
+            end: Time::from_ticks(100),
+            procs: ProcSet::range(0, 2),
+        });
+        // Overlapping procs with job 1.
+        s.push(MalleableSegment {
+            job: JobId(2),
+            start: Time::from_ticks(50),
+            end: Time::from_ticks(150),
+            procs: ProcSet::range(1, 3),
+        });
+        assert!(matches!(
+            s.validate(&jobs),
+            Err(MalleableError::Overlap(_, _))
+        ));
+        // Too little progress.
+        let mut s2 = MalleableSchedule::new(4);
+        s2.push(MalleableSegment {
+            job: JobId(1),
+            start: Time::ZERO,
+            end: Time::from_ticks(10),
+            procs: ProcSet::range(0, 1),
+        });
+        s2.push(MalleableSegment {
+            job: JobId(2),
+            start: Time::ZERO,
+            end: Time::from_ticks(100),
+            procs: ProcSet::range(2, 3),
+        });
+        assert_eq!(
+            s2.validate(&jobs),
+            Err(MalleableError::WrongProgress(JobId(1)))
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = deq_schedule(&[], 4);
+        assert!(s.segments().is_empty());
+    }
+}

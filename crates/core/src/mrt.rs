@@ -1,0 +1,444 @@
+//! MRT — the two-shelf dual-approximation algorithm for off-line moldable
+//! makespan (§4.1 of the paper; ref [8] Dutot–Mounié–Trystram, after
+//! Mounié–Rastello–Trystram).
+//!
+//! "The MRT algorithm has a performance ratio of 3/2 + ε. It is obtained by
+//! stacking two shelves of respective sizes λ and λ/2 where λ is a guess of
+//! the optimal value C*max. This guess is computed by a dual approximation
+//! scheme. A binary search on λ allows us to refine the guess with an
+//! arbitrary accuracy ε."
+//!
+//! For a guess λ the dual-approximation test uses exactly the paper's
+//! certificate constraints (§4.1): in an optimal schedule of length λ,
+//!
+//! * every job fits: `p_j(nbproc(j)) ≤ λ`,
+//! * the total work fits: `Σ w_j ≤ λ·m`,
+//! * jobs longer than λ/2 occupy at most `m` processors simultaneously.
+//!
+//! Construction for a guess λ:
+//!
+//! 1. every job gets its *canonical allotments* `k1 = γ(j, λ)` (minimal
+//!    processors achieving `p ≤ λ`) and `k2 = γ(j, λ/2)` — by work
+//!    monotony these are also the work-minimal choices;
+//! 2. a 0/1 knapsack chooses which jobs go to the big shelf **S1**
+//!    (length ≤ λ, at most `m` processors total) so that total work is
+//!    minimal — moving a job to S1 saves `w(k2) − w(k1) ≥ 0` work at the
+//!    price of `k1` shelf-width;
+//! 3. reject λ if some job cannot meet it or the minimal work exceeds λ·m
+//!    (dual-approximation failure: λ < C*max);
+//! 4. S1 starts at 0; S2 jobs (length ≤ λ/2) are stacked greedily above
+//!    the S1 staircase with the hard deadline 3λ/2 — if the stacking
+//!    overflows, λ is rejected and the search continues upward.
+//!
+//! The binary search maintains the invariant that the returned schedule has
+//! makespan ≤ (3/2)·λ* for the smallest accepted guess λ*, and λ* converges
+//! within a (1+ε) factor. With the exact repair phases of [8] the accepted
+//! set is precisely {λ ≥ C*max}, giving 3/2 + ε; our stacking step is the
+//! practical variant of that repair — its empirical ratio is measured
+//! against certified lower bounds by the `guarantees` experiment (TAB-G)
+//! and stays within the proven envelope on every tested instance.
+
+use lsps_des::{Dur, Time};
+use lsps_metrics::cmax_lower_bound;
+use lsps_platform::ProcSet;
+use lsps_workload::{Job, JobKind};
+
+use crate::schedule::Schedule;
+
+/// Tuning of the dual-approximation search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MrtParams {
+    /// Relative accuracy ε of the binary search on λ (> 0).
+    pub eps: f64,
+}
+
+impl Default for MrtParams {
+    fn default() -> Self {
+        MrtParams { eps: 0.01 }
+    }
+}
+
+/// Minimal allotment and its work for `job` to finish within `limit`,
+/// or `None` if impossible on `m` processors.
+fn allotment_within(job: &Job, m: usize, limit: Dur) -> Option<(usize, Dur)> {
+    match &job.kind {
+        JobKind::Rigid { procs, len } => {
+            (*procs <= m && *len <= limit).then(|| (*procs, len.saturating_mul(*procs as u64)))
+        }
+        JobKind::Moldable { profile } | JobKind::Malleable { profile } => {
+            let p = profile.truncated(m);
+            let k = p.min_allotment_within(limit)?;
+            Some((k, p.work(k)))
+        }
+        JobKind::Divisible { .. } => panic!("MRT does not schedule divisible jobs"),
+    }
+}
+
+/// One dual-approximation attempt at guess λ (ticks). Returns the
+/// constructed two-shelf schedule or `None` when λ is rejected.
+fn try_lambda(jobs: &[Job], m: usize, lambda: u64) -> Option<Schedule> {
+    let lam = Dur::from_ticks(lambda);
+    let half = Dur::from_ticks(lambda / 2);
+    let budget = (lambda as u128) * (m as u128);
+
+    // Canonical allotments. `s1` entries are (job index, k1, w1);
+    // candidates may instead run in S2 with (k2, w2).
+    struct Entry {
+        idx: usize,
+        k1: usize,
+        w1: Dur,
+        /// `Some` when the job can finish within λ/2.
+        short: Option<(usize, Dur)>,
+    }
+    let mut entries = Vec::with_capacity(jobs.len());
+    for (idx, job) in jobs.iter().enumerate() {
+        let (k1, w1) = allotment_within(job, m, lam)?; // reject: job can't meet λ
+        let short = allotment_within(job, m, half);
+        entries.push(Entry {
+            idx,
+            k1,
+            w1,
+            short,
+        });
+    }
+
+    // Forced S1 occupancy (jobs that cannot fit in λ/2).
+    let forced_width: usize = entries
+        .iter()
+        .filter(|e| e.short.is_none())
+        .map(|e| e.k1)
+        .sum();
+    if forced_width > m {
+        return None; // more than m processors of >λ/2 jobs: λ < C*max
+    }
+    let cap = m - forced_width;
+
+    // Knapsack over the candidates: maximize work savings within width cap.
+    let candidates: Vec<&Entry> = entries.iter().filter(|e| e.short.is_some()).collect();
+    let n = candidates.len();
+    // dp[b] = max total savings with shelf-width budget b; take[i][b] = did
+    // item i enter at budget b.
+    let mut dp = vec![0u64; cap + 1];
+    let mut take = vec![false; n * (cap + 1)];
+    for (i, e) in candidates.iter().enumerate() {
+        let (_, w2) = e.short.expect("candidate");
+        let saving = (w2 - e.w1).ticks();
+        let cost = e.k1;
+        if cost > cap || saving == 0 {
+            continue;
+        }
+        for b in (cost..=cap).rev() {
+            let with = dp[b - cost] + saving;
+            if with > dp[b] {
+                dp[b] = with;
+                take[i * (cap + 1) + b] = true;
+            }
+        }
+    }
+    // Reconstruct the chosen S1 subset.
+    let mut in_s1 = vec![false; n];
+    let mut b = cap;
+    for i in (0..n).rev() {
+        if take[i * (cap + 1) + b] {
+            in_s1[i] = true;
+            b -= candidates[i].k1;
+        }
+    }
+
+    // Final partition and the work certificate.
+    let mut s1: Vec<(usize, usize, Dur)> = Vec::new(); // (job idx, k, p(k))
+    let mut s2: Vec<(usize, usize, Dur)> = Vec::new();
+    let mut total_work: u128 = 0;
+    for e in &entries {
+        if e.short.is_none() {
+            total_work += e.w1.ticks() as u128;
+            s1.push((e.idx, e.k1, jobs[e.idx].time_on(e.k1)));
+        }
+    }
+    for (i, e) in candidates.iter().enumerate() {
+        if in_s1[i] {
+            total_work += e.w1.ticks() as u128;
+            s1.push((e.idx, e.k1, jobs[e.idx].time_on(e.k1)));
+        } else {
+            let (k2, w2) = e.short.expect("candidate");
+            total_work += w2.ticks() as u128;
+            s2.push((e.idx, k2, jobs[e.idx].time_on(k2)));
+        }
+    }
+    if total_work > budget {
+        return None; // work certificate failed: λ < C*max
+    }
+
+    // Placement. S1 left-to-right at t = 0.
+    let mut sched = Schedule::new(m);
+    let mut free_at = vec![Time::ZERO; m]; // per-processor staircase
+    s1.sort_by_key(|&(idx, k, _)| (std::cmp::Reverse(k), jobs[idx].id));
+    let mut offset = 0usize;
+    for &(idx, k, p) in &s1 {
+        debug_assert!(offset + k <= m);
+        sched.place(&jobs[idx], Time::ZERO, ProcSet::range(offset, offset + k));
+        for f in &mut free_at[offset..offset + k] {
+            *f = Time::ZERO + p;
+        }
+        offset += k;
+    }
+
+    // S2 greedily above the staircase, hard deadline 3λ/2.
+    let deadline = Time::ZERO + lam + half;
+    s2.sort_by_key(|&(idx, k, _)| (std::cmp::Reverse(k), jobs[idx].id));
+    let mut by_free: Vec<usize> = (0..m).collect();
+    for &(idx, k, p) in &s2 {
+        by_free.sort_by_key(|&i| (free_at[i], i));
+        let chosen = &by_free[..k];
+        let start = chosen
+            .iter()
+            .map(|&i| free_at[i])
+            .max()
+            .expect("k >= 1");
+        let end = start + p;
+        if end > deadline {
+            return None; // stacking overflow: escalate λ
+        }
+        sched.place(&jobs[idx], start, ProcSet::from_indices(chosen.iter().copied()));
+        for &i in chosen {
+            free_at[i] = end;
+        }
+    }
+    Some(sched)
+}
+
+/// Schedule moldable (and rigid) `jobs`, all released at 0, on `m`
+/// identical processors; returns a schedule with makespan within
+/// `3/2·(1+ε)` of the smallest λ the construction accepts (see module
+/// docs).
+///
+/// ```
+/// use lsps_core::mrt::{mrt_schedule, MrtParams};
+/// use lsps_des::Dur;
+/// use lsps_workload::{Job, MoldableProfile, SpeedupModel};
+///
+/// let profile = MoldableProfile::from_model(
+///     Dur::from_secs(100),
+///     &SpeedupModel::Amdahl { seq_fraction: 0.1 },
+///     8,
+/// );
+/// let jobs = vec![Job::moldable(0, profile.clone()), Job::moldable(1, profile)];
+/// let schedule = mrt_schedule(&jobs, 8, MrtParams::default());
+/// assert!(schedule.validate(&jobs).is_ok());
+/// ```
+///
+/// # Panics
+/// If a job has a non-zero release date (wrap with [`crate::batch`]),
+/// a rigid job is wider than `m`, or `jobs` contains a divisible load.
+pub fn mrt_schedule(jobs: &[Job], m: usize, params: MrtParams) -> Schedule {
+    mrt_schedule_with_lambda(jobs, m, params).0
+}
+
+/// Like [`mrt_schedule`], also returning the accepted guess λ* (ticks).
+/// The construction invariant `makespan ≤ 3λ*/2` always holds and is what
+/// the dual-approximation guarantee rests on; the `guarantees` experiment
+/// additionally measures makespan against certified lower bounds.
+pub fn mrt_schedule_with_lambda(jobs: &[Job], m: usize, params: MrtParams) -> (Schedule, u64) {
+    assert!(params.eps > 0.0, "ε must be positive");
+    assert!(
+        jobs.iter().all(|j| j.release == Time::ZERO),
+        "mrt_schedule is off-line: wrap with batch_online for release dates"
+    );
+    if jobs.is_empty() {
+        return (Schedule::new(m), 0);
+    }
+
+    // Bracket λ*: lower bound from the area/tallest certificate, upper
+    // bound by doubling until accepted.
+    let lb = cmax_lower_bound(jobs, m).ticks().max(1);
+    let mut lo = lb;
+    let mut hi = lb;
+    let mut best: Option<Schedule> = None;
+    for _ in 0..64 {
+        if let Some(s) = try_lambda(jobs, m, hi) {
+            best = Some(s);
+            break;
+        }
+        lo = hi + 1;
+        hi = hi.saturating_mul(2);
+    }
+    let mut best = best.expect("doubling reaches a feasible λ (jobs fit the machine)");
+
+    // Binary search down to relative accuracy ε.
+    while (hi as f64) > (lo as f64) * (1.0 + params.eps) && lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        match try_lambda(jobs, m, mid) {
+            Some(s) => {
+                best = s;
+                hi = mid;
+            }
+            None => lo = mid + 1,
+        }
+    }
+    (best, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::SimRng;
+    use lsps_workload::{MoldableProfile, SpeedupModel};
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn amdahl(id: u64, seq: u64, f: f64, kmax: usize) -> Job {
+        Job::moldable(
+            id,
+            MoldableProfile::from_model(d(seq), &SpeedupModel::Amdahl { seq_fraction: f }, kmax),
+        )
+    }
+
+    #[test]
+    fn single_job_uses_enough_procs() {
+        let jobs = vec![amdahl(1, 1000, 0.0, 8)];
+        let s = mrt_schedule(&jobs, 8, MrtParams::default());
+        assert!(s.validate(&jobs).is_ok());
+        // One job alone: ratio vs LB (min_time) must stay below 1.5(1+ε).
+        let lb = cmax_lower_bound(&jobs, 8).ticks() as f64;
+        let ratio = s.makespan().ticks() as f64 / lb;
+        assert!(ratio <= 1.52, "ratio {ratio}");
+    }
+
+    #[test]
+    fn identical_sequentialish_jobs_pack_tightly() {
+        // m jobs of length L with no useful parallelism: OPT = L.
+        let jobs: Vec<Job> = (0..8).map(|i| Job::sequential(i, d(100))).collect();
+        let s = mrt_schedule(&jobs, 8, MrtParams::default());
+        assert!(s.validate(&jobs).is_ok());
+        assert_eq!(s.makespan(), Time::from_ticks(100), "perfect pack");
+    }
+
+    #[test]
+    fn ratio_bound_on_random_moldable_instances() {
+        use crate::mrt::mrt_schedule_with_lambda;
+        let mut rng = SimRng::seed_from(7);
+        for trial in 0..12 {
+            let m = [8usize, 16, 50][trial % 3];
+            let n = 5 + (trial * 7) % 40;
+            let jobs: Vec<Job> = (0..n)
+                .map(|i| {
+                    let seq = rng.int_range(50, 5000);
+                    let f = rng.range(0.0, 0.3);
+                    let kmax = rng.int_range(1, m as u64) as usize;
+                    amdahl(i as u64, seq, f, kmax)
+                })
+                .collect();
+            let (s, lambda) = mrt_schedule_with_lambda(&jobs, m, MrtParams::default());
+            assert!(s.validate(&jobs).is_ok(), "trial {trial}");
+            // Construction invariant: makespan ≤ 3λ*/2 exactly.
+            assert!(
+                s.makespan().ticks() as f64 <= 1.5 * lambda as f64 + 1.0,
+                "trial {trial}: two-shelf invariant broken"
+            );
+            // Against the certified LOWER BOUND the ratio may exceed the
+            // 3/2+ε guarantee (which is vs OPT ≥ LB); the LB gap on random
+            // instances stays small, so 1.7 is a meaningful regression
+            // guard (TAB-G records the actual distribution).
+            let lb = cmax_lower_bound(&jobs, m).ticks() as f64;
+            let ratio = s.makespan().ticks() as f64 / lb;
+            assert!(
+                ratio <= 1.7 + 1e-9,
+                "trial {trial} (m={m}, n={n}): ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_rigid_and_moldable() {
+        let jobs = vec![
+            Job::rigid(1, 3, d(200)),
+            amdahl(2, 900, 0.1, 8),
+            Job::rigid(3, 1, d(90)),
+            amdahl(4, 400, 0.05, 4),
+        ];
+        let (s, lambda) = mrt_schedule_with_lambda(&jobs, 8, MrtParams::default());
+        assert!(s.validate(&jobs).is_ok());
+        assert!(s.makespan().ticks() as f64 <= 1.5 * lambda as f64 + 1.0);
+        let lb = cmax_lower_bound(&jobs, 8).ticks() as f64;
+        assert!(s.makespan().ticks() as f64 / lb <= 1.7);
+    }
+
+    #[test]
+    fn tighter_eps_never_worse() {
+        let mut rng = SimRng::seed_from(11);
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| amdahl(i, rng.int_range(100, 2000), 0.1, 16))
+            .collect();
+        let loose = mrt_schedule(&jobs, 16, MrtParams { eps: 0.5 });
+        let tight = mrt_schedule(&jobs, 16, MrtParams { eps: 0.001 });
+        assert!(tight.makespan() <= loose.makespan());
+    }
+
+    #[test]
+    fn knapsack_prefers_sequential_when_machine_is_scarce() {
+        // Many jobs, small machine: shelving all at min-time allotments
+        // would explode the work; the knapsack must keep most jobs narrow.
+        let jobs: Vec<Job> = (0..20).map(|i| amdahl(i, 300, 0.0, 4)).collect();
+        let s = mrt_schedule(&jobs, 4, MrtParams::default());
+        assert!(s.validate(&jobs).is_ok());
+        // Total work is 20×300 = 6000 ⇒ LB = 1500 on m=4; a work-oblivious
+        // allotment (k=4 each) would serialize to ≥ 20×75=1500 as well but
+        // the schedule must not exceed 1.5×(1+ε)×LB.
+        let lb = cmax_lower_bound(&jobs, 4).ticks() as f64;
+        assert!(s.makespan().ticks() as f64 / lb <= 1.52);
+    }
+
+    #[test]
+    #[should_panic]
+    fn release_dates_rejected() {
+        let j = Job::sequential(1, d(10)).released_at(Time::from_ticks(5));
+        mrt_schedule(&[j], 4, MrtParams::default());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_schedule() {
+        let s = mrt_schedule(&[], 4, MrtParams::default());
+        assert!(s.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use lsps_workload::{MoldableProfile, SpeedupModel};
+    use proptest::prelude::*;
+
+    fn job_strategy(m: usize) -> impl Strategy<Value = (u64, f64, usize)> {
+        (10u64..5_000, 0.0f64..0.4, 1usize..=m)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// On arbitrary moldable instances the MRT schedule validates and
+        /// obeys the two-shelf invariant makespan <= 3λ*/2.
+        #[test]
+        fn mrt_valid_and_invariant(
+            specs in prop::collection::vec(job_strategy(32), 1..30),
+            m in 2usize..32,
+        ) {
+            let jobs: Vec<Job> = specs.iter().enumerate()
+                .map(|(i, &(seq, f, kmax))| {
+                    Job::moldable(i as u64, MoldableProfile::from_model(
+                        Dur::from_ticks(seq),
+                        &SpeedupModel::Amdahl { seq_fraction: f },
+                        kmax.min(m),
+                    ))
+                })
+                .collect();
+            let (s, lambda) = mrt_schedule_with_lambda(&jobs, m, MrtParams::default());
+            prop_assert_eq!(s.validate(&jobs), Ok(()));
+            prop_assert!(s.makespan().ticks() <= lambda * 3 / 2 + 2,
+                "invariant: {} > 1.5 × {lambda}", s.makespan().ticks());
+            // λ* never sits below the certificate lower bound.
+            let lb = cmax_lower_bound(&jobs, m).ticks();
+            prop_assert!(lambda >= lb);
+        }
+    }
+}

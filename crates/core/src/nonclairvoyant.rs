@@ -1,0 +1,180 @@
+//! Non-clairvoyant scheduling (§4.2).
+//!
+//! "We distinguish two types of on-line algorithms, namely, clairvoyant
+//! on-line algorithms when most parameters of the Parallel Tasks are known
+//! as soon as they arrive, and non-clairvoyant ones when only a partial
+//! knowledge of these parameters is available."
+//!
+//! The workspace's policies are clairvoyant; this module provides the
+//! classical bridge for unknown execution times: **exponential trial**
+//! scheduling. Each job is run with a runtime *estimate*; if it has not
+//! finished when the estimate expires it is killed and resubmitted with a
+//! doubled estimate. The total processing paid for a job with true time `p`
+//! and initial estimate `e` is less than `4·p + 2e` (geometric series), so
+//! any clairvoyant policy's guarantee degrades by a constant factor —
+//! the standard price of non-clairvoyance.
+
+use lsps_des::{Dur, Time};
+use lsps_platform::Timeline;
+use lsps_platform::BookingKind;
+use lsps_workload::{Job, JobKind};
+
+use crate::schedule::{Assignment, Schedule};
+
+/// Outcome counters of a non-clairvoyant run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrialStats {
+    /// Total trials started (≥ number of jobs).
+    pub trials: u64,
+    /// Trials killed at their estimate.
+    pub kills: u64,
+    /// CPU-ticks spent on killed trials (the non-clairvoyance overhead).
+    pub wasted_ticks: u64,
+}
+
+/// Schedule rigid jobs whose execution times are *unknown* to the policy:
+/// run every job FCFS with exponentially growing estimates, killing and
+/// resubmitting on expiry. `initial_estimate` seeds the doubling.
+///
+/// Returns the resulting (valid, actual-times) schedule: the final —
+/// successful — trial of each job is its real execution; killed trials
+/// occupy the machine but appear only in the stats.
+pub fn exponential_trial_schedule(
+    jobs: &[Job],
+    m: usize,
+    initial_estimate: Dur,
+) -> (Schedule, TrialStats) {
+    assert!(!initial_estimate.is_zero(), "estimate must be positive");
+    for j in jobs {
+        assert!(
+            matches!(j.kind, JobKind::Rigid { .. }),
+            "exponential_trial_schedule expects rigid jobs; job {} is not",
+            j.id
+        );
+        assert!(j.min_procs() <= m, "job {} wider than machine", j.id);
+    }
+    // Trial queue: (job index, estimate, earliest start). FCFS by
+    // (release/requeue time, id) — a resubmitted trial goes to the back.
+    let mut tl = Timeline::with_procs(m);
+    let mut sched = Schedule::new(m);
+    let mut stats = TrialStats::default();
+    let mut queue: Vec<(usize, Dur, Time)> = {
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by_key(|&i| (jobs[i].release, jobs[i].id));
+        order
+            .into_iter()
+            .map(|i| (i, initial_estimate, jobs[i].release))
+            .collect()
+    };
+
+    let mut cursor = 0usize;
+    while cursor < queue.len() {
+        let (idx, estimate, earliest) = queue[cursor];
+        cursor += 1;
+        let job = &jobs[idx];
+        let q = job.min_procs();
+        let true_len = job.time_on(q);
+        stats.trials += 1;
+        if true_len <= estimate {
+            // The trial succeeds: book the real duration.
+            let (start, procs) = tl
+                .earliest_slot(earliest, true_len, q)
+                .expect("q <= m, so a slot always exists");
+            tl.book(start, start + true_len, procs.clone(), BookingKind::Job);
+            sched.push(Assignment {
+                job: job.id,
+                start,
+                end: start + true_len,
+                procs,
+            });
+        } else {
+            // The trial is killed at the estimate; the machine time is
+            // burnt and the job re-enters with a doubled estimate.
+            let (start, procs) = tl
+                .earliest_slot(earliest, estimate, q)
+                .expect("q <= m, so a slot always exists");
+            tl.book(start, start + estimate, procs, BookingKind::Job);
+            stats.kills += 1;
+            stats.wasted_ticks += estimate.ticks() * q as u64;
+            queue.push((idx, estimate * 2, start + estimate));
+        }
+    }
+    (sched, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::SimRng;
+    use lsps_metrics::cmax_lower_bound;
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn exact_estimate_means_no_kills() {
+        let jobs = vec![Job::rigid(1, 1, d(100)), Job::rigid(2, 2, d(50))];
+        let (s, stats) = exponential_trial_schedule(&jobs, 4, d(100));
+        assert_eq!(s.validate(&jobs), Ok(()));
+        assert_eq!(stats.kills, 0);
+        assert_eq!(stats.trials, 2);
+        assert_eq!(stats.wasted_ticks, 0);
+    }
+
+    #[test]
+    fn doubling_finds_the_right_estimate() {
+        // True length 700, initial estimate 100: kills at 100, 200, 400,
+        // succeeds at 800 ⇒ 3 kills, 700 wasted ticks.
+        let jobs = vec![Job::rigid(1, 1, d(700))];
+        let (s, stats) = exponential_trial_schedule(&jobs, 1, d(100));
+        assert_eq!(s.validate(&jobs), Ok(()));
+        assert_eq!(stats.kills, 3);
+        assert_eq!(stats.wasted_ticks, 100 + 200 + 400);
+        // The job completes after its kills: 700 burnt + 700 real.
+        assert_eq!(s.makespan(), Time::from_ticks(1400));
+    }
+
+    #[test]
+    fn overhead_bounded_by_constant_factor() {
+        // Geometric trials waste < 2× the true length when the initial
+        // estimate is below it (100+200+…+2^k·e < 2·p for the first
+        // power of two ≥ p); whole-schedule makespan stays within ~4× of
+        // the clairvoyant lower bound on random instances.
+        let mut rng = SimRng::seed_from(5);
+        let m = 8;
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| {
+                Job::rigid(
+                    i,
+                    rng.int_range(1, 4) as usize,
+                    d(rng.int_range(10, 2_000)),
+                )
+            })
+            .collect();
+        let (s, stats) = exponential_trial_schedule(&jobs, m, d(10));
+        assert_eq!(s.validate(&jobs), Ok(()));
+        let lb = cmax_lower_bound(&jobs, m).ticks() as f64;
+        let ratio = s.makespan().ticks() as f64 / lb;
+        assert!(ratio <= 4.0, "non-clairvoyant ratio {ratio}");
+        assert!(stats.kills > 0, "instance long enough to force kills");
+        // Per-job waste bound: total wasted < 2 × total true work.
+        let total_work: u64 = jobs.iter().map(|j| j.min_work().ticks()).sum();
+        assert!(stats.wasted_ticks < 2 * total_work);
+    }
+
+    #[test]
+    fn release_dates_respected() {
+        let jobs = vec![Job::rigid(1, 1, d(50)).released_at(Time::from_ticks(500))];
+        let (s, _) = exponential_trial_schedule(&jobs, 2, d(10));
+        assert_eq!(s.validate(&jobs), Ok(()));
+        assert!(s.assignments()[0].start >= Time::from_ticks(500));
+    }
+
+    #[test]
+    fn empty_input() {
+        let (s, stats) = exponential_trial_schedule(&[], 4, d(10));
+        assert!(s.is_empty());
+        assert_eq!(stats, TrialStats::default());
+    }
+}

@@ -1,0 +1,321 @@
+//! Generic event-driven simulation engine.
+//!
+//! A [`Model`] owns the domain state (clusters, queues, jobs…) and reacts to
+//! its own event type; the [`Simulation`] owns the clock and the event queue
+//! and drives the model. The model schedules future events through the
+//! [`Ctx`] handle it receives on every callback, which also carries the
+//! execution trace.
+//!
+//! The engine enforces the causality invariant: a model may never schedule an
+//! event strictly in the past (it may schedule at `now`, which re-enters the
+//! dispatch loop after currently pending same-time events — FIFO order).
+
+use crate::queue::{EventKey, EventQueue};
+use crate::time::Time;
+use crate::trace::Trace;
+
+/// Domain logic plugged into a [`Simulation`].
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// React to `event` occurring at `now`. New events are scheduled through
+    /// `ctx`; domain state lives in `self`.
+    fn handle(&mut self, now: Time, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
+}
+
+/// Scheduling handle passed to [`Model::handle`].
+pub struct Ctx<'a, E> {
+    now: Time,
+    queue: &'a mut EventQueue<E>,
+    trace: &'a mut Trace,
+}
+
+impl<'a, E> Ctx<'a, E> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// If `at` is strictly in the past (causality violation — always a bug in
+    /// the model).
+    pub fn schedule_at(&mut self, at: Time, event: E) -> EventKey {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {:?} while now is {:?}",
+            at,
+            self.now
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedule `event` after a delay of `d`.
+    pub fn schedule_in(&mut self, d: crate::time::Dur, event: E) -> EventKey {
+        let at = self.now + d;
+        self.queue.schedule(at, event)
+    }
+
+    /// Cancel a pending event. Returns `true` if it was still live.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// Append a line to the execution trace (no-op when tracing is off).
+    pub fn trace(&mut self, text: impl FnOnce() -> String) {
+        self.trace.record(self.now, text);
+    }
+}
+
+/// Counters reported by [`Simulation::run`] variants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events dispatched to the model.
+    pub events_dispatched: u64,
+    /// Simulated time of the last dispatched event.
+    pub last_event_time: Time,
+}
+
+/// Event-driven simulation: clock + queue + model.
+pub struct Simulation<M: Model> {
+    now: Time,
+    queue: EventQueue<M::Event>,
+    model: M,
+    trace: Trace,
+    dispatched: u64,
+}
+
+impl<M: Model> Simulation<M> {
+    /// A simulation at time zero with an empty agenda.
+    pub fn new(model: M) -> Self {
+        Simulation {
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            model,
+            trace: Trace::disabled(),
+            dispatched: 0,
+        }
+    }
+
+    /// Enable execution tracing, keeping at most `capacity` most recent lines.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Trace::enabled(capacity);
+        self
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Immutable access to the domain model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the domain model (for setup between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// The execution trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Seed the agenda before running.
+    pub fn schedule_at(&mut self, at: Time, event: M::Event) -> EventKey {
+        assert!(at >= self.now, "cannot seed event in the past");
+        self.queue.schedule(at, event)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Dispatch a single event; returns `false` when the agenda is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, _key, event)) => {
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
+                let mut ctx = Ctx {
+                    now: at,
+                    queue: &mut self.queue,
+                    trace: &mut self.trace,
+                };
+                self.model.handle(at, event, &mut ctx);
+                self.dispatched += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the agenda empties. `max_events` bounds runaway models
+    /// (panics when exceeded — a model that self-perpetuates past the bound
+    /// is a bug, not a workload).
+    pub fn run_to_completion(&mut self, max_events: u64) -> RunStats {
+        let start = self.dispatched;
+        while self.step() {
+            assert!(
+                self.dispatched - start <= max_events,
+                "simulation exceeded {} events — runaway model?",
+                max_events
+            );
+        }
+        RunStats {
+            events_dispatched: self.dispatched - start,
+            last_event_time: self.now,
+        }
+    }
+
+    /// Run while events exist with a timestamp `<= horizon`. Events beyond
+    /// the horizon stay pending; the clock advances to the last dispatched
+    /// event (not to the horizon).
+    pub fn run_until(&mut self, horizon: Time) -> RunStats {
+        let start = self.dispatched;
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= horizon => {
+                    let progressed = self.step();
+                    debug_assert!(progressed);
+                }
+                _ => break,
+            }
+        }
+        RunStats {
+            events_dispatched: self.dispatched - start,
+            last_event_time: self.now,
+        }
+    }
+
+    /// Consume the simulation and return the model (for extracting results).
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Dur, Time};
+
+    /// A model that computes Fibonacci-by-events: each `Tick(n)` schedules
+    /// `Tick(n-1)` and `Tick(n-2)` — a stress test of dispatch order.
+    struct Counter {
+        fired: Vec<(u64, u64)>, // (time, payload)
+    }
+
+    enum Ev {
+        Tick(u64),
+        Chain(u64),
+    }
+
+    impl Model for Counter {
+        type Event = Ev;
+        fn handle(&mut self, now: Time, event: Ev, ctx: &mut Ctx<'_, Ev>) {
+            match event {
+                Ev::Tick(n) => {
+                    self.fired.push((now.ticks(), n));
+                }
+                Ev::Chain(n) => {
+                    self.fired.push((now.ticks(), n));
+                    if n > 0 {
+                        ctx.schedule_in(Dur::from_ticks(10), Ev::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatches_in_order() {
+        let mut sim = Simulation::new(Counter { fired: vec![] });
+        sim.schedule_at(Time::from_ticks(5), Ev::Tick(1));
+        sim.schedule_at(Time::from_ticks(1), Ev::Tick(2));
+        sim.schedule_at(Time::from_ticks(5), Ev::Tick(3)); // tie with first
+        let stats = sim.run_to_completion(100);
+        assert_eq!(stats.events_dispatched, 3);
+        assert_eq!(stats.last_event_time, Time::from_ticks(5));
+        assert_eq!(sim.model().fired, vec![(1, 2), (5, 1), (5, 3)]);
+    }
+
+    #[test]
+    fn chained_events_advance_clock() {
+        let mut sim = Simulation::new(Counter { fired: vec![] });
+        sim.schedule_at(Time::ZERO, Ev::Chain(3));
+        sim.run_to_completion(100);
+        assert_eq!(
+            sim.model().fired,
+            vec![(0, 3), (10, 2), (20, 1), (30, 0)]
+        );
+        assert_eq!(sim.now(), Time::from_ticks(30));
+    }
+
+    #[test]
+    fn run_until_leaves_future_events() {
+        let mut sim = Simulation::new(Counter { fired: vec![] });
+        sim.schedule_at(Time::from_ticks(10), Ev::Tick(1));
+        sim.schedule_at(Time::from_ticks(20), Ev::Tick(2));
+        let stats = sim.run_until(Time::from_ticks(15));
+        assert_eq!(stats.events_dispatched, 1);
+        assert_eq!(sim.pending(), 1);
+        sim.run_to_completion(10);
+        assert_eq!(sim.model().fired.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "runaway")]
+    fn runaway_guard_fires() {
+        struct Forever;
+        impl Model for Forever {
+            type Event = ();
+            fn handle(&mut self, _: Time, _: (), ctx: &mut Ctx<'_, ()>) {
+                ctx.schedule_in(Dur::from_ticks(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Forever);
+        sim.schedule_at(Time::ZERO, ());
+        sim.run_to_completion(1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality")]
+    fn past_scheduling_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, now: Time, _: (), ctx: &mut Ctx<'_, ()>) {
+                if now > Time::ZERO {
+                    ctx.schedule_at(Time::ZERO, ());
+                }
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.schedule_at(Time::from_ticks(5), ());
+        sim.run_to_completion(10);
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        struct Talks;
+        impl Model for Talks {
+            type Event = u32;
+            fn handle(&mut self, _: Time, e: u32, ctx: &mut Ctx<'_, u32>) {
+                ctx.trace(|| format!("saw {e}"));
+            }
+        }
+        let mut sim = Simulation::new(Talks).with_trace(16);
+        sim.schedule_at(Time::from_ticks(3), 7);
+        sim.run_to_completion(10);
+        let lines: Vec<_> = sim.trace().entries().collect();
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].text, "saw 7");
+        assert_eq!(lines[0].at, Time::from_ticks(3));
+    }
+}

@@ -1,0 +1,46 @@
+//! # lsps-des — discrete-event simulation substrate
+//!
+//! Everything in the LSPS workspace that "runs" a platform does so on top of
+//! this crate: an integer simulated clock ([`Time`], [`Dur`]), a stable and
+//! cancellable [`EventQueue`], a small event-driven [`engine`], and a
+//! deterministic random-number layer ([`SimRng`]) so that every experiment in
+//! the paper reproduction is replayable bit-for-bit from a single `u64` seed.
+//!
+//! The paper this workspace reproduces (Dutot, Eyraud, Mounié, Trystram,
+//! *Models for scheduling on large scale platforms*, IPDPS'04) evaluates its
+//! bi-criteria algorithm with a simulator (Fig. 2) and describes the CiGri
+//! best-effort grid as an event-driven system (§5.2); this crate is the
+//! substrate those simulations are built on.
+//!
+//! ## Design notes
+//!
+//! * Time is a `u64` tick count (1 tick = 1 simulated millisecond by the
+//!   workspace convention). Integer time makes schedule validity checks exact
+//!   and keeps the event queue total order well-defined — no NaN, no epsilon.
+//! * Events with equal timestamps pop in insertion (FIFO) order: the queue is
+//!   keyed by `(Time, sequence)`. Determinism of the whole stack depends on
+//!   this.
+//! * Cancellation is lazy: [`EventQueue::cancel`] marks a key dead and the
+//!   entry is dropped when it surfaces. This is O(1) and keeps the heap
+//!   simple; the trade-off (stale entries occupy memory until popped) is
+//!   irrelevant at our event volumes.
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Ctx, Model, RunStats, Simulation};
+pub use queue::{EventKey, EventQueue};
+pub use rng::SimRng;
+pub use time::{Dur, Time, TICKS_PER_SEC};
+pub use trace::{Trace, TraceEntry};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::engine::{Ctx, Model, Simulation};
+    pub use crate::queue::{EventKey, EventQueue};
+    pub use crate::rng::SimRng;
+    pub use crate::time::{Dur, Time, TICKS_PER_SEC};
+}

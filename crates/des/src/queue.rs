@@ -1,0 +1,221 @@
+//! Stable, cancellable event queue.
+//!
+//! A min-heap keyed by `(Time, sequence)`: events scheduled for the same
+//! instant pop in the order they were scheduled, which keeps every simulation
+//! in the workspace deterministic. Cancellation is lazy — a cancelled key is
+//! remembered and its entry silently dropped when it reaches the top.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::Time;
+
+/// Opaque handle to a scheduled event, used for cancellation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of timestamped events with FIFO tie-breaking and O(1)
+/// lazy cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Keys scheduled and neither popped nor cancelled yet.
+    live: HashSet<u64>,
+    /// Keys cancelled but whose heap entry has not surfaced yet.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` at absolute time `at`; returns a key usable with
+    /// [`cancel`](Self::cancel).
+    pub fn schedule(&mut self, at: Time, event: E) -> EventKey {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.insert(seq);
+        self.heap.push(Entry { at, seq, event });
+        EventKey(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the key was
+    /// still live (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if self.live.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest live event as `(time, key, event)`.
+    pub fn pop(&mut self) -> Option<(Time, EventKey, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue; // was cancelled; drop silently
+            }
+            self.live.remove(&entry.seq);
+            return Some((entry.at, EventKey(entry.seq), entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        // Purge cancelled heads so the answer is accurate.
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+            } else {
+                return Some(head.at);
+            }
+        }
+        None
+    }
+
+    /// Number of live events (cancelled-but-unpopped entries excluded).
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True iff no live event remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.live.clear();
+        self.cancelled.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), "c");
+        q.schedule(t(10), "a");
+        q.schedule(t(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let _a = q.schedule(t(1), "a");
+        let b = q.schedule(t(2), "b");
+        let c = q.schedule(t(3), "c");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b), "double cancel reports false");
+        assert_eq!(q.len(), 2);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, _, e)| e).collect();
+        assert_eq!(order, vec!["a", "c"]);
+        assert!(!q.cancel(c), "cancelling an already-popped key is a no-op");
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(42)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), "a");
+        q.schedule(t(5), "b");
+        assert_eq!(q.peek_time(), Some(t(1)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(1), 1);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), 1);
+        let (at, _, e) = q.pop().unwrap();
+        assert_eq!((at, e), (t(10), 1));
+        q.schedule(t(5), 2); // scheduling "in the past" is the caller's business
+        q.schedule(t(7), 3);
+        assert_eq!(q.pop().unwrap().2, 2);
+        assert_eq!(q.pop().unwrap().2, 3);
+    }
+}

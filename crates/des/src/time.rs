@@ -1,0 +1,400 @@
+//! Integer simulated time.
+//!
+//! [`Time`] is an absolute instant, [`Dur`] a length of simulated time, both
+//! counted in *ticks*. The workspace convention is 1 tick = 1 millisecond of
+//! simulated wall-clock, i.e. [`TICKS_PER_SEC`] = 1000. All scheduling
+//! algorithms operate on ticks and are therefore exact; only the divisible
+//! load closed forms (crate `lsps-dlt`) use `f64` internally and round at the
+//! boundary.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of ticks in one simulated second.
+pub const TICKS_PER_SEC: u64 = 1_000;
+
+/// An absolute instant of simulated time, in ticks since the simulation
+/// epoch (t = 0).
+#[derive(
+    Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A length of simulated time, in ticks.
+#[derive(
+    Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Dur(u64);
+
+impl Time {
+    /// The simulation epoch, `t = 0`.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Construct from whole simulated seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Time(secs * TICKS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest tick.
+    /// Negative or non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Time(secs_to_ticks(secs))
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Duration since the epoch.
+    #[inline]
+    pub const fn since_epoch(self) -> Dur {
+        Dur(self.0)
+    }
+
+    /// `self - other` if non-negative, else `None`.
+    #[inline]
+    pub fn checked_sub(self, other: Time) -> Option<Dur> {
+        self.0.checked_sub(other.0).map(Dur)
+    }
+
+    /// `self - other`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+
+    /// `self + d`, saturating at [`Time::MAX`].
+    #[inline]
+    pub fn saturating_add(self, d: Dur) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+}
+
+impl Dur {
+    /// The zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+    /// The largest representable duration; used as "infinite".
+    pub const MAX: Dur = Dur(u64::MAX);
+
+    /// Construct from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Dur(ticks)
+    }
+
+    /// Construct from whole simulated seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Self {
+        Dur(secs * TICKS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest tick.
+    /// Negative or non-finite inputs clamp to zero.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        Dur(secs_to_ticks(secs))
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// True iff zero ticks long.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by a non-negative float, rounding up to whole ticks
+    /// (conservative for schedule-length guarantees). Panics if `f` is
+    /// negative or NaN.
+    #[inline]
+    pub fn scale_ceil(self, f: f64) -> Dur {
+        assert!(f >= 0.0, "Dur::scale_ceil with negative factor {f}");
+        Dur((self.0 as f64 * f).ceil() as u64)
+    }
+
+    /// `self * k`, saturating.
+    #[inline]
+    pub fn saturating_mul(self, k: u64) -> Dur {
+        Dur(self.0.saturating_mul(k))
+    }
+
+    /// Ceiling division by an integer (used e.g. to split a duration over
+    /// `k` processors without under-estimating).
+    #[inline]
+    pub fn div_ceil(self, k: u64) -> Dur {
+        assert!(k > 0, "Dur::div_ceil by zero");
+        Dur(self.0.div_ceil(k))
+    }
+
+    /// The longer of two durations.
+    #[inline]
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+
+    /// The shorter of two durations.
+    #[inline]
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    /// `self - other`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_sub(other.0))
+    }
+}
+
+#[inline]
+fn secs_to_ticks(secs: f64) -> u64 {
+    if !secs.is_finite() || secs <= 0.0 {
+        0
+    } else {
+        (secs * TICKS_PER_SEC as f64).round() as u64
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Dur) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0 - d.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    /// Panics on underflow (time never runs backwards in a valid schedule).
+    #[inline]
+    fn sub(self, other: Time) -> Dur {
+        Dur(self.0 - other.0)
+    }
+}
+
+impl Add for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, other: Dur) -> Dur {
+        Dur(self.0 + other.0)
+    }
+}
+
+impl AddAssign for Dur {
+    #[inline]
+    fn add_assign(&mut self, other: Dur) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, other: Dur) -> Dur {
+        Dur(self.0 - other.0)
+    }
+}
+
+impl SubAssign for Dur {
+    #[inline]
+    fn sub_assign(&mut self, other: Dur) {
+        self.0 -= other.0;
+    }
+}
+
+impl Mul<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, k: u64) -> Dur {
+        Dur(self.0 * k)
+    }
+}
+
+impl Div<u64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn div(self, k: u64) -> Dur {
+        Dur(self.0 / k)
+    }
+}
+
+impl Div<Dur> for Dur {
+    type Output = f64;
+    /// Ratio of two durations (e.g. measured / lower bound).
+    #[inline]
+    fn div(self, other: Dur) -> f64 {
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Rem<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn rem(self, other: Dur) -> Dur {
+        Dur(self.0 % other.0)
+    }
+}
+
+impl Sum for Dur {
+    fn sum<I: Iterator<Item = Dur>>(iter: I) -> Dur {
+        Dur(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Time::from_secs(3).ticks(), 3 * TICKS_PER_SEC);
+        assert_eq!(Dur::from_secs(2).ticks(), 2 * TICKS_PER_SEC);
+        assert_eq!(Time::from_secs_f64(1.5).ticks(), 1500);
+        assert_eq!(Dur::from_secs_f64(0.0005).ticks(), 1); // rounds to nearest
+        assert_eq!(Time::from_secs_f64(-4.0), Time::ZERO);
+        assert_eq!(Dur::from_secs_f64(f64::NAN), Dur::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_ticks(10);
+        let d = Dur::from_ticks(4);
+        assert_eq!(t + d, Time::from_ticks(14));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - d, Time::from_ticks(6));
+        assert_eq!(d * 3, Dur::from_ticks(12));
+        assert_eq!(d / 2, Dur::from_ticks(2));
+        assert_eq!(Dur::from_ticks(10).div_ceil(3), Dur::from_ticks(4));
+        assert_eq!(Dur::from_ticks(9).div_ceil(3), Dur::from_ticks(3));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::ZERO.saturating_sub(Time::from_ticks(5)), Dur::ZERO);
+        assert_eq!(Time::MAX.saturating_add(Dur::from_ticks(1)), Time::MAX);
+        assert_eq!(
+            Dur::from_ticks(3).saturating_sub(Dur::from_ticks(7)),
+            Dur::ZERO
+        );
+        assert_eq!(Dur::MAX.saturating_mul(2), Dur::MAX);
+    }
+
+    #[test]
+    fn scale_ceil_rounds_up() {
+        assert_eq!(Dur::from_ticks(10).scale_ceil(1.5), Dur::from_ticks(15));
+        assert_eq!(Dur::from_ticks(10).scale_ceil(0.101), Dur::from_ticks(2));
+        assert_eq!(Dur::from_ticks(0).scale_ceil(7.0), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scale_ceil_rejects_negative() {
+        let _ = Dur::from_ticks(1).scale_ceil(-0.1);
+    }
+
+    #[test]
+    fn ratio_and_sum() {
+        let r = Dur::from_ticks(300) / Dur::from_ticks(200);
+        assert!((r - 1.5).abs() < 1e-12);
+        let s: Dur = [1u64, 2, 3].iter().map(|&t| Dur::from_ticks(t)).sum();
+        assert_eq!(s, Dur::from_ticks(6));
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Time::from_ticks(5);
+        let b = Time::from_ticks(9);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Dur::from_ticks(5).max(Dur::from_ticks(2)), Dur::from_ticks(5));
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(format!("{}", Time::from_ticks(1500)), "1.500s");
+        assert_eq!(format!("{}", Dur::from_secs(2)), "2.000s");
+        assert_eq!(format!("{:?}", Time::from_ticks(7)), "T7");
+    }
+}

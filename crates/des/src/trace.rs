@@ -1,0 +1,139 @@
+//! Bounded execution traces.
+//!
+//! A [`Trace`] is a ring buffer of timestamped strings recorded by model code
+//! through [`Ctx::trace`](crate::engine::Ctx::trace). Tracing is off by
+//! default and costs one branch per call site when disabled (the formatting
+//! closure is never invoked), so models can trace generously.
+
+use std::collections::VecDeque;
+
+use crate::time::Time;
+
+/// One recorded line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Simulated time at which the line was recorded.
+    pub at: Time,
+    /// The rendered message.
+    pub text: String,
+}
+
+/// Ring buffer of trace lines; keeps the most recent `capacity` entries.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace {
+            entries: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// A trace keeping the most recent `capacity` lines.
+    pub fn enabled(capacity: usize) -> Self {
+        Trace {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: capacity > 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether lines are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record a line; `text` is only evaluated when enabled.
+    pub fn record(&mut self, at: Time, text: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { at, text: text() });
+    }
+
+    /// Iterate over retained lines, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many lines were evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Render the retained lines, one per row, `time<TAB>text`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(out, "{}\t{}", e.at, e.text);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing_and_skips_formatting() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.record(Time::ZERO, || {
+            called = true;
+            "x".into()
+        });
+        assert!(!called, "formatting closure must not run when disabled");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::enabled(3);
+        for i in 0..5u64 {
+            t.record(Time::from_ticks(i), || format!("e{i}"));
+        }
+        let texts: Vec<_> = t.entries().map(|e| e.text.as_str()).collect();
+        assert_eq!(texts, vec!["e2", "e3", "e4"]);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn render_format() {
+        let mut t = Trace::enabled(8);
+        t.record(Time::from_secs(1), || "hello".into());
+        assert_eq!(t.render(), "1.000s\thello\n");
+    }
+
+    #[test]
+    fn zero_capacity_is_disabled() {
+        let t = Trace::enabled(0);
+        assert!(!t.is_enabled());
+    }
+}

@@ -1,0 +1,114 @@
+//! One-round distribution over a shared bus (§2.1 of the paper).
+//!
+//! "Simple problems as the single round distribution on processors
+//! connected by a common bus are polynomial."
+//!
+//! A bus is a star whose links all share one bandwidth, so the closed form
+//! is [`crate::star`]'s with uniform links; this module adds the optional
+//! **result gathering** the paper describes: "the communications gathering
+//! the results can be done as a mirror image of the data distribution".
+
+use crate::model::{DltPlan, Worker};
+use crate::star::{star_single_round, WorkerOrder};
+
+/// One-round bus distribution of `w` units to workers of the given
+/// `speeds`, over a bus of `bandwidth` (units/s) and per-message `latency`.
+///
+/// `gather_ratio` is the output-to-input volume ratio δ: after computing,
+/// worker `i` returns `δ·α_i` units over the bus in the mirror (reverse)
+/// order of the distribution; `0.0` means "only one processor sends back
+/// data" in negligible volume (the paper's database-search example). The
+/// gathering phase reuses the distribution chunk sizes (it is not
+/// re-optimized — matching the paper's mirror-image description).
+pub fn bus_single_round(
+    w: f64,
+    speeds: &[f64],
+    bandwidth: f64,
+    latency: f64,
+    gather_ratio: f64,
+) -> DltPlan {
+    assert!(bandwidth > 0.0 && latency >= 0.0 && gather_ratio >= 0.0);
+    let workers: Vec<Worker> = speeds
+        .iter()
+        .map(|&s| Worker::new(s, bandwidth, latency))
+        .collect();
+    // On a bus all links are equal: the star order degenerates; serve
+    // fastest CPUs first (they get the biggest chunks, amortizing their
+    // wait the least — and it is the conventional bus ordering).
+    let mut plan = star_single_round(w, &workers, WorkerOrder::BySpeed);
+    if gather_ratio > 0.0 {
+        // Mirror gathering: after every worker has finished (they finish
+        // simultaneously at `makespan`), results come back serialized on
+        // the bus in reverse service order.
+        let gather: f64 = plan
+            .alphas
+            .iter()
+            .filter(|&&a| a > 0.0)
+            .map(|&a| latency + gather_ratio * a / bandwidth)
+            .sum();
+        plan.makespan += gather;
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_bus_splits_almost_evenly() {
+        let plan = bus_single_round(100.0, &[1.0; 4], 100.0, 0.0, 0.0);
+        plan.check(100.0);
+        // Earlier-served workers get slightly more (they wait less), but
+        // with a fast bus the split is near-even.
+        for &a in &plan.alphas {
+            assert!((20.0..30.0).contains(&a), "alpha {a}");
+        }
+        let mono = plan.alphas.windows(2).all(|w| w[0] >= w[1] - 1e-9);
+        assert!(mono, "earlier workers carry no less load");
+    }
+
+    #[test]
+    fn faster_cpu_gets_more_load() {
+        let plan = bus_single_round(90.0, &[3.0, 1.0], 1000.0, 0.0, 0.0);
+        plan.check(90.0);
+        assert!(plan.alphas[0] > 2.5 * plan.alphas[1]);
+    }
+
+    #[test]
+    fn slow_bus_bounds_improvement() {
+        // Bus as slow as the CPUs: adding workers barely helps because the
+        // pipe feeds one worker's appetite at a time.
+        let single = bus_single_round(100.0, &[1.0], 1.0, 0.0, 0.0);
+        let many = bus_single_round(100.0, &[1.0; 8], 1.0, 0.0, 0.0);
+        assert!(many.makespan < single.makespan);
+        // Communication floor: the whole load crosses the bus once.
+        assert!(many.makespan >= 100.0 / 1.0);
+    }
+
+    #[test]
+    fn gather_adds_mirror_cost() {
+        let no_gather = bus_single_round(100.0, &[1.0; 4], 10.0, 0.01, 0.0);
+        let with_gather = bus_single_round(100.0, &[1.0; 4], 10.0, 0.01, 0.5);
+        // Mirror phase: 4 latencies + 0.5·100/10 = 0.04 + 5.0.
+        let expected = no_gather.makespan + 4.0 * 0.01 + 0.5 * 100.0 / 10.0;
+        assert!(
+            (with_gather.makespan - expected).abs() < 1e-6,
+            "{} vs {}",
+            with_gather.makespan,
+            expected
+        );
+    }
+
+    #[test]
+    fn matches_star_with_uniform_links() {
+        use crate::model::Worker;
+        use crate::star::star_single_round;
+        let speeds = [2.0, 1.0, 0.5];
+        let bus = bus_single_round(60.0, &speeds, 5.0, 0.02, 0.0);
+        let ws: Vec<Worker> = speeds.iter().map(|&s| Worker::new(s, 5.0, 0.02)).collect();
+        let star = star_single_round(60.0, &ws, crate::star::WorkerOrder::BySpeed);
+        assert!((bus.makespan - star.makespan).abs() < 1e-9);
+        assert_eq!(bus.alphas.len(), star.alphas.len());
+    }
+}

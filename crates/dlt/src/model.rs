@@ -1,0 +1,142 @@
+//! Worker and plan types shared by every DLT policy.
+
+use serde::{Deserialize, Serialize};
+
+use lsps_platform::Cluster;
+
+/// One computation resource behind a link, as DLT sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Worker {
+    /// Compute speed, in load-units per second.
+    pub speed: f64,
+    /// Link bandwidth, in load-units per second (bytes/s divided by the
+    /// bytes-per-unit density of the application).
+    pub bandwidth: f64,
+    /// Per-message latency of the link, in seconds.
+    pub latency: f64,
+}
+
+impl Worker {
+    /// A worker with the given speed/bandwidth (units/s) and latency (s).
+    pub fn new(speed: f64, bandwidth: f64, latency: f64) -> Worker {
+        assert!(speed > 0.0 && bandwidth > 0.0 && latency >= 0.0);
+        Worker {
+            speed,
+            bandwidth,
+            latency,
+        }
+    }
+
+    /// Time to receive `units` of load.
+    pub fn recv_time(&self, units: f64) -> f64 {
+        assert!(units >= 0.0);
+        if units == 0.0 {
+            0.0
+        } else {
+            self.latency + units / self.bandwidth
+        }
+    }
+
+    /// Time to compute `units` of load.
+    pub fn compute_time(&self, units: f64) -> f64 {
+        assert!(units >= 0.0);
+        units / self.speed
+    }
+}
+
+/// Build DLT workers from a cluster: one worker per CPU, link shared
+/// parameters from the cluster interconnect. `bytes_per_unit` converts the
+/// application's data density (bytes moved per unit of work) into
+/// unit-bandwidth.
+pub fn workers_from_cluster(cluster: &Cluster, bytes_per_unit: f64) -> Vec<Worker> {
+    assert!(bytes_per_unit > 0.0);
+    let bw_units = cluster.interconnect.bandwidth_bps / bytes_per_unit;
+    let lat = cluster.interconnect.latency_s;
+    (0..cluster.total_procs())
+        .map(|i| Worker::new(cluster.proc_speed(i), bw_units, lat))
+        .collect()
+}
+
+/// The outcome of a distribution policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DltPlan {
+    /// Load given to each worker, in units (same order as the input
+    /// workers; zero means the worker is not used).
+    pub alphas: Vec<f64>,
+    /// Completion time of the whole load, in seconds.
+    pub makespan: f64,
+}
+
+impl DltPlan {
+    /// Total load distributed.
+    pub fn total(&self) -> f64 {
+        self.alphas.iter().sum()
+    }
+
+    /// Number of workers actually used.
+    pub fn used_workers(&self) -> usize {
+        self.alphas.iter().filter(|&&a| a > 0.0).count()
+    }
+
+    /// Effective throughput, units per second.
+    pub fn throughput(&self) -> f64 {
+        assert!(self.makespan > 0.0);
+        self.total() / self.makespan
+    }
+
+    /// Internal consistency: non-negative chunks summing to `w`.
+    pub fn check(&self, w: f64) {
+        assert!(self.alphas.iter().all(|&a| a >= -1e-9), "negative chunk");
+        let sum = self.total();
+        assert!(
+            (sum - w).abs() <= 1e-6 * w.max(1.0),
+            "chunks sum to {sum}, expected {w}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_platform::LinkClass;
+
+    #[test]
+    fn worker_times() {
+        let w = Worker::new(2.0, 10.0, 0.5);
+        assert!((w.recv_time(20.0) - 2.5).abs() < 1e-12);
+        assert_eq!(w.recv_time(0.0), 0.0, "empty messages cost nothing");
+        assert!((w.compute_time(20.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_conversion() {
+        let c = Cluster::homogeneous("c", 4, 2, 0.5, LinkClass::new(1e-3, 1e8));
+        let ws = workers_from_cluster(&c, 1e6); // 1 MB per unit
+        assert_eq!(ws.len(), 8);
+        assert!(ws.iter().all(|w| (w.speed - 0.5).abs() < 1e-12));
+        assert!(ws.iter().all(|w| (w.bandwidth - 100.0).abs() < 1e-12));
+        assert!(ws.iter().all(|w| (w.latency - 1e-3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn plan_accounting() {
+        let plan = DltPlan {
+            alphas: vec![3.0, 0.0, 7.0],
+            makespan: 5.0,
+        };
+        assert_eq!(plan.total(), 10.0);
+        assert_eq!(plan.used_workers(), 2);
+        assert!((plan.throughput() - 2.0).abs() < 1e-12);
+        plan.check(10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn check_catches_bad_sum() {
+        DltPlan {
+            alphas: vec![1.0],
+            makespan: 1.0,
+        }
+        .check(2.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Multi-installment (multi-round) distribution.
+//!
+//! "This distribution can be made in one, several rounds or dynamically"
+//! (§2.1). Splitting the load into several rounds lets workers start
+//! computing while the master is still distributing — pipelining — at the
+//! price of one extra latency per message. This module evaluates a
+//! geometric multi-round scheme by exact one-port simulation, so the
+//! latency-vs-pipelining crossover the `dlt_policies` experiment reports is
+//! measured, not assumed.
+
+use crate::model::{DltPlan, Worker};
+
+/// Multi-round configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultiRoundParams {
+    /// Number of installments (≥ 1; 1 degenerates to a proportional
+    /// single round).
+    pub rounds: usize,
+    /// Geometric growth of round sizes: round `r` carries weight
+    /// `growth^r`. Values > 1 start small (prime the pipeline) and finish
+    /// with big chunks; 1.0 = equal rounds.
+    pub growth: f64,
+}
+
+impl Default for MultiRoundParams {
+    fn default() -> Self {
+        MultiRoundParams {
+            rounds: 4,
+            growth: 2.0,
+        }
+    }
+}
+
+/// Distribute `w` units in `params.rounds` installments over one-port
+/// links and report the exact simulated makespan. Within a round the load
+/// is split proportionally to worker speeds.
+pub fn multi_round(w: f64, workers: &[Worker], params: MultiRoundParams) -> DltPlan {
+    assert!(w > 0.0 && !workers.is_empty());
+    assert!(params.rounds >= 1 && params.growth > 0.0);
+    let n = workers.len();
+    let total_speed: f64 = workers.iter().map(|x| x.speed).sum();
+
+    // Round weights: growth^r, normalized.
+    let weights: Vec<f64> = (0..params.rounds)
+        .map(|r| params.growth.powi(r as i32))
+        .collect();
+    let weight_sum: f64 = weights.iter().sum();
+
+    // Exact one-port simulation.
+    let mut port_free = 0.0f64; // master's outgoing port
+    let mut worker_free = vec![0.0f64; n]; // per-worker compute availability
+    let mut alphas = vec![0.0f64; n];
+    for &rw in &weights {
+        let round_load = w * rw / weight_sum;
+        for (i, wk) in workers.iter().enumerate() {
+            let chunk = round_load * wk.speed / total_speed;
+            if chunk <= 0.0 {
+                continue;
+            }
+            let recv_start = port_free;
+            let recv_end = recv_start + wk.recv_time(chunk);
+            port_free = recv_end;
+            let comp_start = recv_end.max(worker_free[i]);
+            worker_free[i] = comp_start + wk.compute_time(chunk);
+            alphas[i] += chunk;
+        }
+    }
+    let makespan = worker_free.into_iter().fold(0.0, f64::max);
+    let plan = DltPlan { alphas, makespan };
+    plan.check(w);
+    plan
+}
+
+/// Sweep round counts and return `(best_rounds, best_plan)` — the
+/// experiment-facing helper for the latency/pipelining trade-off.
+pub fn best_round_count(
+    w: f64,
+    workers: &[Worker],
+    max_rounds: usize,
+    growth: f64,
+) -> (usize, DltPlan) {
+    assert!(max_rounds >= 1);
+    (1..=max_rounds)
+        .map(|rounds| {
+            (
+                rounds,
+                multi_round(w, workers, MultiRoundParams { rounds, growth }),
+            )
+        })
+        .min_by(|a, b| {
+            a.1.makespan
+                .partial_cmp(&b.1.makespan)
+                .expect("finite makespans")
+        })
+        .expect("at least one candidate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, speed: f64, bw: f64, lat: f64) -> Vec<Worker> {
+        vec![Worker::new(speed, bw, lat); n]
+    }
+
+    #[test]
+    fn single_round_degenerate_case() {
+        let ws = uniform(2, 1.0, 10.0, 0.0);
+        let plan = multi_round(
+            100.0,
+            &ws,
+            MultiRoundParams {
+                rounds: 1,
+                growth: 1.0,
+            },
+        );
+        plan.check(100.0);
+        // Proportional split: 50/50; worker 2 waits for worker 1's message.
+        assert!((plan.alphas[0] - 50.0).abs() < 1e-9);
+        // Worker 2: recv ends at 10, computes 50 → 60.
+        assert!((plan.makespan - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelining_helps_when_latency_is_low() {
+        let ws = uniform(4, 1.0, 2.0, 0.0);
+        let one = multi_round(
+            400.0,
+            &ws,
+            MultiRoundParams {
+                rounds: 1,
+                growth: 1.0,
+            },
+        );
+        let eight = multi_round(
+            400.0,
+            &ws,
+            MultiRoundParams {
+                rounds: 8,
+                growth: 1.5,
+            },
+        );
+        assert!(
+            eight.makespan < one.makespan,
+            "pipelined {} vs single {}",
+            eight.makespan,
+            one.makespan
+        );
+    }
+
+    #[test]
+    fn latency_punishes_many_rounds() {
+        let ws = uniform(4, 1.0, 100.0, 2.0); // brutal latency
+        let two = multi_round(
+            100.0,
+            &ws,
+            MultiRoundParams {
+                rounds: 2,
+                growth: 1.0,
+            },
+        );
+        let fifty = multi_round(
+            100.0,
+            &ws,
+            MultiRoundParams {
+                rounds: 50,
+                growth: 1.0,
+            },
+        );
+        assert!(
+            fifty.makespan > two.makespan,
+            "50 rounds {} vs 2 rounds {}",
+            fifty.makespan,
+            two.makespan
+        );
+    }
+
+    #[test]
+    fn best_round_count_finds_the_crossover() {
+        // Low latency: best > 1 round. High latency: best = 1–2 rounds.
+        let fast_net = uniform(4, 1.0, 2.0, 1e-4);
+        let (r_fast, _) = best_round_count(400.0, &fast_net, 16, 1.5);
+        assert!(r_fast > 1, "fast network wants pipelining, got {r_fast}");
+
+        let slow_net = uniform(4, 1.0, 2.0, 30.0);
+        let (r_slow, _) = best_round_count(400.0, &slow_net, 16, 1.5);
+        assert!(r_slow <= 2, "latency-bound network wants few rounds, got {r_slow}");
+    }
+
+    #[test]
+    fn makespan_above_compute_floor() {
+        let ws = uniform(3, 2.0, 4.0, 0.1);
+        let plan = multi_round(300.0, &ws, MultiRoundParams::default());
+        assert!(plan.makespan >= 300.0 / 6.0);
+    }
+
+    #[test]
+    fn heterogeneous_split_follows_speeds() {
+        let ws = vec![Worker::new(3.0, 10.0, 0.0), Worker::new(1.0, 10.0, 0.0)];
+        let plan = multi_round(80.0, &ws, MultiRoundParams::default());
+        assert!((plan.alphas[0] - 60.0).abs() < 1e-9);
+        assert!((plan.alphas[1] - 20.0).abs() < 1e-9);
+    }
+}

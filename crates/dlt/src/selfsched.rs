@@ -1,0 +1,165 @@
+//! Dynamic chunk self-scheduling — the work-stealing-flavoured baseline.
+//!
+//! "This distribution can be made in one, several rounds or dynamically
+//! with a work stealing strategy [3]" (§2.1). Here workers pull fixed-size
+//! chunks from the master whenever idle; the master's one-port serializes
+//! the hand-outs. Small chunks self-balance perfectly but pay one latency
+//! each; large chunks amortize latency but strand load on slow workers at
+//! the end — the trade-off the `dlt_policies` experiment sweeps.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::model::{DltPlan, Worker};
+
+/// Totally ordered f64 for the event heap (no NaNs by construction).
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("no NaN event times")
+    }
+}
+
+/// Simulate chunk self-scheduling of `w` units with the given `chunk` size:
+/// every idle worker requests the next chunk (or the remainder), receives
+/// it over its link, computes, repeats. Exact one-port, deterministic
+/// FIFO tie-breaking by worker index.
+pub fn self_schedule(w: f64, workers: &[Worker], chunk: f64) -> DltPlan {
+    assert!(w > 0.0 && chunk > 0.0 && !workers.is_empty());
+    let mut remaining = w;
+    let mut alphas = vec![0.0f64; workers.len()];
+    let mut port_free = 0.0f64;
+    let mut makespan = 0.0f64;
+    // (ready_time, worker) — workers become hungry at time 0.
+    let mut hungry: BinaryHeap<Reverse<(OrdF64, usize)>> = (0..workers.len())
+        .map(|i| Reverse((OrdF64(0.0), i)))
+        .collect();
+    while remaining > 0.0 {
+        let Reverse((OrdF64(ready), i)) = hungry.pop().expect("workers never vanish");
+        let take = chunk.min(remaining);
+        remaining -= take;
+        let wk = &workers[i];
+        let recv_start = port_free.max(ready);
+        let recv_end = recv_start + wk.recv_time(take);
+        port_free = recv_end;
+        let done = recv_end + wk.compute_time(take);
+        alphas[i] += take;
+        makespan = makespan.max(done);
+        hungry.push(Reverse((OrdF64(done), i)));
+    }
+    let plan = DltPlan { alphas, makespan };
+    plan.check(w);
+    plan
+}
+
+/// Sweep chunk sizes (log grid between `w/1000` and `w`) and return the
+/// best `(chunk, plan)` — the tuned dynamic baseline.
+pub fn best_chunk(w: f64, workers: &[Worker]) -> (f64, DltPlan) {
+    let mut best: Option<(f64, DltPlan)> = None;
+    let mut c = w / 1000.0;
+    while c <= w {
+        let plan = self_schedule(w, workers, c);
+        if best.as_ref().is_none_or(|(_, b)| plan.makespan < b.makespan) {
+            best = Some((c, plan));
+        }
+        c *= 2.0;
+    }
+    best.expect("at least one chunk size tried")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::{star_single_round, WorkerOrder};
+
+    fn uniform(n: usize, speed: f64, bw: f64, lat: f64) -> Vec<Worker> {
+        vec![Worker::new(speed, bw, lat); n]
+    }
+
+    #[test]
+    fn small_chunks_approach_the_closed_form_without_latency() {
+        let ws = uniform(4, 1.0, 8.0, 0.0);
+        let w = 400.0;
+        let optimal = star_single_round(w, &ws, WorkerOrder::AsGiven);
+        let dynamic = self_schedule(w, &ws, w / 400.0);
+        assert!(
+            dynamic.makespan <= optimal.makespan * 1.05,
+            "dynamic {} vs closed form {}",
+            dynamic.makespan,
+            optimal.makespan
+        );
+    }
+
+    #[test]
+    fn dynamic_beats_single_round_by_pipelining() {
+        // With zero latency and a slow-ish link, many small chunks overlap
+        // communication and computation, beating any single-round plan.
+        let ws = uniform(4, 1.0, 2.0, 0.0);
+        let w = 400.0;
+        let one_round = star_single_round(w, &ws, WorkerOrder::AsGiven);
+        let (_, dynamic) = best_chunk(w, &ws);
+        assert!(dynamic.makespan <= one_round.makespan + 1e-9);
+    }
+
+    #[test]
+    fn one_giant_chunk_serializes() {
+        let ws = uniform(4, 1.0, 1000.0, 0.0);
+        let plan = self_schedule(100.0, &ws, 100.0);
+        // Whole load lands on worker 0.
+        assert!((plan.alphas[0] - 100.0).abs() < 1e-9);
+        assert!((plan.makespan - (0.1 + 100.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_penalizes_tiny_chunks() {
+        let ws = uniform(4, 1.0, 100.0, 0.5);
+        let tiny = self_schedule(100.0, &ws, 0.1);
+        let sane = self_schedule(100.0, &ws, 10.0);
+        assert!(
+            tiny.makespan > sane.makespan,
+            "tiny {} vs sane {}",
+            tiny.makespan,
+            sane.makespan
+        );
+    }
+
+    #[test]
+    fn slow_workers_receive_less() {
+        let ws = vec![Worker::new(4.0, 100.0, 0.0), Worker::new(1.0, 100.0, 0.0)];
+        let plan = self_schedule(100.0, &ws, 1.0);
+        assert!(
+            plan.alphas[0] > 3.0 * plan.alphas[1],
+            "fast {} vs slow {}",
+            plan.alphas[0],
+            plan.alphas[1]
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let ws = uniform(3, 1.3, 7.0, 0.01);
+        let a = self_schedule(123.0, &ws, 2.5);
+        let b = self_schedule(123.0, &ws, 2.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn best_chunk_is_sane() {
+        let ws = uniform(4, 1.0, 4.0, 0.05);
+        let (chunk, plan) = best_chunk(200.0, &ws);
+        assert!(chunk > 0.0 && chunk <= 200.0);
+        // Tuned dynamic must beat the pathological extremes.
+        let tiny = self_schedule(200.0, &ws, 0.2);
+        let giant = self_schedule(200.0, &ws, 200.0);
+        assert!(plan.makespan <= tiny.makespan);
+        assert!(plan.makespan <= giant.makespan);
+    }
+}

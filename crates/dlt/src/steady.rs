@@ -1,0 +1,239 @@
+//! Steady-state (throughput-optimal) distribution.
+//!
+//! "For this kind of jobs [multi-parametric campaigns], the theory of
+//! asymptotic behavior shows that optimal solutions can be computed in
+//! polynomial time" (§5.2). For arbitrarily long campaigns the right
+//! measure is the sustainable rate, and the optimum has the classic
+//! *bandwidth-centric* structure: the master's one-port is a shared budget
+//! of communication time; serving a worker costs `1/bandwidth` port-seconds
+//! per unit, so port time goes to the **fastest links first** (CPU speeds
+//! only cap each worker's rate). That greedy is exactly the fractional
+//! knapsack optimum.
+//!
+//! [`tree_steady_state`] extends the rule to the tree networks of Cheng &
+//! Robertazzi (ref [4]): a subtree collapses into an equivalent worker whose
+//! rate is the min of its uplink bandwidth and its internal capacity,
+//! computed bottom-up.
+
+use crate::model::Worker;
+
+/// Result of a steady-state computation on a star.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SteadyPlan {
+    /// Sustained rate per worker, units/second.
+    pub rates: Vec<f64>,
+    /// Total throughput, units/second.
+    pub throughput: f64,
+    /// Fraction of the master port consumed, in `[0, 1]`.
+    pub port_utilization: f64,
+}
+
+/// Bandwidth-centric steady state on a star: maximize `Σ rate_i` subject to
+/// `rate_i ≤ speed_i` and `Σ rate_i / bandwidth_i ≤ 1` (one-port master).
+/// Latencies amortize away in steady state and are ignored.
+pub fn star_steady_state(workers: &[Worker]) -> SteadyPlan {
+    assert!(!workers.is_empty());
+    let mut order: Vec<usize> = (0..workers.len()).collect();
+    order.sort_by(|&a, &b| {
+        workers[b]
+            .bandwidth
+            .partial_cmp(&workers[a].bandwidth)
+            .expect("finite bandwidths")
+            .then(a.cmp(&b))
+    });
+    let mut rates = vec![0.0; workers.len()];
+    let mut port_left = 1.0f64;
+    for &i in &order {
+        if port_left <= 0.0 {
+            break;
+        }
+        let w = &workers[i];
+        // Saturating this worker costs speed/bandwidth port fraction.
+        let want = w.speed / w.bandwidth;
+        let take = want.min(port_left);
+        rates[i] = take * w.bandwidth;
+        port_left -= take;
+    }
+    let throughput = rates.iter().sum();
+    SteadyPlan {
+        rates,
+        throughput,
+        port_utilization: 1.0 - port_left.max(0.0),
+    }
+}
+
+/// A node of a distribution tree: a worker (its CPU + the uplink to its
+/// parent) with children fed through this node's own one-port.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeNode {
+    /// This node's CPU and uplink.
+    pub worker: Worker,
+    /// Subtrees fed by this node.
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// A leaf.
+    pub fn leaf(worker: Worker) -> TreeNode {
+        TreeNode {
+            worker,
+            children: Vec::new(),
+        }
+    }
+
+    /// Internal capacity: own speed plus what this node can pump to its
+    /// children through its one-port — the recursive collapse of ref [4].
+    fn capacity(&self) -> f64 {
+        let child_rates: f64 = {
+            // Children behave like a star under this node's port: greedy
+            // by child uplink bandwidth, each child capped by its own
+            // collapsed capacity.
+            let mut idx: Vec<usize> = (0..self.children.len()).collect();
+            idx.sort_by(|&a, &b| {
+                self.children[b]
+                    .worker
+                    .bandwidth
+                    .partial_cmp(&self.children[a].worker.bandwidth)
+                    .expect("finite bandwidths")
+                    .then(a.cmp(&b))
+            });
+            let mut port_left = 1.0f64;
+            let mut sum = 0.0;
+            for &c in &idx {
+                if port_left <= 0.0 {
+                    break;
+                }
+                let child = &self.children[c];
+                let deliverable = child.deliverable();
+                let want = deliverable / child.worker.bandwidth;
+                let take = want.min(port_left);
+                sum += take * child.worker.bandwidth;
+                port_left -= take;
+            }
+            sum
+        };
+        self.worker.speed + child_rates
+    }
+
+    /// Rate this subtree can absorb from its parent: capped by the uplink.
+    fn deliverable(&self) -> f64 {
+        self.capacity().min(self.worker.bandwidth)
+    }
+}
+
+/// Steady-state throughput of a whole distribution tree rooted at the
+/// master: `root.worker.speed` is the master's own compute contribution
+/// (often 0), its bandwidth is unused (the master has no uplink).
+pub fn tree_steady_state(root: &TreeNode) -> f64 {
+    root.capacity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_bound_star_saturates_all_workers() {
+        // Links far faster than CPUs: everyone runs at full speed.
+        let ws = vec![Worker::new(1.0, 100.0, 0.0); 4];
+        let plan = star_steady_state(&ws);
+        assert!((plan.throughput - 4.0).abs() < 1e-9);
+        assert!(plan.port_utilization < 0.1);
+    }
+
+    #[test]
+    fn port_bound_star_prefers_fast_links() {
+        // CPUs are infinite-ish; the port is the bottleneck: all time goes
+        // to the fastest link.
+        let ws = vec![Worker::new(100.0, 10.0, 0.0), Worker::new(100.0, 1.0, 0.0)];
+        let plan = star_steady_state(&ws);
+        assert!((plan.rates[0] - 10.0).abs() < 1e-9, "fast link saturated");
+        assert_eq!(plan.rates[1], 0.0, "slow link starved");
+        assert!((plan.port_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_matches_bruteforce_lp_on_grids() {
+        // 2 workers: brute-force the port split on a fine grid and compare.
+        let ws = vec![Worker::new(3.0, 4.0, 0.0), Worker::new(5.0, 6.0, 0.0)];
+        let plan = star_steady_state(&ws);
+        let mut best = 0.0f64;
+        let steps = 10_000;
+        for k in 0..=steps {
+            let f0 = k as f64 / steps as f64;
+            let r0 = (f0 * ws[0].bandwidth).min(ws[0].speed);
+            let r1 = ((1.0 - f0) * ws[1].bandwidth).min(ws[1].speed);
+            best = best.max(r0 + r1);
+        }
+        assert!(
+            plan.throughput >= best - 1e-3,
+            "greedy {} vs brute force {best}",
+            plan.throughput
+        );
+    }
+
+    #[test]
+    fn star_equals_depth_one_tree() {
+        let ws = vec![
+            Worker::new(1.0, 2.0, 0.0),
+            Worker::new(3.0, 1.5, 0.0),
+            Worker::new(0.5, 4.0, 0.0),
+        ];
+        let star = star_steady_state(&ws);
+        let root = TreeNode {
+            worker: Worker::new(1e-9, 1e9, 0.0), // master: no own compute
+            children: ws.iter().map(|&w| TreeNode::leaf(w)).collect(),
+        };
+        let tree = tree_steady_state(&root);
+        assert!(
+            (tree - star.throughput).abs() < 1e-6,
+            "tree {tree} vs star {}",
+            star.throughput
+        );
+    }
+
+    #[test]
+    fn uplink_caps_a_deep_subtree() {
+        // A mighty subtree behind a thin uplink delivers only the uplink.
+        let mighty = TreeNode {
+            worker: Worker::new(10.0, 0.5, 0.0), // uplink 0.5 units/s
+            children: vec![TreeNode::leaf(Worker::new(50.0, 100.0, 0.0))],
+        };
+        assert!((mighty.deliverable() - 0.5).abs() < 1e-9);
+        let root = TreeNode {
+            worker: Worker::new(0.0001, 1e9, 0.0),
+            children: vec![mighty],
+        };
+        let t = tree_steady_state(&root);
+        assert!(t < 0.6, "throughput {t} must be uplink-capped");
+    }
+
+    #[test]
+    fn chain_collapses_to_weakest_link() {
+        // master -> a -> b: b's work must cross both links.
+        let chain = TreeNode {
+            worker: Worker::new(0.0001, 1e9, 0.0),
+            children: vec![TreeNode {
+                worker: Worker::new(1.0, 3.0, 0.0),
+                children: vec![TreeNode::leaf(Worker::new(10.0, 2.0, 0.0))],
+            }],
+        };
+        let t = tree_steady_state(&chain);
+        // Node a: speed 1 + min(b: min(10, 2) = 2 via its port) = 3;
+        // capped by a's uplink 3 ⇒ throughput 3 (+ master ε).
+        assert!((t - 3.0).abs() < 1e-3, "throughput {t}");
+    }
+
+    #[test]
+    fn throughput_bounded_by_total_speed() {
+        let ws = vec![
+            Worker::new(2.0, 1.0, 0.0),
+            Worker::new(1.0, 0.5, 0.0),
+            Worker::new(4.0, 8.0, 0.0),
+        ];
+        let plan = star_steady_state(&ws);
+        let total: f64 = ws.iter().map(|w| w.speed).sum();
+        assert!(plan.throughput <= total + 1e-9);
+        assert!(plan.rates.iter().zip(&ws).all(|(&r, w)| r <= w.speed + 1e-9));
+    }
+}

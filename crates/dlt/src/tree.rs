@@ -1,0 +1,193 @@
+//! One-round distribution on tree networks — Cheng & Robertazzi's original
+//! setting (ref [4] of the paper: "Distributed computation for a tree
+//! network with communication delays").
+//!
+//! The classical solution collapses the tree bottom-up: a subtree behaves
+//! like a single *equivalent worker* whose speed is the throughput of the
+//! optimal one-round distribution among its root CPU and its (already
+//! collapsed) children. With latency-free links the one-round makespan is
+//! proportional to the load, so the equivalent speed is well defined:
+//! `s_eq = 1 / makespan(star(1 unit))`.
+//!
+//! Latencies make the closed form affine rather than linear; this module
+//! implements the latency-free collapse (the classical result) and
+//! documents the restriction — latency-aware trees are handled by the
+//! steady-state model in [`crate::steady`], which the campaigns of §5.2
+//! actually need.
+
+use crate::model::Worker;
+use crate::star::{star_single_round, WorkerOrder};
+use crate::steady::TreeNode;
+
+/// Per-node chunk sizes mirroring the tree shape.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeAlphas {
+    /// Load computed by this node's own CPU.
+    pub own: f64,
+    /// Loads of the subtrees, in child order.
+    pub children: Vec<TreeAlphas>,
+}
+
+impl TreeAlphas {
+    /// Total load in this subtree.
+    pub fn total(&self) -> f64 {
+        self.own + self.children.iter().map(|c| c.total()).sum::<f64>()
+    }
+}
+
+/// Equivalent one-round speed of a subtree (latency-free links assumed:
+/// panics if any latency is non-zero).
+pub fn equivalent_speed(node: &TreeNode) -> f64 {
+    assert!(
+        node.worker.latency == 0.0,
+        "one-round tree collapse requires latency-free links (see module docs)"
+    );
+    if node.children.is_empty() {
+        return node.worker.speed;
+    }
+    let workers = collapse_children(node);
+    // Equal-finish star on one unit of load: speed = 1 / makespan.
+    1.0 / star_single_round(1.0, &workers, WorkerOrder::ByBandwidth).makespan
+}
+
+/// The star the node's internal distribution solves: its own CPU (no
+/// communication — modelled as an effectively infinite link) plus each
+/// child as its equivalent worker behind the child's uplink.
+fn collapse_children(node: &TreeNode) -> Vec<Worker> {
+    let mut workers = vec![Worker::new(node.worker.speed, f64::MAX / 4.0, 0.0)];
+    for child in &node.children {
+        workers.push(Worker::new(
+            equivalent_speed(child),
+            child.worker.bandwidth,
+            0.0,
+        ));
+    }
+    workers
+}
+
+/// Optimal one-round distribution of `w` units from the root of `tree`
+/// (the root's own `speed` participates; its `bandwidth` is unused).
+/// Returns the makespan and the per-node loads.
+pub fn tree_single_round(w: f64, tree: &TreeNode) -> (f64, TreeAlphas) {
+    assert!(w > 0.0);
+    let s_eq = equivalent_speed(tree);
+    let makespan = w / s_eq;
+    (makespan, split(tree, w))
+}
+
+/// Recursively distribute `w` within the subtree according to the
+/// equal-finish star solutions.
+fn split(node: &TreeNode, w: f64) -> TreeAlphas {
+    if node.children.is_empty() {
+        return TreeAlphas {
+            own: w,
+            children: Vec::new(),
+        };
+    }
+    let workers = collapse_children(node);
+    let plan = star_single_round(w, &workers, WorkerOrder::ByBandwidth);
+    TreeAlphas {
+        own: plan.alphas[0],
+        children: node
+            .children
+            .iter()
+            .enumerate()
+            .map(|(i, child)| split(child, plan.alphas[i + 1]))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(speed: f64, bw: f64) -> TreeNode {
+        TreeNode::leaf(Worker::new(speed, bw, 0.0))
+    }
+
+    #[test]
+    fn leaf_speed_is_its_own() {
+        assert_eq!(equivalent_speed(&leaf(2.5, 1.0)), 2.5);
+    }
+
+    #[test]
+    fn depth_one_matches_star_plus_master() {
+        // Root with CPU speed 1 and two children: the collapse of depth one
+        // is exactly the star including the master CPU.
+        let tree = TreeNode {
+            worker: Worker::new(1.0, 1e9, 0.0),
+            children: vec![leaf(2.0, 4.0), leaf(1.0, 2.0)],
+        };
+        let (mk, alphas) = tree_single_round(100.0, &tree);
+        assert!((alphas.total() - 100.0).abs() < 1e-6);
+        // Everything must finish simultaneously: own/root speed 1 computes
+        // alpha_own in mk seconds.
+        assert!((alphas.own / 1.0 - mk).abs() < 1e-6);
+        // Equivalent speed below the no-communication ceiling.
+        let s = equivalent_speed(&tree);
+        assert!(s < 4.0 && s > 1.0, "s_eq {s}");
+    }
+
+    #[test]
+    fn chain_is_limited_by_the_thin_uplink() {
+        // root(0 cpu) -> a(speed 1, uplink 10) -> b(speed 9, uplink 0.5).
+        // b's horsepower hides behind a 0.5 units/s link: the equivalent
+        // speed of a's subtree stays below 1 + something small.
+        let tree = TreeNode {
+            worker: Worker::new(1e-9, 1e9, 0.0),
+            children: vec![TreeNode {
+                worker: Worker::new(1.0, 10.0, 0.0),
+                children: vec![leaf(9.0, 0.5)],
+            }],
+        };
+        let s = equivalent_speed(&tree);
+        assert!(s < 1.6, "thin uplink must cap the subtree: {s}");
+        // Widening the thin link unleashes the subtree.
+        let fat = TreeNode {
+            worker: Worker::new(1e-9, 1e9, 0.0),
+            children: vec![TreeNode {
+                worker: Worker::new(1.0, 10.0, 0.0),
+                children: vec![leaf(9.0, 50.0)],
+            }],
+        };
+        assert!(equivalent_speed(&fat) > 2.0 * s);
+    }
+
+    #[test]
+    fn alphas_conserve_load_recursively() {
+        let tree = TreeNode {
+            worker: Worker::new(0.5, 1e9, 0.0),
+            children: vec![
+                TreeNode {
+                    worker: Worker::new(1.0, 3.0, 0.0),
+                    children: vec![leaf(2.0, 1.0), leaf(0.5, 2.0)],
+                },
+                leaf(1.5, 4.0),
+            ],
+        };
+        let (mk, alphas) = tree_single_round(500.0, &tree);
+        assert!((alphas.total() - 500.0).abs() < 1e-6);
+        assert!(mk > 0.0);
+        // Child subtree totals match what the root-level star granted.
+        assert_eq!(alphas.children.len(), 2);
+        for c in &alphas.children {
+            assert!(c.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn equivalent_speed_bounded_by_total_cpu() {
+        let tree = TreeNode {
+            worker: Worker::new(1.0, 1e9, 0.0),
+            children: vec![leaf(2.0, 5.0), leaf(3.0, 5.0)],
+        };
+        let s = equivalent_speed(&tree);
+        assert!(s <= 6.0 + 1e-9, "cannot exceed the CPU sum: {s}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn latencies_rejected() {
+        equivalent_speed(&TreeNode::leaf(Worker::new(1.0, 1.0, 0.5)));
+    }
+}

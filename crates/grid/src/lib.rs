@@ -1,0 +1,35 @@
+//! # lsps-grid — light-grid resource management (§5 of the paper)
+//!
+//! The paper's §5.2 describes two ways of linking the clusters of a light
+//! grid, both implemented here as event-driven simulations on `lsps-des`:
+//!
+//! * **Centralized** ([`cigri`]) — the CiGri production design: each cluster
+//!   keeps its own submission system; a central server holds the
+//!   multi-parametric campaigns and injects their runs as **best-effort**
+//!   jobs into the holes of the local schedules. "The local scheduler gives
+//!   no warranty that the job will be finished. If a locally submitted job
+//!   requires a processor currently in use by a best-effort job, the latter
+//!   will be killed" — and resubmitted by the server. Locals keep their
+//!   interface and are never delayed by grid jobs.
+//! * **Decentralized** ([`exchange`]) — all jobs are submitted locally and
+//!   clusters exchange work to balance load, paying a migration cost over
+//!   the WAN; fairness and performance are both measured.
+//!
+//! [`scenario`] wires platforms ([`lsps_platform::presets`]), community
+//! workloads and campaigns into ready-to-run experiments — the `ciment`
+//! binary (FIG3) is a thin wrapper around it.
+
+pub mod cigri;
+pub mod exchange;
+pub mod scenario;
+
+pub use cigri::{CigriReport, CigriSim};
+pub use exchange::{ExchangeParams, ExchangeReport, ExchangeSim};
+pub use scenario::{ciment_scenario, CimentOutcome, ScenarioParams};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::cigri::{CigriReport, CigriSim};
+    pub use crate::exchange::{ExchangeParams, ExchangeReport, ExchangeSim};
+    pub use crate::scenario::{ciment_scenario, CimentOutcome, ScenarioParams};
+}

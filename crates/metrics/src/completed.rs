@@ -1,0 +1,138 @@
+//! The record every scheduler produces per job.
+
+use serde::{Deserialize, Serialize};
+
+use lsps_des::{Dur, Time};
+use lsps_workload::{Job, JobId, UserId};
+
+/// Outcome of one job in a finished schedule or simulation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CompletedJob {
+    /// Job identifier.
+    pub id: JobId,
+    /// Release (submission) date `ri`.
+    pub release: Time,
+    /// Start of execution `σ(i)`.
+    pub start: Time,
+    /// Completion time `Ci`.
+    pub completion: Time,
+    /// Processors used (allotment size).
+    pub procs: usize,
+    /// Weight ωi.
+    pub weight: f64,
+    /// Due date, if any.
+    pub due: Option<Time>,
+    /// Sequential processing time `pi(1)` (normalizes stretch).
+    pub seq_time: Dur,
+    /// Owning user/community.
+    pub user: UserId,
+}
+
+impl CompletedJob {
+    /// Build the record for `job` executed on `procs` processors during
+    /// `[start, completion)`.
+    pub fn from_job(job: &Job, start: Time, completion: Time, procs: usize) -> CompletedJob {
+        assert!(start >= job.release, "{}: started before release", job.id);
+        assert!(completion >= start, "{}: completed before start", job.id);
+        CompletedJob {
+            id: job.id,
+            release: job.release,
+            start,
+            completion,
+            procs,
+            weight: job.weight,
+            due: job.due,
+            seq_time: job.seq_time(),
+            user: job.user,
+        }
+    }
+
+    /// Flow time `Ci − ri` — the paper's per-job *stretch*.
+    pub fn flow(&self) -> Dur {
+        self.completion - self.release
+    }
+
+    /// Waiting time `σ(i) − ri`.
+    pub fn wait(&self) -> Dur {
+        self.start - self.release
+    }
+
+    /// Execution time `Ci − σ(i)`.
+    pub fn run(&self) -> Dur {
+        self.completion - self.start
+    }
+
+    /// Normalized stretch (slowdown): flow divided by sequential time.
+    /// At least the parallel efficiency gain, ≥ 0; 1.0 means "as if alone
+    /// on one processor".
+    pub fn slowdown(&self) -> f64 {
+        let seq = self.seq_time.ticks().max(1);
+        self.flow().ticks() as f64 / seq as f64
+    }
+
+    /// Tardiness `max(0, Ci − di)`; zero when no due date.
+    pub fn tardiness(&self) -> Dur {
+        match self.due {
+            Some(d) => self.completion.saturating_sub(d),
+            None => Dur::ZERO,
+        }
+    }
+
+    /// True iff the job finished after its due date.
+    pub fn is_late(&self) -> bool {
+        self.due.is_some_and(|d| self.completion > d)
+    }
+
+    /// Work area `procs × run`.
+    pub fn area(&self) -> Dur {
+        self.run().saturating_mul(self.procs as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    fn record() -> CompletedJob {
+        let job = lsps_workload::Job::rigid(1, 4, Dur::from_ticks(50))
+            .released_at(t(10))
+            .with_due(t(100))
+            .with_weight(2.0);
+        CompletedJob::from_job(&job, t(30), t(80), 4)
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = record();
+        assert_eq!(c.flow(), Dur::from_ticks(70));
+        assert_eq!(c.wait(), Dur::from_ticks(20));
+        assert_eq!(c.run(), Dur::from_ticks(50));
+        assert_eq!(c.area(), Dur::from_ticks(200));
+        // seq_time of the 4-proc rigid job is 200 ticks: slowdown 70/200.
+        assert!((c.slowdown() - 0.35).abs() < 1e-12);
+        assert_eq!(c.tardiness(), Dur::ZERO);
+        assert!(!c.is_late());
+    }
+
+    #[test]
+    fn tardiness_when_late() {
+        let mut c = record();
+        c.completion = t(130);
+        assert!(c.is_late());
+        assert_eq!(c.tardiness(), Dur::from_ticks(30));
+        c.due = None;
+        assert!(!c.is_late());
+        assert_eq!(c.tardiness(), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn start_before_release_rejected() {
+        let job = lsps_workload::Job::sequential(1, Dur::from_ticks(5)).released_at(t(10));
+        CompletedJob::from_job(&job, t(5), t(10), 1);
+    }
+}

@@ -1,0 +1,203 @@
+//! The criteria of §3, computed in one pass.
+
+use serde::{Deserialize, Serialize};
+
+use lsps_des::{Dur, Time};
+
+use crate::completed::CompletedJob;
+
+/// All §3 criteria evaluated over a set of completed jobs.
+///
+/// Time-valued criteria are reported in seconds (`f64`) for readability;
+/// exact tick values are recoverable from the raw records.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Criteria {
+    /// Number of jobs.
+    pub n: usize,
+    /// Makespan `max Cj`, seconds.
+    pub cmax: f64,
+    /// `Σ Ci`, seconds.
+    pub sum_completion: f64,
+    /// `Σ ωi Ci`, weight-seconds.
+    pub weighted_sum_completion: f64,
+    /// Mean completion `Σ Ci / n`, seconds.
+    pub mean_completion: f64,
+    /// Paper's mean stretch: `Σ (Ci − ri) / n` (mean flow), seconds.
+    pub mean_flow: f64,
+    /// Paper's max stretch: `max (Ci − ri)` (longest wait between
+    /// submission and completion), seconds.
+    pub max_flow: f64,
+    /// Mean normalized stretch (slowdown): `mean (Ci − ri) / pi(1)`.
+    pub mean_slowdown: f64,
+    /// Max normalized stretch.
+    pub max_slowdown: f64,
+    /// Mean *bounded* slowdown: `mean (Ci − ri) / max(pi(1), τ)` with
+    /// τ = 10 s — the standard fix that stops sub-second jobs from
+    /// dominating the stretch statistics.
+    pub mean_bounded_slowdown: f64,
+    /// Number of late jobs (tardiness criteria).
+    pub n_late: usize,
+    /// Total tardiness `Σ max(0, Ci − di)`, seconds.
+    pub total_tardiness: f64,
+    /// Maximum tardiness, seconds.
+    pub max_tardiness: f64,
+    /// Completed jobs per simulated hour over the span `[min ri, Cmax]`.
+    pub throughput_per_hour: f64,
+    /// Total work area `Σ procs·run`, CPU-seconds.
+    pub total_area: f64,
+}
+
+impl Criteria {
+    /// Evaluate over `jobs`. Panics on an empty slice — an empty schedule
+    /// has no meaningful criteria.
+    pub fn evaluate(jobs: &[CompletedJob]) -> Criteria {
+        assert!(!jobs.is_empty(), "criteria of an empty job set");
+        let n = jobs.len();
+        let mut cmax = Time::ZERO;
+        let mut first_release = Time::MAX;
+        let mut sum_completion = 0.0;
+        let mut weighted_sum = 0.0;
+        let mut sum_flow = 0.0;
+        let mut max_flow = Dur::ZERO;
+        let mut sum_slow = 0.0;
+        let mut max_slow = 0.0f64;
+        let mut sum_bsld = 0.0;
+        const TAU_S: f64 = 10.0;
+        let mut n_late = 0;
+        let mut total_tard = Dur::ZERO;
+        let mut max_tard = Dur::ZERO;
+        let mut area = Dur::ZERO;
+        for j in jobs {
+            cmax = cmax.max(j.completion);
+            first_release = first_release.min(j.release);
+            let c = j.completion.as_secs_f64();
+            sum_completion += c;
+            weighted_sum += j.weight * c;
+            sum_flow += j.flow().as_secs_f64();
+            max_flow = max_flow.max(j.flow());
+            let s = j.slowdown();
+            sum_slow += s;
+            max_slow = max_slow.max(s);
+            let denom = j.seq_time.as_secs_f64().max(TAU_S);
+            sum_bsld += (j.flow().as_secs_f64() / denom).max(1.0);
+            if j.is_late() {
+                n_late += 1;
+            }
+            total_tard += j.tardiness();
+            max_tard = max_tard.max(j.tardiness());
+            area += j.area();
+        }
+        let span_s = (cmax.saturating_sub(first_release)).as_secs_f64();
+        let throughput_per_hour = if span_s > 0.0 {
+            n as f64 / span_s * 3600.0
+        } else {
+            f64::INFINITY
+        };
+        Criteria {
+            n,
+            cmax: cmax.as_secs_f64(),
+            sum_completion,
+            weighted_sum_completion: weighted_sum,
+            mean_completion: sum_completion / n as f64,
+            mean_flow: sum_flow / n as f64,
+            max_flow: max_flow.as_secs_f64(),
+            mean_slowdown: sum_slow / n as f64,
+            max_slowdown: max_slow,
+            mean_bounded_slowdown: sum_bsld / n as f64,
+            n_late,
+            total_tardiness: total_tard.as_secs_f64(),
+            max_tardiness: max_tard.as_secs_f64(),
+            throughput_per_hour,
+            total_area: area.as_secs_f64(),
+        }
+    }
+
+    /// Machine utilization over `[0, Cmax]` on `m` processors: area divided
+    /// by `m · Cmax`.
+    pub fn utilization(&self, m: usize) -> f64 {
+        if self.cmax == 0.0 {
+            return 0.0;
+        }
+        self.total_area / (m as f64 * self.cmax)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::Dur;
+    use lsps_workload::Job;
+
+    fn t(x: u64) -> Time {
+        Time::from_secs(x)
+    }
+
+    /// Two sequential jobs on one machine: j1 [0,10), j2 released 2, runs
+    /// [10, 30).
+    fn two_jobs() -> Vec<CompletedJob> {
+        let j1 = Job::sequential(1, Dur::from_secs(10));
+        let j2 = Job::sequential(2, Dur::from_secs(20))
+            .released_at(t(2))
+            .with_weight(3.0)
+            .with_due(t(25));
+        vec![
+            CompletedJob::from_job(&j1, t(0), t(10), 1),
+            CompletedJob::from_job(&j2, t(10), t(30), 1),
+        ]
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        let c = Criteria::evaluate(&two_jobs());
+        assert_eq!(c.n, 2);
+        assert!((c.cmax - 30.0).abs() < 1e-9);
+        assert!((c.sum_completion - 40.0).abs() < 1e-9);
+        // 1·10 + 3·30 = 100.
+        assert!((c.weighted_sum_completion - 100.0).abs() < 1e-9);
+        assert!((c.mean_completion - 20.0).abs() < 1e-9);
+        // Flows: 10 and 28.
+        assert!((c.mean_flow - 19.0).abs() < 1e-9);
+        assert!((c.max_flow - 28.0).abs() < 1e-9);
+        // Slowdowns: 10/10 = 1 and 28/20 = 1.4.
+        assert!((c.mean_slowdown - 1.2).abs() < 1e-9);
+        assert!((c.max_slowdown - 1.4).abs() < 1e-9);
+        // Bounded slowdown with τ=10 s: both jobs exceed τ, and the BSLD
+        // floors at 1: same values here.
+        assert!((c.mean_bounded_slowdown - 1.2).abs() < 1e-9);
+        // j2 due at 25, finished 30.
+        assert_eq!(c.n_late, 1);
+        assert!((c.total_tardiness - 5.0).abs() < 1e-9);
+        assert!((c.max_tardiness - 5.0).abs() < 1e-9);
+        // Area = 10 + 20 CPU-seconds.
+        assert!((c.total_area - 30.0).abs() < 1e-9);
+        // Utilization on 1 machine over [0, 30].
+        assert!((c.utilization(1) - 1.0).abs() < 1e-9);
+        assert!((c.utilization(2) - 0.5).abs() < 1e-9);
+        // Throughput: 2 jobs over a 30 s span.
+        assert!((c.throughput_per_hour - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounded_slowdown_floors_tiny_jobs() {
+        // A 1 s job waiting 100 s: raw slowdown 101, bounded 101/10 ≈ 10.1.
+        let j = Job::sequential(1, Dur::from_secs(1));
+        let rec = CompletedJob::from_job(&j, t(100), t(101), 1);
+        let c = Criteria::evaluate(&[rec]);
+        assert!((c.max_slowdown - 101.0).abs() < 1e-9);
+        assert!((c.mean_bounded_slowdown - 10.1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_is_rejected() {
+        Criteria::evaluate(&[]);
+    }
+
+    #[test]
+    fn single_instant_job_has_infinite_throughput() {
+        let j = Job::sequential(1, Dur::from_ticks(1));
+        let rec = CompletedJob::from_job(&j, Time::ZERO, Time::ZERO, 1);
+        let c = Criteria::evaluate(&[rec]);
+        assert!(c.throughput_per_hour.is_infinite());
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-community fairness (§5.2 of the paper).
+//!
+//! "Another important point is to guarantee a kind of fairness between the
+//! different communities. Each computing resource was bought by its
+//! respective community […] we should make sure that making it available to
+//! others does not make them loose too much."
+//!
+//! [`per_user`] aggregates criteria per community; [`jain_index`] condenses
+//! a vector of per-community figures into Jain's fairness index
+//! `(Σx)² / (n·Σx²)` ∈ `(0, 1]`, 1 meaning perfectly even.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use lsps_workload::UserId;
+
+use crate::completed::CompletedJob;
+
+/// Aggregated outcome for one user/community.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UserReport {
+    /// The community.
+    pub user: UserId,
+    /// Number of completed jobs.
+    pub n: usize,
+    /// Mean flow time (the paper's stretch), seconds.
+    pub mean_flow: f64,
+    /// Mean normalized slowdown.
+    pub mean_slowdown: f64,
+    /// Total work area consumed, CPU-seconds.
+    pub area: f64,
+}
+
+/// Aggregate per community, in ascending `UserId` order.
+pub fn per_user(jobs: &[CompletedJob]) -> Vec<UserReport> {
+    let mut acc: BTreeMap<UserId, (usize, f64, f64, f64)> = BTreeMap::new();
+    for j in jobs {
+        let e = acc.entry(j.user).or_insert((0, 0.0, 0.0, 0.0));
+        e.0 += 1;
+        e.1 += j.flow().as_secs_f64();
+        e.2 += j.slowdown();
+        e.3 += j.area().as_secs_f64();
+    }
+    acc.into_iter()
+        .map(|(user, (n, flow, slow, area))| UserReport {
+            user,
+            n,
+            mean_flow: flow / n as f64,
+            mean_slowdown: slow / n as f64,
+            area,
+        })
+        .collect()
+}
+
+/// Jain's fairness index over non-negative figures (at least one positive).
+/// 1.0 = perfectly fair; `1/n` = maximally concentrated.
+pub fn jain_index(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "jain_index of an empty vector");
+    assert!(xs.iter().all(|&x| x >= 0.0), "negative input");
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    assert!(sum > 0.0, "jain_index needs at least one positive value");
+    sum * sum / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::{Dur, Time};
+    use lsps_workload::Job;
+
+    fn rec(id: u64, user: u32, len_s: u64) -> CompletedJob {
+        let j = Job::sequential(id, Dur::from_secs(len_s)).with_user(UserId(user));
+        CompletedJob::from_job(&j, Time::ZERO, Time::from_secs(len_s), 1)
+    }
+
+    #[test]
+    fn aggregates_by_user() {
+        let recs = vec![rec(1, 0, 10), rec(2, 1, 20), rec(3, 0, 30)];
+        let reports = per_user(&recs);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].user, UserId(0));
+        assert_eq!(reports[0].n, 2);
+        assert!((reports[0].mean_flow - 20.0).abs() < 1e-9);
+        assert!((reports[0].area - 40.0).abs() < 1e-9);
+        assert_eq!(reports[1].n, 1);
+        assert!((reports[1].mean_flow - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        let concentrated = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((concentrated - 0.25).abs() < 1e-12);
+        let mid = jain_index(&[1.0, 2.0]);
+        assert!((0.25..1.0).contains(&mid));
+    }
+
+    #[test]
+    #[should_panic]
+    fn jain_rejects_all_zero() {
+        jain_index(&[0.0, 0.0]);
+    }
+}

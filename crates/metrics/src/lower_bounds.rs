@@ -1,0 +1,241 @@
+//! Certified lower bounds on the optimal criteria values.
+//!
+//! The paper's Fig. 2 plots performance *ratios* to the optimum. Computing
+//! the optimum is NP-hard for every variant at hand, so — like every
+//! empirical study in this literature — we divide by certified lower
+//! bounds; the reported ratios are therefore *upper bounds* on the true
+//! ones, which is conservative.
+//!
+//! * [`cmax_lower_bound`]: `max( ⌈W/m⌉ , max_j (rj + pj^min) )` where `W`
+//!   is total minimal work — the *area* bound and the *tallest job* bound.
+//! * [`wsum_lower_bound`]: the squashed-area WSPT bound used in the SMART
+//!   analysis ([14] in the paper): compress each job to its minimal work on
+//!   a single speed-`m` resource, order by Smith ratio (work/weight), and
+//!   charge each job the max of its squashed completion and its individual
+//!   bound `rj + pj^min`. Both components bound any feasible schedule from
+//!   below, hence so does the combination.
+
+use lsps_des::Dur;
+use lsps_workload::Job;
+
+/// Lower bound on the optimal makespan of `jobs` on `m` identical
+/// processors (moldable jobs contribute their minimal work and minimal
+/// time).
+pub fn cmax_lower_bound(jobs: &[Job], m: usize) -> Dur {
+    assert!(m >= 1);
+    let total_work: u128 = jobs.iter().map(|j| j.min_work().ticks() as u128).sum();
+    let area = Dur::from_ticks(total_work.div_ceil(m as u128) as u64);
+    let tallest = jobs
+        .iter()
+        .map(|j| (j.release + j.min_time()).since_epoch())
+        .fold(Dur::ZERO, Dur::max);
+    area.max(tallest)
+}
+
+/// Lower bound on the optimal `Σ ωj Cj` of `jobs` on `m` identical
+/// processors, in weight-seconds.
+///
+/// The maximum of two certified totals:
+///
+/// * **squashed area** — relax release dates and compress all minimal work
+///   onto one speed-`m` preemptive resource; the Smith-order (WSPT) value
+///   of that relaxation bounds every feasible schedule from below;
+/// * **individual** — `Σ ωj (rj + pj^min)`, since every job satisfies
+///   `Cj ≥ rj + pj^min`.
+///
+/// Note the max is over the *totals*, not per job: a per-job max would
+/// pair each job's release bound with a squashed completion that assumes a
+/// specific relaxed order, which is not simultaneously achievable — that
+/// combination exceeds the optimum on some on-line instances.
+pub fn wsum_lower_bound(jobs: &[Job], m: usize) -> f64 {
+    assert!(m >= 1);
+    // Order by Smith ratio work/weight (ascending) — the WSPT-optimal order
+    // on the squashed machine. Zero-weight jobs go last (ratio ∞).
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_by(|a, b| {
+        let ra = a.min_work().ticks() as f64 / a.weight.max(f64::MIN_POSITIVE);
+        let rb = b.min_work().ticks() as f64 / b.weight.max(f64::MIN_POSITIVE);
+        ra.partial_cmp(&rb)
+            .expect("finite ratios")
+            .then(a.id.cmp(&b.id))
+    });
+    let mut acc_work: u128 = 0;
+    let mut squashed_total = 0.0;
+    let mut individual_total = 0.0;
+    for j in order {
+        acc_work += j.min_work().ticks() as u128;
+        // Squashed completion on the speed-m resource, in ticks.
+        squashed_total += j.weight * (acc_work as f64 / m as f64);
+        individual_total +=
+            j.weight * (j.release + j.min_time()).since_epoch().ticks() as f64;
+    }
+    squashed_total.max(individual_total) / lsps_des::TICKS_PER_SEC as f64
+}
+
+/// Lower bound on the optimal *sum of completion times* (unweighted):
+/// [`wsum_lower_bound`] with all weights forced to one.
+pub fn csum_lower_bound(jobs: &[Job], m: usize) -> f64 {
+    let unweighted: Vec<Job> = jobs
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.weight = 1.0;
+            j
+        })
+        .collect();
+    wsum_lower_bound(&unweighted, m)
+}
+
+/// Hint for sizing experiments: the time `Σ min_work / m` it takes the
+/// whole machine to chew through the workload area (seconds).
+pub fn area_seconds(jobs: &[Job], m: usize) -> f64 {
+    let total: u128 = jobs.iter().map(|j| j.min_work().ticks() as u128).sum();
+    total as f64 / m as f64 / lsps_des::TICKS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::Time;
+    use lsps_workload::{MoldableProfile, SpeedupModel};
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn cmax_area_bound_dominates_when_machine_small() {
+        // 10 unit jobs on 2 machines: area bound 5.
+        let jobs: Vec<Job> = (0..10).map(|i| Job::sequential(i, d(1))).collect();
+        assert_eq!(cmax_lower_bound(&jobs, 2), d(5));
+        // On 100 machines the tallest job (1) dominates.
+        assert_eq!(cmax_lower_bound(&jobs, 100), d(1));
+    }
+
+    #[test]
+    fn cmax_tallest_includes_release() {
+        let jobs = vec![Job::sequential(0, d(10)).released_at(Time::from_ticks(90))];
+        assert_eq!(cmax_lower_bound(&jobs, 4), d(100));
+    }
+
+    #[test]
+    fn cmax_moldable_uses_min_work_and_min_time() {
+        let prof = MoldableProfile::from_model(d(100), &SpeedupModel::Linear, 4);
+        let min_t = prof.min_time();
+        let jobs = vec![Job::moldable(0, prof)];
+        // Area bound on 1 machine = sequential work; tallest = min time.
+        assert_eq!(cmax_lower_bound(&jobs, 1), d(100));
+        assert_eq!(cmax_lower_bound(&jobs, 64), min_t);
+    }
+
+    #[test]
+    fn wsum_single_machine_matches_wspt_exactly() {
+        // On m = 1 with all releases 0, the squashed bound *is* the optimal
+        // WSPT value. Jobs: (len 2, w 1), (len 1, w 1).
+        let jobs = vec![
+            Job::sequential(0, Dur::from_secs(2)),
+            Job::sequential(1, Dur::from_secs(1)),
+        ];
+        // WSPT order: the 1s job first → C = 1 and 3 → Σ = 4.
+        let lb = wsum_lower_bound(&jobs, 1);
+        assert!((lb - 4.0).abs() < 1e-9, "lb = {lb}");
+    }
+
+    #[test]
+    fn wsum_respects_weights() {
+        // Same lengths, one heavy job: it must come first in the bound.
+        let jobs = vec![
+            Job::sequential(0, Dur::from_secs(1)).with_weight(1.0),
+            Job::sequential(1, Dur::from_secs(1)).with_weight(10.0),
+        ];
+        // Optimal on one machine: heavy first → 10·1 + 1·2 = 12.
+        let lb = wsum_lower_bound(&jobs, 1);
+        assert!((lb - 12.0).abs() < 1e-9, "lb = {lb}");
+    }
+
+    #[test]
+    fn wsum_individual_bound_kicks_in() {
+        // A job released late: its completion can't precede release + len.
+        let jobs = vec![
+            Job::sequential(0, Dur::from_secs(1)).released_at(Time::from_secs(100))
+        ];
+        let lb = wsum_lower_bound(&jobs, 8);
+        assert!((lb - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_scale_with_machines() {
+        let jobs: Vec<Job> = (0..32)
+            .map(|i| Job::sequential(i, Dur::from_secs(1)))
+            .collect();
+        // More machines ⇒ weaker (smaller) bounds.
+        assert!(wsum_lower_bound(&jobs, 1) > wsum_lower_bound(&jobs, 4));
+        assert!(cmax_lower_bound(&jobs, 1) > cmax_lower_bound(&jobs, 4));
+        assert!((area_seconds(&jobs, 32) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csum_is_unweighted_wsum() {
+        let jobs = vec![
+            Job::sequential(0, Dur::from_secs(3)).with_weight(7.0),
+            Job::sequential(1, Dur::from_secs(1)).with_weight(0.5),
+        ];
+        let a = csum_lower_bound(&jobs, 1);
+        // Unweighted WSPT: 1 then 3 → 1 + 4 = 5.
+        assert!((a - 5.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The squashed bound never exceeds the value of an explicit
+        /// single-machine WSPT schedule built on a speed-m resource — i.e.
+        /// it is what it claims to be.
+        #[test]
+        fn wsum_bound_below_any_list_schedule(
+            lens in prop::collection::vec(1u64..1000, 1..40),
+            m in 1usize..16,
+        ) {
+            let jobs: Vec<Job> = lens.iter().enumerate()
+                .map(|(i, &l)| Job::sequential(i as u64, Dur::from_ticks(l)))
+                .collect();
+            let lb = wsum_lower_bound(&jobs, m);
+            // Feasible schedule value: actually run the jobs one per
+            // machine in arbitrary (id) order via a greedy earliest-machine
+            // rule and compute its Σ C.
+            let mut free = vec![0u64; m];
+            let mut sum = 0.0;
+            for j in &jobs {
+                let (idx, _) = free.iter().enumerate().min_by_key(|&(_, &f)| f).unwrap();
+                let start = free[idx];
+                let end = start + j.min_work().ticks();
+                free[idx] = end;
+                sum += end as f64 / lsps_des::TICKS_PER_SEC as f64;
+            }
+            prop_assert!(lb <= sum + 1e-6, "lb {lb} > feasible {sum}");
+        }
+
+        /// Cmax lower bound is below a greedy feasible schedule too.
+        #[test]
+        fn cmax_bound_below_greedy(
+            lens in prop::collection::vec(1u64..1000, 1..40),
+            m in 1usize..16,
+        ) {
+            let jobs: Vec<Job> = lens.iter().enumerate()
+                .map(|(i, &l)| Job::sequential(i as u64, Dur::from_ticks(l)))
+                .collect();
+            let lb = cmax_lower_bound(&jobs, m).ticks();
+            let mut free = vec![0u64; m];
+            for j in &jobs {
+                let idx = (0..m).min_by_key(|&i| free[i]).unwrap();
+                free[idx] += j.min_work().ticks();
+            }
+            let cmax = free.into_iter().max().unwrap();
+            prop_assert!(lb <= cmax, "lb {lb} > feasible {cmax}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Communication model.
+//!
+//! The PT and DLT models both *hide* communications inside coarse
+//! parameters — a penalty factor for parallel tasks, a distribution cost for
+//! divisible loads (paper §2). What remains observable is an affine
+//! latency + bandwidth cost per message, differing by hierarchy level:
+//! inside an SMP node, inside a cluster (Myrinet vs GigE vs 100 Mb
+//! Ethernet in Fig. 3), and between clusters.
+
+use serde::{Deserialize, Serialize};
+
+use lsps_des::Dur;
+
+/// An affine link: transferring `b` bytes costs `latency + b / bandwidth`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkClass {
+    /// One-way latency, in seconds.
+    pub latency_s: f64,
+    /// Bandwidth, in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl LinkClass {
+    /// A link with the given latency (seconds) and bandwidth (bytes/s).
+    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
+        assert!(latency_s >= 0.0 && bandwidth_bps > 0.0);
+        LinkClass {
+            latency_s,
+            bandwidth_bps,
+        }
+    }
+
+    /// Myrinet-class interconnect (Fig. 3 "Myrinet"): ~10 µs, ~250 MB/s.
+    pub fn myrinet() -> Self {
+        LinkClass::new(10e-6, 250e6)
+    }
+
+    /// Gigabit Ethernet (Fig. 3 "Giga Eth"): ~50 µs, ~125 MB/s.
+    pub fn gige() -> Self {
+        LinkClass::new(50e-6, 125e6)
+    }
+
+    /// 100 Mb/s Ethernet (Fig. 3 "Eth 100"): ~100 µs, ~12.5 MB/s.
+    pub fn eth100() -> Self {
+        LinkClass::new(100e-6, 12.5e6)
+    }
+
+    /// Campus/metropolitan WAN between the clusters of a light grid:
+    /// ~1 ms, ~100 MB/s shared.
+    pub fn campus_wan() -> Self {
+        LinkClass::new(1e-3, 100e6)
+    }
+
+    /// Shared memory inside an SMP node: ~1 µs, ~2 GB/s.
+    pub fn smp_bus() -> Self {
+        LinkClass::new(1e-6, 2e9)
+    }
+
+    /// Time to move `bytes` across this link, in seconds.
+    pub fn transfer_secs(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0);
+        self.latency_s + bytes / self.bandwidth_bps
+    }
+
+    /// Time to move `bytes`, rounded up to the workspace tick grid.
+    pub fn transfer_dur(&self, bytes: f64) -> Dur {
+        Dur::from_ticks((self.transfer_secs(bytes) * lsps_des::TICKS_PER_SEC as f64).ceil() as u64)
+    }
+
+    /// Effective throughput (bytes/s) for a message of `bytes`, i.e.
+    /// `bytes / transfer_secs` — approaches `bandwidth_bps` for large
+    /// messages, collapses for small ones (the latency wall the PT model
+    /// hides in its penalty factor).
+    pub fn effective_bandwidth(&self, bytes: f64) -> f64 {
+        assert!(bytes > 0.0);
+        bytes / self.transfer_secs(bytes)
+    }
+}
+
+/// Where two processors sit relative to each other in the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkLevel {
+    /// Same SMP node.
+    IntraNode,
+    /// Same cluster, different nodes.
+    IntraCluster,
+    /// Different clusters of the grid.
+    InterCluster,
+}
+
+/// Three-level hierarchical network model of a light grid (Fig. 1).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Link inside an SMP node.
+    pub intra_node: LinkClass,
+    /// Link inside a cluster (the cluster's interconnect).
+    pub intra_cluster: LinkClass,
+    /// Link between clusters.
+    pub inter_cluster: LinkClass,
+}
+
+impl NetworkModel {
+    /// A model with the given three levels.
+    pub fn new(intra_node: LinkClass, intra_cluster: LinkClass, inter_cluster: LinkClass) -> Self {
+        NetworkModel {
+            intra_node,
+            intra_cluster,
+            inter_cluster,
+        }
+    }
+
+    /// The default light-grid hierarchy: SMP bus / GigE / campus WAN.
+    pub fn light_grid_default() -> Self {
+        NetworkModel::new(LinkClass::smp_bus(), LinkClass::gige(), LinkClass::campus_wan())
+    }
+
+    /// The link class used at `level`.
+    pub fn link(&self, level: NetworkLevel) -> LinkClass {
+        match level {
+            NetworkLevel::IntraNode => self.intra_node,
+            NetworkLevel::IntraCluster => self.intra_cluster,
+            NetworkLevel::InterCluster => self.inter_cluster,
+        }
+    }
+
+    /// Transfer time of `bytes` at `level`, in seconds.
+    pub fn transfer_secs(&self, level: NetworkLevel, bytes: f64) -> f64 {
+        self.link(level).transfer_secs(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_cost() {
+        let l = LinkClass::new(0.001, 1000.0);
+        assert!((l.transfer_secs(0.0) - 0.001).abs() < 1e-12);
+        assert!((l.transfer_secs(2000.0) - 2.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_dur_rounds_up() {
+        let l = LinkClass::new(0.0, 1000.0); // 1 byte = 1 ms = 1 tick
+        assert_eq!(l.transfer_dur(1.0), Dur::from_ticks(1));
+        assert_eq!(l.transfer_dur(1.5), Dur::from_ticks(2));
+        assert_eq!(l.transfer_dur(0.0), Dur::ZERO);
+    }
+
+    #[test]
+    fn effective_bandwidth_saturates() {
+        let l = LinkClass::gige();
+        let small = l.effective_bandwidth(1e3);
+        let large = l.effective_bandwidth(1e9);
+        assert!(small < 0.2 * l.bandwidth_bps, "latency dominates small messages");
+        assert!(large > 0.9 * l.bandwidth_bps, "large messages reach line rate");
+    }
+
+    #[test]
+    fn hierarchy_is_ordered() {
+        // A light grid must have strictly "faster inside than outside".
+        let nm = NetworkModel::light_grid_default();
+        let b = 1e6;
+        let tn = nm.transfer_secs(NetworkLevel::IntraNode, b);
+        let tc = nm.transfer_secs(NetworkLevel::IntraCluster, b);
+        let tg = nm.transfer_secs(NetworkLevel::InterCluster, b);
+        assert!(tn < tc && tc < tg, "{tn} < {tc} < {tg}");
+    }
+
+    #[test]
+    fn fig3_interconnect_classes_ranked() {
+        let b = 10e6; // 10 MB
+        let myri = LinkClass::myrinet().transfer_secs(b);
+        let gige = LinkClass::gige().transfer_secs(b);
+        let eth = LinkClass::eth100().transfer_secs(b);
+        assert!(myri < gige && gige < eth);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bandwidth_rejected() {
+        LinkClass::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Ready-made platforms from the paper.
+//!
+//! * [`ciment`] — the four largest CIMENT clusters exactly as drawn in
+//!   Fig. 3 (104 bi-Itanium 2 on Myrinet, 48 bi-P4 Xeon on GigE, 40 and 24
+//!   bi-Athlon on 100 Mb Ethernet).
+//! * [`imag`] — the 225-PC IMAG cluster of §1.1.
+//! * [`fig2`] — the 100-machine cluster of the Fig. 2 simulation.
+//! * [`uniform`] / [`hetero_speeds`] — synthetic platforms for experiments.
+
+use lsps_des::SimRng;
+
+use crate::network::{LinkClass, NetworkModel};
+use crate::spec::{Cluster, Node, Platform};
+
+/// The four largest clusters of the CIMENT light grid (Fig. 3).
+///
+/// Relative speeds encode the between-cluster heterogeneity: Itanium 2 is the
+/// reference (1.0), the P4 Xeon class runs at 0.8, the Athlon class at 0.55.
+/// Within a cluster nodes are identical — the paper's weak internal
+/// heterogeneity is modelled by [`hetero_speeds`] when needed.
+pub fn ciment() -> Platform {
+    Platform::new(
+        "CIMENT",
+        vec![
+            Cluster::homogeneous("icluster", 104, 2, 1.0, LinkClass::myrinet()),
+            Cluster::homogeneous("xeon", 48, 2, 0.8, LinkClass::gige()),
+            Cluster::homogeneous("athlon-40", 40, 2, 0.55, LinkClass::eth100()),
+            Cluster::homogeneous("athlon-24", 24, 2, 0.55, LinkClass::eth100()),
+        ],
+        NetworkModel::new(
+            LinkClass::smp_bus(),
+            LinkClass::gige(),
+            LinkClass::campus_wan(),
+        ),
+    )
+}
+
+/// The 225-PC IMAG cluster mentioned in §1.1 (single-CPU machines).
+pub fn imag() -> Platform {
+    Platform::new(
+        "IMAG-225",
+        vec![Cluster::homogeneous("imag", 225, 1, 1.0, LinkClass::eth100())],
+        NetworkModel::light_grid_default(),
+    )
+}
+
+/// The 100 identical machines of the Fig. 2 simulation.
+pub fn fig2() -> Platform {
+    Platform::uniform("fig2-cluster", 100)
+}
+
+/// A single homogeneous cluster of `m` unit-speed CPUs.
+pub fn uniform(m: usize) -> Platform {
+    Platform::uniform(format!("uniform-{m}"), m)
+}
+
+/// A single cluster of `m` single-CPU nodes whose speeds are drawn uniformly
+/// in `[1 - spread, 1 + spread]` — the paper's *weak* intra-cluster
+/// heterogeneity (same OS, different clock generations).
+pub fn hetero_speeds(m: usize, spread: f64, rng: &mut SimRng) -> Platform {
+    assert!((0.0..1.0).contains(&spread));
+    let nodes = (0..m)
+        .map(|_| Node::new(1, rng.range(1.0 - spread, 1.0 + spread + f64::EPSILON)))
+        .collect();
+    Platform::new(
+        format!("hetero-{m}"),
+        vec![Cluster {
+            name: "c0".into(),
+            nodes,
+            interconnect: LinkClass::gige(),
+        }],
+        NetworkModel::light_grid_default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ciment_matches_fig3() {
+        let p = ciment();
+        assert_eq!(p.n_clusters(), 4);
+        let names: Vec<_> = p.clusters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["icluster", "xeon", "athlon-40", "athlon-24"]);
+        let nodes: Vec<_> = p.clusters.iter().map(|c| c.nodes.len()).collect();
+        assert_eq!(nodes, vec![104, 48, 40, 24]);
+        assert!(p.clusters.iter().all(|c| c.nodes[0].cpus == 2), "all bi-proc");
+        // 216 nodes, 432 CPUs.
+        assert_eq!(p.total_procs(), 432);
+        // Interconnect classes ranked as in Fig. 3.
+        assert!(
+            p.clusters[0].interconnect.bandwidth_bps > p.clusters[1].interconnect.bandwidth_bps
+        );
+        assert!(
+            p.clusters[1].interconnect.bandwidth_bps > p.clusters[2].interconnect.bandwidth_bps
+        );
+        assert_eq!(p.clusters[2].interconnect, p.clusters[3].interconnect);
+    }
+
+    #[test]
+    fn imag_has_225_pcs() {
+        let p = imag();
+        assert_eq!(p.total_procs(), 225);
+        assert_eq!(p.clusters[0].nodes[0].cpus, 1);
+    }
+
+    #[test]
+    fn fig2_is_100_identical() {
+        let p = fig2();
+        assert_eq!(p.total_procs(), 100);
+        assert!((p.total_power() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hetero_speeds_within_spread() {
+        let mut rng = SimRng::seed_from(1);
+        let p = hetero_speeds(50, 0.2, &mut rng);
+        assert_eq!(p.total_procs(), 50);
+        for n in &p.clusters[0].nodes {
+            assert!((0.8..=1.2 + 1e-9).contains(&n.speed), "speed {}", n.speed);
+        }
+        // Deterministic under the same seed.
+        let mut rng2 = SimRng::seed_from(1);
+        let p2 = hetero_speeds(50, 0.2, &mut rng2);
+        assert_eq!(p, p2);
+    }
+}

@@ -1,0 +1,501 @@
+//! Processor identifiers and processor sets.
+//!
+//! A [`ProcSet`] is a growable bitset over processor indices. Allocations,
+//! free maps and reservation masks are all `ProcSet`s; set algebra (union,
+//! intersection, difference, disjointness) is word-parallel over `u64`s.
+//!
+//! The representation keeps a trailing-zero-word invariant (`normalize`),
+//! so equality and emptiness checks are structural.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a processor within a [`Platform`](crate::Platform)'s global
+/// numbering (cluster-major, node-major inside the cluster).
+#[derive(
+    Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+const WORD_BITS: usize = 64;
+
+/// A set of processors, stored as a bitset.
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcSet {
+    words: Vec<u64>,
+}
+
+impl ProcSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        ProcSet { words: Vec::new() }
+    }
+
+    /// The set `{0, 1, …, n-1}` — the full capacity of an `n`-processor
+    /// machine.
+    pub fn full(n: usize) -> Self {
+        let mut s = ProcSet::new();
+        s.insert_range(0, n);
+        s
+    }
+
+    /// The set containing the contiguous range `[lo, hi)`.
+    pub fn range(lo: usize, hi: usize) -> Self {
+        let mut s = ProcSet::new();
+        if hi > lo {
+            s.insert_range(lo, hi);
+        }
+        s
+    }
+
+    /// Build from an iterator of indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = ProcSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    #[inline]
+    fn ensure_word(&mut self, w: usize) {
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+    }
+
+    fn normalize(&mut self) {
+        while matches!(self.words.last(), Some(0)) {
+            self.words.pop();
+        }
+    }
+
+    /// Add processor `i`. Returns `true` if it was not already present.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.ensure_word(w);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Add all of `[lo, hi)`.
+    pub fn insert_range(&mut self, lo: usize, hi: usize) {
+        if hi <= lo {
+            return;
+        }
+        let last = (hi - 1) / WORD_BITS;
+        self.ensure_word(last);
+        for w in lo / WORD_BITS..=last {
+            let from = if w == lo / WORD_BITS { lo % WORD_BITS } else { 0 };
+            let to = if w == last { (hi - 1) % WORD_BITS + 1 } else { WORD_BITS };
+            let mask = if to - from == WORD_BITS {
+                u64::MAX
+            } else {
+                ((1u64 << (to - from)) - 1) << from
+            };
+            self.words[w] |= mask;
+        }
+    }
+
+    /// Remove processor `i`. Returns `true` if it was present.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        self.normalize();
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        self.words.get(w).is_some_and(|&word| word & (1 << b) != 0)
+    }
+
+    /// Number of processors in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Smallest index in the set.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Largest index in the set.
+    pub fn last(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &ProcSet) {
+        self.ensure_word(other.words.len().saturating_sub(1));
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.normalize();
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &ProcSet) {
+        for (wi, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(wi).copied().unwrap_or(0);
+        }
+        self.normalize();
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn subtract(&mut self, other: &ProcSet) {
+        for (wi, a) in self.words.iter_mut().enumerate() {
+            *a &= !other.words.get(wi).copied().unwrap_or(0);
+        }
+        self.normalize();
+    }
+
+    /// Union, by value.
+    pub fn union(&self, other: &ProcSet) -> ProcSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Intersection, by value.
+    pub fn intersection(&self, other: &ProcSet) -> ProcSet {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Difference, by value.
+    pub fn difference(&self, other: &ProcSet) -> ProcSet {
+        let mut s = self.clone();
+        s.subtract(other);
+        s
+    }
+
+    /// True iff the two sets share no processor.
+    pub fn is_disjoint(&self, other: &ProcSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & b == 0)
+    }
+
+    /// True iff every processor of `self` is in `other`.
+    pub fn is_subset(&self, other: &ProcSet) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(wi, &a)| a & !other.words.get(wi).copied().unwrap_or(0) == 0)
+    }
+
+    /// The `k` smallest-index processors of the set (a deterministic
+    /// allocation rule: identical machines are interchangeable, so policies
+    /// always take the lowest free indices). Panics if fewer than `k`
+    /// processors are available.
+    pub fn take_first(&self, k: usize) -> ProcSet {
+        let mut out = ProcSet::new();
+        let mut taken = 0;
+        for i in self.iter() {
+            if taken == k {
+                break;
+            }
+            out.insert(i.index());
+            taken += 1;
+        }
+        assert!(taken == k, "take_first({k}) from a set of {} procs", self.len());
+        out
+    }
+
+    /// Iterate over members in increasing index order.
+    pub fn iter(&self) -> ProcSetIter<'_> {
+        ProcSetIter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over the members of a [`ProcSet`].
+pub struct ProcSetIter<'a> {
+    set: &'a ProcSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for ProcSetIter<'_> {
+    type Item = ProcId;
+
+    fn next(&mut self) -> Option<ProcId> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1; // clear lowest set bit
+                return Some(ProcId((self.word * WORD_BITS + b) as u32));
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+impl FromIterator<usize> for ProcSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        ProcSet::from_indices(iter)
+    }
+}
+
+impl fmt::Debug for ProcSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProcSet{{{self}}}")
+    }
+}
+
+impl fmt::Display for ProcSet {
+    /// Renders as compact ranges: `0-3,7,9-10`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut run: Option<(usize, usize)> = None;
+        let flush = |f: &mut fmt::Formatter<'_>,
+                         run: (usize, usize),
+                         first: &mut bool|
+         -> fmt::Result {
+            if !*first {
+                write!(f, ",")?;
+            }
+            *first = false;
+            if run.0 == run.1 {
+                write!(f, "{}", run.0)
+            } else {
+                write!(f, "{}-{}", run.0, run.1)
+            }
+        };
+        for p in self.iter() {
+            let i = p.index();
+            match run {
+                Some((lo, hi)) if i == hi + 1 => run = Some((lo, i)),
+                Some(r) => {
+                    flush(f, r, &mut first)?;
+                    run = Some((i, i));
+                }
+                None => run = Some((i, i)),
+            }
+        }
+        if let Some(r) = run {
+            flush(f, r, &mut first)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ProcSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_and_range() {
+        let s = ProcSet::full(130);
+        assert_eq!(s.len(), 130);
+        assert!(s.contains(0) && s.contains(129) && !s.contains(130));
+        let r = ProcSet::range(60, 70);
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(60) && r.contains(69) && !r.contains(59) && !r.contains(70));
+        assert!(ProcSet::range(5, 5).is_empty());
+    }
+
+    #[test]
+    fn insert_range_word_boundaries() {
+        let mut s = ProcSet::new();
+        s.insert_range(63, 65); // straddles the first word boundary
+        assert_eq!(s.iter().map(|p| p.index()).collect::<Vec<_>>(), vec![63, 64]);
+        let mut t = ProcSet::new();
+        t.insert_range(0, 64); // exactly one full word
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.last(), Some(63));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ProcSet::range(0, 10);
+        let b = ProcSet::range(5, 15);
+        assert_eq!(a.union(&b), ProcSet::range(0, 15));
+        assert_eq!(a.intersection(&b), ProcSet::range(5, 10));
+        assert_eq!(a.difference(&b), ProcSet::range(0, 5));
+        assert!(a.difference(&b).is_disjoint(&b));
+        assert!(!a.is_disjoint(&b));
+        assert!(ProcSet::range(5, 10).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(ProcSet::new().is_subset(&a), "∅ ⊆ anything");
+        assert!(ProcSet::new().is_disjoint(&ProcSet::new()));
+    }
+
+    #[test]
+    fn normalization_keeps_equality_structural() {
+        let mut a = ProcSet::new();
+        a.insert(200);
+        a.remove(200);
+        assert_eq!(a, ProcSet::new());
+        let mut b = ProcSet::range(0, 3);
+        b.subtract(&ProcSet::full(300));
+        assert_eq!(b, ProcSet::new());
+    }
+
+    #[test]
+    fn first_last_iter() {
+        let s = ProcSet::from_indices([3, 70, 128]);
+        assert_eq!(s.first(), Some(3));
+        assert_eq!(s.last(), Some(128));
+        assert_eq!(
+            s.iter().map(|p| p.index()).collect::<Vec<_>>(),
+            vec![3, 70, 128]
+        );
+        assert_eq!(ProcSet::new().first(), None);
+        assert_eq!(ProcSet::new().last(), None);
+    }
+
+    #[test]
+    fn take_first() {
+        let s = ProcSet::from_indices([2, 4, 6, 8]);
+        assert_eq!(s.take_first(2), ProcSet::from_indices([2, 4]));
+        assert_eq!(s.take_first(0), ProcSet::new());
+        assert_eq!(s.take_first(4), s);
+    }
+
+    #[test]
+    #[should_panic]
+    fn take_first_too_many_panics() {
+        ProcSet::range(0, 3).take_first(4);
+    }
+
+    #[test]
+    fn display_ranges() {
+        let s = ProcSet::from_indices([0, 1, 2, 3, 7, 9, 10]);
+        assert_eq!(format!("{s}"), "0-3,7,9-10");
+        assert_eq!(format!("{}", ProcSet::new()), "");
+        assert_eq!(format!("{}", ProcSet::from_indices([5])), "5");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn idx() -> impl Strategy<Value = usize> {
+        0usize..400
+    }
+
+    proptest! {
+        /// ProcSet behaves exactly like a BTreeSet<usize> model.
+        #[test]
+        fn matches_btreeset_model(inserts in prop::collection::vec(idx(), 0..80),
+                                  removes in prop::collection::vec(idx(), 0..40)) {
+            let mut s = ProcSet::new();
+            let mut model = BTreeSet::new();
+            for &i in &inserts {
+                prop_assert_eq!(s.insert(i), model.insert(i));
+            }
+            for &i in &removes {
+                prop_assert_eq!(s.remove(i), model.remove(&i));
+            }
+            prop_assert_eq!(s.len(), model.len());
+            prop_assert_eq!(s.first(), model.iter().next().copied());
+            prop_assert_eq!(s.last(), model.iter().next_back().copied());
+            let got: Vec<usize> = s.iter().map(|p| p.index()).collect();
+            let want: Vec<usize> = model.iter().copied().collect();
+            prop_assert_eq!(got, want);
+        }
+
+        /// Algebra laws against the BTreeSet model.
+        #[test]
+        fn algebra_matches_model(a in prop::collection::btree_set(idx(), 0..60),
+                                 b in prop::collection::btree_set(idx(), 0..60)) {
+            let sa = ProcSet::from_indices(a.iter().copied());
+            let sb = ProcSet::from_indices(b.iter().copied());
+            let union: BTreeSet<_> = a.union(&b).copied().collect();
+            let inter: BTreeSet<_> = a.intersection(&b).copied().collect();
+            let diff: BTreeSet<_> = a.difference(&b).copied().collect();
+            prop_assert_eq!(sa.union(&sb), ProcSet::from_indices(union));
+            prop_assert_eq!(sa.intersection(&sb), ProcSet::from_indices(inter.clone()));
+            prop_assert_eq!(sa.difference(&sb), ProcSet::from_indices(diff));
+            prop_assert_eq!(sa.is_disjoint(&sb), inter.is_empty());
+            prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+        }
+
+        /// `insert_range` equals element-wise insertion.
+        #[test]
+        fn insert_range_matches_loop(lo in 0usize..300, width in 0usize..150) {
+            let hi = lo + width;
+            let mut bulk = ProcSet::new();
+            bulk.insert_range(lo, hi);
+            let loop_set = ProcSet::from_indices(lo..hi);
+            prop_assert_eq!(bulk, loop_set);
+        }
+
+        /// take_first returns the k smallest members and is a subset.
+        #[test]
+        fn take_first_is_prefix(set in prop::collection::btree_set(idx(), 1..60), k_frac in 0.0f64..1.0) {
+            let s = ProcSet::from_indices(set.iter().copied());
+            let k = ((set.len() as f64) * k_frac) as usize;
+            let t = s.take_first(k);
+            prop_assert_eq!(t.len(), k);
+            prop_assert!(t.is_subset(&s));
+            let want: Vec<usize> = set.iter().take(k).copied().collect();
+            let got: Vec<usize> = t.iter().map(|p| p.index()).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! Processor availability over time: bookings, reservations, holes.
+//!
+//! A [`Timeline`] tracks which processors of a capacity set are busy during
+//! which intervals. It is the common substrate for
+//!
+//! * running jobs (a booking per started job),
+//! * **advance reservations** (§5.1 of the paper: "a given number of
+//!   processors in a given time window"), booked ahead of time,
+//! * backfilling (EASY books only the head job's reservation, conservative
+//!   books every queued job),
+//! * the CiGri best-effort layer (§5.2), which enumerates the *holes* of the
+//!   local schedules via [`Timeline::free_profile`] and fills them with
+//!   killable grid jobs.
+//!
+//! Invariant enforced at booking time: a booking's processors are a subset of
+//! capacity and disjoint from every time-overlapping booking. Everything
+//! downstream (schedule validity, utilization accounting) relies on it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use lsps_des::{Dur, Time};
+
+use crate::procset::ProcSet;
+
+/// Why an interval is booked — used by policies to decide what may be
+/// displaced (best-effort bookings are killable, the others are not).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BookingKind {
+    /// A regular local job occupying its allocation.
+    Job,
+    /// An advance reservation (§5.1): processors blocked for a time window.
+    Reservation,
+    /// A best-effort grid job (§5.2): fills holes, killed on local demand.
+    BestEffort,
+}
+
+/// One booked interval.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Booking {
+    /// Start of the interval (inclusive).
+    pub start: Time,
+    /// End of the interval (exclusive).
+    pub end: Time,
+    /// Processors occupied.
+    pub procs: ProcSet,
+    /// What occupies them.
+    pub kind: BookingKind,
+}
+
+impl Booking {
+    fn overlaps(&self, start: Time, end: Time) -> bool {
+        // An empty booking occupies nothing and never conflicts.
+        self.start < self.end && self.start < end && start < self.end
+    }
+}
+
+/// Handle to a booking within a [`Timeline`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BookingId(u64);
+
+/// Error returned by [`Timeline::try_book`] on an invalid booking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BookError {
+    /// Requested processors are not all within the timeline capacity.
+    OutsideCapacity,
+    /// Requested processors collide with an existing booking.
+    Conflict(BookingId),
+    /// `end < start`.
+    NegativeInterval,
+}
+
+impl fmt::Display for BookError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BookError::OutsideCapacity => write!(f, "procs outside timeline capacity"),
+            BookError::Conflict(id) => write!(f, "procs conflict with booking {id:?}"),
+            BookError::NegativeInterval => write!(f, "end precedes start"),
+        }
+    }
+}
+
+impl std::error::Error for BookError {}
+
+/// Availability calendar of a set of processors.
+#[derive(Clone, Debug)]
+pub struct Timeline {
+    capacity: ProcSet,
+    bookings: BTreeMap<BookingId, Booking>,
+    next_id: u64,
+}
+
+impl Timeline {
+    /// A timeline over the given capacity, initially all free.
+    pub fn new(capacity: ProcSet) -> Self {
+        Timeline {
+            capacity,
+            bookings: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// A timeline over processors `{0, …, m-1}`.
+    pub fn with_procs(m: usize) -> Self {
+        Timeline::new(ProcSet::full(m))
+    }
+
+    /// The capacity set.
+    pub fn capacity(&self) -> &ProcSet {
+        &self.capacity
+    }
+
+    /// Number of live bookings.
+    pub fn n_bookings(&self) -> usize {
+        self.bookings.len()
+    }
+
+    /// Look up a booking.
+    pub fn booking(&self, id: BookingId) -> Option<&Booking> {
+        self.bookings.get(&id)
+    }
+
+    /// Iterate over all bookings (deterministic id order).
+    pub fn bookings(&self) -> impl Iterator<Item = (BookingId, &Booking)> {
+        self.bookings.iter().map(|(&id, b)| (id, b))
+    }
+
+    /// Book `procs` during `[start, end)`, validating capacity and
+    /// conflict-freedom. Zero-length intervals are accepted and occupy
+    /// nothing.
+    pub fn try_book(
+        &mut self,
+        start: Time,
+        end: Time,
+        procs: ProcSet,
+        kind: BookingKind,
+    ) -> Result<BookingId, BookError> {
+        if end < start {
+            return Err(BookError::NegativeInterval);
+        }
+        if !procs.is_subset(&self.capacity) {
+            return Err(BookError::OutsideCapacity);
+        }
+        if start < end {
+            for (&id, b) in &self.bookings {
+                if b.overlaps(start, end) && !b.procs.is_disjoint(&procs) {
+                    return Err(BookError::Conflict(id));
+                }
+            }
+        }
+        let id = BookingId(self.next_id);
+        self.next_id += 1;
+        self.bookings.insert(
+            id,
+            Booking {
+                start,
+                end,
+                procs,
+                kind,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Like [`try_book`](Self::try_book) but panics on error — for call
+    /// sites that just computed a free slot.
+    pub fn book(&mut self, start: Time, end: Time, procs: ProcSet, kind: BookingKind) -> BookingId {
+        self.try_book(start, end, procs, kind)
+            .unwrap_or_else(|e| panic!("invalid booking [{start:?},{end:?}): {e}"))
+    }
+
+    /// Remove a booking (job completed early, reservation cancelled).
+    pub fn remove(&mut self, id: BookingId) -> Option<Booking> {
+        self.bookings.remove(&id)
+    }
+
+    /// Shorten a booking to end at `at` (kill semantics for best-effort
+    /// jobs). If `at <= start` the booking is removed entirely. Returns the
+    /// resulting booking state (with its possibly shortened end), or `None`
+    /// if the id is unknown.
+    pub fn truncate(&mut self, id: BookingId, at: Time) -> Option<Booking> {
+        let b = self.bookings.get_mut(&id)?;
+        if at <= b.start {
+            return self.bookings.remove(&id);
+        }
+        if at < b.end {
+            b.end = at;
+        }
+        Some(b.clone())
+    }
+
+    /// Drop every booking that ends at or before `now` (history no longer
+    /// needed for feasibility). Utilization accounting across gc boundaries
+    /// is the caller's responsibility.
+    pub fn gc(&mut self, now: Time) {
+        self.bookings.retain(|_, b| b.end > now);
+    }
+
+    /// Processors free at instant `t`.
+    pub fn free_at(&self, t: Time) -> ProcSet {
+        let mut free = self.capacity.clone();
+        for b in self.bookings.values() {
+            if b.start <= t && t < b.end {
+                free.subtract(&b.procs);
+            }
+        }
+        free
+    }
+
+    /// Processors free during the whole window `[start, end)`. For an empty
+    /// window this degenerates to [`free_at`](Self::free_at)`(start)`.
+    pub fn free_during(&self, start: Time, end: Time) -> ProcSet {
+        if end <= start {
+            return self.free_at(start);
+        }
+        let mut free = self.capacity.clone();
+        for b in self.bookings.values() {
+            if b.overlaps(start, end) {
+                free.subtract(&b.procs);
+            }
+        }
+        free
+    }
+
+    /// Earliest start `>= earliest` at which `width` processors are free for
+    /// `dur`, together with the chosen processors (lowest free indices —
+    /// the deterministic allocation rule). `None` iff `width` exceeds
+    /// capacity.
+    ///
+    /// The free set over a sliding window only grows when a booking *ends*,
+    /// so it suffices to test `earliest` and every booking end after it.
+    pub fn earliest_slot(&self, earliest: Time, dur: Dur, width: usize) -> Option<(Time, ProcSet)> {
+        self.earliest_slot_within(earliest, Time::MAX, dur, width)
+    }
+
+    /// [`earliest_slot`](Self::earliest_slot) restricted to starts
+    /// `<= latest_start` (used to place jobs before a deadline, e.g. batch
+    /// boundaries or reservation windows).
+    pub fn earliest_slot_within(
+        &self,
+        earliest: Time,
+        latest_start: Time,
+        dur: Dur,
+        width: usize,
+    ) -> Option<(Time, ProcSet)> {
+        if width > self.capacity.len() {
+            return None;
+        }
+        if width == 0 {
+            return Some((earliest, ProcSet::new()));
+        }
+        let mut candidates: Vec<Time> = self
+            .bookings
+            .values()
+            .map(|b| b.end)
+            .filter(|&e| e > earliest && e <= latest_start)
+            .collect();
+        candidates.push(earliest);
+        candidates.sort_unstable();
+        candidates.dedup();
+        for t in candidates {
+            let free = self.free_during(t, t.saturating_add(dur));
+            if free.len() >= width {
+                return Some((t, free.take_first(width)));
+            }
+        }
+        None
+    }
+
+    /// Piecewise-constant free sets over `[from, to)`: the *holes* of the
+    /// schedule. Segments with an empty free set are included (callers
+    /// filter); consecutive segments with equal free sets are merged.
+    pub fn free_profile(&self, from: Time, to: Time) -> Vec<(Time, Time, ProcSet)> {
+        assert!(to >= from);
+        let mut points: Vec<Time> = vec![from, to];
+        for b in self.bookings.values() {
+            if b.start > from && b.start < to {
+                points.push(b.start);
+            }
+            if b.end > from && b.end < to {
+                points.push(b.end);
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        let mut segments: Vec<(Time, Time, ProcSet)> = Vec::new();
+        for w in points.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            let free = self.free_at(s);
+            match segments.last_mut() {
+                Some(last) if last.2 == free && last.1 == s => last.1 = e,
+                _ => segments.push((s, e, free)),
+            }
+        }
+        segments
+    }
+
+    /// Fraction of the capacity×window rectangle `[from, to)` that is
+    /// booked (all booking kinds).
+    pub fn utilization(&self, from: Time, to: Time) -> f64 {
+        assert!(to > from, "empty utilization window");
+        let window = (to - from).ticks() as f64;
+        let cap = self.capacity.len() as f64;
+        if cap == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .bookings
+            .values()
+            .map(|b| {
+                let s = b.start.max(from);
+                let e = b.end.min(to);
+                if e > s {
+                    (e - s).ticks() as f64 * b.procs.len() as f64
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        busy / (window * cap)
+    }
+
+    /// Latest end over all bookings (the timeline's makespan), or `from` if
+    /// no booking exists.
+    pub fn horizon(&self, from: Time) -> Time {
+        self.bookings
+            .values()
+            .map(|b| b.end)
+            .fold(from, Time::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    #[test]
+    fn book_and_free() {
+        let mut tl = Timeline::with_procs(4);
+        let id = tl.book(t(10), t(20), ProcSet::range(0, 2), BookingKind::Job);
+        assert_eq!(tl.free_at(t(5)), ProcSet::full(4));
+        assert_eq!(tl.free_at(t(10)), ProcSet::range(2, 4));
+        assert_eq!(tl.free_at(t(19)), ProcSet::range(2, 4));
+        assert_eq!(tl.free_at(t(20)), ProcSet::full(4), "end is exclusive");
+        tl.remove(id);
+        assert_eq!(tl.free_at(t(15)), ProcSet::full(4));
+    }
+
+    #[test]
+    fn conflicts_rejected() {
+        let mut tl = Timeline::with_procs(4);
+        tl.book(t(0), t(10), ProcSet::range(0, 2), BookingKind::Job);
+        let err = tl
+            .try_book(t(5), t(15), ProcSet::range(1, 3), BookingKind::Job)
+            .unwrap_err();
+        assert!(matches!(err, BookError::Conflict(_)));
+        // Same procs, adjacent in time: fine (end exclusive).
+        tl.try_book(t(10), t(15), ProcSet::range(0, 2), BookingKind::Job)
+            .unwrap();
+        // Outside capacity.
+        let err = tl
+            .try_book(t(0), t(1), ProcSet::range(3, 5), BookingKind::Job)
+            .unwrap_err();
+        assert_eq!(err, BookError::OutsideCapacity);
+        // Negative interval.
+        let err = tl
+            .try_book(t(5), t(4), ProcSet::new(), BookingKind::Job)
+            .unwrap_err();
+        assert_eq!(err, BookError::NegativeInterval);
+    }
+
+    #[test]
+    fn zero_length_bookings_occupy_nothing() {
+        let mut tl = Timeline::with_procs(2);
+        tl.book(t(5), t(5), ProcSet::range(0, 2), BookingKind::Job);
+        // The same procs can be booked over that instant.
+        tl.book(t(0), t(10), ProcSet::range(0, 2), BookingKind::Job);
+        assert_eq!(tl.n_bookings(), 2);
+    }
+
+    #[test]
+    fn free_during_window() {
+        let mut tl = Timeline::with_procs(3);
+        tl.book(t(10), t(20), ProcSet::range(0, 1), BookingKind::Job);
+        tl.book(t(30), t(40), ProcSet::range(1, 2), BookingKind::Job);
+        assert_eq!(tl.free_during(t(0), t(10)), ProcSet::full(3));
+        assert_eq!(tl.free_during(t(5), t(15)), ProcSet::range(1, 3));
+        assert_eq!(tl.free_during(t(15), t(35)), ProcSet::from_indices([2]));
+        assert_eq!(tl.free_during(t(20), t(30)), ProcSet::full(3));
+        // Degenerate window = instant.
+        assert_eq!(tl.free_during(t(15), t(15)), ProcSet::range(1, 3));
+    }
+
+    #[test]
+    fn earliest_slot_waits_for_ends() {
+        let mut tl = Timeline::with_procs(2);
+        tl.book(t(0), t(100), ProcSet::from_indices([0]), BookingKind::Job);
+        tl.book(t(0), t(50), ProcSet::from_indices([1]), BookingKind::Job);
+        // Width 1 becomes free at 50 (proc 1).
+        let (start, procs) = tl.earliest_slot(t(0), d(10), 1).unwrap();
+        assert_eq!(start, t(50));
+        assert_eq!(procs, ProcSet::from_indices([1]));
+        // Width 2 requires waiting until 100.
+        let (start, procs) = tl.earliest_slot(t(0), d(10), 2).unwrap();
+        assert_eq!(start, t(100));
+        assert_eq!(procs, ProcSet::full(2));
+        // Impossible width.
+        assert_eq!(tl.earliest_slot(t(0), d(1), 3), None);
+    }
+
+    #[test]
+    fn earliest_slot_fits_into_hole() {
+        let mut tl = Timeline::with_procs(2);
+        // Proc 0 busy [0,10) and [20,30): hole [10,20).
+        tl.book(t(0), t(10), ProcSet::from_indices([0]), BookingKind::Job);
+        tl.book(t(20), t(30), ProcSet::from_indices([0]), BookingKind::Job);
+        tl.book(t(0), t(30), ProcSet::from_indices([1]), BookingKind::Job);
+        // A 10-long width-1 job fits exactly in the hole.
+        let (start, procs) = tl.earliest_slot(t(0), d(10), 1).unwrap();
+        assert_eq!((start, procs), (t(10), ProcSet::from_indices([0])));
+        // An 11-long job does not; it must wait until 30.
+        let (start, _) = tl.earliest_slot(t(0), d(11), 1).unwrap();
+        assert_eq!(start, t(30));
+    }
+
+    #[test]
+    fn earliest_slot_respects_release_and_deadline() {
+        let mut tl = Timeline::with_procs(1);
+        tl.book(t(10), t(20), ProcSet::from_indices([0]), BookingKind::Job);
+        let (start, _) = tl.earliest_slot(t(3), d(5), 1).unwrap();
+        assert_eq!(start, t(3), "release honoured when free");
+        // Latest start 15 excludes the post-booking candidate (20).
+        assert_eq!(tl.earliest_slot_within(t(12), t(15), d(5), 1), None);
+        let got = tl.earliest_slot_within(t(12), t(25), d(5), 1).unwrap();
+        assert_eq!(got.0, t(20));
+    }
+
+    #[test]
+    fn zero_width_slot_is_immediate() {
+        let tl = Timeline::with_procs(1);
+        assert_eq!(
+            tl.earliest_slot(t(7), d(100), 0),
+            Some((t(7), ProcSet::new()))
+        );
+    }
+
+    #[test]
+    fn truncate_kills_tail() {
+        let mut tl = Timeline::with_procs(1);
+        let id = tl.book(t(0), t(100), ProcSet::full(1), BookingKind::BestEffort);
+        let b = tl.truncate(id, t(40)).unwrap();
+        assert_eq!(b.end, t(40));
+        assert_eq!(tl.free_at(t(50)), ProcSet::full(1));
+        // Truncating before start removes.
+        let id2 = tl.book(t(50), t(60), ProcSet::full(1), BookingKind::BestEffort);
+        tl.truncate(id2, t(50));
+        assert!(tl.booking(id2).is_none());
+        assert_eq!(tl.n_bookings(), 1);
+        // Truncating past the end is a no-op.
+        let b = tl.truncate(id, t(1000)).unwrap();
+        assert_eq!(b.end, t(40));
+    }
+
+    #[test]
+    fn free_profile_enumerates_holes() {
+        let mut tl = Timeline::with_procs(2);
+        tl.book(t(10), t(20), ProcSet::from_indices([0]), BookingKind::Job);
+        let prof = tl.free_profile(t(0), t(30));
+        assert_eq!(
+            prof,
+            vec![
+                (t(0), t(10), ProcSet::full(2)),
+                (t(10), t(20), ProcSet::from_indices([1])),
+                (t(20), t(30), ProcSet::full(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn free_profile_merges_equal_segments() {
+        let mut tl = Timeline::with_procs(2);
+        // Two back-to-back bookings on the same proc: free set identical
+        // across the boundary.
+        tl.book(t(0), t(10), ProcSet::from_indices([0]), BookingKind::Job);
+        tl.book(t(10), t(20), ProcSet::from_indices([0]), BookingKind::Job);
+        let prof = tl.free_profile(t(0), t(20));
+        assert_eq!(prof, vec![(t(0), t(20), ProcSet::from_indices([1]))]);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut tl = Timeline::with_procs(2);
+        tl.book(t(0), t(10), ProcSet::from_indices([0]), BookingKind::Job);
+        // 10 proc-ticks busy out of 2×20 = 40.
+        assert!((tl.utilization(t(0), t(20)) - 0.25).abs() < 1e-12);
+        // Clipped to the window.
+        assert!((tl.utilization(t(5), t(10)) - 0.5).abs() < 1e-12);
+        assert_eq!(tl.utilization(t(10), t(20)), 0.0);
+    }
+
+    #[test]
+    fn gc_drops_past_bookings() {
+        let mut tl = Timeline::with_procs(1);
+        tl.book(t(0), t(10), ProcSet::full(1), BookingKind::Job);
+        let keep = tl.book(t(5), t(30), ProcSet::new(), BookingKind::Job);
+        tl.gc(t(10));
+        assert_eq!(tl.n_bookings(), 1);
+        assert!(tl.booking(keep).is_some());
+    }
+
+    #[test]
+    fn horizon_is_latest_end() {
+        let mut tl = Timeline::with_procs(1);
+        assert_eq!(tl.horizon(t(5)), t(5));
+        tl.book(t(0), t(42), ProcSet::full(1), BookingKind::Job);
+        assert_eq!(tl.horizon(t(5)), t(42));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    proptest! {
+        /// Whatever earliest_slot returns can actually be booked, and no
+        /// earlier candidate with the same parameters is feasible at the
+        /// booking-end granularity.
+        #[test]
+        fn slot_results_are_bookable(
+            intervals in prop::collection::vec((0u64..200, 1u64..60, 0usize..6, 1usize..4), 0..12),
+            earliest in 0u64..100,
+            dur in 1u64..50,
+            width in 1usize..6,
+        ) {
+            let m = 6;
+            let mut tl = Timeline::with_procs(m);
+            for (s, len, p0, w) in intervals {
+                let hi = (p0 + w).min(m);
+                if p0 >= hi { continue; }
+                let procs = ProcSet::range(p0, hi);
+                // Only keep bookings that do not conflict (building a valid
+                // schedule incrementally).
+                let _ = tl.try_book(t(s), t(s + len), procs, BookingKind::Job);
+            }
+            if let Some((start, procs)) = tl.earliest_slot(t(earliest), Dur::from_ticks(dur), width) {
+                prop_assert!(start >= t(earliest));
+                prop_assert_eq!(procs.len(), width);
+                // Booking the returned slot must succeed.
+                let mut tl2 = tl.clone();
+                prop_assert!(tl2.try_book(start, start + Dur::from_ticks(dur), procs, BookingKind::Job).is_ok());
+                // Starting at `earliest` itself must fail unless that is the answer.
+                if start > t(earliest) {
+                    let free = tl.free_during(t(earliest), t(earliest) + Dur::from_ticks(dur));
+                    prop_assert!(free.len() < width);
+                }
+            } else {
+                prop_assert!(width > m);
+            }
+        }
+
+        /// free_profile segments tile the window and agree with free_at.
+        #[test]
+        fn profile_tiles_window(
+            intervals in prop::collection::vec((0u64..100, 1u64..40, 0usize..4, 1usize..3), 0..8),
+        ) {
+            let m = 4;
+            let mut tl = Timeline::with_procs(m);
+            for (s, len, p0, w) in intervals {
+                let hi = (p0 + w).min(m);
+                if p0 >= hi { continue; }
+                let _ = tl.try_book(t(s), t(s + len), ProcSet::range(p0, hi), BookingKind::Job);
+            }
+            let prof = tl.free_profile(t(0), t(150));
+            // Tiling.
+            prop_assert_eq!(prof.first().map(|s| s.0), Some(t(0)));
+            prop_assert_eq!(prof.last().map(|s| s.1), Some(t(150)));
+            for w in prof.windows(2) {
+                prop_assert_eq!(w[0].1, w[1].0, "segments contiguous");
+            }
+            // Agreement with free_at at segment starts and midpoints.
+            for (s, e, free) in &prof {
+                prop_assert_eq!(&tl.free_at(*s), free);
+                let mid = Time::from_ticks((s.ticks() + e.ticks()) / 2);
+                prop_assert_eq!(&tl.free_at(mid), free);
+            }
+        }
+    }
+}

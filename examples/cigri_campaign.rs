@@ -1,0 +1,59 @@
+//! A light grid sharing its holes: the §5.2 CiGri story in miniature.
+//!
+//! Four CIMENT clusters run their communities' local jobs; a 5000-run
+//! multi-parametric campaign flows through the central best-effort server,
+//! is killed whenever a local job needs the processors, and still drains —
+//! without delaying a single local job.
+//!
+//! ```sh
+//! cargo run --example cigri_campaign --release
+//! ```
+
+use lsps::grid::scenario::{ciment_scenario, ScenarioParams};
+
+fn main() {
+    let outcome = ciment_scenario(ScenarioParams {
+        seed: 7,
+        local_jobs_per_cluster: 40,
+        campaign_runs: 5_000,
+        campaign_run_s: 300.0,
+        poll_period_s: 30.0,
+    });
+
+    let with = &outcome.with_grid;
+    let without = &outcome.without_grid;
+    let wl = with.local.as_ref().expect("locals completed");
+    let nl = without.local.as_ref().expect("locals completed");
+
+    println!("local jobs            : {}", wl.n);
+    println!(
+        "local mean flow       : {:.0} s with grid, {:.0} s without (identical = undisturbed)",
+        wl.mean_flow, nl.mean_flow
+    );
+    println!(
+        "campaign              : {}/{} runs completed, drained at {:.0} s",
+        with.be_completed,
+        with.be_submitted,
+        with.campaign_done_at.as_secs_f64()
+    );
+    println!(
+        "kill overhead         : {} kills, {:.0} CPU-s wasted",
+        with.kills, with.wasted_cpu_s
+    );
+    for (i, (a, b)) in with
+        .utilization
+        .iter()
+        .zip(&without.utilization)
+        .enumerate()
+    {
+        println!(
+            "cluster {i} utilization : {:.1}% -> {:.1}%",
+            b * 100.0,
+            a * 100.0
+        );
+    }
+    println!("community fairness    : {:.3} (Jain index)", outcome.fairness);
+
+    assert!((wl.mean_flow - nl.mean_flow).abs() < 1e-9, "locals disturbed!");
+    println!("\nclaim verified: best-effort grid jobs never delayed a local job.");
+}

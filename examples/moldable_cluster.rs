@@ -1,0 +1,59 @@
+//! Off-line moldable scheduling on one cluster: the §4.1 MRT two-shelf
+//! algorithm against the classical two-phase approach, with a Gantt chart.
+//!
+//! ```sh
+//! cargo run --example moldable_cluster --release
+//! ```
+
+use lsps::core::allot::{two_phase_moldable, AllotRule};
+use lsps::core::mrt::mrt_schedule_with_lambda;
+use lsps::prelude::*;
+
+fn main() {
+    let m = 16;
+    let mut rng = SimRng::seed_from(7);
+
+    // A batch of moldable jobs with Amdahl-style penalty profiles.
+    let jobs: Vec<Job> = (0..12)
+        .map(|i| {
+            let seq = Dur::from_secs(rng.int_range(60, 1_800));
+            let profile = MoldableProfile::from_model(
+                seq,
+                &SpeedupModel::Amdahl {
+                    seq_fraction: rng.range(0.02, 0.25),
+                },
+                rng.int_range(2, m as u64) as usize,
+            );
+            Job::moldable(i, profile)
+        })
+        .collect();
+
+    let lb = cmax_lower_bound(&jobs, m);
+    println!("lower bound: {lb}\n");
+
+    // Baselines: the "choose allotment, then pack rigid" decomposition.
+    for rule in [AllotRule::Sequential, AllotRule::MinTime, AllotRule::Balanced] {
+        let s = two_phase_moldable(&jobs, m, rule, JobOrder::Lpt);
+        s.validate(&jobs).expect("valid");
+        println!(
+            "two-phase {:?}: makespan {} ({:.2}x LB)",
+            rule,
+            s.makespan(),
+            s.makespan().ticks() as f64 / lb.ticks() as f64
+        );
+    }
+
+    // MRT: allotment selection and packing coupled through the knapsack.
+    let (s, lambda) = mrt_schedule_with_lambda(&jobs, m, MrtParams::default());
+    s.validate(&jobs).expect("valid");
+    println!(
+        "MRT          : makespan {} ({:.2}x LB, lambda* = {} ticks, two-shelf invariant {:.3} <= 1.5)",
+        s.makespan(),
+        s.makespan().ticks() as f64 / lb.ticks() as f64,
+        lambda,
+        s.makespan().ticks() as f64 / lambda as f64,
+    );
+
+    println!("\nMRT Gantt (processors x time):");
+    print!("{}", s.gantt_ascii(100));
+}

@@ -1,0 +1,37 @@
+//! "Which policy for which application?" — the paper's question, answered
+//! for every cell of the (application × objective) matrix.
+//!
+//! ```sh
+//! cargo run --example policy_advisor
+//! ```
+
+use lsps::prelude::*;
+
+fn main() {
+    let apps = [
+        Application::SequentialBag,
+        Application::RigidParallel,
+        Application::Moldable,
+        Application::DivisibleLoad,
+    ];
+    let objectives = [
+        Objective::Makespan,
+        Objective::WeightedCompletion,
+        Objective::BiCriteria,
+        Objective::Throughput,
+        Objective::GridFairness,
+    ];
+    for app in apps {
+        println!("== {app:?}");
+        for obj in objectives {
+            let r = advise(app, obj, true);
+            let g = r
+                .guarantee
+                .map(|g| format!(" [ratio {g}]"))
+                .unwrap_or_default();
+            println!("  {obj:?} -> {:?}{g}", r.policy);
+            println!("      {}", r.rationale);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: generate a workload, pick a policy, schedule, measure.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use lsps::prelude::*;
+
+fn main() {
+    // The paper's Fig. 2 setting: a cluster of 100 identical machines.
+    let platform = Platform::uniform("demo", 100);
+    let m = platform.total_procs();
+
+    // 200 on-line moldable jobs (log-uniform work, mixed penalty models).
+    let mut rng = SimRng::seed_from(42);
+    let jobs = WorkloadSpec::fig2_parallel(200).generate(m, &mut rng);
+
+    // Ask the advisor which policy fits a moldable workload when both
+    // makespan and weighted completion time matter.
+    let rec = advise(Application::Moldable, Objective::BiCriteria, true);
+    println!("advisor: {:?} — {}", rec.policy, rec.rationale);
+
+    // Run it.
+    let schedule = bicriteria_schedule(&jobs, m, BiCriteriaParams::default());
+    schedule.validate(&jobs).expect("schedules are always validated");
+
+    // Measure every §3 criterion.
+    let criteria = Criteria::evaluate(&schedule.completed(&jobs));
+    let cmax_lb = cmax_lower_bound(&jobs, m).as_secs_f64();
+    let wsum_lb = wsum_lower_bound(&jobs, m);
+    println!("jobs          : {}", criteria.n);
+    println!("makespan      : {:.0} s ({:.2}x the lower bound)", criteria.cmax, criteria.cmax / cmax_lb);
+    println!(
+        "sum w_i C_i   : {:.0} ({:.2}x the lower bound)",
+        criteria.weighted_sum_completion,
+        criteria.weighted_sum_completion / wsum_lb
+    );
+    println!("mean flow     : {:.0} s", criteria.mean_flow);
+    println!("max slowdown  : {:.1}", criteria.max_slowdown);
+    println!("utilization   : {:.1}%", criteria.utilization(m) * 100.0);
+}

@@ -1,0 +1,44 @@
+//! # lsps — scheduling models and policies for large scale platforms
+//!
+//! Umbrella crate for the LSPS workspace, a reproduction of
+//! *"Models for scheduling on large scale platforms: which policy for which
+//! application?"* (Dutot, Eyraud, Mounié, Trystram — IPDPS 2004).
+//!
+//! The workspace implements both computational models the paper advocates —
+//! **Parallel Tasks** (rigid / moldable / malleable) and **Divisible Load** —
+//! together with the approximation algorithms it surveys (MRT two-shelf
+//! moldable scheduling, on-line batch transformation, SMART shelves for
+//! weighted completion time, the bi-criteria doubling-batch algorithm), the
+//! divisible-load distribution policies (one-round bus/star, multi-round,
+//! steady state), and the CiGri-style light-grid management layer
+//! (centralized best-effort filling, decentralized load exchange).
+//!
+//! Each sub-crate is usable on its own; this crate re-exports them under
+//! stable names and offers a [`prelude`].
+//!
+//! ```
+//! use lsps::prelude::*;
+//!
+//! // 100 identical machines, like the paper's Fig. 2 simulation.
+//! let platform = Platform::uniform("cluster", 100);
+//! assert_eq!(platform.total_procs(), 100);
+//! ```
+
+pub use lsps_core as core;
+pub use lsps_des as des;
+pub use lsps_dlt as dlt;
+pub use lsps_grid as grid;
+pub use lsps_metrics as metrics;
+pub use lsps_platform as platform;
+pub use lsps_workload as workload;
+
+/// The most commonly used items from every sub-crate.
+pub mod prelude {
+    pub use lsps_core::prelude::*;
+    pub use lsps_des::prelude::*;
+    pub use lsps_dlt::prelude::*;
+    pub use lsps_grid::prelude::*;
+    pub use lsps_metrics::prelude::*;
+    pub use lsps_platform::prelude::*;
+    pub use lsps_workload::prelude::*;
+}

@@ -1,0 +1,129 @@
+//! Integration tests of the §2.2 / §4.2 / §5.1 extensions: malleable DEQ,
+//! non-clairvoyant trials, reservation-aligned batches — across crates.
+
+use lsps::core::batch::batch_online_avoiding;
+use lsps::core::malleable::deq_schedule;
+use lsps::core::nonclairvoyant::exponential_trial_schedule;
+use lsps::prelude::*;
+
+fn linear_malleable(id: u64, seq_ticks: u64, kmax: usize) -> Job {
+    let profile = MoldableProfile::from_model(
+        Dur::from_ticks(seq_ticks),
+        &SpeedupModel::Linear,
+        kmax,
+    );
+    Job {
+        kind: JobKind::Malleable { profile },
+        ..Job::sequential(id, Dur::from_ticks(seq_ticks))
+    }
+}
+
+#[test]
+fn malleability_ladder_on_makespan() {
+    // The §2.2 ladder on a work-conserving instance: malleable (DEQ)
+    // ≤ moldable (MRT) ≤ fixed sequential, for makespan on linear jobs.
+    let m = 16;
+    let mut rng = SimRng::seed_from(2);
+    let jobs: Vec<Job> = (0..10)
+        .map(|i| linear_malleable(i, rng.int_range(500, 3_000), m))
+        .collect();
+
+    let deq = deq_schedule(&jobs, m);
+    assert_eq!(deq.validate(&jobs), Ok(()));
+    let mrt = mrt_schedule(&jobs, m, MrtParams::default());
+    assert_eq!(mrt.validate(&jobs), Ok(()));
+    let seq = lsps::core::allot::two_phase_moldable(
+        &jobs,
+        m,
+        lsps::core::allot::AllotRule::Sequential,
+        JobOrder::Lpt,
+    );
+
+    // DEQ is work-conserving on linear profiles: its makespan is within
+    // rounding of the area bound, which nothing can beat.
+    let lb = cmax_lower_bound(&jobs, m);
+    let deq_mk = deq.makespan().ticks() as f64;
+    assert!(deq_mk <= lb.ticks() as f64 * 1.02 + 16.0, "DEQ ≈ area bound");
+    assert!(deq.makespan() <= mrt.makespan());
+    assert!(mrt.makespan() <= seq.makespan());
+}
+
+#[test]
+fn nonclairvoyance_price_is_bounded() {
+    // Same workload scheduled with known vs unknown runtimes: the trial
+    // overhead must stay within the geometric-series factor.
+    let m = 8;
+    let mut rng = SimRng::seed_from(9);
+    let jobs: Vec<Job> = (0..40)
+        .map(|i| {
+            Job::rigid(
+                i,
+                rng.int_range(1, 4) as usize,
+                Dur::from_ticks(rng.int_range(20, 3_000)),
+            )
+        })
+        .collect();
+    let clairvoyant = backfill_schedule(&jobs, m, &[], BackfillPolicy::Conservative);
+    let (blind, stats) = exponential_trial_schedule(&jobs, m, Dur::from_ticks(16));
+    assert_eq!(blind.validate(&jobs), Ok(()));
+    assert!(stats.kills > 0);
+    let ratio =
+        blind.makespan().ticks() as f64 / clairvoyant.makespan().ticks() as f64;
+    assert!(
+        ratio <= 4.0,
+        "non-clairvoyant vs clairvoyant ratio {ratio} beyond the constant factor"
+    );
+}
+
+#[test]
+fn aligned_batches_price_reservations_as_predicted() {
+    // §5.1: aligning batch boundaries with reservations "would likely be
+    // inefficient" — quantified against reservation-aware backfilling.
+    let resv = [Reservation {
+        start: Time::from_secs(100),
+        end: Time::from_secs(200),
+        procs: 8,
+    }];
+    let mut rng = SimRng::seed_from(4);
+    let jobs: Vec<Job> = (0..30)
+        .map(|i| {
+            Job::rigid(
+                i,
+                rng.int_range(1, 4) as usize,
+                Dur::from_secs(rng.int_range(5, 60)),
+            )
+            .released_at(Time::from_secs(rng.int_range(0, 150)))
+        })
+        .collect();
+    let aligned = batch_online_avoiding(&jobs, 8, &resv, |b, m| {
+        list_schedule(b, m, JobOrder::Fcfs)
+    });
+    assert_eq!(aligned.validate(&jobs), Ok(()));
+    let backfilled = backfill_schedule(&jobs, 8, &resv, BackfillPolicy::Conservative);
+    assert!(
+        backfilled.makespan() <= aligned.makespan(),
+        "backfilling must beat blackout-aligned batches"
+    );
+    // And the blackout really is avoided.
+    for a in aligned.assignments() {
+        assert!(a.end <= Time::from_secs(100) || a.start >= Time::from_secs(200));
+    }
+}
+
+#[test]
+fn deq_flow_beats_batching_under_staggered_arrivals() {
+    let m = 32;
+    let mut rng = SimRng::seed_from(8);
+    let jobs: Vec<Job> = (0..20)
+        .map(|i| {
+            linear_malleable(i, rng.int_range(1_000, 5_000), m)
+                .released_at(Time::from_ticks(i * 300))
+        })
+        .collect();
+    let deq = deq_schedule(&jobs, m);
+    assert_eq!(deq.validate(&jobs), Ok(()));
+    let deq_flow = Criteria::evaluate(&deq.completed(&jobs)).mean_flow;
+    let batch = batch_online(&jobs, m, |b, mm| mrt_schedule(b, mm, MrtParams::default()));
+    let batch_flow = Criteria::evaluate(&batch.completed(&jobs)).mean_flow;
+    assert!(deq_flow <= batch_flow);
+}
