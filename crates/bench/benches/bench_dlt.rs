@@ -10,13 +10,7 @@ use lsps_dlt::{
 
 fn workers(n: usize) -> Vec<Worker> {
     (0..n)
-        .map(|i| {
-            Worker::new(
-                1.0 + (i % 4) as f64 * 0.25,
-                5.0 + (i % 3) as f64,
-                1e-4,
-            )
-        })
+        .map(|i| Worker::new(1.0 + (i % 4) as f64 * 0.25, 5.0 + (i % 3) as f64, 1e-4))
         .collect()
 }
 

@@ -7,6 +7,7 @@ use lsps_core::backfill::{backfill_schedule, BackfillPolicy};
 use lsps_core::bicriteria::{bicriteria_schedule, BiCriteriaParams};
 use lsps_core::list::{list_schedule, JobOrder};
 use lsps_core::mrt::{mrt_schedule, MrtParams};
+use lsps_core::policy::{by_name, Policy, PolicyCtx};
 use lsps_core::smart::smart_schedule;
 use lsps_des::{Dur, SimRng, Time};
 use lsps_workload::{Job, MoldableProfile, SpeedupModel};
@@ -88,5 +89,44 @@ fn policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, policies);
+/// Registry dispatch cost: the same algorithms called directly vs through
+/// a `Box<dyn Policy>` from the registry, on a 1000-job workload. The
+/// trait layer's `prepare` borrows (no copy) when the input is already in
+/// the policy's domain, so the two must be indistinguishable.
+fn registry_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry_dispatch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 1000;
+    let rigid_online = rigid_jobs(n, true, 5);
+    let ctx = PolicyCtx::default();
+
+    group.bench_function("list_lpt_direct", |b| {
+        b.iter(|| list_schedule(&rigid_online, M, JobOrder::Lpt));
+    });
+    let list_obj: Box<dyn Policy> = by_name("list-lpt").expect("registered");
+    group.bench_function("list_lpt_trait_object", |b| {
+        b.iter(|| list_obj.schedule(&rigid_online, M, &ctx));
+    });
+
+    group.bench_function("backfill_easy_direct", |b| {
+        b.iter(|| backfill_schedule(&rigid_online, M, &[], BackfillPolicy::Easy));
+    });
+    let bf_obj: Box<dyn Policy> = by_name("backfill-easy").expect("registered");
+    group.bench_function("backfill_easy_trait_object", |b| {
+        b.iter(|| bf_obj.schedule(&rigid_online, M, &ctx));
+    });
+
+    group.bench_function("bicriteria_direct", |b| {
+        b.iter(|| bicriteria_schedule(&rigid_online, M, BiCriteriaParams::default()));
+    });
+    let bc_obj: Box<dyn Policy> = by_name("bicriteria").expect("registered");
+    group.bench_function("bicriteria_trait_object", |b| {
+        b.iter(|| bc_obj.schedule(&rigid_online, M, &ctx));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, policies, registry_dispatch);
 criterion_main!(benches);

@@ -46,13 +46,9 @@ fn timeline_ops(c: &mut Criterion) {
                 b.iter(|| tl.free_profile(Time::ZERO, Time::from_ticks(10_000)));
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("free_at", bookings),
-            &bookings,
-            |b, _| {
-                b.iter(|| tl.free_at(Time::from_ticks(25_000)));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("free_at", bookings), &bookings, |b, _| {
+            b.iter(|| tl.free_at(Time::from_ticks(25_000)));
+        });
     }
     // Booking churn: book + remove cycles.
     group.bench_function("book_remove_cycle", |b| {

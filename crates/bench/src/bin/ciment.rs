@@ -92,7 +92,8 @@ fn main() {
     ]);
     t.print();
 
-    let undisturbed = (wl.mean_flow - nl.mean_flow).abs() < 1e-9 && (wl.cmax - nl.cmax).abs() < 1e-9;
+    let undisturbed =
+        (wl.mean_flow - nl.mean_flow).abs() < 1e-9 && (wl.cmax - nl.cmax).abs() < 1e-9;
     println!(
         "\nclaim check — locals undisturbed by best-effort jobs: {}",
         if undisturbed { "HOLDS" } else { "VIOLATED" }
@@ -163,7 +164,11 @@ fn main() {
             weight: DistSpec::Fixed(1.0),
             user: UserId(1),
         };
-        for (i, mut j) in flood.generate(96, &mut rng.child(0)).into_iter().enumerate() {
+        for (i, mut j) in flood
+            .generate(96, &mut rng.child(0))
+            .into_iter()
+            .enumerate()
+        {
             j.id = lsps_workload::JobId(i as u64);
             subs.push((1usize, j));
         }
@@ -173,20 +178,30 @@ fn main() {
             .generate(80, &mut rng.child(1));
         for (i, mut j) in light.into_iter().enumerate() {
             j.id = lsps_workload::JobId(1_000 + i as u64);
-            j.kind = lsps_workload::JobKind::Rigid { procs: 1, len: j.seq_time() };
+            j.kind = lsps_workload::JobKind::Rigid {
+                procs: 1,
+                len: j.seq_time(),
+            };
             j.user = UserId(2);
             subs.push((2usize, j));
         }
         subs
     };
     let mut t3 = Table::new(&[
-        "strategy", "migrations", "mean flow (s)", "max flow (s)", "fairness (Jain)",
+        "strategy",
+        "migrations",
+        "mean flow (s)",
+        "max flow (s)",
+        "fairness (Jain)",
     ]);
     let mut csv3 = String::from("strategy,migrations,mean_flow,max_flow,fairness\n");
     for (name, params) in [
         (
             "isolated",
-            ExchangeParams { enabled: false, ..Default::default() },
+            ExchangeParams {
+                enabled: false,
+                ..Default::default()
+            },
         ),
         (
             "threshold",

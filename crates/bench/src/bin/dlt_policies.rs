@@ -16,12 +16,12 @@
 //! participants; every makespan respects the steady-state bound.
 
 use lsps_bench::{write_csv, Table};
+use lsps_dlt::multiround::best_round_count;
+use lsps_dlt::selfsched::best_chunk;
 use lsps_dlt::{
     bus_single_round, multi_round, self_schedule, star_single_round, star_steady_state,
     MultiRoundParams, Worker, WorkerOrder,
 };
-use lsps_dlt::multiround::best_round_count;
-use lsps_dlt::selfsched::best_chunk;
 
 struct NetClass {
     name: &'static str,
@@ -34,17 +34,41 @@ fn main() {
     // 1 unit = 1 reference-CPU-second; assume 10 MB of data per unit, so a
     // 250 MB/s Myrinet moves 25 units/s, etc.
     let nets = [
-        NetClass { name: "myrinet", bandwidth: 25.0, latency: 10e-6 },
-        NetClass { name: "gige", bandwidth: 12.5, latency: 50e-6 },
-        NetClass { name: "eth100", bandwidth: 1.25, latency: 100e-6 },
-        NetClass { name: "eth100+lat", bandwidth: 1.25, latency: 0.5 },
+        NetClass {
+            name: "myrinet",
+            bandwidth: 25.0,
+            latency: 10e-6,
+        },
+        NetClass {
+            name: "gige",
+            bandwidth: 12.5,
+            latency: 50e-6,
+        },
+        NetClass {
+            name: "eth100",
+            bandwidth: 1.25,
+            latency: 100e-6,
+        },
+        NetClass {
+            name: "eth100+lat",
+            bandwidth: 1.25,
+            latency: 0.5,
+        },
     ];
     let n_workers = 16usize;
     let loads = [1e3, 1e4, 1e5];
 
     let mut table = Table::new(&[
-        "net", "load", "1-round", "1-rnd+gather", "star byBW", "star bySpeed",
-        "multi-round", "(R)", "self-sched", "steady bound",
+        "net",
+        "load",
+        "1-round",
+        "1-rnd+gather",
+        "star byBW",
+        "star bySpeed",
+        "multi-round",
+        "(R)",
+        "self-sched",
+        "steady bound",
     ]);
     let mut csv = String::from(
         "net,load,one_round,one_round_gather,star_bybw,star_byspeed,multi_round,best_r,self_sched,steady_bound\n",
@@ -63,7 +87,11 @@ fn main() {
         // links degraded 4×.
         let het_workers: Vec<Worker> = (0..speeds.len())
             .map(|i| {
-                let bw = if i % 2 == 0 { net.bandwidth / 4.0 } else { net.bandwidth };
+                let bw = if i % 2 == 0 {
+                    net.bandwidth / 4.0
+                } else {
+                    net.bandwidth
+                };
                 // Anti-correlated speed/bandwidth: fast CPUs on slow links.
                 Worker::new(if i % 2 == 0 { 1.0 } else { 0.6 }, bw, net.latency)
             })
@@ -113,7 +141,14 @@ fn main() {
     let mut t2 = Table::new(&["rounds", "makespan (s)"]);
     let mut csv2 = String::from("rounds,makespan\n");
     for r in [1usize, 2, 4, 8, 16, 32, 64] {
-        let plan = multi_round(1e4, &workers, MultiRoundParams { rounds: r, growth: 1.5 });
+        let plan = multi_round(
+            1e4,
+            &workers,
+            MultiRoundParams {
+                rounds: r,
+                growth: 1.5,
+            },
+        );
         t2.row(vec![r.to_string(), format!("{:.2}", plan.makespan)]);
         csv2.push_str(&format!("{r},{:.4}\n", plan.makespan));
     }

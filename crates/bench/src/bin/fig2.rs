@@ -4,76 +4,73 @@
 //! has been realized […] the simulation assumed a cluster of 100 machines,
 //! parallel and non-parallel jobs, and two criteria Cmax and Σ ωiCi."
 //!
-//! For n = 50..1000 tasks and the two job populations, this binary runs the
-//! doubling-batch bi-criteria algorithm and reports the two ratios the
-//! figure plots — Σ ωiCi and Cmax against the optimum, approximated from
-//! below by certified lower bounds (the reported ratios upper-bound the
-//! true ones; see DESIGN.md §2).
+//! A declarative config over [`lsps_bench::runner::ExperimentRunner`]: one
+//! policy (`bicriteria` from the registry), workloads = the two Fig. 2 job
+//! populations × n = 50..1000 × 10 seeds, one platform (m = 100). The
+//! table reports the two ratios the figure plots, aggregated over seeds;
+//! the CSV carries every raw cell in the standard runner schema.
 //!
 //! Expected shape (paper): ratios between 1 and ~2.8, decreasing with the
 //! number of tasks, the non-parallel series above the parallel one for
 //! Σ ωiCi.
 
+use lsps_bench::runner::{self, summarize_by, ExperimentRunner, PlatformCase, WorkloadCase};
 use lsps_bench::{write_csv, Table};
-use lsps_core::{bicriteria_schedule, BiCriteriaParams};
-use lsps_des::SimRng;
-use lsps_metrics::{cmax_lower_bound, wsum_lower_bound, Criteria, Summary};
+use lsps_core::policy::by_name;
 use lsps_workload::WorkloadSpec;
 
 const M: usize = 100;
 const SEEDS: u64 = 10;
-
-fn run_point(n: usize, parallel: bool) -> (Summary, Summary) {
-    let mut wici = Summary::new();
-    let mut cmax = Summary::new();
-    for seed in 0..SEEDS {
-        let spec = if parallel {
-            WorkloadSpec::fig2_parallel(n)
-        } else {
-            WorkloadSpec::fig2_sequential(n)
-        };
-        let mut rng = SimRng::seed_from(1000 + seed).child(n as u64);
-        let jobs = spec.generate(M, &mut rng);
-        let sched = bicriteria_schedule(&jobs, M, BiCriteriaParams::default());
-        sched.validate(&jobs).expect("valid schedule");
-        let crit = Criteria::evaluate(&sched.completed(&jobs));
-        let wsum_lb = wsum_lower_bound(&jobs, M);
-        let cmax_lb = cmax_lower_bound(&jobs, M).as_secs_f64();
-        wici.add(crit.weighted_sum_completion / wsum_lb);
-        cmax.add(crit.cmax / cmax_lb);
-    }
-    (wici, cmax)
-}
+const NS: [usize; 11] = [50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
 
 fn main() {
     println!("FIG2 — bi-criteria simulation on {M} machines ({SEEDS} seeds/point)\n");
-    let ns = [50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
-    let mut table = Table::new(&[
-        "n", "series", "WiCi ratio", "±", "Cmax ratio", "±",
-    ]);
-    let mut csv = String::from("n,series,wici_ratio_mean,wici_ratio_std,cmax_ratio_mean,cmax_ratio_std\n");
-    for &n in &ns {
-        for (parallel, name) in [(false, "Non Parallel"), (true, "Parallel")] {
-            let (wici, cmax) = run_point(n, parallel);
-            table.row(vec![
-                n.to_string(),
-                name.to_string(),
-                format!("{:.3}", wici.mean()),
-                format!("{:.3}", wici.std_dev()),
-                format!("{:.3}", cmax.mean()),
-                format!("{:.3}", cmax.std_dev()),
-            ]);
-            csv.push_str(&format!(
-                "{n},{name},{:.6},{:.6},{:.6},{:.6}\n",
-                wici.mean(),
-                wici.std_dev(),
-                cmax.mean(),
-                cmax.std_dev()
-            ));
-        }
+
+    let mut r = ExperimentRunner::new(vec![by_name("bicriteria").expect("registered")]);
+    r.platforms = vec![PlatformCase::new("fig2", M)];
+    r.workloads = NS
+        .iter()
+        .flat_map(|&n| {
+            (0..SEEDS).flat_map(move |seed| {
+                [
+                    WorkloadCase::new(format!("Non Parallel/{n}"), 1000 + seed, move |m, rng| {
+                        let mut rng = rng.child(n as u64);
+                        WorkloadSpec::fig2_sequential(n).generate(m, &mut rng)
+                    }),
+                    WorkloadCase::new(format!("Parallel/{n}"), 1000 + seed, move |m, rng| {
+                        let mut rng = rng.child(n as u64);
+                        WorkloadSpec::fig2_parallel(n).generate(m, &mut rng)
+                    }),
+                ]
+            })
+        })
+        .collect();
+    let cells = r.run();
+
+    let wici = summarize_by(&cells, |c| c.workload.clone(), |c| c.wsum_ratio);
+    let cmax = summarize_by(&cells, |c| c.workload.clone(), |c| c.cmax_ratio);
+    let cmax_of = |key: &String| {
+        cmax.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, s)| s)
+            .expect("same grouping")
+    };
+
+    let mut table = Table::new(&["n", "series", "WiCi ratio", "±", "Cmax ratio", "±"]);
+    for (key, w) in &wici {
+        let (series, n) = key.split_once('/').expect("series/n key");
+        let c = cmax_of(key);
+        table.row(vec![
+            n.to_string(),
+            series.to_string(),
+            format!("{:.3}", w.mean()),
+            format!("{:.3}", w.std_dev()),
+            format!("{:.3}", c.mean()),
+            format!("{:.3}", c.std_dev()),
+        ]);
     }
     table.print();
-    write_csv("fig2.csv", &csv);
+    write_csv("fig2.csv", &runner::to_csv(&cells));
     println!(
         "\npaper shape check: ratios should start high at small n and decrease \
          toward 1 as n grows (both plots of Fig. 2)."

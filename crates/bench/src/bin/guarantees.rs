@@ -7,21 +7,25 @@
 //! * SMART (rigid, Σ Ci / Σ ωiCi): 8 / 8.53               (§4.3)
 //! * bi-criteria (both criteria): 4ρ = 8 with ρ = 2       (§4.4)
 //!
-//! This binary measures every algorithm against certified lower bounds on
-//! random instance families (the measured ratio therefore *upper-bounds*
-//! the true ratio vs OPT) and prints measured-vs-proven. For MRT it also
-//! reports makespan/λ*, the construction invariant (≤ 1.5 exactly).
+//! A declarative config over [`lsps_bench::runner::ExperimentRunner`]: the
+//! claims are rows of a table (registry policy name × workload family ×
+//! criterion × proven bound); every measurement flows through the same
+//! runner code path and the standard CSV schema. Ratios divide by
+//! *certified lower bounds*, so they upper-bound the true ratio vs OPT.
+//! The MRT two-shelf invariant (`Cmax ≤ 3λ*/2`) needs the accepted guess
+//! λ*, which only `mrt_schedule_with_lambda` exposes — that single row is
+//! measured directly.
 
+use lsps_bench::runner::{self, summarize_by, ExperimentRunner, PlatformCase, WorkloadCase};
 use lsps_bench::{write_csv, Table};
-use lsps_core::batch::batch_online;
-use lsps_core::bicriteria::{bicriteria_schedule, BiCriteriaParams};
 use lsps_core::mrt::{mrt_schedule_with_lambda, MrtParams};
-use lsps_core::smart::smart_schedule;
+use lsps_core::policy::{by_name, PolicyCtx};
 use lsps_des::{Dur, SimRng, Time};
-use lsps_metrics::{cmax_lower_bound, csum_lower_bound, wsum_lower_bound, Criteria, Summary};
+use lsps_metrics::Summary;
 use lsps_workload::{Job, MoldableProfile, SpeedupModel};
 
 const SEEDS: u64 = 12;
+const SIZES: [(usize, usize); 4] = [(16, 10), (64, 40), (100, 80), (256, 120)];
 
 fn moldable_instance(rng: &mut SimRng, n: usize, m: usize, online: bool) -> Vec<Job> {
     let mut clock = 0u64;
@@ -59,162 +63,180 @@ fn rigid_instance(rng: &mut SimRng, n: usize, m: usize) -> Vec<Job> {
         .collect()
 }
 
-struct Line {
-    algo: &'static str,
+/// One proven claim: measure `policy` over `family` workloads, read the
+/// `ratio` column, compare against `proven`.
+struct Claim {
+    policy: &'static str,
+    /// Workload family: "moldable0" (all released at 0), "moldable-online"
+    /// or "rigid0" — the instance families of the original experiment.
+    family: &'static str,
     criterion: &'static str,
+    ratio: fn(&runner::Cell) -> f64,
     proven: f64,
-    measured: Summary,
-    /// Whether `proven` can be checked against this measurement directly.
-    /// The MRT 3/2 bound is vs OPT; against the area/tallest *lower bound*
-    /// only the two-shelf invariant (Cmax ≤ 3λ*/2) is checkable — the
-    /// LB-relative row is informational (LB gap included).
-    checkable: bool,
+    /// Stream offset so each claim reproduces its historical instances.
+    seed_base: u64,
+}
+
+const CLAIMS: &[Claim] = &[
+    Claim {
+        policy: "mrt",
+        family: "moldable0",
+        criterion: "Cmax / LB",
+        ratio: |c| c.cmax_ratio,
+        proven: 1.5,
+        seed_base: 0,
+    },
+    Claim {
+        policy: "batch-mrt",
+        family: "moldable-online",
+        criterion: "Cmax / LB",
+        ratio: |c| c.cmax_ratio,
+        proven: 3.0,
+        seed_base: 100,
+    },
+    Claim {
+        policy: "smart",
+        family: "rigid0",
+        criterion: "sum C / LB",
+        ratio: |c| c.csum_ratio,
+        proven: 8.0,
+        seed_base: 200,
+    },
+    Claim {
+        policy: "smart-weighted",
+        family: "rigid0",
+        criterion: "sum wC / LB",
+        ratio: |c| c.wsum_ratio,
+        proven: 8.53,
+        seed_base: 200,
+    },
+    Claim {
+        policy: "bicriteria",
+        family: "moldable-online",
+        criterion: "Cmax / LB",
+        ratio: |c| c.cmax_ratio,
+        proven: 8.0,
+        seed_base: 300,
+    },
+    Claim {
+        policy: "bicriteria",
+        family: "moldable-online",
+        criterion: "sum wC / LB",
+        ratio: |c| c.wsum_ratio,
+        proven: 8.0,
+        seed_base: 300,
+    },
+];
+
+fn family_case(family: &'static str, seed: u64, n: usize) -> WorkloadCase {
+    let name = format!("{family}-n{n}");
+    match family {
+        "moldable0" => WorkloadCase::new(name, seed, move |m, rng| {
+            let mut rng = rng.child(m as u64);
+            moldable_instance(&mut rng, n, m, false)
+        }),
+        "moldable-online" => WorkloadCase::new(name, seed, move |m, rng| {
+            let mut rng = rng.child(m as u64);
+            moldable_instance(&mut rng, n, m, true)
+        }),
+        "rigid0" => WorkloadCase::new(name, seed, move |m, rng| {
+            let mut rng = rng.child(m as u64);
+            rigid_instance(&mut rng, n, m)
+        }),
+        other => panic!("unknown workload family {other}"),
+    }
 }
 
 fn main() {
     println!("TAB-G — measured ratios vs proven guarantees ({SEEDS} seeds × sizes)\n");
-    let sizes = [(16usize, 10usize), (64, 40), (100, 80), (256, 120)];
-    let mut lines: Vec<Line> = Vec::new();
 
-    // MRT off-line.
-    let mut mrt_lb = Summary::new();
+    // The checkable claims: one runner per (claim, machine size) so every
+    // workload is paired with its historical platform — the seed × (m, n)
+    // instance families of the original experiment, nothing extra.
+    let mut csv_cells = Vec::new();
+    let mut measured: Vec<(usize, Summary)> = Vec::new();
+    for (idx, claim) in CLAIMS.iter().enumerate() {
+        let mut summary = Summary::new();
+        for &(m, n) in &SIZES {
+            let mut r =
+                ExperimentRunner::new(vec![by_name(claim.policy)
+                    .unwrap_or_else(|| panic!("{} is registered", claim.policy))]);
+            r.platforms = vec![PlatformCase::new(format!("m{m}"), m)];
+            r.workloads = (0..SEEDS)
+                .map(|seed| family_case(claim.family, claim.seed_base + seed, n))
+                .collect();
+            r.ctx = PolicyCtx::default();
+            let cells = r.run();
+            for c in &cells {
+                summary.add((claim.ratio)(c));
+            }
+            csv_cells.extend(cells);
+        }
+        measured.push((idx, summary));
+    }
+
+    let mut table = Table::new(&["algorithm", "criterion", "proven", "mean", "max", "ok"]);
+    // MRT two-shelf invariant first: the only row needing λ*.
     let mut mrt_lambda = Summary::new();
     for seed in 0..SEEDS {
-        for &(m, n) in &sizes {
+        for &(m, n) in &SIZES {
             let mut rng = SimRng::seed_from(seed).child(m as u64);
             let jobs = moldable_instance(&mut rng, n, m, false);
             let (s, lambda) = mrt_schedule_with_lambda(&jobs, m, MrtParams::default());
             s.validate(&jobs).expect("valid");
-            mrt_lb.add(s.makespan().ticks() as f64 / cmax_lower_bound(&jobs, m).ticks() as f64);
             mrt_lambda.add(s.makespan().ticks() as f64 / lambda as f64);
         }
     }
-    lines.push(Line {
-        algo: "MRT (two-shelf invariant)",
-        criterion: "Cmax / lambda*",
-        proven: 1.5,
-        measured: mrt_lambda,
-        checkable: true,
-    });
-    lines.push(Line {
-        algo: "MRT off-line",
-        criterion: "Cmax / LB",
-        proven: 1.5,
-        measured: mrt_lb,
-        checkable: false, // 3/2 is vs OPT; this row divides by the LB
-    });
-
-    // Batch(MRT) on-line.
-    let mut batch_lb = Summary::new();
-    for seed in 0..SEEDS {
-        for &(m, n) in &sizes {
-            let mut rng = SimRng::seed_from(100 + seed).child(m as u64);
-            let jobs = moldable_instance(&mut rng, n, m, true);
-            let s = batch_online(&jobs, m, |b, m| {
-                mrt_schedule_with_lambda(b, m, MrtParams::default()).0
-            });
-            s.validate(&jobs).expect("valid");
-            batch_lb.add(s.makespan().ticks() as f64 / cmax_lower_bound(&jobs, m).ticks() as f64);
+    table.row(vec![
+        "MRT (two-shelf invariant)".into(),
+        "Cmax / lambda*".into(),
+        "1.50".into(),
+        format!("{:.3}", mrt_lambda.mean()),
+        format!("{:.3}", mrt_lambda.max()),
+        if mrt_lambda.max() <= 1.5 + 1e-9 {
+            "yes"
+        } else {
+            "VIOLATED"
         }
-    }
-    lines.push(Line {
-        algo: "batch(MRT) on-line",
-        criterion: "Cmax / LB",
-        proven: 3.0,
-        measured: batch_lb,
-        checkable: true,
-    });
+        .into(),
+    ]);
 
-    // SMART.
-    let mut smart_u = Summary::new();
-    let mut smart_w = Summary::new();
-    for seed in 0..SEEDS {
-        for &(m, n) in &sizes {
-            let mut rng = SimRng::seed_from(200 + seed).child(m as u64);
-            let jobs = rigid_instance(&mut rng, n, m);
-            let su = smart_schedule(&jobs, m, false);
-            su.validate(&jobs).expect("valid");
-            let cu = Criteria::evaluate(&su.completed(&jobs));
-            smart_u.add(cu.sum_completion / csum_lower_bound(&jobs, m));
-            let sw = smart_schedule(&jobs, m, true);
-            sw.validate(&jobs).expect("valid");
-            let cw = Criteria::evaluate(&sw.completed(&jobs));
-            smart_w.add(cw.weighted_sum_completion / wsum_lower_bound(&jobs, m));
-        }
-    }
-    lines.push(Line {
-        algo: "SMART unweighted",
-        criterion: "sum C / LB",
-        proven: 8.0,
-        measured: smart_u,
-        checkable: true,
-    });
-    lines.push(Line {
-        algo: "SMART weighted",
-        criterion: "sum wC / LB",
-        proven: 8.53,
-        measured: smart_w,
-        checkable: true,
-    });
-
-    // Bi-criteria.
-    let mut bc_cmax = Summary::new();
-    let mut bc_wsum = Summary::new();
-    for seed in 0..SEEDS {
-        for &(m, n) in &sizes {
-            let mut rng = SimRng::seed_from(300 + seed).child(m as u64);
-            let jobs = moldable_instance(&mut rng, n, m, true);
-            let s = bicriteria_schedule(&jobs, m, BiCriteriaParams::default());
-            s.validate(&jobs).expect("valid");
-            let crit = Criteria::evaluate(&s.completed(&jobs));
-            bc_cmax.add(s.makespan().ticks() as f64 / cmax_lower_bound(&jobs, m).ticks() as f64);
-            bc_wsum.add(crit.weighted_sum_completion / wsum_lower_bound(&jobs, m));
-        }
-    }
-    lines.push(Line {
-        algo: "bi-criteria (rho=2)",
-        criterion: "Cmax / LB",
-        proven: 8.0,
-        measured: bc_cmax,
-        checkable: true,
-    });
-    lines.push(Line {
-        algo: "bi-criteria (rho=2)",
-        criterion: "sum wC / LB",
-        proven: 8.0,
-        measured: bc_wsum,
-        checkable: true,
-    });
-
-    let mut table = Table::new(&["algorithm", "criterion", "proven", "mean", "max", "ok"]);
-    let mut csv = String::from("algorithm,criterion,proven,mean,max\n");
-    for l in &lines {
-        let verdict = if !l.checkable {
+    for (idx, summary) in &measured {
+        let claim = &CLAIMS[*idx];
+        // The MRT 3/2 bound is vs OPT; against the area/tallest *lower
+        // bound* only the invariant row above is checkable.
+        let checkable = claim.policy != "mrt";
+        let verdict = if !checkable {
             "info*".to_string()
-        } else if l.measured.max() <= l.proven + 1e-9 {
+        } else if summary.max() <= claim.proven + 1e-9 {
             "yes".to_string()
         } else {
             "VIOLATED".to_string()
         };
         table.row(vec![
-            l.algo.to_string(),
-            l.criterion.to_string(),
-            format!("{:.2}", l.proven),
-            format!("{:.3}", l.measured.mean()),
-            format!("{:.3}", l.measured.max()),
+            claim.policy.into(),
+            claim.criterion.into(),
+            format!("{:.2}", claim.proven),
+            format!("{:.3}", summary.mean()),
+            format!("{:.3}", summary.max()),
             verdict,
         ]);
-        csv.push_str(&format!(
-            "{},{},{},{:.6},{:.6}\n",
-            l.algo,
-            l.criterion,
-            l.proven,
-            l.measured.mean(),
-            l.measured.max()
-        ));
     }
     table.print();
-    write_csv("guarantees.csv", &csv);
+    write_csv("guarantees.csv", &runner::to_csv(&csv_cells));
+
+    // Per-policy aggregate over the standard cells, for quick scanning.
+    println!("\nper-policy Cmax-ratio distribution over every cell:");
+    let mut t2 = Table::new(&["policy", "n cells", "mean", "max"]);
+    for (policy, s) in summarize_by(&csv_cells, |c| c.policy.clone(), |c| c.cmax_ratio) {
+        t2.row(vec![
+            policy,
+            s.n().to_string(),
+            format!("{:.3}", s.mean()),
+            format!("{:.3}", s.max()),
+        ]);
+    }
+    t2.print();
     println!(
         "\nnote: measured ratios divide by certified lower bounds, not OPT, so \
          they over-state the true ratio."

@@ -1,43 +1,36 @@
 //! TAB-P — "which policy for which application?", quantified.
 //!
 //! The paper's thesis is that the right policy depends on the application
-//! class and the criterion. This binary crosses four workload classes with
-//! five PT policies on the Fig. 2 machine (m = 100) plus the DLT policies
-//! for the campaign class, reports every §3 criterion, and checks the
-//! [`lsps_core::advisor`] recommendation against the measured winner.
+//! class and the criterion. This binary is a declarative config over
+//! [`lsps_bench::runner::ExperimentRunner`]: the advisor's policy choices
+//! (instantiated straight from [`PolicyChoice::instantiate`]) cross three
+//! workload classes on the Fig. 2 machine (m = 100), in both off-line and
+//! on-line release modes, through one code path. The measured winners are
+//! then compared against the advisor's recommendations.
 
+use lsps_bench::runner::{self, Cell, ExperimentRunner, PlatformCase, WorkloadCase};
 use lsps_bench::{write_csv, Table};
 use lsps_core::advisor::{advise, Application, Objective, PolicyChoice};
 use lsps_core::allot::{two_phase_moldable, AllotRule};
-use lsps_core::backfill::{backfill_schedule, BackfillPolicy};
-use lsps_core::batch::batch_online;
-use lsps_core::bicriteria::{bicriteria_schedule, BiCriteriaParams};
-use lsps_core::list::{list_schedule, JobOrder};
+use lsps_core::list::JobOrder;
 use lsps_core::mrt::{mrt_schedule, MrtParams};
-use lsps_core::schedule::Schedule;
-use lsps_core::smart::smart_schedule;
+use lsps_core::policy::{PolicyCtx, ReleaseMode};
 use lsps_des::{Dur, SimRng, Time};
-use lsps_metrics::{cmax_lower_bound, wsum_lower_bound, Criteria};
+use lsps_metrics::cmax_lower_bound;
 use lsps_workload::{Job, JobKind, MoldableProfile, SpeedupModel, WorkloadSpec};
 
 const M: usize = 100;
+const N: usize = 400;
+const SEED: u64 = 7;
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Wl {
-    SequentialBag,
-    Rigid,
-    Moldable,
-}
-
-fn workload(class: Wl, n: usize, seed: u64) -> Vec<Job> {
-    let mut rng = SimRng::seed_from(seed);
-    match class {
-        Wl::SequentialBag => WorkloadSpec::fig2_sequential(n).generate(M, &mut rng),
-        Wl::Moldable => WorkloadSpec::fig2_parallel(n).generate(M, &mut rng),
-        Wl::Rigid => {
+/// The application classes under comparison, as workload generators.
+fn workload_cases() -> Vec<WorkloadCase> {
+    vec![
+        WorkloadCase::from_spec("SequentialBag", SEED, WorkloadSpec::fig2_sequential(N)),
+        WorkloadCase::new("Rigid", SEED, |m, rng| {
             // Rigidified moldable mix: a realistic rigid trace.
-            WorkloadSpec::fig2_parallel(n)
-                .generate(M, &mut rng)
+            WorkloadSpec::fig2_parallel(N)
+                .generate(m, rng)
                 .into_iter()
                 .map(|j| match &j.kind {
                     JobKind::Moldable { profile } => {
@@ -51,150 +44,73 @@ fn workload(class: Wl, n: usize, seed: u64) -> Vec<Job> {
                     _ => j,
                 })
                 .collect()
-        }
-    }
+        }),
+        WorkloadCase::from_spec("Moldable", SEED, WorkloadSpec::fig2_parallel(N)),
+    ]
 }
 
-/// Strip release dates (for the off-line-only policies) — documented as
-/// giving those policies an *advantage*; they still lose where the paper
-/// says they should.
-fn zero_released(jobs: &[Job]) -> Vec<Job> {
-    jobs.iter()
-        .map(|j| {
-            let mut j = j.clone();
-            j.release = Time::ZERO;
-            j
-        })
-        .collect()
-}
-
-fn moldable_to_rigid_for_backfill(jobs: &[Job]) -> Vec<Job> {
-    jobs.iter()
-        .map(|j| match &j.kind {
-            JobKind::Moldable { profile } => {
-                let k = lsps_core::allot::choose_allotment(
-                    j,
-                    M,
-                    jobs.len(),
-                    AllotRule::Balanced,
-                );
-                Job {
-                    kind: JobKind::Rigid {
-                        procs: k,
-                        len: profile.time(k),
-                    },
-                    ..j.clone()
-                }
-            }
-            _ => j.clone(),
-        })
-        .collect()
-}
-
-fn run_policy(policy: PolicyChoice, jobs: &[Job]) -> Option<(Schedule, Vec<Job>)> {
-    match policy {
-        PolicyChoice::WsptList => {
-            let rigid = moldable_to_rigid_for_backfill(jobs);
-            Some((list_schedule(&rigid, M, JobOrder::WeightDensity), rigid))
-        }
-        PolicyChoice::Backfilling => {
-            let rigid = moldable_to_rigid_for_backfill(jobs);
-            Some((
-                backfill_schedule(&rigid, M, &[], BackfillPolicy::Easy),
-                rigid,
-            ))
-        }
-        PolicyChoice::SmartShelves => {
-            let rigid = zero_released(&moldable_to_rigid_for_backfill(jobs));
-            Some((smart_schedule(&rigid, M, true), rigid))
-        }
-        PolicyChoice::MrtBatch => Some((
-            batch_online(jobs, M, |b, m| mrt_schedule(b, m, MrtParams::default())),
-            jobs.to_vec(),
-        )),
-        PolicyChoice::BiCriteriaBatches => Some((
-            bicriteria_schedule(jobs, M, BiCriteriaParams::default()),
-            jobs.to_vec(),
-        )),
-        _ => None,
-    }
-}
-
-fn main() {
-    println!("TAB-P — policy × workload matrix on m = {M} (ratios vs lower bounds)\n");
-    let policies = [
+/// The advisor's PT policy choices, instantiated through the registry.
+fn policy_choices() -> Vec<PolicyChoice> {
+    vec![
         PolicyChoice::WsptList,
         PolicyChoice::Backfilling,
         PolicyChoice::SmartShelves,
         PolicyChoice::MrtBatch,
         PolicyChoice::BiCriteriaBatches,
-    ];
-    let classes = [Wl::SequentialBag, Wl::Rigid, Wl::Moldable];
-    let n = 400;
+    ]
+}
+
+fn main() {
+    println!("TAB-P — policy × workload matrix on m = {M} (ratios vs lower bounds)\n");
+
+    let mut all_cells: Vec<(String, Cell)> = Vec::new();
+    for mode in [ReleaseMode::Offline, ReleaseMode::Online] {
+        let mode_name = match mode {
+            ReleaseMode::Offline => "off-line",
+            ReleaseMode::Online => "on-line",
+        };
+        let mut r = ExperimentRunner::new(
+            policy_choices()
+                .into_iter()
+                .map(|c| c.instantiate().expect("PT policy choices instantiate"))
+                .collect(),
+        );
+        r.workloads = workload_cases();
+        r.platforms = vec![PlatformCase::new("fig2", M)];
+        r.ctx = PolicyCtx {
+            release_mode: mode,
+            ..PolicyCtx::default()
+        };
+        for cell in r.run() {
+            all_cells.push((mode_name.to_string(), cell));
+        }
+    }
 
     let mut table = Table::new(&[
-        "mode", "workload", "policy", "Cmax ratio", "sWC ratio", "mean flow (s)", "max flow (s)",
+        "mode",
+        "workload",
+        "policy",
+        "Cmax ratio",
+        "sWC ratio",
+        "mean flow (s)",
+        "max flow (s)",
         "util %",
     ]);
-    let mut csv = String::from(
-        "mode,workload,policy,cmax_ratio,wsum_ratio,mean_flow,max_flow,utilization\n",
-    );
-    // (mode, class, cmax winner, wsum winner)
-    let mut winners: Vec<(&str, Wl, PolicyChoice, PolicyChoice)> = Vec::new();
-
-    for mode in ["off-line", "on-line"] {
-        for &class in &classes {
-            let jobs = {
-                let js = workload(class, n, 7);
-                if mode == "off-line" { zero_released(&js) } else { js }
-            };
-            let mut best_cmax: Option<(f64, PolicyChoice)> = None;
-            let mut best_wsum: Option<(f64, PolicyChoice)> = None;
-            for &policy in &policies {
-                let Some((sched, eval_jobs)) = run_policy(policy, &jobs) else {
-                    continue;
-                };
-                sched
-                    .validate(&eval_jobs)
-                    .unwrap_or_else(|e| panic!("{policy:?} on {class:?}: {e}"));
-                // Bounds computed on the jobs the policy actually scheduled
-                // (SMART strips release dates even in on-line mode; its
-                // release-free instance has its own — smaller — bounds).
-                let cmax_lb = cmax_lower_bound(&eval_jobs, M).as_secs_f64();
-                let wsum_lb = wsum_lower_bound(&eval_jobs, M);
-                let crit = Criteria::evaluate(&sched.completed(&eval_jobs));
-                let cr = crit.cmax / cmax_lb;
-                let wr = crit.weighted_sum_completion / wsum_lb;
-                if best_cmax.is_none_or(|(v, _)| cr < v) {
-                    best_cmax = Some((cr, policy));
-                }
-                if best_wsum.is_none_or(|(v, _)| wr < v) {
-                    best_wsum = Some((wr, policy));
-                }
-                table.row(vec![
-                    mode.into(),
-                    format!("{class:?}"),
-                    format!("{policy:?}"),
-                    format!("{cr:.3}"),
-                    format!("{wr:.3}"),
-                    format!("{:.1}", crit.mean_flow),
-                    format!("{:.1}", crit.max_flow),
-                    format!("{:.1}", crit.utilization(M) * 100.0),
-                ]);
-                csv.push_str(&format!(
-                    "{mode},{class:?},{policy:?},{cr:.6},{wr:.6},{:.3},{:.3},{:.5}\n",
-                    crit.mean_flow,
-                    crit.max_flow,
-                    crit.utilization(M)
-                ));
-            }
-            winners.push((
-                mode,
-                class,
-                best_cmax.expect("some policy ran").1,
-                best_wsum.expect("some policy ran").1,
-            ));
-        }
+    let mut csv = String::from("mode,");
+    csv.push_str(runner::CSV_HEADER);
+    csv.push('\n');
+    for (mode, c) in &all_cells {
+        table.row(vec![
+            mode.clone(),
+            c.workload.clone(),
+            c.policy.clone(),
+            format!("{:.3}", c.cmax_ratio),
+            format!("{:.3}", c.wsum_ratio),
+            format!("{:.1}", c.criteria.mean_flow),
+            format!("{:.1}", c.criteria.max_flow),
+            format!("{:.1}", c.utilization * 100.0),
+        ]);
+        csv.push_str(&format!("{mode},{}\n", c.csv_row()));
     }
     table.print();
     write_csv("models_compare.csv", &csv);
@@ -203,39 +119,64 @@ fn main() {
     println!("(the advisor optimizes worst-case guarantees; on random instances the");
     println!(" greedy policies are competitive — the paper's own pragmatic point)");
     let mut t2 = Table::new(&[
-        "mode", "workload", "criterion", "measured best", "advisor says", "guarantee",
+        "mode",
+        "workload",
+        "criterion",
+        "measured best",
+        "advisor says",
+        "guarantee",
     ]);
-    for (mode, class, cmax_win, wsum_win) in winners {
-        let app = match class {
-            Wl::SequentialBag => Application::SequentialBag,
-            Wl::Rigid => Application::RigidParallel,
-            Wl::Moldable => Application::Moldable,
-        };
-        let on_line = mode == "on-line";
-        let rec_c = advise(app, Objective::Makespan, on_line);
-        let rec_w = advise(app, Objective::WeightedCompletion, on_line);
-        t2.row(vec![
-            mode.into(),
-            format!("{class:?}"),
-            "Cmax".into(),
-            format!("{cmax_win:?}"),
-            format!("{:?}", rec_c.policy),
-            rec_c
-                .guarantee
-                .map(|g| format!("{g:.2}"))
-                .unwrap_or_else(|| "-".into()),
-        ]);
-        t2.row(vec![
-            mode.into(),
-            format!("{class:?}"),
-            "sum wC".into(),
-            format!("{wsum_win:?}"),
-            format!("{:?}", rec_w.policy),
-            rec_w
-                .guarantee
-                .map(|g| format!("{g:.2}"))
-                .unwrap_or_else(|| "-".into()),
-        ]);
+    for mode in ["off-line", "on-line"] {
+        for wl in ["SequentialBag", "Rigid", "Moldable"] {
+            let group: Vec<&Cell> = all_cells
+                .iter()
+                .filter(|(m, c)| m == mode && c.workload == wl)
+                .map(|(_, c)| c)
+                .collect();
+            let best = |metric: &dyn Fn(&Cell) -> f64| -> String {
+                group
+                    .iter()
+                    .min_by(|a, b| metric(a).total_cmp(&metric(b)))
+                    .expect("non-empty group")
+                    .policy
+                    .clone()
+            };
+            let app = match wl {
+                "SequentialBag" => Application::SequentialBag,
+                "Rigid" => Application::RigidParallel,
+                _ => Application::Moldable,
+            };
+            let on_line = mode == "on-line";
+            for (criterion, metric, objective) in [
+                (
+                    "Cmax",
+                    (&|c: &Cell| c.cmax_ratio) as &dyn Fn(&Cell) -> f64,
+                    Objective::Makespan,
+                ),
+                (
+                    "sum wC",
+                    &|c: &Cell| c.wsum_ratio,
+                    Objective::WeightedCompletion,
+                ),
+            ] {
+                let rec = advise(app, objective, on_line);
+                let advised = rec
+                    .policy
+                    .instantiate()
+                    .map(|p| p.name().to_string())
+                    .unwrap_or_else(|| format!("{:?}", rec.policy));
+                t2.row(vec![
+                    mode.into(),
+                    wl.into(),
+                    criterion.into(),
+                    best(metric),
+                    advised,
+                    rec.guarantee
+                        .map(|g| format!("{g:.2}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]);
+            }
+        }
     }
     t2.print();
 
@@ -244,15 +185,12 @@ fn main() {
     // point).
     println!("\ncampaign class (divisible): see dlt_policies; steady-state is the advisor pick:");
     let rec = advise(Application::DivisibleLoad, Objective::Throughput, true);
-    println!(
-        "  advisor: {:?} — {}",
-        rec.policy, rec.rationale
-    );
+    println!("  advisor: {:?} — {}", rec.policy, rec.rationale);
 
     // Quantified §5.1 remark: mixed strategies.
     println!("\nmixed rigid+moldable strategies (§5.1), Cmax ratio:");
     let mut rng = SimRng::seed_from(11);
-    let mixed: Vec<Job> = (0..n)
+    let mixed: Vec<Job> = (0..N)
         .map(|i| {
             let seq = Dur::from_ticks(rng.int_range(1_000, 300_000));
             if rng.chance(0.4) {
@@ -289,11 +227,25 @@ fn main() {
 
     // Two-phase allotment ablation (DESIGN.md §5).
     println!("\nmoldable allotment-rule ablation (two-phase, Cmax ratio):");
-    let moldable = workload(Wl::Moldable, n, 13);
-    let zero = zero_released(&moldable);
+    let moldable = {
+        let mut rng = SimRng::seed_from(13);
+        WorkloadSpec::fig2_parallel(N).generate(M, &mut rng)
+    };
+    let zero: Vec<Job> = moldable
+        .iter()
+        .map(|j| {
+            let mut c = j.clone();
+            c.release = Time::ZERO;
+            c
+        })
+        .collect();
     let lb = cmax_lower_bound(&zero, M).as_secs_f64();
     let mut t4 = Table::new(&["allot rule", "Cmax ratio"]);
-    for rule in [AllotRule::Sequential, AllotRule::MinTime, AllotRule::Balanced] {
+    for rule in [
+        AllotRule::Sequential,
+        AllotRule::MinTime,
+        AllotRule::Balanced,
+    ] {
         let s = two_phase_moldable(&zero, M, rule, JobOrder::Lpt);
         s.validate(&zero).expect("valid");
         t4.row(vec![

@@ -1,4 +1,5 @@
-//! Shared plumbing for the experiment binaries: result files, tables.
+//! Shared plumbing for the experiment binaries: the scenario runner
+//! ([`runner::ExperimentRunner`]), result files and tables.
 //!
 //! Every binary writes machine-readable CSV under `results/` (created at
 //! the workspace root when run from inside it) and a human-readable table
@@ -7,15 +8,21 @@
 use std::fs;
 use std::path::PathBuf;
 
-/// Resolve (and create) the results directory.
+pub mod runner;
+
+pub use runner::{Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
+
+/// Resolve (and create) the results directory: the nearest ancestor of the
+/// current directory that looks like the workspace root (has `Cargo.toml`
+/// and `crates/`), falling back to the current directory, so experiment
+/// binaries work from any crate directory.
 pub fn results_dir() -> PathBuf {
-    let mut base = std::env::current_dir().expect("cwd");
-    for candidate in [base.clone(), base.join("../..")] {
-        if candidate.join("Cargo.toml").exists() && candidate.join("crates").exists() {
-            base = candidate;
-            break;
-        }
-    }
+    let cwd = std::env::current_dir().expect("cwd");
+    let base = cwd
+        .ancestors()
+        .find(|c| c.join("Cargo.toml").exists() && c.join("crates").exists())
+        .unwrap_or(&cwd)
+        .to_path_buf();
     let dir = base.join("results");
     fs::create_dir_all(&dir).expect("create results dir");
     dir

@@ -1,0 +1,451 @@
+//! The generic experiment runner: policies × workloads × platforms through
+//! one code path.
+//!
+//! Every experiment binary used to hand-roll its own policy dispatch and
+//! its own CSV columns; the [`ExperimentRunner`] replaces those loops. A
+//! run crosses a policy set (usually [`lsps_core::policy::registry`]
+//! entries) with named workload generators and platforms, pushes every
+//! cell through `Policy::run` → validation → `lsps_metrics`, and emits one
+//! CSV schema ([`CSV_HEADER`]) for all binaries. Completion records can be
+//! extracted either directly from the schedule or by replaying it through
+//! the `lsps-des` event engine ([`Executor::DesReplay`]) — the first step
+//! toward fully event-driven online experiments.
+
+use std::collections::HashMap;
+
+use lsps_core::policy::{Policy, PolicyCtx};
+use lsps_core::schedule::Schedule;
+use lsps_des::{Ctx, Model, SimRng, Simulation, Time};
+use lsps_metrics::{
+    cmax_lower_bound, csum_lower_bound, wsum_lower_bound, CompletedJob, Criteria, Summary,
+};
+use lsps_workload::{Job, JobId, WorkloadSpec};
+
+use crate::Table;
+
+/// A named machine size (platforms are identical-processor clusters at
+/// this layer; heterogeneity lives in `lsps-grid`).
+#[derive(Clone, Debug)]
+pub struct PlatformCase {
+    /// Display/CSV name.
+    pub name: String,
+    /// Processor count.
+    pub m: usize,
+}
+
+impl PlatformCase {
+    /// A named `m`-processor machine.
+    pub fn new(name: impl Into<String>, m: usize) -> PlatformCase {
+        PlatformCase {
+            name: name.into(),
+            m,
+        }
+    }
+}
+
+/// A workload generator: machine size + seeded RNG in, jobs out.
+pub type WorkloadGen = Box<dyn Fn(usize, &mut SimRng) -> Vec<Job>>;
+
+/// A named, seeded workload generator. Generation receives the machine
+/// size so widths can be drawn relative to the platform.
+pub struct WorkloadCase {
+    /// Display/CSV name of the workload family.
+    pub name: String,
+    /// Seed (also a CSV column, so multi-seed sweeps stay one schema).
+    pub seed: u64,
+    gen: WorkloadGen,
+}
+
+impl WorkloadCase {
+    /// A workload from an arbitrary generator function.
+    pub fn new(
+        name: impl Into<String>,
+        seed: u64,
+        gen: impl Fn(usize, &mut SimRng) -> Vec<Job> + 'static,
+    ) -> WorkloadCase {
+        WorkloadCase {
+            name: name.into(),
+            seed,
+            gen: Box::new(gen),
+        }
+    }
+
+    /// A workload from a [`WorkloadSpec`].
+    pub fn from_spec(name: impl Into<String>, seed: u64, spec: WorkloadSpec) -> WorkloadCase {
+        WorkloadCase::new(name, seed, move |m, rng| spec.generate(m, rng))
+    }
+
+    /// A fixed job list (seed recorded but unused).
+    pub fn fixed(name: impl Into<String>, seed: u64, jobs: Vec<Job>) -> WorkloadCase {
+        WorkloadCase::new(name, seed, move |_m, _rng| jobs.clone())
+    }
+
+    /// Generate the jobs for machine size `m`.
+    pub fn generate(&self, m: usize) -> Vec<Job> {
+        let mut rng = SimRng::seed_from(self.seed);
+        (self.gen)(m, &mut rng)
+    }
+}
+
+/// How completion records are extracted from a schedule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Executor {
+    /// Read them straight off the assignments.
+    #[default]
+    Direct,
+    /// Replay the schedule through the `lsps-des` engine: completions are
+    /// collected at simulated event times, cross-checking the static view
+    /// against the event-driven one.
+    DesReplay,
+}
+
+/// One (policy × workload × platform) outcome.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Policy name (registry identifier).
+    pub policy: String,
+    /// Workload family name.
+    pub workload: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Platform name.
+    pub platform: String,
+    /// Machine size.
+    pub m: usize,
+    /// Number of jobs scheduled.
+    pub n: usize,
+    /// All §3 criteria.
+    pub criteria: Criteria,
+    /// Makespan over the certified `Cmax` lower bound.
+    pub cmax_ratio: f64,
+    /// `Σ Ci` over its lower bound.
+    pub csum_ratio: f64,
+    /// `Σ ωi Ci` over its lower bound.
+    pub wsum_ratio: f64,
+    /// Machine utilization in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// The one CSV schema every runner-based binary emits.
+pub const CSV_HEADER: &str = "policy,workload,seed,platform,m,n,cmax_s,cmax_ratio,csum_ratio,\
+                              wsum_ratio,mean_flow_s,max_flow_s,utilization";
+
+impl Cell {
+    /// Render as a [`CSV_HEADER`] row.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            self.policy,
+            self.workload,
+            self.seed,
+            self.platform,
+            self.m,
+            self.n,
+            self.criteria.cmax,
+            self.cmax_ratio,
+            self.csum_ratio,
+            self.wsum_ratio,
+            self.criteria.mean_flow,
+            self.criteria.max_flow,
+            self.utilization,
+        )
+    }
+}
+
+/// Render cells as the standard CSV document.
+pub fn to_csv(cells: &[Cell]) -> String {
+    let mut out = String::from(CSV_HEADER);
+    out.push('\n');
+    for c in cells {
+        out.push_str(&c.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Print cells as a fixed-width table on stdout.
+pub fn print_cells(cells: &[Cell]) {
+    let mut table = Table::new(&[
+        "policy",
+        "workload",
+        "seed",
+        "platform",
+        "Cmax ratio",
+        "sC ratio",
+        "sWC ratio",
+        "mean flow (s)",
+        "max flow (s)",
+        "util %",
+    ]);
+    for c in cells {
+        table.row(vec![
+            c.policy.clone(),
+            c.workload.clone(),
+            c.seed.to_string(),
+            c.platform.clone(),
+            format!("{:.3}", c.cmax_ratio),
+            format!("{:.3}", c.csum_ratio),
+            format!("{:.3}", c.wsum_ratio),
+            format!("{:.1}", c.criteria.mean_flow),
+            format!("{:.1}", c.criteria.max_flow),
+            format!("{:.1}", c.utilization * 100.0),
+        ]);
+    }
+    table.print();
+}
+
+/// Aggregate a cell metric over seeds, grouped by `key`. Returns groups in
+/// first-seen order.
+pub fn summarize_by<K: Eq + std::hash::Hash + Clone>(
+    cells: &[Cell],
+    key: impl Fn(&Cell) -> K,
+    metric: impl Fn(&Cell) -> f64,
+) -> Vec<(K, Summary)> {
+    let mut order: Vec<K> = Vec::new();
+    let mut groups: HashMap<K, Summary> = HashMap::new();
+    for c in cells {
+        let k = key(c);
+        groups
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k);
+                Summary::new()
+            })
+            .add(metric(c));
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let s = groups.remove(&k).expect("group exists");
+            (k, s)
+        })
+        .collect()
+}
+
+/// The declarative experiment: run every policy over every workload over
+/// every platform through one code path.
+pub struct ExperimentRunner {
+    /// Policies under comparison.
+    pub policies: Vec<Box<dyn Policy>>,
+    /// Workload cases (family × seed).
+    pub workloads: Vec<WorkloadCase>,
+    /// Platforms.
+    pub platforms: Vec<PlatformCase>,
+    /// Shared scheduling context.
+    pub ctx: PolicyCtx,
+    /// Completion-record extraction mode.
+    pub executor: Executor,
+}
+
+impl ExperimentRunner {
+    /// A runner over the given policies with default context, one platform
+    /// to be added via the struct fields.
+    pub fn new(policies: Vec<Box<dyn Policy>>) -> ExperimentRunner {
+        ExperimentRunner {
+            policies,
+            workloads: Vec::new(),
+            platforms: Vec::new(),
+            ctx: PolicyCtx::default(),
+            executor: Executor::Direct,
+        }
+    }
+
+    /// Run the full cross product. Every schedule is validated against the
+    /// policy's as-scheduled job view — a policy bug fails loudly instead
+    /// of producing flattering numbers.
+    pub fn run(&self) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for platform in &self.platforms {
+            for workload in &self.workloads {
+                let jobs = workload.generate(platform.m);
+                for policy in &self.policies {
+                    cells.push(self.run_cell(policy.as_ref(), workload, platform, &jobs));
+                }
+            }
+        }
+        cells
+    }
+
+    fn run_cell(
+        &self,
+        policy: &dyn Policy,
+        workload: &WorkloadCase,
+        platform: &PlatformCase,
+        jobs: &[Job],
+    ) -> Cell {
+        let run = policy.run(jobs, platform.m, &self.ctx);
+        run.validate().unwrap_or_else(|e| {
+            panic!(
+                "{} on {}/{} (m={}): invalid schedule: {e}",
+                policy.name(),
+                workload.name,
+                workload.seed,
+                platform.m
+            )
+        });
+        let records = match self.executor {
+            Executor::Direct => run.schedule.completed(&run.jobs),
+            Executor::DesReplay => des_replay(&run.schedule, &run.jobs),
+        };
+        let criteria = Criteria::evaluate(&records);
+        // Bounds on the as-scheduled jobs: policies that strip releases or
+        // rigidify are measured against the instance they actually solved.
+        let cmax_lb = cmax_lower_bound(&run.jobs, platform.m).as_secs_f64();
+        let csum_lb = csum_lower_bound(&run.jobs, platform.m);
+        let wsum_lb = wsum_lower_bound(&run.jobs, platform.m);
+        Cell {
+            policy: policy.name().to_string(),
+            workload: workload.name.clone(),
+            seed: workload.seed,
+            platform: platform.name.clone(),
+            m: platform.m,
+            n: run.jobs.len(),
+            utilization: criteria.utilization(platform.m),
+            cmax_ratio: criteria.cmax / cmax_lb.max(f64::MIN_POSITIVE),
+            csum_ratio: criteria.sum_completion / csum_lb.max(f64::MIN_POSITIVE),
+            wsum_ratio: criteria.weighted_sum_completion / wsum_lb.max(f64::MIN_POSITIVE),
+            criteria,
+        }
+    }
+}
+
+struct ReplayModel {
+    jobs: HashMap<JobId, Job>,
+    records: Vec<CompletedJob>,
+}
+
+enum ReplayEvent {
+    Finish {
+        job: JobId,
+        start: Time,
+        procs: usize,
+    },
+}
+
+impl Model for ReplayModel {
+    type Event = ReplayEvent;
+
+    fn handle(&mut self, now: Time, event: ReplayEvent, _ctx: &mut Ctx<'_, ReplayEvent>) {
+        let ReplayEvent::Finish { job, start, procs } = event;
+        let j = self.jobs.get(&job).expect("replayed job exists");
+        self.records
+            .push(CompletedJob::from_job(j, start, now, procs));
+    }
+}
+
+/// Replay a schedule through the DES engine: one completion event per
+/// assignment, records collected at simulated event times. The outcome is
+/// identical to [`Schedule::completed`] up to record order (events fire in
+/// time order) — asserting that equivalence is exactly the point.
+pub fn des_replay(schedule: &Schedule, jobs: &[Job]) -> Vec<CompletedJob> {
+    let model = ReplayModel {
+        jobs: jobs.iter().map(|j| (j.id, j.clone())).collect(),
+        records: Vec::new(),
+    };
+    let mut sim = Simulation::new(model);
+    for a in schedule.assignments() {
+        sim.schedule_at(
+            a.end,
+            ReplayEvent::Finish {
+                job: a.job,
+                start: a.start,
+                procs: a.procs.len(),
+            },
+        );
+    }
+    let events = schedule.len() as u64 + 1;
+    sim.run_to_completion(events);
+    let mut records = sim.into_model().records;
+    records.sort_by_key(|r| r.id);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_core::policy::registry;
+    use lsps_des::Dur;
+
+    fn runner() -> ExperimentRunner {
+        let mut r = ExperimentRunner::new(registry());
+        r.workloads = vec![
+            WorkloadCase::from_spec("fig2-par", 7, WorkloadSpec::fig2_parallel(30)),
+            WorkloadCase::from_spec("fig2-seq", 7, WorkloadSpec::fig2_sequential(30)),
+        ];
+        r.platforms = vec![PlatformCase::new("m32", 32)];
+        r
+    }
+
+    #[test]
+    fn full_registry_cross_product_runs() {
+        let r = runner();
+        let cells = r.run();
+        assert_eq!(cells.len(), registry().len() * 2);
+        for c in &cells {
+            assert!(c.cmax_ratio >= 1.0 - 1e-9, "{}: beats the LB?", c.policy);
+            assert!(c.utilization <= 1.0 + 1e-9, "{}", c.policy);
+            assert_eq!(c.n, 30);
+        }
+    }
+
+    #[test]
+    fn des_replay_matches_direct_extraction() {
+        let mut r = runner();
+        r.workloads.truncate(1);
+        let direct = r.run();
+        r.executor = Executor::DesReplay;
+        let replayed = r.run();
+        assert_eq!(direct.len(), replayed.len());
+        for (a, b) in direct.iter().zip(&replayed) {
+            assert_eq!(a.policy, b.policy);
+            assert!((a.criteria.cmax - b.criteria.cmax).abs() < 1e-12);
+            assert!((a.criteria.mean_flow - b.criteria.mean_flow).abs() < 1e-12);
+            assert!(
+                (a.criteria.weighted_sum_completion - b.criteria.weighted_sum_completion).abs()
+                    < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn csv_schema_is_stable() {
+        let mut r = runner();
+        r.workloads.truncate(1);
+        r.policies = vec![lsps_core::policy::by_name("list-fcfs").expect("registered")];
+        let cells = r.run();
+        let csv = to_csv(&cells);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(CSV_HEADER));
+        let row = lines.next().expect("one data row");
+        assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
+        assert!(row.starts_with("list-fcfs,fig2-par,7,m32,32,30,"));
+    }
+
+    #[test]
+    fn summarize_groups_in_first_seen_order() {
+        let mk = |policy: &str, v: f64| Cell {
+            policy: policy.into(),
+            workload: "w".into(),
+            seed: 0,
+            platform: "p".into(),
+            m: 1,
+            n: 1,
+            criteria: Criteria::evaluate(&[CompletedJob::from_job(
+                &Job::sequential(1, Dur::from_ticks(1)),
+                Time::ZERO,
+                Time::from_ticks(1),
+                1,
+            )]),
+            cmax_ratio: v,
+            csum_ratio: v,
+            wsum_ratio: v,
+            utilization: 1.0,
+        };
+        let cells = vec![mk("b", 1.0), mk("a", 2.0), mk("b", 3.0)];
+        let grouped = summarize_by(&cells, |c| c.policy.clone(), |c| c.cmax_ratio);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].0, "b");
+        assert_eq!(grouped[0].1.mean(), 2.0);
+        assert_eq!(grouped[1].0, "a");
+    }
+}

@@ -62,6 +62,34 @@ pub enum PolicyChoice {
     BestEffortGrid,
 }
 
+impl PolicyChoice {
+    /// Instantiate this choice as a runnable [`crate::policy::Policy`].
+    ///
+    /// Returns `None` for the two choices that are not Parallel-Task
+    /// rectangle policies: [`PolicyChoice::DivisibleSteadyState`] lives in
+    /// `lsps-dlt` (divisible loads have no per-job rectangles) and
+    /// [`PolicyChoice::BestEffortGrid`] is the event-driven `lsps-grid`
+    /// layer. Everything else round-trips into the registry instance the
+    /// experiment runner uses.
+    pub fn instantiate(self) -> Option<Box<dyn crate::policy::Policy>> {
+        use crate::policy::{
+            Backfilling, BatchedMrt, BiCriteriaDoubling, DeqEquipartition, ListScheduling,
+            SmartShelves,
+        };
+        match self {
+            PolicyChoice::MrtBatch => Some(Box::new(BatchedMrt::default())),
+            PolicyChoice::SmartShelves => Some(Box::new(SmartShelves::weighted())),
+            PolicyChoice::BiCriteriaBatches => Some(Box::new(BiCriteriaDoubling::default())),
+            PolicyChoice::Backfilling => Some(Box::new(Backfilling::easy())),
+            PolicyChoice::WsptList => Some(Box::new(ListScheduling::new(
+                crate::list::JobOrder::WeightDensity,
+            ))),
+            PolicyChoice::DynamicEquipartition => Some(Box::new(DeqEquipartition)),
+            PolicyChoice::DivisibleSteadyState | PolicyChoice::BestEffortGrid => None,
+        }
+    }
+}
+
 /// A recommendation with its justification.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Recommendation {
@@ -226,7 +254,11 @@ mod tests {
 
     #[test]
     fn rigid_weighted_completion_gets_smart() {
-        let r = advise(Application::RigidParallel, Objective::WeightedCompletion, true);
+        let r = advise(
+            Application::RigidParallel,
+            Objective::WeightedCompletion,
+            true,
+        );
         assert_eq!(r.policy, PolicyChoice::SmartShelves);
         assert_eq!(r.guarantee, Some(8.53));
     }
@@ -270,10 +302,7 @@ mod tests {
             ] {
                 for on_line in [false, true] {
                     let r = advise(app, obj, on_line);
-                    assert!(
-                        r.rationale.len() > 20,
-                        "{app:?}/{obj:?}: empty rationale"
-                    );
+                    assert!(r.rationale.len() > 20, "{app:?}/{obj:?}: empty rationale");
                 }
             }
         }

@@ -124,11 +124,7 @@ mod tests {
         // CommPenalty saturates: the flat tail must not waste processors.
         let j = Job::moldable(
             1,
-            MoldableProfile::from_model(
-                d(1000),
-                &SpeedupModel::CommPenalty { overhead: 0.1 },
-                32,
-            ),
+            MoldableProfile::from_model(d(1000), &SpeedupModel::CommPenalty { overhead: 0.1 }, 32),
         );
         let k = choose_allotment(&j, 32, 10, AllotRule::MinTime);
         let prof = j.profile().unwrap();
@@ -136,7 +132,10 @@ mod tests {
         if k > 1 {
             assert!(prof.time(k - 1) > prof.min_time(), "k is minimal");
         }
-        assert!(k < 32, "saturated profile should not take the whole machine");
+        assert!(
+            k < 32,
+            "saturated profile should not take the whole machine"
+        );
     }
 
     #[test]
@@ -160,7 +159,11 @@ mod tests {
     #[test]
     fn rigid_jobs_keep_their_count() {
         let j = Job::rigid(1, 4, d(10));
-        for rule in [AllotRule::Sequential, AllotRule::MinTime, AllotRule::Balanced] {
+        for rule in [
+            AllotRule::Sequential,
+            AllotRule::MinTime,
+            AllotRule::Balanced,
+        ] {
             assert_eq!(choose_allotment(&j, 8, 5, rule), 4);
         }
     }
@@ -168,7 +171,11 @@ mod tests {
     #[test]
     fn two_phase_schedules_validate() {
         let jobs: Vec<Job> = (0..12).map(|i| amdahl_job(i, 500 + 100 * i, 16)).collect();
-        for rule in [AllotRule::Sequential, AllotRule::MinTime, AllotRule::Balanced] {
+        for rule in [
+            AllotRule::Sequential,
+            AllotRule::MinTime,
+            AllotRule::Balanced,
+        ] {
             let s = two_phase_moldable(&jobs, 16, rule, JobOrder::Lpt);
             assert!(s.validate(&jobs).is_ok(), "{rule:?}");
         }

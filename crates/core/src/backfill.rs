@@ -83,21 +83,24 @@ pub fn backfill_schedule_estimated(
     policy: BackfillPolicy,
     estimate_factor: f64,
 ) -> Schedule {
-    assert!(
-        estimate_factor >= 1.0 && estimate_factor.is_finite(),
-        "estimates must not undershoot (got factor {estimate_factor})"
-    );
-    for j in jobs {
-        assert!(
-            matches!(j.kind, JobKind::Rigid { .. }),
-            "backfill_schedule expects rigid jobs; job {} is not",
-            j.id
-        );
-        assert!(j.min_procs() <= m, "job {} wider than machine", j.id);
-    }
     let mut tl = Timeline::with_procs(m);
+    book_reservations(&mut tl, reservations);
+    backfill_on_timeline(jobs, m, tl, policy, estimate_factor)
+}
+
+/// Place count-based reservations on a timeline, deterministic first-fit —
+/// shared by [`backfill_schedule_estimated`] and the [`crate::policy`]
+/// layer so the placement rule cannot diverge.
+///
+/// # Panics
+/// On a degenerate reservation or one that does not fit the free
+/// processors of its window.
+pub fn book_reservations(tl: &mut Timeline, reservations: &[Reservation]) {
     for (i, r) in reservations.iter().enumerate() {
-        assert!(r.end > r.start && r.procs >= 1, "degenerate reservation {i}");
+        assert!(
+            r.end > r.start && r.procs >= 1,
+            "degenerate reservation {i}"
+        );
         let free = tl.free_during(r.start, r.end);
         assert!(
             free.len() >= r.procs,
@@ -105,7 +108,40 @@ pub fn backfill_schedule_estimated(
             free.len(),
             r.procs
         );
-        tl.book(r.start, r.end, free.take_first(r.procs), BookingKind::Reservation);
+        tl.book(
+            r.start,
+            r.end,
+            free.take_first(r.procs),
+            BookingKind::Reservation,
+        );
+    }
+}
+
+/// [`backfill_schedule_estimated`] over a pre-populated [`Timeline`]: every
+/// existing booking (whatever its kind) is treated as inviolable. This is
+/// the entry point the [`crate::policy`] layer and the grid's cluster-level
+/// scheduling use to pin *exact* processor sets (a count-based
+/// [`Reservation`] re-fits first-fit, which an incremental caller cannot
+/// rely on).
+pub fn backfill_on_timeline(
+    jobs: &[Job],
+    m: usize,
+    tl: Timeline,
+    policy: BackfillPolicy,
+    estimate_factor: f64,
+) -> Schedule {
+    assert!(
+        estimate_factor >= 1.0 && estimate_factor.is_finite(),
+        "estimates must not undershoot (got factor {estimate_factor})"
+    );
+    assert_eq!(tl.capacity().len(), m, "timeline capacity must match m");
+    for j in jobs {
+        assert!(
+            matches!(j.kind, JobKind::Rigid { .. }),
+            "backfill_schedule expects rigid jobs; job {} is not",
+            j.id
+        );
+        assert!(j.min_procs() <= m, "job {} wider than machine", j.id);
     }
     match policy {
         BackfillPolicy::Conservative => conservative(jobs, m, tl, estimate_factor),
@@ -148,8 +184,8 @@ fn easy(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
     let mut events: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
     let mut next = 0usize; // first not-yet-released job in `order`
     let mut queue: Vec<usize> = Vec::new(); // indices into `order`, FCFS
-    // Running bookings with their TRUE completion; the estimate tail is
-    // released when the job actually finishes.
+                                            // Running bookings with their TRUE completion; the estimate tail is
+                                            // released when the job actually finishes.
     let mut running: Vec<(lsps_platform::BookingId, Time)> = Vec::new();
     if let Some(j) = order.first() {
         events.push(Reverse(j.release));
@@ -323,8 +359,8 @@ mod tests {
     #[test]
     fn conservative_respects_booked_order() {
         let jobs = vec![
-            Job::rigid(1, 2, d(10)),              // [0,10) both procs
-            Job::rigid(2, 2, d(10)),              // booked [10,20)
+            Job::rigid(1, 2, d(10)),                  // [0,10) both procs
+            Job::rigid(2, 2, d(10)),                  // booked [10,20)
             Job::rigid(3, 1, d(5)).released_at(t(1)), // must go after, at 20
         ];
         let s = backfill_schedule(&jobs, 2, &[], BackfillPolicy::Conservative);
@@ -417,15 +453,21 @@ mod tests {
             Job::rigid(1, 1, d(10)),
             Job::rigid(2, 1, d(5)).released_at(t(12)),
         ];
-        let cons = backfill_schedule_estimated(
-            &jobs, 1, &[], BackfillPolicy::Conservative, 3.0,
-        );
+        let cons = backfill_schedule_estimated(&jobs, 1, &[], BackfillPolicy::Conservative, 3.0);
         let easy = backfill_schedule_estimated(&jobs, 1, &[], BackfillPolicy::Easy, 3.0);
         assert!(cons.validate(&jobs).is_ok() && easy.validate(&jobs).is_ok());
         let start_of = |s: &Schedule, id: u64| {
-            s.assignments().iter().find(|a| a.job == JobId(id)).unwrap().start
+            s.assignments()
+                .iter()
+                .find(|a| a.job == JobId(id))
+                .unwrap()
+                .start
         };
-        assert_eq!(start_of(&cons, 2), t(30), "conservative trusts the estimate");
+        assert_eq!(
+            start_of(&cons, 2),
+            t(30),
+            "conservative trusts the estimate"
+        );
         assert_eq!(start_of(&easy, 2), t(12), "EASY reuses the freed tail");
         assert!(easy.makespan() < cons.makespan());
     }

@@ -80,8 +80,7 @@ pub fn batch_online_avoiding<F>(
 where
     F: FnMut(&[Job], usize) -> Schedule,
 {
-    let mut windows: Vec<(Time, Time)> =
-        reservations.iter().map(|r| (r.start, r.end)).collect();
+    let mut windows: Vec<(Time, Time)> = reservations.iter().map(|r| (r.start, r.end)).collect();
     windows.sort_unstable();
     for w in windows.windows(2) {
         assert!(w[0].1 <= w[1].0, "reservations must not overlap in time");
@@ -231,8 +230,8 @@ mod tests {
 
     #[test]
     fn reservation_aligned_batches_avoid_blackouts() {
-        use crate::backfill::{backfill_schedule, respects_reservations, BackfillPolicy};
         use crate::backfill::Reservation;
+        use crate::backfill::{backfill_schedule, respects_reservations, BackfillPolicy};
         // One blackout window; jobs that would cross it get deferred.
         let resv = [Reservation {
             start: t(50),
@@ -244,9 +243,7 @@ mod tests {
             Job::sequential(2, d(40)).released_at(t(10)),
             Job::sequential(3, d(20)).released_at(t(60)),
         ];
-        let s = batch_online_avoiding(&jobs, 2, &resv, |b, m| {
-            list_schedule(b, m, JobOrder::Fcfs)
-        });
+        let s = batch_online_avoiding(&jobs, 2, &resv, |b, m| list_schedule(b, m, JobOrder::Fcfs));
         assert!(s.validate(&jobs).is_ok());
         // No assignment intersects the blackout.
         for a in s.assignments() {
@@ -260,7 +257,10 @@ mod tests {
         // never better than reservation-aware backfilling.
         let bf = backfill_schedule(&jobs, 2, &resv, BackfillPolicy::Conservative);
         assert!(respects_reservations(&bf, 2, &resv));
-        assert!(bf.makespan() <= s.makespan(), "backfilling wins (paper §5.1)");
+        assert!(
+            bf.makespan() <= s.makespan(),
+            "backfilling wins (paper §5.1)"
+        );
     }
 
     #[test]
@@ -268,8 +268,16 @@ mod tests {
     fn overlapping_reservations_rejected() {
         use crate::backfill::Reservation;
         let resv = [
-            Reservation { start: t(0), end: t(10), procs: 1 },
-            Reservation { start: t(5), end: t(15), procs: 1 },
+            Reservation {
+                start: t(0),
+                end: t(10),
+                procs: 1,
+            },
+            Reservation {
+                start: t(5),
+                end: t(15),
+                procs: 1,
+            },
         ];
         batch_online_avoiding(&[], 2, &resv, |b, m| list_schedule(b, m, JobOrder::Fcfs));
     }

@@ -181,7 +181,11 @@ pub fn bicriteria_schedule(jobs: &[Job], m: usize, params: BiCriteriaParams) -> 
         // Advance to the real end of the batch (bounded by the analysis
         // window t + 2d); an empty batch must still burn its window so the
         // escalation makes progress.
-        t = if packed.is_empty() { t + d + d } else { batch_end };
+        t = if packed.is_empty() {
+            t + d + d
+        } else {
+            batch_end
+        };
         if all_packed {
             // Caught up: the next batch recalibrates (on-line behaviour;
             // with an explicit d0 the caller pins the geometry instead).
@@ -273,8 +277,14 @@ mod tests {
             let cmax_ratio =
                 s.makespan().ticks() as f64 / cmax_lower_bound(&jobs, m).ticks() as f64;
             let wsum_ratio = crit.weighted_sum_completion / wsum_lower_bound(&jobs, m);
-            assert!(cmax_ratio <= 8.0 + 1e-9, "trial {trial}: Cmax ratio {cmax_ratio}");
-            assert!(wsum_ratio <= 8.0 + 1e-9, "trial {trial}: ΣwC ratio {wsum_ratio}");
+            assert!(
+                cmax_ratio <= 8.0 + 1e-9,
+                "trial {trial}: Cmax ratio {cmax_ratio}"
+            );
+            assert!(
+                wsum_ratio <= 8.0 + 1e-9,
+                "trial {trial}: ΣwC ratio {wsum_ratio}"
+            );
         }
     }
 

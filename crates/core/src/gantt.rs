@@ -115,7 +115,10 @@ mod tests {
     use lsps_workload::Job;
 
     fn sample() -> (Schedule, Vec<Job>) {
-        let jobs = vec![Job::rigid(1, 2, Dur::from_ticks(50)), Job::rigid(2, 1, Dur::from_ticks(30))];
+        let jobs = vec![
+            Job::rigid(1, 2, Dur::from_ticks(50)),
+            Job::rigid(2, 1, Dur::from_ticks(30)),
+        ];
         let mut s = Schedule::new(3);
         s.place(&jobs[0], Time::ZERO, ProcSet::range(0, 2));
         s.place(&jobs[1], Time::from_ticks(10), ProcSet::from_indices([2]));

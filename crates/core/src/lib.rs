@@ -39,6 +39,7 @@ pub mod malleable;
 pub mod mixed;
 pub mod mrt;
 pub mod nonclairvoyant;
+pub mod policy;
 pub mod schedule;
 pub mod shelf;
 pub mod single;
@@ -49,16 +50,17 @@ pub use advisor::{advise, Application, Objective, PolicyChoice, Recommendation};
 pub use backfill::{backfill_schedule, backfill_schedule_estimated, BackfillPolicy, Reservation};
 pub use batch::batch_online;
 pub use bicriteria::{bicriteria_schedule, BiCriteriaParams};
+pub use gantt::{gantt_svg, GanttOptions};
 pub use list::{list_schedule, JobOrder};
 pub use malleable::{deq_schedule, MalleableSchedule, MalleableSegment};
 pub use mrt::{mrt_schedule, MrtParams};
 pub use nonclairvoyant::{exponential_trial_schedule, TrialStats};
-pub use gantt::{gantt_svg, GanttOptions};
+pub use policy::{registry, PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
 pub use schedule::{Assignment, Schedule, ValidationError};
-pub use uniform::{uniform_list_schedule, UniformSchedule};
 pub use shelf::{shelf_schedule, ShelfAlgo};
 pub use single::{single_machine, SingleRule};
 pub use smart::smart_schedule;
+pub use uniform::{uniform_list_schedule, UniformSchedule};
 
 /// Commonly used items.
 pub mod prelude {
@@ -68,14 +70,15 @@ pub mod prelude {
     };
     pub use crate::batch::batch_online;
     pub use crate::bicriteria::{bicriteria_schedule, BiCriteriaParams};
+    pub use crate::gantt::{gantt_svg, GanttOptions};
     pub use crate::list::{list_schedule, JobOrder};
     pub use crate::malleable::{deq_schedule, MalleableSchedule, MalleableSegment};
     pub use crate::mrt::{mrt_schedule, MrtParams};
     pub use crate::nonclairvoyant::{exponential_trial_schedule, TrialStats};
-    pub use crate::gantt::{gantt_svg, GanttOptions};
+    pub use crate::policy::{registry, PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
     pub use crate::schedule::{Assignment, Schedule, ValidationError};
-    pub use crate::uniform::{uniform_list_schedule, UniformSchedule};
     pub use crate::shelf::{shelf_schedule, ShelfAlgo};
     pub use crate::single::{single_machine, SingleRule};
     pub use crate::smart::smart_schedule;
+    pub use crate::uniform::{uniform_list_schedule, UniformSchedule};
 }

@@ -37,7 +37,9 @@ fn sort_jobs(items: &mut [(&Job, usize)], order: JobOrder) {
         JobOrder::WeightDensity => items.sort_by(|(a, ka), (b, kb)| {
             let da = a.weight / (a.time_on(*ka).ticks().max(1) as f64 * *ka as f64);
             let db = b.weight / (b.time_on(*kb).ticks().max(1) as f64 * *kb as f64);
-            db.partial_cmp(&da).expect("finite density").then(a.id.cmp(&b.id))
+            db.partial_cmp(&da)
+                .expect("finite density")
+                .then(a.id.cmp(&b.id))
         }),
     }
 }
@@ -170,10 +172,7 @@ mod tests {
             assert!(s.validate(&jobs).is_ok());
             let lb = cmax_lower_bound(&jobs, m).ticks() as f64;
             let ratio = s.makespan().ticks() as f64 / lb;
-            assert!(
-                ratio <= 2.0 - 1.0 / m as f64 + 1e-9,
-                "m={m}: ratio {ratio}"
-            );
+            assert!(ratio <= 2.0 - 1.0 / m as f64 + 1e-9, "m={m}: ratio {ratio}");
         }
     }
 

@@ -81,7 +81,10 @@ impl MalleableSchedule {
 
     /// Latest segment end.
     pub fn makespan(&self) -> Time {
-        self.segments.iter().map(|s| s.end).fold(Time::ZERO, Time::max)
+        self.segments
+            .iter()
+            .map(|s| s.end)
+            .fold(Time::ZERO, Time::max)
     }
 
     /// Per-job completion records (`procs` reports the maximal allotment
@@ -125,8 +128,7 @@ impl MalleableSchedule {
                 JobKind::Malleable { profile } | JobKind::Moldable { profile } => profile,
                 _ => return Err(MalleableError::BadSegment(s.job)),
             };
-            if k < 1 || k > profile.max_procs() || !s.procs.is_subset(&machine) || s.end < s.start
-            {
+            if k < 1 || k > profile.max_procs() || !s.procs.is_subset(&machine) || s.end < s.start {
                 return Err(MalleableError::BadSegment(s.job));
             }
             let e = progress.entry(s.job).or_insert((0.0, 0));
@@ -217,10 +219,7 @@ pub fn deq_schedule(jobs: &[Job], m: usize) -> MalleableSchedule {
         let mut allot: Vec<usize> = (0..runnable)
             .map(|i| {
                 let share = base + usize::from(i < extra);
-                share
-                    .min(active[i].job.max_procs())
-                    .min(m)
-                    .max(1)
+                share.min(active[i].job.max_procs()).min(m).max(1)
             })
             .collect();
         // Redistribute processors freed by capped jobs to the others.
@@ -370,8 +369,18 @@ mod tests {
             .iter()
             .filter(|seg| seg.start == Time::ZERO)
             .collect();
-        let k1 = first_segs.iter().find(|s| s.job == JobId(1)).unwrap().procs.len();
-        let k2 = first_segs.iter().find(|s| s.job == JobId(2)).unwrap().procs.len();
+        let k1 = first_segs
+            .iter()
+            .find(|s| s.job == JobId(1))
+            .unwrap()
+            .procs
+            .len();
+        let k2 = first_segs
+            .iter()
+            .find(|s| s.job == JobId(2))
+            .unwrap()
+            .procs
+            .len();
         assert_eq!(k1, 2);
         assert_eq!(k2, 6, "spare procs go to the unbounded job");
     }

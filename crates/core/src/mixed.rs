@@ -68,9 +68,8 @@ pub fn mixed_schedule(jobs: &[Job], m: usize, strategy: MixedStrategy) -> Schedu
                         j
                     })
                     .collect();
-                let phase2 = batch_online(&shifted, m, |b, m| {
-                    mrt_schedule(b, m, MrtParams::default())
-                });
+                let phase2 =
+                    batch_online(&shifted, m, |b, m| mrt_schedule(b, m, MrtParams::default()));
                 sched.extend(phase2);
             }
             sched
@@ -181,7 +180,10 @@ mod tests {
                 .unwrap()
                 .clone()
         };
-        assert!(find(2).start >= find(1).end, "moldable waits for rigid phase");
+        assert!(
+            find(2).start >= find(1).end,
+            "moldable waits for rigid phase"
+        );
     }
 
     #[test]

@@ -94,12 +94,7 @@ fn try_lambda(jobs: &[Job], m: usize, lambda: u64) -> Option<Schedule> {
     for (idx, job) in jobs.iter().enumerate() {
         let (k1, w1) = allotment_within(job, m, lam)?; // reject: job can't meet λ
         let short = allotment_within(job, m, half);
-        entries.push(Entry {
-            idx,
-            k1,
-            w1,
-            short,
-        });
+        entries.push(Entry { idx, k1, w1, short });
     }
 
     // Forced S1 occupancy (jobs that cannot fit in λ/2).
@@ -190,16 +185,16 @@ fn try_lambda(jobs: &[Job], m: usize, lambda: u64) -> Option<Schedule> {
     for &(idx, k, p) in &s2 {
         by_free.sort_by_key(|&i| (free_at[i], i));
         let chosen = &by_free[..k];
-        let start = chosen
-            .iter()
-            .map(|&i| free_at[i])
-            .max()
-            .expect("k >= 1");
+        let start = chosen.iter().map(|&i| free_at[i]).max().expect("k >= 1");
         let end = start + p;
         if end > deadline {
             return None; // stacking overflow: escalate λ
         }
-        sched.place(&jobs[idx], start, ProcSet::from_indices(chosen.iter().copied()));
+        sched.place(
+            &jobs[idx],
+            start,
+            ProcSet::from_indices(chosen.iter().copied()),
+        );
         for &i in chosen {
             free_at[i] = end;
         }

@@ -15,8 +15,8 @@
 //! the standard price of non-clairvoyance.
 
 use lsps_des::{Dur, Time};
-use lsps_platform::Timeline;
 use lsps_platform::BookingKind;
+use lsps_platform::Timeline;
 use lsps_workload::{Job, JobKind};
 
 use crate::schedule::{Assignment, Schedule};
@@ -144,13 +144,7 @@ mod tests {
         let mut rng = SimRng::seed_from(5);
         let m = 8;
         let jobs: Vec<Job> = (0..30)
-            .map(|i| {
-                Job::rigid(
-                    i,
-                    rng.int_range(1, 4) as usize,
-                    d(rng.int_range(10, 2_000)),
-                )
-            })
+            .map(|i| Job::rigid(i, rng.int_range(1, 4) as usize, d(rng.int_range(10, 2_000))))
             .collect();
         let (s, stats) = exponential_trial_schedule(&jobs, m, d(10));
         assert_eq!(s.validate(&jobs), Ok(()));

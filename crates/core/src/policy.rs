@@ -1,0 +1,792 @@
+//! The unified `Policy` abstraction — "which policy" as a first-class value.
+//!
+//! The paper's whole programme is *comparing* scheduling policies across
+//! application models. Before this module, every comparison was wired by
+//! hand: each algorithm is a differently-shaped free function and every
+//! experiment re-implemented its own policy × workload loop. [`Policy`]
+//! gives all of them one shape:
+//!
+//! * [`Policy::schedule`] — jobs in, validated-rectangle [`Schedule`] out,
+//!   under a shared [`PolicyCtx`] carrying reservations, the release-date
+//!   mode and the clairvoyance knob;
+//! * [`Policy::prepare`] — the *as-scheduled* job view. Policies that only
+//!   handle rigid jobs rigidify moldable ones (via [`crate::allot`]),
+//!   off-line-only policies strip release dates (documented as an
+//!   *advantage* they are granted — they still lose where the paper says
+//!   they should). Consumers validate and evaluate against this view,
+//!   exactly as the hand-written experiment loops did;
+//! * [`registry`] — every paper policy as a boxed, named instance, so
+//!   experiment binaries, the grid layer and tests iterate one list
+//!   instead of hard-coding dispatch.
+//!
+//! The trait is deliberately object-safe: the experiment runner
+//! (`lsps_bench::runner`), the CiGri cluster scheduler
+//! (`lsps_grid::cigri`) and the advisor
+//! ([`crate::advisor::PolicyChoice::instantiate`]) all traffic in
+//! `Box<dyn Policy>`.
+
+use std::borrow::Cow;
+
+use lsps_des::Time;
+use lsps_platform::{BookingKind, ProcSet, Timeline};
+use lsps_workload::{Job, JobKind};
+
+use crate::allot::{choose_allotment, AllotRule};
+use crate::backfill::{backfill_on_timeline, book_reservations, BackfillPolicy, Reservation};
+use crate::batch::{batch_online, batch_online_avoiding};
+use crate::bicriteria::{bicriteria_schedule, BiCriteriaParams};
+use crate::list::{list_schedule_allotted, JobOrder};
+use crate::malleable::{deq_schedule, MalleableSchedule};
+use crate::mrt::{mrt_schedule, MrtParams};
+use crate::schedule::Schedule;
+use crate::shelf::{shelf_schedule, ShelfAlgo};
+use crate::smart::smart_schedule;
+
+/// How release dates reach the policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ReleaseMode {
+    /// Jobs arrive over time; policies that understand release dates
+    /// honour them, off-line-only policies strip them (their documented
+    /// head start).
+    #[default]
+    Online,
+    /// Zero every release date first: the pure off-line comparison.
+    Offline,
+}
+
+/// A booking with an exact processor set that the policy must not touch —
+/// the incremental/grid form of an advance reservation, where re-fitting a
+/// processor *count* first-fit (as [`Reservation`] placement does) would
+/// not match the machine's real occupancy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PinnedBooking {
+    /// Window start.
+    pub start: Time,
+    /// Window end (exclusive).
+    pub end: Time,
+    /// Exact processors blocked during the window.
+    pub procs: ProcSet,
+}
+
+/// Everything a policy may need beyond the jobs and the machine size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyCtx {
+    /// Release-date handling.
+    pub release_mode: ReleaseMode,
+    /// Advance reservations (§5.1), placed first-fit by processor count.
+    pub reservations: Vec<Reservation>,
+    /// Exact-processor bookings (grid integration).
+    pub pinned: Vec<PinnedBooking>,
+    /// Clairvoyance knob: runtime estimates are `true × factor` (≥ 1;
+    /// 1.0 = exact). Only estimate-aware policies (backfilling) use it.
+    pub estimate_factor: f64,
+    /// Allotment rule used when a rigid-only policy must rigidify
+    /// moldable jobs.
+    pub allot_rule: AllotRule,
+}
+
+impl Default for PolicyCtx {
+    fn default() -> Self {
+        PolicyCtx {
+            release_mode: ReleaseMode::Online,
+            reservations: Vec::new(),
+            pinned: Vec::new(),
+            estimate_factor: 1.0,
+            allot_rule: AllotRule::Balanced,
+        }
+    }
+}
+
+impl PolicyCtx {
+    /// Off-line context (all release dates stripped).
+    pub fn offline() -> PolicyCtx {
+        PolicyCtx {
+            release_mode: ReleaseMode::Offline,
+            ..PolicyCtx::default()
+        }
+    }
+
+    fn has_reservations(&self) -> bool {
+        !self.reservations.is_empty() || !self.pinned.is_empty()
+    }
+}
+
+/// A schedule together with the as-scheduled job view it is valid against.
+#[derive(Clone, Debug)]
+pub struct PolicyRun {
+    /// The produced schedule.
+    pub schedule: Schedule,
+    /// The jobs as the policy actually scheduled them (rigidified,
+    /// possibly release-stripped).
+    pub jobs: Vec<Job>,
+}
+
+impl PolicyRun {
+    /// Validate the schedule against the as-scheduled jobs.
+    pub fn validate(&self) -> Result<(), crate::schedule::ValidationError> {
+        self.schedule.validate(&self.jobs)
+    }
+}
+
+/// A scheduling policy: one shape for every algorithm in the paper.
+pub trait Policy {
+    /// Stable, unique identifier (used in CSV output and lookups).
+    fn name(&self) -> &str;
+
+    /// True iff the policy honours release dates natively (otherwise
+    /// [`prepare`](Policy::prepare) strips them).
+    fn supports_releases(&self) -> bool {
+        false
+    }
+
+    /// True iff the policy can work around advance reservations.
+    fn supports_reservations(&self) -> bool {
+        false
+    }
+
+    /// True iff the policy honours [`PinnedBooking`]s *exactly* — placing
+    /// work around arbitrary, possibly time-overlapping bookings without
+    /// touching their processors. This is what incremental callers (the
+    /// grid's cluster-level scheduling) need; batch policies that can only
+    /// treat reservations as disjoint full-machine blackouts must return
+    /// false.
+    fn supports_pinned(&self) -> bool {
+        false
+    }
+
+    /// The job view the policy actually schedules; idempotent. Borrows the
+    /// input when no transformation is needed, so trait dispatch adds no
+    /// copy on the hot path.
+    fn prepare<'a>(&self, jobs: &'a [Job], m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]>;
+
+    /// Schedule `jobs` on `m` identical processors. The result validates
+    /// against [`prepare`](Policy::prepare)`(jobs, m, ctx)`.
+    ///
+    /// # Panics
+    /// If `ctx` requests a capability the policy lacks (reservations on a
+    /// reservation-blind policy), or jobs are outside the PT domain
+    /// (divisible loads — route those to `lsps-dlt`).
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule;
+
+    /// One-call pipeline: schedule plus the matching job view. `prepare`
+    /// is idempotent, so scheduling the prepared view skips the second
+    /// (potentially cloning) normalisation pass.
+    fn run(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> PolicyRun {
+        let prepared = self.prepare(jobs, m, ctx).into_owned();
+        PolicyRun {
+            schedule: self.schedule(&prepared, m, ctx),
+            jobs: prepared,
+        }
+    }
+}
+
+/// Shared input normalisation. `allot`: when given, moldable/malleable
+/// jobs are replaced by rigid ones at the allotment this function chooses.
+/// `strip_releases`: zero release dates. Divisible jobs are always
+/// rejected, for the whole list, before anything else.
+fn normalize<'a>(
+    policy_name: &str,
+    jobs: &'a [Job],
+    ctx: &PolicyCtx,
+    allot: Option<&dyn Fn(&Job) -> usize>,
+    strip_releases: bool,
+) -> Cow<'a, [Job]> {
+    for j in jobs {
+        assert!(
+            !matches!(j.kind, JobKind::Divisible { .. }),
+            "{policy_name}: job {} is a divisible load; PT policies cannot \
+             schedule it (use lsps-dlt)",
+            j.id
+        );
+    }
+    let strip = strip_releases || ctx.release_mode == ReleaseMode::Offline;
+    let needs_work = jobs
+        .iter()
+        .any(|j| (strip && j.release != Time::ZERO) || (allot.is_some() && j.profile().is_some()));
+    if !needs_work {
+        return Cow::Borrowed(jobs);
+    }
+    Cow::Owned(
+        jobs.iter()
+            .map(|j| {
+                let mut job = j.clone();
+                if strip {
+                    job.release = Time::ZERO;
+                }
+                if let Some(allot) = allot {
+                    if let Some(profile) = job.profile() {
+                        let k = allot(&job);
+                        job.kind = JobKind::Rigid {
+                            procs: k,
+                            len: profile.time(k),
+                        };
+                    }
+                }
+                job
+            })
+            .collect(),
+    )
+}
+
+/// The ctx-rule rigidification shared by the rigid-only policies.
+fn normalize_rigid<'a>(
+    policy_name: &str,
+    jobs: &'a [Job],
+    m: usize,
+    ctx: &PolicyCtx,
+    strip_releases: bool,
+) -> Cow<'a, [Job]> {
+    let n = jobs.len();
+    let allot = move |j: &Job| choose_allotment(j, m, n, ctx.allot_rule);
+    normalize(policy_name, jobs, ctx, Some(&allot), strip_releases)
+}
+
+fn reject_reservations(policy_name: &str, ctx: &PolicyCtx) {
+    assert!(
+        !ctx.has_reservations(),
+        "{policy_name} cannot honour reservations; use a backfilling or \
+         batch policy"
+    );
+}
+
+/// List scheduling of (rigidified) jobs in a fixed priority order.
+#[derive(Clone, Copy, Debug)]
+pub struct ListScheduling {
+    order: JobOrder,
+}
+
+impl ListScheduling {
+    /// A list policy with the given priority order.
+    pub fn new(order: JobOrder) -> ListScheduling {
+        ListScheduling { order }
+    }
+}
+
+impl Policy for ListScheduling {
+    fn name(&self) -> &str {
+        match self.order {
+            JobOrder::Fcfs => "list-fcfs",
+            JobOrder::Lpt => "list-lpt",
+            JobOrder::Spt => "list-spt",
+            JobOrder::WeightDensity => "list-wspt",
+        }
+    }
+
+    fn supports_releases(&self) -> bool {
+        true
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize_rigid(self.name(), jobs, m, ctx, false)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        let jobs = self.prepare(jobs, m, ctx);
+        let items: Vec<(&Job, usize)> = jobs.iter().map(|j| (j, j.min_procs())).collect();
+        list_schedule_allotted(&items, m, self.order)
+    }
+}
+
+/// NFDH/FFDH shelf packing (off-line, rigid).
+#[derive(Clone, Copy, Debug)]
+pub struct ShelfPacking {
+    algo: ShelfAlgo,
+}
+
+impl ShelfPacking {
+    /// A shelf policy with the given packing rule.
+    pub fn new(algo: ShelfAlgo) -> ShelfPacking {
+        ShelfPacking { algo }
+    }
+}
+
+impl Policy for ShelfPacking {
+    fn name(&self) -> &str {
+        match self.algo {
+            ShelfAlgo::Nfdh => "shelf-nfdh",
+            ShelfAlgo::Ffdh => "shelf-ffdh",
+        }
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize_rigid(self.name(), jobs, m, ctx, true)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        let jobs = self.prepare(jobs, m, ctx);
+        shelf_schedule(&jobs, m, self.algo)
+    }
+}
+
+/// EASY / conservative backfilling with reservations and estimates (§5.1).
+#[derive(Clone, Copy, Debug)]
+pub struct Backfilling {
+    flavour: BackfillPolicy,
+}
+
+impl Backfilling {
+    /// EASY (aggressive) backfilling.
+    pub fn easy() -> Backfilling {
+        Backfilling {
+            flavour: BackfillPolicy::Easy,
+        }
+    }
+
+    /// Conservative backfilling.
+    pub fn conservative() -> Backfilling {
+        Backfilling {
+            flavour: BackfillPolicy::Conservative,
+        }
+    }
+}
+
+impl Policy for Backfilling {
+    fn name(&self) -> &str {
+        match self.flavour {
+            BackfillPolicy::Easy => "backfill-easy",
+            BackfillPolicy::Conservative => "backfill-conservative",
+        }
+    }
+
+    fn supports_releases(&self) -> bool {
+        true
+    }
+
+    fn supports_reservations(&self) -> bool {
+        true
+    }
+
+    fn supports_pinned(&self) -> bool {
+        true
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize_rigid(self.name(), jobs, m, ctx, false)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        let jobs = self.prepare(jobs, m, ctx);
+        let mut tl = Timeline::with_procs(m);
+        for (i, p) in ctx.pinned.iter().enumerate() {
+            tl.try_book(p.start, p.end, p.procs.clone(), BookingKind::Reservation)
+                .unwrap_or_else(|e| panic!("pinned booking {i} conflicts: {e:?}"));
+        }
+        book_reservations(&mut tl, &ctx.reservations);
+        backfill_on_timeline(&jobs, m, tl, self.flavour, ctx.estimate_factor)
+    }
+}
+
+/// SMART power-of-two shelves in Smith order (§4.3).
+#[derive(Clone, Copy, Debug)]
+pub struct SmartShelves {
+    weighted: bool,
+}
+
+impl SmartShelves {
+    /// Ratio-8 unweighted variant.
+    pub fn unweighted() -> SmartShelves {
+        SmartShelves { weighted: false }
+    }
+
+    /// Ratio-8.53 weighted variant.
+    pub fn weighted() -> SmartShelves {
+        SmartShelves { weighted: true }
+    }
+}
+
+impl Policy for SmartShelves {
+    fn name(&self) -> &str {
+        if self.weighted {
+            "smart-weighted"
+        } else {
+            "smart"
+        }
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize_rigid(self.name(), jobs, m, ctx, true)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        let jobs = self.prepare(jobs, m, ctx);
+        smart_schedule(&jobs, m, self.weighted)
+    }
+}
+
+/// MRT two-shelf dual approximation, off-line moldable makespan (§4.1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MrtTwoShelf {
+    /// Dual-approximation search accuracy.
+    pub params: MrtParams,
+}
+
+impl Policy for MrtTwoShelf {
+    fn name(&self) -> &str {
+        "mrt"
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], _m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize(self.name(), jobs, ctx, None, true)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        let jobs = self.prepare(jobs, m, ctx);
+        mrt_schedule(&jobs, m, self.params)
+    }
+}
+
+/// MRT inside Shmoys doubling batches: the paper's 3 + ε on-line moldable
+/// algorithm (§4.2), reservation-aware via blackout-aligned batches.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchedMrt {
+    /// Inner off-line MRT accuracy.
+    pub params: MrtParams,
+}
+
+impl Policy for BatchedMrt {
+    fn name(&self) -> &str {
+        "batch-mrt"
+    }
+
+    fn supports_releases(&self) -> bool {
+        true
+    }
+
+    fn supports_reservations(&self) -> bool {
+        true
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], _m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize(self.name(), jobs, ctx, None, false)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        let jobs = self.prepare(jobs, m, ctx);
+        let params = self.params;
+        if ctx.has_reservations() {
+            // Batch algorithms can only align batch boundaries with the
+            // reservation windows (§5.1's "likely inefficient" idea, priced
+            // honestly): every reservation becomes a full-machine blackout.
+            let mut windows: Vec<Reservation> = ctx.reservations.clone();
+            windows.extend(ctx.pinned.iter().map(|p| Reservation {
+                start: p.start,
+                end: p.end,
+                procs: p.procs.len(),
+            }));
+            batch_online_avoiding(&jobs, m, &windows, |b, mm| mrt_schedule(b, mm, params))
+        } else {
+            batch_online(&jobs, m, |b, mm| mrt_schedule(b, mm, params))
+        }
+    }
+}
+
+/// The bi-criteria doubling-batch algorithm (§4.4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BiCriteriaDoubling {
+    /// Batch geometry.
+    pub params: BiCriteriaParams,
+}
+
+impl Policy for BiCriteriaDoubling {
+    fn name(&self) -> &str {
+        "bicriteria"
+    }
+
+    fn supports_releases(&self) -> bool {
+        true
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], _m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize(self.name(), jobs, ctx, None, false)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        let jobs = self.prepare(jobs, m, ctx);
+        bicriteria_schedule(&jobs, m, self.params)
+    }
+}
+
+/// Dynamic-equipartition adapter (§2.2).
+///
+/// DEQ proper produces a [`MalleableSchedule`] (allotments change at every
+/// event), which the rectangle-exact [`Schedule`] cannot express; the
+/// malleable run stays available through [`DeqEquipartition::deq`]. As a
+/// [`Policy`], the adapter projects DEQ onto rectangles: every job gets the
+/// *static* equipartition share `m / min(n, m)` (capped by its useful
+/// parallelism, floor 1) and the shares are list-scheduled FCFS — the
+/// standard moldable surrogate for equipartition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeqEquipartition;
+
+impl DeqEquipartition {
+    /// The exact malleable DEQ run (for malleable-capable evaluations).
+    pub fn deq(&self, jobs: &[Job], m: usize) -> MalleableSchedule {
+        deq_schedule(jobs, m)
+    }
+}
+
+impl Policy for DeqEquipartition {
+    fn name(&self) -> &str {
+        "deq-equipartition"
+    }
+
+    fn supports_releases(&self) -> bool {
+        true
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        let share = (m / jobs.len().clamp(1, m)).max(1);
+        let allot = move |j: &Job| share.min(j.max_procs()).max(1);
+        normalize(self.name(), jobs, ctx, Some(&allot), false)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        let jobs = self.prepare(jobs, m, ctx);
+        let items: Vec<(&Job, usize)> = jobs.iter().map(|j| (j, j.min_procs())).collect();
+        list_schedule_allotted(&items, m, JobOrder::Fcfs)
+    }
+}
+
+/// Every paper policy as a boxed, named instance.
+///
+/// Names are stable identifiers (CSV columns, [`by_name`] lookups):
+/// `list-fcfs`, `list-lpt`, `list-spt`, `list-wspt`, `shelf-nfdh`,
+/// `shelf-ffdh`, `backfill-easy`, `backfill-conservative`, `smart`,
+/// `smart-weighted`, `mrt`, `batch-mrt`, `bicriteria`,
+/// `deq-equipartition`.
+pub fn registry() -> Vec<Box<dyn Policy>> {
+    vec![
+        Box::new(ListScheduling::new(JobOrder::Fcfs)),
+        Box::new(ListScheduling::new(JobOrder::Lpt)),
+        Box::new(ListScheduling::new(JobOrder::Spt)),
+        Box::new(ListScheduling::new(JobOrder::WeightDensity)),
+        Box::new(ShelfPacking::new(ShelfAlgo::Nfdh)),
+        Box::new(ShelfPacking::new(ShelfAlgo::Ffdh)),
+        Box::new(Backfilling::easy()),
+        Box::new(Backfilling::conservative()),
+        Box::new(SmartShelves::unweighted()),
+        Box::new(SmartShelves::weighted()),
+        Box::new(MrtTwoShelf::default()),
+        Box::new(BatchedMrt::default()),
+        Box::new(BiCriteriaDoubling::default()),
+        Box::new(DeqEquipartition),
+    ]
+}
+
+/// Look a registry policy up by its stable name.
+pub fn by_name(name: &str) -> Option<Box<dyn Policy>> {
+    registry().into_iter().find(|p| p.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_des::Dur;
+    use lsps_workload::{MoldableProfile, SpeedupModel};
+
+    fn d(x: u64) -> Dur {
+        Dur::from_ticks(x)
+    }
+
+    fn mixed_jobs() -> Vec<Job> {
+        vec![
+            Job::rigid(0, 2, d(50)),
+            Job::sequential(1, d(120)).released_at(Time::from_ticks(10)),
+            Job::moldable(
+                2,
+                MoldableProfile::from_model(d(400), &SpeedupModel::Amdahl { seq_fraction: 0.1 }, 8),
+            )
+            .released_at(Time::from_ticks(25)),
+        ]
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_plentiful() {
+        let reg = registry();
+        assert!(reg.len() >= 9, "registry has {} policies", reg.len());
+        let mut names: Vec<&str> = reg.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate policy names");
+    }
+
+    #[test]
+    fn by_name_roundtrips_every_registry_entry() {
+        for p in registry() {
+            let found = by_name(p.name()).expect("lookup succeeds");
+            assert_eq!(found.name(), p.name());
+        }
+        assert!(by_name("no-such-policy").is_none());
+    }
+
+    #[test]
+    fn every_policy_schedules_a_mixed_workload() {
+        let jobs = mixed_jobs();
+        for policy in registry() {
+            for ctx in [PolicyCtx::default(), PolicyCtx::offline()] {
+                let run = policy.run(&jobs, 8, &ctx);
+                assert_eq!(
+                    run.validate(),
+                    Ok(()),
+                    "{} ({:?})",
+                    policy.name(),
+                    ctx.release_mode
+                );
+                assert_eq!(run.schedule.len(), jobs.len(), "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_borrows_when_identity() {
+        // Rigid, release-free jobs under the on-line ctx need no copy.
+        let jobs = vec![Job::rigid(0, 2, d(10)), Job::sequential(1, d(5))];
+        let p = ListScheduling::new(JobOrder::Fcfs);
+        assert!(matches!(
+            p.prepare(&jobs, 4, &PolicyCtx::default()),
+            Cow::Borrowed(_)
+        ));
+        // Moldable input forces the rigidifying copy.
+        let moldable = mixed_jobs();
+        assert!(matches!(
+            p.prepare(&moldable, 4, &PolicyCtx::default()),
+            Cow::Owned(_)
+        ));
+    }
+
+    #[test]
+    fn offline_mode_strips_releases() {
+        let jobs = mixed_jobs();
+        let p = BiCriteriaDoubling::default();
+        let prepared = p.prepare(&jobs, 8, &PolicyCtx::offline());
+        assert!(prepared.iter().all(|j| j.release == Time::ZERO));
+        // On-line mode keeps them (bicriteria handles releases natively).
+        let online = p.prepare(&jobs, 8, &PolicyCtx::default());
+        assert_eq!(online[1].release, Time::from_ticks(10));
+    }
+
+    #[test]
+    fn backfill_policy_honours_reservations_and_estimates() {
+        use crate::backfill::respects_reservations;
+        let jobs = vec![Job::rigid(1, 2, d(10)), Job::rigid(2, 1, d(4))];
+        let resv = Reservation {
+            start: Time::from_ticks(5),
+            end: Time::from_ticks(15),
+            procs: 2,
+        };
+        let ctx = PolicyCtx {
+            reservations: vec![resv],
+            estimate_factor: 2.0,
+            ..PolicyCtx::default()
+        };
+        for policy in [Backfilling::easy(), Backfilling::conservative()] {
+            let run = policy.run(&jobs, 2, &ctx);
+            assert_eq!(run.validate(), Ok(()), "{}", policy.name());
+            assert!(respects_reservations(&run.schedule, 2, &[resv]));
+        }
+    }
+
+    #[test]
+    fn pinned_bookings_are_inviolable() {
+        // Pin the exact processor {0} for [0, 100); a 1-proc job must land
+        // on processor 1 (count-based refit could not guarantee that).
+        let jobs = vec![Job::sequential(1, d(10))];
+        let ctx = PolicyCtx {
+            pinned: vec![PinnedBooking {
+                start: Time::ZERO,
+                end: Time::from_ticks(100),
+                procs: ProcSet::from_indices([0]),
+            }],
+            ..PolicyCtx::default()
+        };
+        let run = Backfilling::conservative().run(&jobs, 2, &ctx);
+        assert_eq!(run.validate(), Ok(()));
+        let a = &run.schedule.assignments()[0];
+        assert_eq!(a.start, Time::ZERO);
+        assert_eq!(a.procs, ProcSet::from_indices([1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reservation_blind_policies_reject_reservations() {
+        let ctx = PolicyCtx {
+            reservations: vec![Reservation {
+                start: Time::ZERO,
+                end: Time::from_ticks(10),
+                procs: 1,
+            }],
+            ..PolicyCtx::default()
+        };
+        SmartShelves::weighted().schedule(&[Job::sequential(1, d(5))], 2, &ctx);
+    }
+
+    #[test]
+    #[should_panic]
+    fn divisible_jobs_rejected() {
+        let j = Job {
+            kind: JobKind::Divisible { work: 10.0 },
+            ..Job::sequential(1, d(1))
+        };
+        ListScheduling::new(JobOrder::Fcfs).schedule(&[j], 2, &PolicyCtx::default());
+    }
+
+    #[test]
+    fn batch_mrt_avoids_reservation_windows() {
+        let resv = Reservation {
+            start: Time::from_ticks(50),
+            end: Time::from_ticks(100),
+            procs: 2,
+        };
+        let jobs = vec![
+            Job::sequential(1, d(30)),
+            Job::sequential(2, d(40)).released_at(Time::from_ticks(10)),
+        ];
+        let ctx = PolicyCtx {
+            reservations: vec![resv],
+            ..PolicyCtx::default()
+        };
+        let run = BatchedMrt::default().run(&jobs, 2, &ctx);
+        assert_eq!(run.validate(), Ok(()));
+        for a in run.schedule.assignments() {
+            assert!(
+                a.end <= Time::from_ticks(50) || a.start >= Time::from_ticks(100),
+                "assignment {a:?} crosses the blackout"
+            );
+        }
+    }
+
+    #[test]
+    fn deq_adapter_exposes_true_malleable_run() {
+        let profile = MoldableProfile::from_model(d(800), &SpeedupModel::Linear, 8);
+        let jobs = vec![
+            Job {
+                kind: JobKind::Malleable {
+                    profile: profile.clone(),
+                },
+                ..Job::sequential(1, d(800))
+            },
+            Job {
+                kind: JobKind::Malleable { profile },
+                ..Job::sequential(2, d(800))
+            },
+        ];
+        let adapter = DeqEquipartition;
+        let malleable = adapter.deq(&jobs, 8);
+        assert_eq!(malleable.validate(&jobs), Ok(()));
+        let rect = adapter.run(&jobs, 8, &PolicyCtx::default());
+        assert_eq!(rect.validate(), Ok(()));
+        // Static shares: two jobs on m=8 get 4 procs each.
+        assert!(rect
+            .schedule
+            .assignments()
+            .iter()
+            .all(|a| a.procs.len() == 4));
+    }
+}

@@ -178,8 +178,7 @@ impl Schedule {
             if !admissible {
                 return Err(ValidationError::WrongShape(a.job));
             }
-            if !matches!(job.kind, JobKind::Divisible { .. }) && a.end - a.start != job.time_on(k)
-            {
+            if !matches!(job.kind, JobKind::Divisible { .. }) && a.end - a.start != job.time_on(k) {
                 return Err(ValidationError::WrongShape(a.job));
             }
         }
@@ -315,7 +314,10 @@ mod tests {
             end: t(14),
             procs: ProcSet::from_indices([0]),
         });
-        assert_eq!(bad.validate(&jobs), Err(ValidationError::EarlyStart(JobId(1))));
+        assert_eq!(
+            bad.validate(&jobs),
+            Err(ValidationError::EarlyStart(JobId(1)))
+        );
     }
 
     #[test]
@@ -330,7 +332,10 @@ mod tests {
             procs: ProcSet::range(0, 2),
         });
         s.place(&jobs[1], t(20), ProcSet::from_indices([2]));
-        assert_eq!(s.validate(&jobs), Err(ValidationError::WrongShape(JobId(1))));
+        assert_eq!(
+            s.validate(&jobs),
+            Err(ValidationError::WrongShape(JobId(1)))
+        );
         // Wrong allotment for a rigid job.
         let mut s = Schedule::new(3);
         s.push(Assignment {
@@ -340,7 +345,10 @@ mod tests {
             procs: ProcSet::range(0, 3),
         });
         s.place(&jobs[1], t(20), ProcSet::from_indices([2]));
-        assert_eq!(s.validate(&jobs), Err(ValidationError::WrongShape(JobId(1))));
+        assert_eq!(
+            s.validate(&jobs),
+            Err(ValidationError::WrongShape(JobId(1)))
+        );
     }
 
     #[test]
@@ -352,7 +360,10 @@ mod tests {
         s.place(&jobs[1], t(20), ProcSet::from_indices([2]));
         let mut dup = s.clone();
         dup.place(&jobs[1], t(40), ProcSet::from_indices([2]));
-        assert_eq!(dup.validate(&jobs), Err(ValidationError::Duplicate(JobId(2))));
+        assert_eq!(
+            dup.validate(&jobs),
+            Err(ValidationError::Duplicate(JobId(2)))
+        );
         let mut unk = s;
         unk.place(&Job::rigid(9, 1, d(1)), t(0), ProcSet::from_indices([2]));
         assert_eq!(unk.validate(&jobs), Err(ValidationError::Unknown(JobId(9))));
@@ -385,7 +396,10 @@ mod tests {
             end: t(20),
             procs: ProcSet::range(0, 5),
         });
-        assert_eq!(bad.validate(&jobs), Err(ValidationError::WrongShape(JobId(1))));
+        assert_eq!(
+            bad.validate(&jobs),
+            Err(ValidationError::WrongShape(JobId(1)))
+        );
     }
 
     #[test]

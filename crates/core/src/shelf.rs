@@ -135,7 +135,11 @@ mod tests {
                 .start
         };
         assert_eq!(d_start(&ffdh), Time::ZERO, "FFDH backfills into shelf 1");
-        assert_eq!(d_start(&nfdh), Time::from_ticks(20), "NFDH appends to last shelf");
+        assert_eq!(
+            d_start(&nfdh),
+            Time::from_ticks(20),
+            "NFDH appends to last shelf"
+        );
         assert!(ffdh.makespan() <= nfdh.makespan());
     }
 

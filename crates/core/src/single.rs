@@ -42,7 +42,9 @@ pub fn single_machine(jobs: &[Job], rule: SingleRule) -> Schedule {
         SingleRule::Wspt => order.sort_by(|a, b| {
             let ra = a.time_on(1).ticks() as f64 / a.weight.max(f64::MIN_POSITIVE);
             let rb = b.time_on(1).ticks() as f64 / b.weight.max(f64::MIN_POSITIVE);
-            ra.partial_cmp(&rb).expect("finite ratio").then(a.id.cmp(&b.id))
+            ra.partial_cmp(&rb)
+                .expect("finite ratio")
+                .then(a.id.cmp(&b.id))
         }),
     }
     let mut sched = Schedule::new(1);
@@ -111,7 +113,7 @@ mod tests {
             }
             for i in 0..k {
                 heaps(k - 1, arr, out);
-                if k % 2 == 0 {
+                if k.is_multiple_of(2) {
                     arr.swap(i, k - 1);
                 } else {
                     arr.swap(0, k - 1);

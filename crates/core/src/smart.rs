@@ -96,8 +96,16 @@ pub fn smart_schedule(jobs: &[Job], m: usize, weighted: bool) -> Schedule {
 
     // 3. Smith order on shelves.
     shelves.sort_by(|a, b| {
-        let wa = if weighted { a.weight } else { a.jobs.len() as f64 };
-        let wb = if weighted { b.weight } else { b.jobs.len() as f64 };
+        let wa = if weighted {
+            a.weight
+        } else {
+            a.jobs.len() as f64
+        };
+        let wb = if weighted {
+            b.weight
+        } else {
+            b.jobs.len() as f64
+        };
         let ra = wa / a.height.ticks() as f64;
         let rb = wb / b.height.ticks() as f64;
         rb.partial_cmp(&ra)
@@ -190,7 +198,11 @@ mod tests {
             .find(|a| a.job == lsps_workload::JobId(0))
             .unwrap()
             .start;
-        assert_eq!(long_start, Time::from_ticks(8), "count rule: shelf of 4 first");
+        assert_eq!(
+            long_start,
+            Time::from_ticks(8),
+            "count rule: shelf of 4 first"
+        );
         // The weighted variant flips the order.
         let sw = smart_schedule(&jobs, 4, true);
         let long_start_w = sw

@@ -93,7 +93,9 @@ impl UniformSchedule {
         self.assignments
             .iter()
             .map(|a| {
-                let job = by_id.get(&a.job).unwrap_or_else(|| panic!("unknown {}", a.job));
+                let job = by_id
+                    .get(&a.job)
+                    .unwrap_or_else(|| panic!("unknown {}", a.job));
                 CompletedJob::from_job(job, a.start, a.end, 1)
             })
             .collect()
@@ -181,9 +183,7 @@ pub fn uniform_list_schedule(jobs: &[Job], speeds: &[f64], order: JobOrder) -> U
             let end = start + UniformSchedule::expected_span(speeds, mi, job);
             // Ties: earlier end, then *faster* machine (lower span), then
             // lower index — deterministic.
-            if best.is_none_or(|(be, bs, bm)| {
-                (end, start, mi) < (be, bs, bm)
-            }) {
+            if best.is_none_or(|(be, bs, bm)| (end, start, mi) < (be, bs, bm)) {
                 best = Some((end, start, mi));
             }
         }
@@ -233,9 +233,7 @@ mod tests {
     #[test]
     fn identical_speeds_match_identical_machine_list() {
         use crate::list::list_schedule;
-        let jobs: Vec<Job> = (0..8)
-            .map(|i| Job::sequential(i, d(50 + i * 10)))
-            .collect();
+        let jobs: Vec<Job> = (0..8).map(|i| Job::sequential(i, d(50 + i * 10))).collect();
         let uni = uniform_list_schedule(&jobs, &[1.0; 4], JobOrder::Lpt);
         let idm = list_schedule(&jobs, 4, JobOrder::Lpt);
         assert_eq!(uni.validate(&jobs), Ok(()));

@@ -250,10 +250,7 @@ mod tests {
         let mut sim = Simulation::new(Counter { fired: vec![] });
         sim.schedule_at(Time::ZERO, Ev::Chain(3));
         sim.run_to_completion(100);
-        assert_eq!(
-            sim.model().fired,
-            vec![(0, 3), (10, 2), (20, 1), (30, 0)]
-        );
+        assert_eq!(sim.model().fired, vec![(0, 3), (10, 2), (20, 1), (30, 0)]);
         assert_eq!(sim.now(), Time::from_ticks(30));
     }
 

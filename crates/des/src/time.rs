@@ -18,15 +18,11 @@ pub const TICKS_PER_SEC: u64 = 1_000;
 
 /// An absolute instant of simulated time, in ticks since the simulation
 /// epoch (t = 0).
-#[derive(
-    Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Time(u64);
 
 /// A length of simulated time, in ticks.
-#[derive(
-    Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Dur(u64);
 
 impl Time {
@@ -388,7 +384,10 @@ mod tests {
         assert!(a < b);
         assert_eq!(a.max(b), b);
         assert_eq!(a.min(b), a);
-        assert_eq!(Dur::from_ticks(5).max(Dur::from_ticks(2)), Dur::from_ticks(5));
+        assert_eq!(
+            Dur::from_ticks(5).max(Dur::from_ticks(2)),
+            Dur::from_ticks(5)
+        );
     }
 
     #[test]

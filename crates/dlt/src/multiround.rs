@@ -184,7 +184,10 @@ mod tests {
 
         let slow_net = uniform(4, 1.0, 2.0, 30.0);
         let (r_slow, _) = best_round_count(400.0, &slow_net, 16, 1.5);
-        assert!(r_slow <= 2, "latency-bound network wants few rounds, got {r_slow}");
+        assert!(
+            r_slow <= 2,
+            "latency-bound network wants few rounds, got {r_slow}"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ pub fn best_chunk(w: f64, workers: &[Worker]) -> (f64, DltPlan) {
     let mut c = w / 1000.0;
     while c <= w {
         let plan = self_schedule(w, workers, c);
-        if best.as_ref().is_none_or(|(_, b)| plan.makespan < b.makespan) {
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| plan.makespan < b.makespan)
+        {
             best = Some((c, plan));
         }
         c *= 2.0;

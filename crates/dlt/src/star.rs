@@ -242,8 +242,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn worker_strategy() -> impl Strategy<Value = Worker> {
-        (0.1f64..10.0, 0.1f64..20.0, 0.0f64..0.5)
-            .prop_map(|(s, b, l)| Worker::new(s, b, l))
+        (0.1f64..10.0, 0.1f64..20.0, 0.0f64..0.5).prop_map(|(s, b, l)| Worker::new(s, b, l))
     }
 
     proptest! {

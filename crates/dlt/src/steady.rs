@@ -234,6 +234,10 @@ mod tests {
         let plan = star_steady_state(&ws);
         let total: f64 = ws.iter().map(|w| w.speed).sum();
         assert!(plan.throughput <= total + 1e-9);
-        assert!(plan.rates.iter().zip(&ws).all(|(&r, w)| r <= w.speed + 1e-9));
+        assert!(plan
+            .rates
+            .iter()
+            .zip(&ws)
+            .all(|(&r, w)| r <= w.speed + 1e-9));
     }
 }

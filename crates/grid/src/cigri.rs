@@ -16,6 +16,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use lsps_core::policy::{Backfilling, PinnedBooking, Policy, PolicyCtx};
 use lsps_des::{Ctx, Dur, EventKey, Model, Simulation, Time};
 use lsps_metrics::{CompletedJob, Criteria};
 use lsps_platform::{BookingId, BookingKind, Platform, Timeline};
@@ -87,6 +88,11 @@ pub struct CigriSim {
     best_effort_enabled: bool,
     campaign_done_at: Time,
     be_total: u64,
+    /// Cluster-level scheduling policy for local jobs. Each arrival is
+    /// placed by handing the policy the single job plus the cluster's
+    /// current local bookings as [`PinnedBooking`]s — the same `Policy`
+    /// abstraction the off-line experiments use, driven incrementally.
+    local_policy: Box<dyn Policy>,
 }
 
 impl CigriSim {
@@ -120,13 +126,32 @@ impl CigriSim {
             best_effort_enabled,
             campaign_done_at: Time::ZERO,
             be_total: 0,
+            local_policy: Box::new(Backfilling::conservative()),
         }
+    }
+
+    /// Replace the cluster-level local scheduling policy (default:
+    /// conservative backfilling, the production batch-system behaviour).
+    /// Local placement hands the policy the cluster's current bookings as
+    /// [`PinnedBooking`]s — arbitrary, time-overlapping, exact processor
+    /// sets — so the policy must support pinned bookings (batch policies
+    /// that only align around disjoint blackout windows do not qualify).
+    pub fn with_local_policy(mut self, policy: Box<dyn Policy>) -> CigriSim {
+        assert!(
+            policy.supports_pinned(),
+            "{}: cluster-level scheduling needs a policy that honours \
+             pinned (exact, possibly overlapping) bookings",
+            policy.name()
+        );
+        self.local_policy = policy;
+        self
     }
 
     /// Scale a reference duration to cluster `c`'s speed (conservative
     /// ceiling).
     fn scale(&self, c: usize, len: Dur) -> Dur {
-        len.scale_ceil(1.0 / self.clusters[c].speed).max(Dur::from_ticks(1))
+        len.scale_ceil(1.0 / self.clusters[c].speed)
+            .max(Dur::from_ticks(1))
     }
 
     fn submit_local(&mut self, now: Time, c: usize, job: Job, ctx: &mut Ctx<'_, CigriEvent>) {
@@ -135,15 +160,43 @@ impl CigriSim {
             _ => panic!("CigriSim schedules rigid local jobs; allot moldables upstream"),
         };
         let len = self.scale(c, job.time_on(q));
+        let m = self.clusters[c].local_tl.capacity().len();
+        assert!(q <= m, "job wider than cluster");
+        // Placement sees only local load — grid jobs are invisible. The
+        // decision is delegated to the cluster-level `Policy`: one rigid
+        // job (speed-scaled, released "now") around the current local
+        // bookings pinned as exact-processor reservations.
+        let (start, procs) = {
+            let cl = &self.clusters[c];
+            let release = now.max(job.release);
+            let ctx = PolicyCtx {
+                // Bookings already over by the probe's release cannot
+                // constrain it (the timeline is gc'ed on completions; this
+                // also skips any stragglers between gc points).
+                pinned: cl
+                    .local_tl
+                    .bookings()
+                    .filter(|(_, b)| b.end > release)
+                    .map(|(_, b)| PinnedBooking {
+                        start: b.start,
+                        end: b.end,
+                        procs: b.procs.clone(),
+                    })
+                    .collect(),
+                ..PolicyCtx::default()
+            };
+            let mut probe = job.clone();
+            probe.release = release;
+            probe.kind = JobKind::Rigid { procs: q, len };
+            let placed = self.local_policy.schedule(&[probe], m, &ctx);
+            let a = &placed.assignments()[0];
+            (a.start, a.procs.clone())
+        };
         let cl = &mut self.clusters[c];
-        assert!(q <= cl.local_tl.capacity().len(), "job wider than cluster");
-        // Placement sees only local load — grid jobs are invisible.
-        let (start, procs) = cl
-            .local_tl
-            .earliest_slot(now.max(job.release), len, q)
-            .expect("width checked above");
         let end = start + len;
-        let local_bk = cl.local_tl.book(start, end, procs.clone(), BookingKind::Job);
+        let local_bk = cl
+            .local_tl
+            .book(start, end, procs.clone(), BookingKind::Job);
 
         // Kill every best-effort run colliding with the new local booking.
         let victims: Vec<BookingId> = cl
@@ -221,8 +274,9 @@ impl CigriSim {
                 let len = self.scale(c, raw_len);
                 // Conservative hole filling: the run must fit *now* without
                 // touching any existing booking (local or BE).
-                let Some((start, procs)) =
-                    self.clusters[c].full_tl.earliest_slot_within(now, now, len, 1)
+                let Some((start, procs)) = self.clusters[c]
+                    .full_tl
+                    .earliest_slot_within(now, now, len, 1)
                 else {
                     break; // this cluster has no hole right now
                 };
@@ -231,7 +285,13 @@ impl CigriSim {
                 let end = now + len;
                 let cl = &mut self.clusters[c];
                 let bk = cl.full_tl.book(now, end, procs, BookingKind::BestEffort);
-                let key = ctx.schedule_at(end, CigriEvent::BeEnd { cluster: c, booking: bk });
+                let key = ctx.schedule_at(
+                    end,
+                    CigriEvent::BeEnd {
+                        cluster: c,
+                        booking: bk,
+                    },
+                );
                 cl.be_running.insert(
                     bk,
                     BeRun {
@@ -383,11 +443,7 @@ impl CigriSim {
             be_completed: self.clusters.iter().map(|c| c.be_done).sum(),
             be_submitted: self.be_total,
             kills: self.clusters.iter().map(|c| c.kills).sum(),
-            wasted_cpu_s: self
-                .clusters
-                .iter()
-                .map(|c| c.wasted.as_secs_f64())
-                .sum(),
+            wasted_cpu_s: self.clusters.iter().map(|c| c.wasted.as_secs_f64()).sum(),
             campaign_done_at: self.campaign_done_at,
             local_records: records,
         }
@@ -513,7 +569,11 @@ mod tests {
         assert_eq!(report.be_completed, 1, "and later completed");
         let crit = report.local.unwrap();
         // Local started at its release — undisturbed by the BE run.
-        assert!((crit.mean_flow - 0.5).abs() < 1e-9, "flow {}", crit.mean_flow);
+        assert!(
+            (crit.mean_flow - 0.5).abs() < 1e-9,
+            "flow {}",
+            crit.mean_flow
+        );
         // Wasted work: the run consumed [0, 100) before dying.
         assert!((report.wasted_cpu_s - 0.1).abs() < 1e-9);
         // Full timeline: local 500 + killed BE 100 + full rerun 1000.
@@ -571,6 +631,34 @@ mod tests {
         // Accounting stays consistent.
         assert!(with_be.be_completed <= with_be.be_submitted);
         assert_eq!(with_be.be_completed, 100);
+    }
+
+    #[test]
+    fn custom_local_policy_runs_and_unsuitable_ones_are_rejected() {
+        use lsps_core::policy::BatchedMrt;
+        // EASY backfilling honours pinned bookings: accepted, and a busy
+        // cluster (overlapping concurrent locals) simulates fine.
+        let p = two_cluster_platform();
+        let locals = vec![
+            (0, Job::sequential(1, d(300))),
+            (0, Job::sequential(2, d(200)).released_at(t(10))),
+            (0, Job::sequential(3, d(100)).released_at(t(20))),
+        ];
+        let mut sim = Simulation::new(
+            CigriSim::new(&p, d(50), true).with_local_policy(Box::new(Backfilling::easy())),
+        );
+        for (cluster, job) in locals {
+            let at = job.release;
+            sim.schedule_at(at, CigriEvent::LocalSubmit { cluster, job });
+        }
+        sim.run_to_completion(10_000);
+        let report = sim.model().report(sim.now());
+        assert_eq!(report.local.expect("locals completed").n, 3);
+        // A batch policy cannot serve overlapping pinned bookings.
+        let rejected = std::panic::catch_unwind(|| {
+            CigriSim::new(&p, d(50), true).with_local_policy(Box::new(BatchedMrt::default()))
+        });
+        assert!(rejected.is_err(), "batch-mrt must be rejected up front");
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub fn ciment_locals(
     let mut id_base = 0u64;
     for (ci, prof) in profiles.iter().enumerate().take(platform.n_clusters()) {
         let m = platform.clusters[ci].total_procs();
-        let jobs = prof.spec(jobs_per_cluster).generate(m, &mut rng.child(ci as u64));
+        let jobs = prof
+            .spec(jobs_per_cluster)
+            .generate(m, &mut rng.child(ci as u64));
         for mut job in jobs {
             job.id = lsps_workload::JobId(id_base);
             id_base += 1;
@@ -125,7 +127,11 @@ pub fn ciment_scenario(params: ScenarioParams) -> CimentOutcome {
         .iter()
         .map(|r| r.mean_flow.max(1e-9))
         .collect();
-    let fairness = if flows.is_empty() { 1.0 } else { jain_index(&flows) };
+    let fairness = if flows.is_empty() {
+        1.0
+    } else {
+        jain_index(&flows)
+    };
     CimentOutcome {
         with_grid,
         without_grid,
@@ -148,7 +154,10 @@ mod tests {
         let b = out.without_grid.local.as_ref().expect("locals ran");
         // Claim 1: locals are NOT disturbed by the grid layer.
         assert_eq!(a.n, b.n);
-        assert!((a.mean_flow - b.mean_flow).abs() < 1e-9, "locals undisturbed");
+        assert!(
+            (a.mean_flow - b.mean_flow).abs() < 1e-9,
+            "locals undisturbed"
+        );
         assert!((a.cmax - b.cmax).abs() < 1e-9);
         // Claim 2: the campaign actually ran.
         assert_eq!(out.with_grid.be_completed, 300);
@@ -167,7 +176,7 @@ mod tests {
         );
         let j = rigidify(Job::moldable(1, prof), 8, 4);
         match j.kind {
-            JobKind::Rigid { procs, .. } => assert!(procs >= 1 && procs <= 8),
+            JobKind::Rigid { procs, .. } => assert!((1..=8).contains(&procs)),
             _ => panic!("must be rigid"),
         }
     }

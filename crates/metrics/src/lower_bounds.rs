@@ -66,8 +66,7 @@ pub fn wsum_lower_bound(jobs: &[Job], m: usize) -> f64 {
         acc_work += j.min_work().ticks() as u128;
         // Squashed completion on the speed-m resource, in ticks.
         squashed_total += j.weight * (acc_work as f64 / m as f64);
-        individual_total +=
-            j.weight * (j.release + j.min_time()).since_epoch().ticks() as f64;
+        individual_total += j.weight * (j.release + j.min_time()).since_epoch().ticks() as f64;
     }
     squashed_total.max(individual_total) / lsps_des::TICKS_PER_SEC as f64
 }
@@ -156,9 +155,7 @@ mod tests {
     #[test]
     fn wsum_individual_bound_kicks_in() {
         // A job released late: its completion can't precede release + len.
-        let jobs = vec![
-            Job::sequential(0, Dur::from_secs(1)).released_at(Time::from_secs(100))
-        ];
+        let jobs = vec![Job::sequential(0, Dur::from_secs(1)).released_at(Time::from_secs(100))];
         let lb = wsum_lower_bound(&jobs, 8);
         assert!((lb - 101.0).abs() < 1e-9);
     }

@@ -111,7 +111,11 @@ impl NetworkModel {
 
     /// The default light-grid hierarchy: SMP bus / GigE / campus WAN.
     pub fn light_grid_default() -> Self {
-        NetworkModel::new(LinkClass::smp_bus(), LinkClass::gige(), LinkClass::campus_wan())
+        NetworkModel::new(
+            LinkClass::smp_bus(),
+            LinkClass::gige(),
+            LinkClass::campus_wan(),
+        )
     }
 
     /// The link class used at `level`.
@@ -153,8 +157,14 @@ mod tests {
         let l = LinkClass::gige();
         let small = l.effective_bandwidth(1e3);
         let large = l.effective_bandwidth(1e9);
-        assert!(small < 0.2 * l.bandwidth_bps, "latency dominates small messages");
-        assert!(large > 0.9 * l.bandwidth_bps, "large messages reach line rate");
+        assert!(
+            small < 0.2 * l.bandwidth_bps,
+            "latency dominates small messages"
+        );
+        assert!(
+            large > 0.9 * l.bandwidth_bps,
+            "large messages reach line rate"
+        );
     }
 
     #[test]

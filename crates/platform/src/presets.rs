@@ -39,7 +39,13 @@ pub fn ciment() -> Platform {
 pub fn imag() -> Platform {
     Platform::new(
         "IMAG-225",
-        vec![Cluster::homogeneous("imag", 225, 1, 1.0, LinkClass::eth100())],
+        vec![Cluster::homogeneous(
+            "imag",
+            225,
+            1,
+            1.0,
+            LinkClass::eth100(),
+        )],
         NetworkModel::light_grid_default(),
     )
 }
@@ -85,7 +91,10 @@ mod tests {
         assert_eq!(names, vec!["icluster", "xeon", "athlon-40", "athlon-24"]);
         let nodes: Vec<_> = p.clusters.iter().map(|c| c.nodes.len()).collect();
         assert_eq!(nodes, vec![104, 48, 40, 24]);
-        assert!(p.clusters.iter().all(|c| c.nodes[0].cpus == 2), "all bi-proc");
+        assert!(
+            p.clusters.iter().all(|c| c.nodes[0].cpus == 2),
+            "all bi-proc"
+        );
         // 216 nodes, 432 CPUs.
         assert_eq!(p.total_procs(), 432);
         // Interconnect classes ranked as in Fig. 3.

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Index of a processor within a [`Platform`](crate::Platform)'s global
 /// numbering (cluster-major, node-major inside the cluster).
-#[derive(
-    Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ProcId(pub u32);
 
 impl ProcId {
@@ -102,8 +100,16 @@ impl ProcSet {
         let last = (hi - 1) / WORD_BITS;
         self.ensure_word(last);
         for w in lo / WORD_BITS..=last {
-            let from = if w == lo / WORD_BITS { lo % WORD_BITS } else { 0 };
-            let to = if w == last { (hi - 1) % WORD_BITS + 1 } else { WORD_BITS };
+            let from = if w == lo / WORD_BITS {
+                lo % WORD_BITS
+            } else {
+                0
+            };
+            let to = if w == last {
+                (hi - 1) % WORD_BITS + 1
+            } else {
+                WORD_BITS
+            };
             let mask = if to - from == WORD_BITS {
                 u64::MAX
             } else {
@@ -238,7 +244,11 @@ impl ProcSet {
             out.insert(i.index());
             taken += 1;
         }
-        assert!(taken == k, "take_first({k}) from a set of {} procs", self.len());
+        assert!(
+            taken == k,
+            "take_first({k}) from a set of {} procs",
+            self.len()
+        );
         out
     }
 
@@ -295,20 +305,18 @@ impl fmt::Display for ProcSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
         let mut run: Option<(usize, usize)> = None;
-        let flush = |f: &mut fmt::Formatter<'_>,
-                         run: (usize, usize),
-                         first: &mut bool|
-         -> fmt::Result {
-            if !*first {
-                write!(f, ",")?;
-            }
-            *first = false;
-            if run.0 == run.1 {
-                write!(f, "{}", run.0)
-            } else {
-                write!(f, "{}-{}", run.0, run.1)
-            }
-        };
+        let flush =
+            |f: &mut fmt::Formatter<'_>, run: (usize, usize), first: &mut bool| -> fmt::Result {
+                if !*first {
+                    write!(f, ",")?;
+                }
+                *first = false;
+                if run.0 == run.1 {
+                    write!(f, "{}", run.0)
+                } else {
+                    write!(f, "{}-{}", run.0, run.1)
+                }
+            };
         for p in self.iter() {
             let i = p.index();
             match run {
@@ -359,7 +367,10 @@ mod tests {
     fn insert_range_word_boundaries() {
         let mut s = ProcSet::new();
         s.insert_range(63, 65); // straddles the first word boundary
-        assert_eq!(s.iter().map(|p| p.index()).collect::<Vec<_>>(), vec![63, 64]);
+        assert_eq!(
+            s.iter().map(|p| p.index()).collect::<Vec<_>>(),
+            vec![63, 64]
+        );
         let mut t = ProcSet::new();
         t.insert_range(0, 64); // exactly one full word
         assert_eq!(t.len(), 64);

@@ -67,11 +67,7 @@ impl Cluster {
     /// Mean relative CPU speed (weighted by CPU count).
     pub fn mean_speed(&self) -> f64 {
         let cpus: f64 = self.total_procs() as f64;
-        let sum: f64 = self
-            .nodes
-            .iter()
-            .map(|n| n.cpus as f64 * n.speed)
-            .sum();
+        let sum: f64 = self.nodes.iter().map(|n| n.cpus as f64 * n.speed).sum();
         sum / cpus
     }
 
@@ -102,7 +98,10 @@ pub struct Platform {
 impl Platform {
     /// A platform from explicit clusters.
     pub fn new(name: impl Into<String>, clusters: Vec<Cluster>, network: NetworkModel) -> Self {
-        assert!(!clusters.is_empty(), "a platform needs at least one cluster");
+        assert!(
+            !clusters.is_empty(),
+            "a platform needs at least one cluster"
+        );
         Platform {
             name: name.into(),
             clusters,

@@ -325,10 +325,7 @@ impl Timeline {
     /// Latest end over all bookings (the timeline's makespan), or `from` if
     /// no booking exists.
     pub fn horizon(&self, from: Time) -> Time {
-        self.bookings
-            .values()
-            .map(|b| b.end)
-            .fold(from, Time::max)
+        self.bookings.values().map(|b| b.end).fold(from, Time::max)
     }
 }
 

@@ -174,10 +174,7 @@ impl WorkloadSpec {
             let parallel = rng.chance(self.parallel_fraction) && !self.models.is_empty();
             let kind = if parallel {
                 let model = rng.choice(&self.models).clone();
-                let frac = rng.range(
-                    self.max_procs_frac.0,
-                    self.max_procs_frac.1 + f64::EPSILON,
-                );
+                let frac = rng.range(self.max_procs_frac.0, self.max_procs_frac.1 + f64::EPSILON);
                 let kmax = ((m as f64 * frac).round() as usize).clamp(1, m);
                 JobKind::Moldable {
                     profile: MoldableProfile::from_model(work, &model, kmax),

@@ -13,9 +13,7 @@ use lsps_des::{Dur, Time};
 use crate::speedup::MoldableProfile;
 
 /// Job identifier, unique within a workload.
-#[derive(
-    Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 impl std::fmt::Display for JobId {
@@ -153,7 +151,12 @@ impl Job {
     pub fn time_on(&self, k: usize) -> Dur {
         match &self.kind {
             JobKind::Rigid { procs, len } => {
-                assert!(k == *procs, "rigid job {} needs exactly {} procs", self.id, procs);
+                assert!(
+                    k == *procs,
+                    "rigid job {} needs exactly {} procs",
+                    self.id,
+                    procs
+                );
                 *len
             }
             JobKind::Moldable { profile } | JobKind::Malleable { profile } => profile.time(k),

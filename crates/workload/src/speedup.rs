@@ -110,7 +110,10 @@ impl MoldableProfile {
         assert!(max_procs >= 1);
         assert!(seq > Dur::ZERO);
         let times = (1..=max_procs)
-            .map(|k| seq.scale_ceil(model.relative_time(k)).max(Dur::from_ticks(1)))
+            .map(|k| {
+                seq.scale_ceil(model.relative_time(k))
+                    .max(Dur::from_ticks(1))
+            })
             .collect();
         MoldableProfile::from_times(times)
     }

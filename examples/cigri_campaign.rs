@@ -52,8 +52,14 @@ fn main() {
             a * 100.0
         );
     }
-    println!("community fairness    : {:.3} (Jain index)", outcome.fairness);
+    println!(
+        "community fairness    : {:.3} (Jain index)",
+        outcome.fairness
+    );
 
-    assert!((wl.mean_flow - nl.mean_flow).abs() < 1e-9, "locals disturbed!");
+    assert!(
+        (wl.mean_flow - nl.mean_flow).abs() < 1e-9,
+        "locals disturbed!"
+    );
     println!("\nclaim verified: best-effort grid jobs never delayed a local job.");
 }

@@ -21,7 +21,11 @@ fn show(name: &str, workers: &[Worker]) {
     let steady = star_steady_state(workers);
     let bound = w / steady.throughput;
     println!("--- {name}");
-    println!("  one round            : {:8.1} s  ({} workers used)", one.makespan, one.used_workers());
+    println!(
+        "  one round            : {:8.1} s  ({} workers used)",
+        one.makespan,
+        one.used_workers()
+    );
     println!("  multi-round (R={rounds:>2})   : {:8.1} s", multi.makespan);
     println!("  self-sched (c={chunk:>6.1}): {:8.1} s", dynamic.makespan);
     println!("  steady-state bound   : {bound:8.1} s  (asymptotic optimum)");
@@ -30,9 +34,14 @@ fn show(name: &str, workers: &[Worker]) {
 fn main() {
     // Same CPUs (two generations), three networks of Fig. 3. One load unit
     // moves 10 MB.
-    let speeds: Vec<f64> = (0..16).map(|i| if i % 2 == 0 { 1.0 } else { 0.6 }).collect();
+    let speeds: Vec<f64> = (0..16)
+        .map(|i| if i % 2 == 0 { 1.0 } else { 0.6 })
+        .collect();
     let mk = |bw_units: f64, lat: f64| -> Vec<Worker> {
-        speeds.iter().map(|&s| Worker::new(s, bw_units, lat)).collect()
+        speeds
+            .iter()
+            .map(|&s| Worker::new(s, bw_units, lat))
+            .collect()
     };
     show("Myrinet (250 MB/s, 10 us)", &mk(25.0, 10e-6));
     show("GigE (125 MB/s, 50 us)", &mk(12.5, 50e-6));

@@ -29,10 +29,12 @@ fn main() {
         .collect();
 
     println!("estimate accuracy vs backfilling flavour (m = {m}, 80 rigid jobs):");
-    println!("{:>8}  {:>22}  {:>22}", "factor", "conservative Cmax (s)", "EASY Cmax (s)");
+    println!(
+        "{:>8}  {:>22}  {:>22}",
+        "factor", "conservative Cmax (s)", "EASY Cmax (s)"
+    );
     for factor in [1.0, 1.5, 2.0, 5.0] {
-        let cons =
-            backfill_schedule_estimated(&jobs, m, &[], BackfillPolicy::Conservative, factor);
+        let cons = backfill_schedule_estimated(&jobs, m, &[], BackfillPolicy::Conservative, factor);
         let easy = backfill_schedule_estimated(&jobs, m, &[], BackfillPolicy::Easy, factor);
         cons.validate(&jobs).expect("valid");
         easy.validate(&jobs).expect("valid");

@@ -1,0 +1,31 @@
+//! The scenario runner in five statements: cross the whole policy registry
+//! with two workload families on one platform, get every §3 criterion and
+//! the standard CSV, with every schedule validated on the way.
+//!
+//! ```sh
+//! cargo run --example experiment_runner --release
+//! ```
+
+use lsps_bench::runner::{self, ExperimentRunner, PlatformCase, WorkloadCase};
+use lsps_core::policy::registry;
+use lsps_workload::WorkloadSpec;
+
+fn main() {
+    let mut experiment = ExperimentRunner::new(registry());
+    experiment.platforms = vec![PlatformCase::new("cluster", 64)];
+    experiment.workloads = (0..3)
+        .flat_map(|seed| {
+            [
+                WorkloadCase::from_spec("parallel", seed, WorkloadSpec::fig2_parallel(120)),
+                WorkloadCase::from_spec("sequential", seed, WorkloadSpec::fig2_sequential(120)),
+            ]
+        })
+        .collect();
+    let cells = experiment.run();
+
+    runner::print_cells(&cells);
+    println!("\nmean Cmax ratio per policy over all cells:");
+    for (policy, summary) in runner::summarize_by(&cells, |c| c.policy.clone(), |c| c.cmax_ratio) {
+        println!("  {policy:<22} {:.3}", summary.mean());
+    }
+}

@@ -32,7 +32,11 @@ fn main() {
     println!("lower bound: {lb}\n");
 
     // Baselines: the "choose allotment, then pack rigid" decomposition.
-    for rule in [AllotRule::Sequential, AllotRule::MinTime, AllotRule::Balanced] {
+    for rule in [
+        AllotRule::Sequential,
+        AllotRule::MinTime,
+        AllotRule::Balanced,
+    ] {
         let s = two_phase_moldable(&jobs, m, rule, JobOrder::Lpt);
         s.validate(&jobs).expect("valid");
         println!(

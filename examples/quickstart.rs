@@ -22,14 +22,20 @@ fn main() {
 
     // Run it.
     let schedule = bicriteria_schedule(&jobs, m, BiCriteriaParams::default());
-    schedule.validate(&jobs).expect("schedules are always validated");
+    schedule
+        .validate(&jobs)
+        .expect("schedules are always validated");
 
     // Measure every §3 criterion.
     let criteria = Criteria::evaluate(&schedule.completed(&jobs));
     let cmax_lb = cmax_lower_bound(&jobs, m).as_secs_f64();
     let wsum_lb = wsum_lower_bound(&jobs, m);
     println!("jobs          : {}", criteria.n);
-    println!("makespan      : {:.0} s ({:.2}x the lower bound)", criteria.cmax, criteria.cmax / cmax_lb);
+    println!(
+        "makespan      : {:.0} s ({:.2}x the lower bound)",
+        criteria.cmax,
+        criteria.cmax / cmax_lb
+    );
     println!(
         "sum w_i C_i   : {:.0} ({:.2}x the lower bound)",
         criteria.weighted_sum_completion,

@@ -1,0 +1,366 @@
+//! Offline shim for `serde`: a small value-model serialization framework.
+//!
+//! Types implement [`Serialize`]/[`Deserialize`] by converting to and from
+//! a JSON-shaped [`Value`] tree; `#[derive(Serialize, Deserialize)]` (from
+//! the sibling `serde_derive` shim) generates those impls with the same
+//! data layout conventions as real serde (maps for named structs,
+//! transparent newtypes, externally tagged enums), so the JSON produced by
+//! the `serde_json` shim is interchangeable with upstream output for the
+//! types in this workspace.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree — the serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of a map value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert `self` into the serialization data model.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the serialization data model.
+pub trait Deserialize: Sized {
+    /// Parse from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch a required struct field (derive-internal helper).
+pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
+    v.get(name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    _ => Err(Error::custom(concat!("expected unsigned integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i64 = match v {
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Value::Int(n) => *n,
+                    _ => return Err(Error::custom(concat!("expected integer for ", stringify!($t)))),
+                };
+                <$t>::try_from(wide).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected number for f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort keys by their serialized form for a deterministic encoding.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| {
+                let key = match k.to_value() {
+                    Value::Str(s) => s,
+                    Value::UInt(n) => n.to_string(),
+                    Value::Int(n) => n.to_string(),
+                    other => panic!("unsupported map key {other:?}"),
+                };
+                (key, v.to_value())
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, val)| {
+                // Keys arrive as strings; retry as integers for numeric
+                // keys (unsigned first, then signed for negative keys).
+                let key = K::from_value(&Value::Str(k.clone()))
+                    .or_else(|_| {
+                        k.parse::<u64>()
+                            .map_err(|_| Error::custom("bad map key"))
+                            .and_then(|n| K::from_value(&Value::UInt(n)))
+                    })
+                    .or_else(|_| {
+                        k.parse::<i64>()
+                            .map_err(|_| Error::custom("bad map key"))
+                            .and_then(|n| K::from_value(&Value::Int(n)))
+                    })?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::custom("expected tuple array"))?;
+                Ok(($($t::from_value(
+                    s.get($n).ok_or_else(|| Error::custom("tuple too short"))?
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(Option::<u64>::from_value(&Value::Null), Ok(None));
+        assert_eq!(
+            Vec::<u64>::from_value(&vec![1u64, 2].to_value()),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let v = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert!(field(&v, "a").is_ok());
+        assert!(field(&v, "b").is_err());
+    }
+}

@@ -1,0 +1,364 @@
+//! Offline shim for `serde_derive`: hand-rolled `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` over the local `serde` value model.
+//!
+//! The input grammar is parsed directly from the token stream (no `syn`):
+//! non-generic structs (named, tuple, unit) and enums whose variants are
+//! unit, newtype, tuple or struct-shaped — exactly the shapes this
+//! workspace derives on. Layout conventions match real serde: named structs
+//! become maps, one-field tuple structs are transparent newtypes, enums are
+//! externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple arity.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Skip `#[...]` attribute groups (including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens[i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Split a token list on top-level commas, tracking `<...>` depth so that
+/// commas inside generic arguments do not split.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out.into_iter().filter(|c| !c.is_empty()).collect()
+}
+
+/// Parse the fields of a named-struct body `{ a: T, b: U }`.
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_commas(body)
+        .iter()
+        .map(|chunk| {
+            let i = skip_vis(chunk, skip_attrs(chunk, 0));
+            match &chunk[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde shim derive: expected field name, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Fields {
+    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+    match g.delimiter() {
+        Delimiter::Brace => Fields::Named(parse_named_fields(&body)),
+        Delimiter::Parenthesis => Fields::Tuple(split_commas(&body).len()),
+        other => panic!("serde shim derive: unexpected delimiter {other:?}"),
+    }
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kw = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (type {name})");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) => parse_fields_group(g),
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                None => Fields::Unit,
+                other => panic!("serde shim derive: bad struct body: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim derive: bad enum body: {other}"),
+            };
+            let body: Vec<TokenTree> = body.into_iter().collect();
+            let variants = split_commas(&body)
+                .iter()
+                .map(|chunk| {
+                    let j = skip_attrs(chunk, 0);
+                    let vname = match &chunk[j] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde shim derive: expected variant, got {other}"),
+                    };
+                    let fields = match chunk.get(j + 1) {
+                        Some(TokenTree::Group(g)) => parse_fields_group(g),
+                        None => Fields::Unit,
+                        other => panic!("serde shim derive: bad variant body: {other:?}"),
+                    };
+                    (vname, fields)
+                })
+                .collect();
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn named_to_value(fields: &[String], access: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({})),",
+                access(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(""))
+}
+
+fn named_from_value(src: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field({src}, {f:?})?)?,"))
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+/// Generate the `Serialize` impl source.
+fn gen_serialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => named_to_value(fs, |f| format!("&self.{f}")),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(""))
+                }
+            };
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),"
+                    ),
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let inner = named_to_value(fs, |f| f.to_string());
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), {inner})]),"
+                        )
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(""))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({v:?}), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+           fn to_value(&self) -> ::serde::Value {{ {body} }}\
+         }}"
+    )
+}
+
+/// Generate the `Deserialize` impl source.
+fn gen_deserialize(input: &Input) -> String {
+    let (name, body) = match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fs) => format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    named_from_value("__v", fs)
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| {
+                            format!(
+                                "::serde::Deserialize::from_value(__s.get({i})\
+                                 .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __s = __v.as_seq()\
+                         .ok_or_else(|| ::serde::Error::custom(\"expected array\"))?;\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join("")
+                    )
+                }
+            };
+            (name, body)
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| !matches!(f, Fields::Unit))
+                .map(|(v, fields)| match fields {
+                    Fields::Named(fs) => format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                        named_from_value("__inner", fs)
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{v:?} => ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__s.get({i})\
+                                     .ok_or_else(|| ::serde::Error::custom(\"tuple too short\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => {{\
+                             let __s = __inner.as_seq()\
+                             .ok_or_else(|| ::serde::Error::custom(\"expected array\"))?;\
+                             ::std::result::Result::Ok({name}::{v}({})) }},",
+                            items.join("")
+                        )
+                    }
+                    Fields::Unit => unreachable!(),
+                })
+                .collect();
+            let body = format!(
+                "match __v {{\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\
+                     {unit}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                       ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                   }},\
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\
+                     let (__tag, __inner) = &__entries[0];\
+                     match __tag.as_str() {{\
+                       {tagged}\
+                       __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\
+                     }}\
+                   }},\
+                   _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected externally tagged enum\")),\
+                 }}",
+                unit = unit_arms.join(""),
+                tagged = tagged_arms.join(""),
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+           fn from_value(__v: &::serde::Value)\
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+}
+
+/// Derive the shim `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derive the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}

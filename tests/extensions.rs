@@ -7,11 +7,8 @@ use lsps::core::nonclairvoyant::exponential_trial_schedule;
 use lsps::prelude::*;
 
 fn linear_malleable(id: u64, seq_ticks: u64, kmax: usize) -> Job {
-    let profile = MoldableProfile::from_model(
-        Dur::from_ticks(seq_ticks),
-        &SpeedupModel::Linear,
-        kmax,
-    );
+    let profile =
+        MoldableProfile::from_model(Dur::from_ticks(seq_ticks), &SpeedupModel::Linear, kmax);
     Job {
         kind: JobKind::Malleable { profile },
         ..Job::sequential(id, Dur::from_ticks(seq_ticks))
@@ -43,7 +40,10 @@ fn malleability_ladder_on_makespan() {
     // rounding of the area bound, which nothing can beat.
     let lb = cmax_lower_bound(&jobs, m);
     let deq_mk = deq.makespan().ticks() as f64;
-    assert!(deq_mk <= lb.ticks() as f64 * 1.02 + 16.0, "DEQ ≈ area bound");
+    assert!(
+        deq_mk <= lb.ticks() as f64 * 1.02 + 16.0,
+        "DEQ ≈ area bound"
+    );
     assert!(deq.makespan() <= mrt.makespan());
     assert!(mrt.makespan() <= seq.makespan());
 }
@@ -67,8 +67,7 @@ fn nonclairvoyance_price_is_bounded() {
     let (blind, stats) = exponential_trial_schedule(&jobs, m, Dur::from_ticks(16));
     assert_eq!(blind.validate(&jobs), Ok(()));
     assert!(stats.kills > 0);
-    let ratio =
-        blind.makespan().ticks() as f64 / clairvoyant.makespan().ticks() as f64;
+    let ratio = blind.makespan().ticks() as f64 / clairvoyant.makespan().ticks() as f64;
     assert!(
         ratio <= 4.0,
         "non-clairvoyant vs clairvoyant ratio {ratio} beyond the constant factor"
@@ -95,9 +94,8 @@ fn aligned_batches_price_reservations_as_predicted() {
             .released_at(Time::from_secs(rng.int_range(0, 150)))
         })
         .collect();
-    let aligned = batch_online_avoiding(&jobs, 8, &resv, |b, m| {
-        list_schedule(b, m, JobOrder::Fcfs)
-    });
+    let aligned =
+        batch_online_avoiding(&jobs, 8, &resv, |b, m| list_schedule(b, m, JobOrder::Fcfs));
     assert_eq!(aligned.validate(&jobs), Ok(()));
     let backfilled = backfill_schedule(&jobs, 8, &resv, BackfillPolicy::Conservative);
     assert!(

@@ -105,20 +105,11 @@ fn heterogeneous_cluster_scaling_is_conservative() {
     // a job must never finish *earlier* on a slower cluster.
     let p = presets::ciment(); // cluster 3 runs at 0.55
     let job = Job::sequential(1, Dur::from_secs(100));
-    let fast = run_cigri(
-        &p,
-        vec![(0, job.clone())],
-        vec![],
-        Dur::from_secs(10),
-        true,
-    );
+    let fast = run_cigri(&p, vec![(0, job.clone())], vec![], Dur::from_secs(10), true);
     let slow = run_cigri(&p, vec![(3, job)], vec![], Dur::from_secs(10), true);
     let f = fast.local.unwrap().cmax;
     let s = slow.local.unwrap().cmax;
-    assert!(
-        s > f,
-        "slower cluster must take longer: {s} vs {f}"
-    );
+    assert!(s > f, "slower cluster must take longer: {s} vs {f}");
     assert!((f - 100.0).abs() < 1e-6);
     assert!((s - 100.0 / 0.55).abs() < 1.0);
 }

@@ -76,7 +76,9 @@ fn every_policy_schedules_the_same_workload_validly() {
         ),
         (
             "batch(MRT)",
-            batch_online(&moldable, M, |b, m| mrt_schedule(b, m, MrtParams::default())),
+            batch_online(&moldable, M, |b, m| {
+                mrt_schedule(b, m, MrtParams::default())
+            }),
             &moldable,
         ),
         (
