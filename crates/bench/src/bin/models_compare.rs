@@ -8,7 +8,7 @@
 //! on-line release modes, through one code path. The measured winners are
 //! then compared against the advisor's recommendations.
 
-use lsps_bench::runner::{self, Cell, ExperimentRunner, PlatformCase, WorkloadCase};
+use lsps_bench::runner::{self, Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
 use lsps_bench::{write_csv, Table};
 use lsps_core::advisor::{advise, Application, Objective, PolicyChoice};
 use lsps_core::allot::{two_phase_moldable, AllotRule};
@@ -63,31 +63,39 @@ fn policy_choices() -> Vec<PolicyChoice> {
 fn main() {
     println!("TAB-P — policy × workload matrix on m = {M} (ratios vs lower bounds)\n");
 
+    // Every (mode × executor) through one runner config: the executor
+    // column quantifies what moving from a batch rectangle evaluation
+    // (direct / des-replay, which must agree) to honest event-driven online
+    // execution (des-online) costs each policy.
     let mut all_cells: Vec<(String, Cell)> = Vec::new();
     for mode in [ReleaseMode::Offline, ReleaseMode::Online] {
         let mode_name = match mode {
             ReleaseMode::Offline => "off-line",
             ReleaseMode::Online => "on-line",
         };
-        let mut r = ExperimentRunner::new(
-            policy_choices()
-                .into_iter()
-                .map(|c| c.instantiate().expect("PT policy choices instantiate"))
-                .collect(),
-        );
-        r.workloads = workload_cases();
-        r.platforms = vec![PlatformCase::new("fig2", M)];
-        r.ctx = PolicyCtx {
-            release_mode: mode,
-            ..PolicyCtx::default()
-        };
-        for cell in r.run() {
-            all_cells.push((mode_name.to_string(), cell));
+        for executor in Executor::ALL {
+            let mut r = ExperimentRunner::new(
+                policy_choices()
+                    .into_iter()
+                    .map(|c| c.instantiate().expect("PT policy choices instantiate"))
+                    .collect(),
+            );
+            r.workloads = workload_cases();
+            r.platforms = vec![PlatformCase::new("fig2", M)];
+            r.executor = executor;
+            r.ctx = PolicyCtx {
+                release_mode: mode,
+                ..PolicyCtx::default()
+            };
+            for cell in r.run() {
+                all_cells.push((mode_name.to_string(), cell));
+            }
         }
     }
 
     let mut table = Table::new(&[
         "mode",
+        "executor",
         "workload",
         "policy",
         "Cmax ratio",
@@ -102,6 +110,7 @@ fn main() {
     for (mode, c) in &all_cells {
         table.row(vec![
             mode.clone(),
+            c.executor.clone(),
             c.workload.clone(),
             c.policy.clone(),
             format!("{:.3}", c.cmax_ratio),
@@ -128,9 +137,11 @@ fn main() {
     ]);
     for mode in ["off-line", "on-line"] {
         for wl in ["SequentialBag", "Rigid", "Moldable"] {
+            // Winners are judged on the batch evaluation (direct); the
+            // des-online rows quantify the online-execution cost separately.
             let group: Vec<&Cell> = all_cells
                 .iter()
-                .filter(|(m, c)| m == mode && c.workload == wl)
+                .filter(|(m, c)| m == mode && c.workload == wl && c.executor == "direct")
                 .map(|(_, c)| c)
                 .collect();
             let best = |metric: &dyn Fn(&Cell) -> f64| -> String {

@@ -6,16 +6,34 @@
 //! run crosses a policy set (usually [`lsps_core::policy::registry`]
 //! entries) with named workload generators and platforms, pushes every
 //! cell through `Policy::run` → validation → `lsps_metrics`, and emits one
-//! CSV schema ([`CSV_HEADER`]) for all binaries. Completion records can be
-//! extracted either directly from the schedule or by replaying it through
-//! the `lsps-des` event engine ([`Executor::DesReplay`]) — the first step
-//! toward fully event-driven online experiments.
+//! CSV schema ([`CSV_HEADER`]) for all binaries. Completion records come
+//! from one of three executors sharing that schema:
+//!
+//! * [`Executor::Direct`] — read straight off the rectangle schedule;
+//! * [`Executor::DesReplay`] — replay the finished schedule through the
+//!   `lsps-des` event engine, cross-checking static against event-driven
+//!   accounting;
+//! * [`Executor::DesOnline`] — *drive* the policy event-by-event: arrivals
+//!   enqueue into a pending set and every arrival/completion instant
+//!   re-invokes [`Policy::schedule_pending`] over the current timeline, so
+//!   estimate-driven and non-clairvoyant behaviour is exercised in the
+//!   regime where it actually differs (see [`des_online`]).
+//!
+//! Cells are independent, so [`ExperimentRunner::run`] fans them out over a
+//! std-thread worker pool ([`ExperimentRunner::threads`]); results are
+//! written slot-indexed, which keeps the output byte-identical to the
+//! sequential order no matter how the OS schedules the workers.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use lsps_core::policy::{Policy, PolicyCtx};
+use lsps_core::policy::{PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
 use lsps_core::schedule::Schedule;
-use lsps_des::{Ctx, Model, SimRng, Simulation, Time};
+use lsps_des::{
+    Commitment, Ctx, Dispatcher, Model, OnlineEvent, OnlineMachine, RunStats, SimRng, Simulation,
+    Time,
+};
 use lsps_metrics::{
     cmax_lower_bound, csum_lower_bound, wsum_lower_bound, CompletedJob, Criteria, Summary,
 };
@@ -44,7 +62,9 @@ impl PlatformCase {
 }
 
 /// A workload generator: machine size + seeded RNG in, jobs out.
-pub type WorkloadGen = Box<dyn Fn(usize, &mut SimRng) -> Vec<Job>>;
+/// `Send + Sync` so workload cases can sit in a runner shared across the
+/// worker pool (generators are pure functions of their captured spec).
+pub type WorkloadGen = Box<dyn Fn(usize, &mut SimRng) -> Vec<Job> + Send + Sync>;
 
 /// A named, seeded workload generator. Generation receives the machine
 /// size so widths can be drawn relative to the platform.
@@ -61,7 +81,7 @@ impl WorkloadCase {
     pub fn new(
         name: impl Into<String>,
         seed: u64,
-        gen: impl Fn(usize, &mut SimRng) -> Vec<Job> + 'static,
+        gen: impl Fn(usize, &mut SimRng) -> Vec<Job> + Send + Sync + 'static,
     ) -> WorkloadCase {
         WorkloadCase {
             name: name.into(),
@@ -87,16 +107,35 @@ impl WorkloadCase {
     }
 }
 
-/// How completion records are extracted from a schedule.
+/// How a cell is executed and its completion records extracted.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Executor {
-    /// Read them straight off the assignments.
+    /// Batch-schedule once, read records straight off the assignments.
     #[default]
     Direct,
-    /// Replay the schedule through the `lsps-des` engine: completions are
-    /// collected at simulated event times, cross-checking the static view
-    /// against the event-driven one.
+    /// Batch-schedule once, then replay the finished schedule through the
+    /// `lsps-des` engine: completions are collected at simulated event
+    /// times, cross-checking the static view against the event-driven one.
     DesReplay,
+    /// Drive the policy online: jobs arrive at their release dates and
+    /// every arrival/completion instant re-invokes
+    /// [`Policy::schedule_pending`] over the current timeline. The only
+    /// executor in which *when* the policy learns a job exists matters.
+    DesOnline,
+}
+
+impl Executor {
+    /// Every executor, in comparison-sweep order.
+    pub const ALL: [Executor; 3] = [Executor::Direct, Executor::DesReplay, Executor::DesOnline];
+
+    /// Stable identifier (CSV column value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Executor::Direct => "direct",
+            Executor::DesReplay => "des-replay",
+            Executor::DesOnline => "des-online",
+        }
+    }
 }
 
 /// One (policy × workload × platform) outcome.
@@ -104,6 +143,8 @@ pub enum Executor {
 pub struct Cell {
     /// Policy name (registry identifier).
     pub policy: String,
+    /// Executor that produced the records ([`Executor::name`]).
+    pub executor: String,
     /// Workload family name.
     pub workload: String,
     /// Workload seed.
@@ -127,15 +168,16 @@ pub struct Cell {
 }
 
 /// The one CSV schema every runner-based binary emits.
-pub const CSV_HEADER: &str = "policy,workload,seed,platform,m,n,cmax_s,cmax_ratio,csum_ratio,\
-                              wsum_ratio,mean_flow_s,max_flow_s,utilization";
+pub const CSV_HEADER: &str = "policy,executor,workload,seed,platform,m,n,cmax_s,cmax_ratio,\
+                              csum_ratio,wsum_ratio,mean_flow_s,max_flow_s,utilization";
 
 impl Cell {
     /// Render as a [`CSV_HEADER`] row.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            "{},{},{},{},{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
             self.policy,
+            self.executor,
             self.workload,
             self.seed,
             self.platform,
@@ -167,6 +209,7 @@ pub fn to_csv(cells: &[Cell]) -> String {
 pub fn print_cells(cells: &[Cell]) {
     let mut table = Table::new(&[
         "policy",
+        "executor",
         "workload",
         "seed",
         "platform",
@@ -180,6 +223,7 @@ pub fn print_cells(cells: &[Cell]) {
     for c in cells {
         table.row(vec![
             c.policy.clone(),
+            c.executor.clone(),
             c.workload.clone(),
             c.seed.to_string(),
             c.platform.clone(),
@@ -235,6 +279,10 @@ pub struct ExperimentRunner {
     pub ctx: PolicyCtx,
     /// Completion-record extraction mode.
     pub executor: Executor,
+    /// Worker-pool size for [`run`](ExperimentRunner::run): `0` (the
+    /// default) means one thread per available core, `1` forces the
+    /// sequential path. Output is byte-identical regardless of the value.
+    pub threads: usize,
 }
 
 impl ExperimentRunner {
@@ -247,23 +295,72 @@ impl ExperimentRunner {
             platforms: Vec::new(),
             ctx: PolicyCtx::default(),
             executor: Executor::Direct,
+            threads: 0,
         }
     }
 
     /// Run the full cross product. Every schedule is validated against the
     /// policy's as-scheduled job view — a policy bug fails loudly instead
     /// of producing flattering numbers.
+    ///
+    /// Cells are independent, so they are fanned out over
+    /// [`threads`](ExperimentRunner::threads) workers; each worker claims
+    /// the next cell index off a shared counter and writes its result into
+    /// that cell's dedicated slot, so the returned order (platform-major,
+    /// then workload, then policy) and every byte of downstream CSV are
+    /// identical to a sequential run.
     pub fn run(&self) -> Vec<Cell> {
-        let mut cells = Vec::new();
-        for platform in &self.platforms {
-            for workload in &self.workloads {
-                let jobs = workload.generate(platform.m);
-                for policy in &self.policies {
-                    cells.push(self.run_cell(policy.as_ref(), workload, platform, &jobs));
+        // Workloads are generated once per (platform, workload) pair on the
+        // calling thread: generators share one RNG stream per case, so
+        // per-cell regeneration would waste work, and doing it up front
+        // keeps the workers pure functions of their task.
+        let mut jobs: Vec<Vec<Job>> =
+            Vec::with_capacity(self.platforms.len() * self.workloads.len());
+        let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
+        for (pi, platform) in self.platforms.iter().enumerate() {
+            for (wi, workload) in self.workloads.iter().enumerate() {
+                jobs.push(workload.generate(platform.m));
+                for ki in 0..self.policies.len() {
+                    tasks.push((pi, wi, ki));
                 }
             }
         }
-        cells
+        let run_task = |&(pi, wi, ki): &(usize, usize, usize)| {
+            self.run_cell(
+                self.policies[ki].as_ref(),
+                &self.workloads[wi],
+                &self.platforms[pi],
+                &jobs[pi * self.workloads.len() + wi],
+            )
+        };
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            t => t,
+        }
+        .min(tasks.len().max(1));
+        if threads <= 1 {
+            return tasks.iter().map(run_task).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Cell>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(i) else { break };
+                    let cell = run_task(task);
+                    *slots[i].lock().expect("result slot") = Some(cell);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("worker filled every claimed slot")
+            })
+            .collect()
     }
 
     fn run_cell(
@@ -273,20 +370,38 @@ impl ExperimentRunner {
         platform: &PlatformCase,
         jobs: &[Job],
     ) -> Cell {
-        let run = policy.run(jobs, platform.m, &self.ctx);
-        run.validate().unwrap_or_else(|e| {
-            panic!(
-                "{} on {}/{} (m={}): invalid schedule: {e}",
-                policy.name(),
-                workload.name,
-                workload.seed,
-                platform.m
-            )
-        });
-        let records = match self.executor {
-            Executor::Direct => run.schedule.completed(&run.jobs),
-            Executor::DesReplay => des_replay(&run.schedule, &run.jobs),
+        let validate = |run: &PolicyRun| {
+            run.validate().unwrap_or_else(|e| {
+                panic!(
+                    "{} on {}/{} (m={}, {}): invalid schedule: {e}",
+                    policy.name(),
+                    workload.name,
+                    workload.seed,
+                    platform.m,
+                    self.executor.name()
+                )
+            })
         };
+        let (run, mut records) = match self.executor {
+            Executor::Direct | Executor::DesReplay => {
+                let run = policy.run(jobs, platform.m, &self.ctx);
+                validate(&run);
+                let records = match self.executor {
+                    Executor::Direct => run.schedule.completed(&run.jobs),
+                    _ => des_replay(&run.schedule, &run.jobs),
+                };
+                (run, records)
+            }
+            Executor::DesOnline => {
+                let online = des_online(policy, jobs, platform.m, &self.ctx);
+                validate(&online.run);
+                (online.run, online.records)
+            }
+        };
+        // Canonical record order (job id) so every executor feeds Criteria
+        // the same summation order — the online-equivalence tests assert
+        // *bit*-identical metrics across executors.
+        records.sort_by_key(|r| r.id);
         let criteria = Criteria::evaluate(&records);
         // Bounds on the as-scheduled jobs: policies that strip releases or
         // rigidify are measured against the instance they actually solved.
@@ -295,6 +410,7 @@ impl ExperimentRunner {
         let wsum_lb = wsum_lower_bound(&run.jobs, platform.m);
         Cell {
             policy: policy.name().to_string(),
+            executor: self.executor.name().to_string(),
             workload: workload.name.clone(),
             seed: workload.seed,
             platform: platform.name.clone(),
@@ -360,6 +476,148 @@ pub fn des_replay(schedule: &Schedule, jobs: &[Job]) -> Vec<CompletedJob> {
     records
 }
 
+/// The [`lsps_des::Dispatcher`] that turns a [`Policy`] into an online
+/// decision procedure.
+///
+/// Pinned-capable policies (backfilling) decide at every event: the whole
+/// pending set plus the still-live commitments go to
+/// [`Policy::schedule_pending`] and the result is committed in full. Any
+/// other policy cannot fill holes around running work, so arrivals
+/// *accumulate* while commitments are live and the batch is scheduled when
+/// the machine drains — the paper's §4.2 online batch transformation, with
+/// the drain instant delivered by the completion event instead of a
+/// hand-rolled loop.
+struct PolicyDispatch<'a> {
+    policy: &'a dyn Policy,
+    m: usize,
+    ctx: &'a PolicyCtx,
+    /// Live commitments, passed to the policy as exact-processor bookings.
+    committed: Vec<PinnedBooking>,
+    /// Aggregate of every commitment, for end-of-run validation.
+    schedule: Schedule,
+}
+
+impl Dispatcher for PolicyDispatch<'_> {
+    type Job = Job;
+
+    fn decide(&mut self, now: Time, pending: &mut Vec<Job>) -> Vec<Commitment<Job>> {
+        self.committed.retain(|p| p.end > now);
+        if !self.committed.is_empty() && !self.policy.supports_pinned() {
+            // Hole-blind policy with work still running: keep accumulating.
+            // The final completion of the running batch re-invokes us with
+            // an empty commitment set.
+            return Vec::new();
+        }
+        let placed = self
+            .policy
+            .schedule_pending(pending, self.m, now, &self.committed, self.ctx);
+        let mut by_id: HashMap<JobId, Job> = pending.drain(..).map(|j| (j.id, j)).collect();
+        placed
+            .assignments()
+            .iter()
+            .map(|a| {
+                let job = by_id.remove(&a.job).unwrap_or_else(|| {
+                    panic!("{}: scheduled unknown job {}", self.policy.name(), a.job)
+                });
+                self.committed.push(PinnedBooking {
+                    start: a.start,
+                    end: a.end,
+                    procs: a.procs.clone(),
+                });
+                self.schedule.push(a.clone());
+                Commitment {
+                    job,
+                    start: a.start,
+                    end: a.end,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one event-driven online execution.
+pub struct OnlineRun {
+    /// The aggregate of all committed assignments plus the as-scheduled job
+    /// view — validates exactly like a batch [`PolicyRun`].
+    pub run: PolicyRun,
+    /// Completion records, collected at simulated event times and sorted by
+    /// job id.
+    pub records: Vec<CompletedJob>,
+    /// Engine counters (arrivals + decisions + completions).
+    pub stats: RunStats,
+}
+
+/// Drive `policy` through the event engine: every job arrives at its
+/// release date (at time zero under [`ReleaseMode::Offline`]), arrivals at
+/// the same instant coalesce into one decision, and each decision commits
+/// the pending set via [`Policy::schedule_pending`] around the live
+/// commitments. Completions fire as events; nothing is ever started before
+/// its arrival, so the execution is honestly online.
+///
+/// With exact runtimes and all-zero releases the single decision at time
+/// zero *is* the batch schedule, so the outcome is bit-identical to
+/// [`Executor::Direct`] — the equivalence the test suite pins for every
+/// registry policy.
+pub fn des_online(policy: &dyn Policy, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> OnlineRun {
+    // The as-scheduled view (rigidified, possibly release-stripped) fixes
+    // the job shapes once, against the full instance — re-preparing inside
+    // each decision would let allotments drift with the pending count.
+    let prepared = policy.prepare(jobs, m, ctx).into_owned();
+    // Arrival instants come from the *input* releases: offline-only
+    // policies strip releases from their job view (their documented head
+    // start on the clock they are measured against), but information still
+    // reaches the scheduler only at the true release date.
+    let arrivals: HashMap<JobId, Time> = jobs
+        .iter()
+        .map(|j| {
+            let at = match ctx.release_mode {
+                ReleaseMode::Offline => Time::ZERO,
+                ReleaseMode::Online => j.release,
+            };
+            (j.id, at)
+        })
+        .collect();
+    let machine = OnlineMachine::new(PolicyDispatch {
+        policy,
+        m,
+        ctx,
+        committed: Vec::new(),
+        schedule: Schedule::new(m),
+    });
+    let mut sim = Simulation::new(machine);
+    for job in &prepared {
+        sim.schedule_at(arrivals[&job.id], OnlineEvent::Arrive(job.clone()));
+    }
+    // n arrivals + n completions + at most one decision per event.
+    let stats = sim.run_to_completion(4 * prepared.len() as u64 + 8);
+    let (dispatch, completed, still_pending) = sim.into_model().into_parts();
+    assert!(
+        still_pending.is_empty(),
+        "{}: {} jobs never committed",
+        policy.name(),
+        still_pending.len()
+    );
+    let procs: HashMap<JobId, usize> = dispatch
+        .schedule
+        .assignments()
+        .iter()
+        .map(|a| (a.job, a.procs.len()))
+        .collect();
+    let mut records: Vec<CompletedJob> = completed
+        .iter()
+        .map(|c| CompletedJob::from_job(&c.job, c.start, c.end, procs[&c.job.id]))
+        .collect();
+    records.sort_by_key(|r| r.id);
+    OnlineRun {
+        run: PolicyRun {
+            schedule: dispatch.schedule,
+            jobs: prepared,
+        },
+        records,
+        stats,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -418,13 +676,41 @@ mod tests {
         assert_eq!(lines.next(), Some(CSV_HEADER));
         let row = lines.next().expect("one data row");
         assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
-        assert!(row.starts_with("list-fcfs,fig2-par,7,m32,32,30,"));
+        assert!(row.starts_with("list-fcfs,direct,fig2-par,7,m32,32,30,"));
+    }
+
+    #[test]
+    fn des_online_commits_everything_and_respects_arrivals() {
+        let mut r = runner();
+        r.workloads.truncate(1);
+        r.executor = Executor::DesOnline;
+        let cells = r.run();
+        assert_eq!(cells.len(), registry().len());
+        for c in &cells {
+            assert_eq!(c.n, 30, "{}", c.policy);
+            assert_eq!(c.executor, "des-online");
+            assert!(c.cmax_ratio >= 1.0 - 1e-9, "{}", c.policy);
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        for executor in Executor::ALL {
+            let mut r = runner();
+            r.executor = executor;
+            r.threads = 1;
+            let sequential = to_csv(&r.run());
+            r.threads = 4;
+            let parallel = to_csv(&r.run());
+            assert_eq!(sequential, parallel, "{}", executor.name());
+        }
     }
 
     #[test]
     fn summarize_groups_in_first_seen_order() {
         let mk = |policy: &str, v: f64| Cell {
             policy: policy.into(),
+            executor: "direct".into(),
             workload: "w".into(),
             seed: 0,
             platform: "p".into(),

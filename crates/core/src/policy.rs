@@ -129,7 +129,11 @@ impl PolicyRun {
 }
 
 /// A scheduling policy: one shape for every algorithm in the paper.
-pub trait Policy {
+///
+/// `Send + Sync` is a supertrait so `Box<dyn Policy>` values can be shared
+/// across the experiment runner's worker threads; every policy is a plain
+/// configuration struct, so the bound costs nothing.
+pub trait Policy: Send + Sync {
     /// Stable, unique identifier (used in CSV output and lookups).
     fn name(&self) -> &str;
 
@@ -176,6 +180,84 @@ pub trait Policy {
         PolicyRun {
             schedule: self.schedule(&prepared, m, ctx),
             jobs: prepared,
+        }
+    }
+
+    /// Incremental decision hook: schedule the `pending` jobs (all already
+    /// arrived, i.e. every release is `<= now`) around the `committed`
+    /// bookings of work that has already been started or promised, no
+    /// earlier than `now`. This is the entry point event-driven callers use
+    /// — the online executor at every arrival/completion instant, the grid's
+    /// cluster-level scheduler per local submission.
+    ///
+    /// The default implementation re-runs the batch path:
+    ///
+    /// * a policy that honours [`PinnedBooking`]s schedules the pending jobs
+    ///   (releases bumped to `now`) around the still-relevant commitments —
+    ///   true hole-filling, exactly what `lsps_grid::cigri` always did;
+    /// * any other policy schedules the pending batch on an empty machine
+    ///   (releases zeroed — everything pending is available, and keeping
+    ///   absolute releases would replay the arrival gaps inside the batch)
+    ///   and shifts the result past the last committed completion — the
+    ///   paper's online batch transformation (§4.2), priced honestly.
+    ///
+    /// Either way, with no commitments at `now == 0` the result is
+    /// bit-identical to [`schedule`](Policy::schedule) — the property the
+    /// online-equivalence tests pin down.
+    ///
+    /// Under [`ReleaseMode::Online`] every returned start is `>= now`; the
+    /// [`ReleaseMode::Offline`] ctx (which strips releases) only makes
+    /// sense for a single decision instant at time zero.
+    fn schedule_pending(
+        &self,
+        pending: &[Job],
+        m: usize,
+        now: Time,
+        committed: &[PinnedBooking],
+        ctx: &PolicyCtx,
+    ) -> Schedule {
+        if self.supports_pinned() {
+            let mut ctx = ctx.clone();
+            // Commitments already over by `now` cannot constrain anything.
+            ctx.pinned
+                .extend(committed.iter().filter(|p| p.end > now).cloned());
+            let bumped: Vec<Job> = pending
+                .iter()
+                .map(|j| {
+                    let mut j = j.clone();
+                    j.release = j.release.max(now);
+                    j
+                })
+                .collect();
+            self.schedule(&bumped, m, &ctx)
+        } else {
+            let horizon = committed.iter().map(|p| p.end).fold(now, Time::max);
+            let batch: Vec<Job> = pending
+                .iter()
+                .map(|j| {
+                    let mut j = j.clone();
+                    j.release = Time::ZERO;
+                    j
+                })
+                .collect();
+            // The batch is scheduled in a zero-based frame and shifted by
+            // `horizon` afterwards, so any absolute reservation windows in
+            // the ctx must be translated into that frame — otherwise the
+            // shift would push work *into* the windows it avoided.
+            let shift = horizon.since_epoch();
+            let to_frame = |t: Time| Time::from_ticks(t.ticks().saturating_sub(shift.ticks()));
+            let mut ctx = ctx.clone();
+            ctx.reservations.retain(|r| r.end > horizon);
+            for r in &mut ctx.reservations {
+                r.start = to_frame(r.start);
+                r.end = to_frame(r.end);
+            }
+            ctx.pinned.retain(|p| p.end > horizon);
+            for p in &mut ctx.pinned {
+                p.start = to_frame(p.start);
+                p.end = to_frame(p.end);
+            }
+            self.schedule(&batch, m, &ctx).shifted(shift)
         }
     }
 }
@@ -735,6 +817,131 @@ mod tests {
             ..Job::sequential(1, d(1))
         };
         ListScheduling::new(JobOrder::Fcfs).schedule(&[j], 2, &PolicyCtx::default());
+    }
+
+    #[test]
+    fn schedule_pending_with_no_commitments_at_zero_is_the_batch_schedule() {
+        // The hook's contract: pending jobs have all arrived (release <=
+        // now), so at now = 0 the jobs are release-free.
+        let jobs: Vec<Job> = mixed_jobs()
+            .into_iter()
+            .map(|j| j.released_at(Time::ZERO))
+            .collect();
+        let ctx = PolicyCtx::default();
+        for policy in registry() {
+            let batch = policy.schedule(&jobs, 8, &ctx);
+            let incremental = policy.schedule_pending(&jobs, 8, Time::ZERO, &[], &ctx);
+            assert_eq!(batch, incremental, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn schedule_pending_fills_holes_around_commitments_when_pinned_capable() {
+        // Processor 0 is committed over [0, 100); a 1-proc pending job at
+        // now = 10 must start at 10 on processor 1 — hole-filling, not
+        // waiting for the horizon.
+        let pending = vec![Job::sequential(1, d(10))];
+        let committed = [PinnedBooking {
+            start: Time::ZERO,
+            end: Time::from_ticks(100),
+            procs: ProcSet::from_indices([0]),
+        }];
+        let s = Backfilling::conservative().schedule_pending(
+            &pending,
+            2,
+            Time::from_ticks(10),
+            &committed,
+            &PolicyCtx::default(),
+        );
+        let a = &s.assignments()[0];
+        assert_eq!(a.start, Time::from_ticks(10));
+        assert_eq!(a.procs, ProcSet::from_indices([1]));
+    }
+
+    #[test]
+    fn schedule_pending_batch_fallback_waits_for_the_horizon() {
+        // Shelf packing cannot work around commitments: the pending batch is
+        // scheduled from scratch and shifted past the last committed end.
+        let pending = vec![Job::rigid(1, 1, d(10)), Job::rigid(2, 1, d(5))];
+        let committed = [PinnedBooking {
+            start: Time::from_ticks(20),
+            end: Time::from_ticks(50),
+            procs: ProcSet::from_indices([0]),
+        }];
+        let s = ShelfPacking::new(ShelfAlgo::Nfdh).schedule_pending(
+            &pending,
+            2,
+            Time::from_ticks(30),
+            &committed,
+            &PolicyCtx::default(),
+        );
+        assert_eq!(s.len(), 2);
+        for a in s.assignments() {
+            assert!(a.start >= Time::from_ticks(50), "{a:?} inside the horizon");
+        }
+    }
+
+    #[test]
+    fn schedule_pending_batch_fallback_translates_reservations_into_the_shifted_frame() {
+        // batch-mrt avoids reservations as full-machine blackouts; the
+        // batch fallback schedules zero-based and shifts by the committed
+        // horizon, so the absolute window [100, 200) must still be avoided
+        // *after* the shift.
+        let pending = vec![Job::sequential(1, d(60))];
+        let committed = [PinnedBooking {
+            start: Time::ZERO,
+            end: Time::from_ticks(50),
+            procs: ProcSet::from_indices([0, 1]),
+        }];
+        let ctx = PolicyCtx {
+            reservations: vec![Reservation {
+                start: Time::from_ticks(100),
+                end: Time::from_ticks(200),
+                procs: 2,
+            }],
+            ..PolicyCtx::default()
+        };
+        let s = BatchedMrt::default().schedule_pending(
+            &pending,
+            2,
+            Time::from_ticks(10),
+            &committed,
+            &ctx,
+        );
+        assert_eq!(s.len(), 1);
+        let a = &s.assignments()[0];
+        assert!(a.start >= Time::from_ticks(50), "{a:?} inside the horizon");
+        assert!(
+            a.end <= Time::from_ticks(100) || a.start >= Time::from_ticks(200),
+            "{a:?} crosses the absolute reservation window"
+        );
+    }
+
+    #[test]
+    fn schedule_pending_expired_commitments_do_not_constrain() {
+        // A commitment fully in the past must not block "the whole machine
+        // now" placements.
+        let pending = vec![Job::rigid(1, 2, d(10))];
+        let committed = [PinnedBooking {
+            start: Time::ZERO,
+            end: Time::from_ticks(5),
+            procs: ProcSet::from_indices([0, 1]),
+        }];
+        for policy in [Backfilling::easy(), Backfilling::conservative()] {
+            let s = policy.schedule_pending(
+                &pending,
+                2,
+                Time::from_ticks(5),
+                &committed,
+                &PolicyCtx::default(),
+            );
+            assert_eq!(
+                s.assignments()[0].start,
+                Time::from_ticks(5),
+                "{}",
+                policy.name()
+            );
+        }
     }
 
     #[test]

@@ -137,6 +137,12 @@ impl<M: Model> Simulation<M> {
         self.queue.len()
     }
 
+    /// Total events dispatched over the simulation's whole lifetime (the
+    /// per-run counts are in the [`RunStats`] each run variant returns).
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
     /// Dispatch a single event; returns `false` when the agenda is empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {

@@ -26,12 +26,14 @@
 //!   irrelevant at our event volumes.
 
 pub mod engine;
+pub mod online;
 pub mod queue;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Ctx, Model, RunStats, Simulation};
+pub use online::{Commitment, Dispatcher, OnlineEvent, OnlineMachine};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use time::{Dur, Time, TICKS_PER_SEC};

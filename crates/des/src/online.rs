@@ -1,0 +1,328 @@
+//! Generic online machine: a [`Model`] that drives an external decision
+//! procedure event-by-event.
+//!
+//! The offline executors evaluate a finished rectangle schedule; online
+//! policies differ precisely in *when* they learn about jobs. This module
+//! provides the missing execution shape: jobs [`OnlineEvent::Arrive`] over
+//! simulated time into a pending set, and a [`Dispatcher`] — the layer-
+//! agnostic stand-in for a scheduling policy — is (re-)invoked at every
+//! arrival and completion instant to commit work.
+//!
+//! The machine is deliberately generic over the job type: this crate sits
+//! below `lsps-workload`/`lsps-core`, so the policy-aware dispatcher lives
+//! upstream (`lsps_bench::runner` wires `lsps_core::policy::Policy` in) and
+//! this module only owns the event mechanics:
+//!
+//! * same-instant arrivals coalesce into **one** decision (a `Decide` event
+//!   scheduled at `now` fires after every already-queued event of the same
+//!   timestamp — the queue is FIFO on ties), so a batch policy sees the
+//!   whole simultaneous burst, not one job at a time;
+//! * a commitment is final: the machine schedules its completion and never
+//!   revisits it — revision policies model preemption *inside* their
+//!   dispatcher instead;
+//! * everything is deterministic: identical arrival streams and a
+//!   deterministic dispatcher give bit-identical completion logs.
+
+use crate::engine::{Ctx, Model};
+use crate::time::Time;
+
+/// A decision the dispatcher made for one job: run it over `[start, end)`.
+/// `start` may lie in the future (a planned, reserved start); `end` must not
+/// precede `start`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Commitment<J> {
+    /// The committed job.
+    pub job: J,
+    /// Start of execution.
+    pub start: Time,
+    /// Completion instant.
+    pub end: Time,
+}
+
+/// The decision procedure the machine drives — one abstract "scheduling
+/// policy invocation" per decision instant.
+pub trait Dispatcher {
+    /// The job type flowing through the machine.
+    type Job;
+
+    /// Decide at `now` over the pending set (arrival order). Jobs the
+    /// dispatcher commits must be *removed* from `pending`; whatever is
+    /// left stays queued and the dispatcher runs again at the next arrival
+    /// or completion. Every commitment must satisfy `now <= start <= end`.
+    fn decide(&mut self, now: Time, pending: &mut Vec<Self::Job>) -> Vec<Commitment<Self::Job>>;
+}
+
+/// Event alphabet of the online machine.
+#[derive(Debug)]
+pub enum OnlineEvent<J> {
+    /// A job becomes known to the scheduler.
+    Arrive(J),
+    /// Invoke the dispatcher over the current pending set.
+    Decide,
+    /// A committed run finishes (index into the machine's running table).
+    Finish(usize),
+}
+
+/// The event-driven machine around a [`Dispatcher`]: plug into
+/// [`crate::Simulation`], seed one [`OnlineEvent::Arrive`] per job, run to
+/// completion, then read the completion log with [`OnlineMachine::into_parts`].
+pub struct OnlineMachine<D: Dispatcher> {
+    dispatcher: D,
+    pending: Vec<D::Job>,
+    running: Vec<Option<Commitment<D::Job>>>,
+    completed: Vec<Commitment<D::Job>>,
+    /// Instant a `Decide` is already scheduled for (coalesces same-time
+    /// decision requests into one policy invocation).
+    decide_at: Option<Time>,
+    decisions: u64,
+}
+
+impl<D: Dispatcher> OnlineMachine<D> {
+    /// A machine with an empty pending set.
+    pub fn new(dispatcher: D) -> Self {
+        OnlineMachine {
+            dispatcher,
+            pending: Vec::new(),
+            running: Vec::new(),
+            completed: Vec::new(),
+            decide_at: None,
+            decisions: 0,
+        }
+    }
+
+    /// Jobs arrived but not yet committed.
+    pub fn pending(&self) -> &[D::Job] {
+        &self.pending
+    }
+
+    /// Commitments whose completion has not fired yet.
+    pub fn running(&self) -> usize {
+        self.running.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Completions so far, in event (time, FIFO) order.
+    pub fn completed(&self) -> &[Commitment<D::Job>] {
+        &self.completed
+    }
+
+    /// Number of dispatcher invocations so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Tear down into `(dispatcher, completions, still-pending)` — the
+    /// completion log is in event order.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(self) -> (D, Vec<Commitment<D::Job>>, Vec<D::Job>) {
+        (self.dispatcher, self.completed, self.pending)
+    }
+
+    fn request_decide(&mut self, now: Time, ctx: &mut Ctx<'_, OnlineEvent<D::Job>>) {
+        if self.pending.is_empty() || self.decide_at == Some(now) {
+            return;
+        }
+        self.decide_at = Some(now);
+        ctx.schedule_at(now, OnlineEvent::Decide);
+    }
+
+    fn decide(&mut self, now: Time, ctx: &mut Ctx<'_, OnlineEvent<D::Job>>) {
+        self.decide_at = None;
+        if self.pending.is_empty() {
+            return;
+        }
+        self.decisions += 1;
+        let before = self.pending.len();
+        let commitments = self.dispatcher.decide(now, &mut self.pending);
+        assert_eq!(
+            before,
+            self.pending.len() + commitments.len(),
+            "dispatcher must drain exactly the jobs it commits"
+        );
+        for c in commitments {
+            assert!(
+                now <= c.start && c.start <= c.end,
+                "commitment [{:?}, {:?}) violates causality at {:?}",
+                c.start,
+                c.end,
+                now
+            );
+            let slot = self.running.len();
+            let end = c.end;
+            self.running.push(Some(c));
+            ctx.schedule_at(end, OnlineEvent::Finish(slot));
+        }
+    }
+}
+
+impl<D: Dispatcher> Model for OnlineMachine<D> {
+    type Event = OnlineEvent<D::Job>;
+
+    fn handle(&mut self, now: Time, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>) {
+        match event {
+            OnlineEvent::Arrive(job) => {
+                self.pending.push(job);
+                self.request_decide(now, ctx);
+            }
+            OnlineEvent::Decide => self.decide(now, ctx),
+            OnlineEvent::Finish(slot) => {
+                let c = self.running[slot]
+                    .take()
+                    .expect("finish fires once per slot");
+                debug_assert_eq!(c.end, now);
+                self.completed.push(c);
+                // A completion is new information: re-invoke the dispatcher
+                // if work is still waiting (no-op for full-commitment
+                // dispatchers, which never leave jobs pending).
+                self.request_decide(now, ctx);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::time::Dur;
+
+    fn t(x: u64) -> Time {
+        Time::from_ticks(x)
+    }
+
+    /// One-processor FCFS: starts the head job when the machine is free.
+    struct Fcfs {
+        free_at: Time,
+        lens: Vec<(u32, Dur)>, // (id, len) lookup
+    }
+
+    impl Dispatcher for Fcfs {
+        type Job = u32;
+        fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
+            // Commit only the head, and only if the machine is idle now.
+            if self.free_at > now || pending.is_empty() {
+                return Vec::new();
+            }
+            let job = pending.remove(0);
+            let len = self.lens.iter().find(|(i, _)| *i == job).expect("known").1;
+            self.free_at = now + len;
+            vec![Commitment {
+                job,
+                start: now,
+                end: self.free_at,
+            }]
+        }
+    }
+
+    #[test]
+    fn fcfs_serializes_and_reinvokes_on_completion() {
+        let lens = vec![(1, Dur::from_ticks(10)), (2, Dur::from_ticks(5))];
+        let mut sim = Simulation::new(OnlineMachine::new(Fcfs {
+            free_at: Time::ZERO,
+            lens,
+        }));
+        sim.schedule_at(t(0), OnlineEvent::Arrive(1));
+        sim.schedule_at(t(3), OnlineEvent::Arrive(2));
+        sim.run_to_completion(100);
+        let m = sim.model();
+        assert_eq!(m.running(), 0);
+        assert!(m.pending().is_empty());
+        // Job 2 arrived while 1 ran: it waits and starts at 1's completion —
+        // the decision triggered by the Finish event.
+        assert_eq!(
+            m.completed(),
+            &[
+                Commitment {
+                    job: 1,
+                    start: t(0),
+                    end: t(10)
+                },
+                Commitment {
+                    job: 2,
+                    start: t(10),
+                    end: t(15)
+                },
+            ]
+        );
+        assert_eq!(m.decisions(), 3); // arrive(1), arrive(2), finish(1)
+    }
+
+    /// Commits every pending job at once, back to back from `now`.
+    struct DrainAll;
+
+    impl Dispatcher for DrainAll {
+        type Job = u32;
+        fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
+            let mut at = now;
+            pending
+                .drain(..)
+                .map(|job| {
+                    let c = Commitment {
+                        job,
+                        start: at,
+                        end: at + Dur::from_ticks(u64::from(job)),
+                    };
+                    at = c.end;
+                    c
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn simultaneous_arrivals_coalesce_into_one_decision() {
+        let mut sim = Simulation::new(OnlineMachine::new(DrainAll));
+        for job in [3u32, 1, 2] {
+            sim.schedule_at(t(5), OnlineEvent::Arrive(job));
+        }
+        sim.run_to_completion(100);
+        let m = sim.model();
+        // One burst, one decision, arrival (seed) order preserved.
+        assert_eq!(m.decisions(), 1);
+        let order: Vec<u32> = m.completed().iter().map(|c| c.job).collect();
+        assert_eq!(order, vec![3, 1, 2]);
+        assert_eq!(m.completed()[2].end, t(5 + 3 + 1 + 2));
+    }
+
+    #[test]
+    fn future_commitments_complete_at_their_end() {
+        struct Defer;
+        impl Dispatcher for Defer {
+            type Job = u32;
+            fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
+                pending
+                    .drain(..)
+                    .map(|job| Commitment {
+                        job,
+                        start: now + Dur::from_ticks(100),
+                        end: now + Dur::from_ticks(101),
+                    })
+                    .collect()
+            }
+        }
+        let mut sim = Simulation::new(OnlineMachine::new(Defer));
+        sim.schedule_at(t(0), OnlineEvent::Arrive(7));
+        let stats = sim.run_to_completion(10);
+        assert_eq!(stats.last_event_time, t(101));
+        assert_eq!(sim.model().completed().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drain exactly")]
+    fn dispatcher_must_drain_committed_jobs() {
+        struct Sloppy;
+        impl Dispatcher for Sloppy {
+            type Job = u32;
+            fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
+                // Commits the job but forgets to remove it from pending.
+                vec![Commitment {
+                    job: pending[0],
+                    start: now,
+                    end: now,
+                }]
+            }
+        }
+        let mut sim = Simulation::new(OnlineMachine::new(Sloppy));
+        sim.schedule_at(t(0), OnlineEvent::Arrive(1));
+        sim.run_to_completion(10);
+    }
+}

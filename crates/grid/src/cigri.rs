@@ -163,32 +163,34 @@ impl CigriSim {
         let m = self.clusters[c].local_tl.capacity().len();
         assert!(q <= m, "job wider than cluster");
         // Placement sees only local load — grid jobs are invisible. The
-        // decision is delegated to the cluster-level `Policy`: one rigid
-        // job (speed-scaled, released "now") around the current local
-        // bookings pinned as exact-processor reservations.
+        // decision goes through the same incremental hook the online
+        // executor uses ([`Policy::schedule_pending`]): one rigid probe
+        // (speed-scaled, released "now") around the cluster's current local
+        // bookings as exact-processor commitments. The hook drops bookings
+        // already over by the decision instant, so the gc'ed timeline can be
+        // handed over wholesale.
         let (start, procs) = {
             let cl = &self.clusters[c];
             let release = now.max(job.release);
-            let ctx = PolicyCtx {
-                // Bookings already over by the probe's release cannot
-                // constrain it (the timeline is gc'ed on completions; this
-                // also skips any stragglers between gc points).
-                pinned: cl
-                    .local_tl
-                    .bookings()
-                    .filter(|(_, b)| b.end > release)
-                    .map(|(_, b)| PinnedBooking {
-                        start: b.start,
-                        end: b.end,
-                        procs: b.procs.clone(),
-                    })
-                    .collect(),
-                ..PolicyCtx::default()
-            };
+            let committed: Vec<PinnedBooking> = cl
+                .local_tl
+                .bookings()
+                .map(|(_, b)| PinnedBooking {
+                    start: b.start,
+                    end: b.end,
+                    procs: b.procs.clone(),
+                })
+                .collect();
             let mut probe = job.clone();
             probe.release = release;
             probe.kind = JobKind::Rigid { procs: q, len };
-            let placed = self.local_policy.schedule(&[probe], m, &ctx);
+            let placed = self.local_policy.schedule_pending(
+                &[probe],
+                m,
+                release,
+                &committed,
+                &PolicyCtx::default(),
+            );
             let a = &placed.assignments()[0];
             (a.start, a.procs.clone())
         };

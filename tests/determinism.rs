@@ -1,12 +1,14 @@
 //! Reproducibility: every layer of the stack must produce bit-identical
 //! results from the same seed — the property EXPERIMENTS.md relies on.
 
+use lsps::core::policy::registry;
 use lsps::dlt::selfsched::best_chunk;
 use lsps::grid::cigri::run_cigri;
 use lsps::grid::exchange::{run_exchange, ExchangeParams};
 use lsps::grid::scenario::{ciment_locals, ciment_scenario, ScenarioParams};
 use lsps::platform::presets;
 use lsps::prelude::*;
+use lsps_bench::runner::{to_csv, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
 
 #[test]
 fn workload_generation_is_deterministic() {
@@ -61,6 +63,36 @@ fn exchange_simulation_is_deterministic() {
     let b = run_exchange(&p, mk(), ExchangeParams::default());
     assert_eq!(a.records, b.records);
     assert_eq!(a.migrations, b.migrations);
+}
+
+#[test]
+fn online_executor_is_deterministic_including_the_parallel_runner() {
+    // Two full sweeps of the same seeded workload through the online
+    // event-driven executor must render byte-identical CSV — and the
+    // worker-pool fan-out must not perturb a single byte either, whatever
+    // the thread count. This is the guard against ordering nondeterminism
+    // in the pool (results are slot-indexed, not completion-ordered).
+    let mk = |threads: usize| {
+        let mut r = ExperimentRunner::new(registry());
+        r.workloads = vec![
+            WorkloadCase::from_spec("fig2-par", 11, WorkloadSpec::fig2_parallel(40)),
+            WorkloadCase::from_spec("fig2-seq", 11, WorkloadSpec::fig2_sequential(40)),
+        ];
+        r.platforms = vec![PlatformCase::new("m32", 32)];
+        r.executor = Executor::DesOnline;
+        r.threads = threads;
+        r
+    };
+    let sequential = to_csv(&mk(1).run());
+    let sequential_again = to_csv(&mk(1).run());
+    assert_eq!(sequential, sequential_again, "two seeded runs diverged");
+    for threads in [2, 4, 0] {
+        let parallel = to_csv(&mk(threads).run());
+        assert_eq!(
+            sequential, parallel,
+            "worker pool (threads = {threads}) perturbed the output"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! The contract of `Executor::DesOnline`, pinned for **every** registry
+//! policy:
+//!
+//! * with exact runtimes (clairvoyance factor 1.0) and all-zero release
+//!   dates, the online event-driven execution is **bit-identical** to the
+//!   batch (`Direct`) evaluation — arrivals coalesce into the single
+//!   decision at time zero, which *is* the batch schedule;
+//! * with staggered releases the executions differ (that is the point),
+//!   but the online run must never start a job before its release, and its
+//!   completed set must match the DES-replay event accounting: the same
+//!   jobs, one completion event each.
+
+use std::collections::HashMap;
+
+use lsps::core::policy::{registry, PolicyCtx};
+use lsps::prelude::*;
+use lsps_bench::runner::{
+    des_online, des_replay, to_csv, Executor, ExperimentRunner, PlatformCase, WorkloadCase,
+};
+
+/// Mixed rigid/moldable workload with weights; releases come from `stagger`.
+fn workload(seed: u64, n: usize, m: usize, stagger: bool) -> Vec<Job> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut clock = 0u64;
+    (0..n)
+        .map(|i| {
+            clock += rng.int_range(5, 200);
+            let seq = Dur::from_ticks(rng.int_range(20, 2_000));
+            let job = if rng.chance(0.5) {
+                Job::moldable(
+                    i as u64,
+                    MoldableProfile::from_model(
+                        seq,
+                        &SpeedupModel::Amdahl {
+                            seq_fraction: rng.range(0.0, 0.3),
+                        },
+                        rng.int_range(1, m as u64) as usize,
+                    ),
+                )
+            } else {
+                Job::rigid(i as u64, rng.int_range(1, m as u64 / 2) as usize, seq)
+            };
+            let release = if stagger { clock } else { 0 };
+            job.released_at(Time::from_ticks(release))
+                .with_weight(rng.range(0.5, 4.0))
+        })
+        .collect()
+}
+
+#[test]
+fn zero_releases_make_online_bit_identical_to_direct() {
+    let m = 32;
+    let jobs = workload(5, 40, m, false);
+    let ctx = PolicyCtx::default(); // estimate_factor = 1.0: exact runtimes
+    for policy in registry() {
+        let direct = policy.run(&jobs, m, &ctx);
+        direct
+            .validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+        let mut direct_records = direct.schedule.completed(&direct.jobs);
+        direct_records.sort_by_key(|r| r.id);
+
+        let online = des_online(policy.as_ref(), &jobs, m, &ctx);
+        online
+            .run
+            .validate()
+            .unwrap_or_else(|e| panic!("{} (online): {e}", policy.name()));
+        // Record-level bit-identity (integer times, copied weights): the
+        // strongest possible equivalence — every metric follows.
+        assert_eq!(direct_records, online.records, "{}", policy.name());
+    }
+}
+
+#[test]
+fn zero_release_cells_agree_bit_for_bit_across_executors() {
+    // Same property one layer up: whole runner cells, CSV-rendered, equal
+    // in every byte except the executor column itself.
+    let mut r = ExperimentRunner::new(registry());
+    r.workloads = vec![WorkloadCase::fixed(
+        "zero-rel",
+        5,
+        workload(5, 30, 32, false),
+    )];
+    r.platforms = vec![PlatformCase::new("m32", 32)];
+    let rows = |csv: String| -> Vec<String> {
+        csv.lines()
+            .skip(1)
+            .map(|l| {
+                l.replacen(Executor::Direct.name(), "X", 1).replacen(
+                    Executor::DesOnline.name(),
+                    "X",
+                    1,
+                )
+            })
+            .collect()
+    };
+    r.executor = Executor::Direct;
+    let direct = rows(to_csv(&r.run()));
+    r.executor = Executor::DesOnline;
+    let online = rows(to_csv(&r.run()));
+    assert_eq!(direct, online);
+}
+
+#[test]
+fn staggered_releases_never_start_early_and_match_replay_accounting() {
+    let m = 24;
+    let jobs = workload(9, 35, m, true);
+    let release_of: HashMap<JobId, Time> = jobs.iter().map(|j| (j.id, j.release)).collect();
+    let ctx = PolicyCtx::default();
+    for policy in registry() {
+        let online = des_online(policy.as_ref(), &jobs, m, &ctx);
+        online
+            .run
+            .validate()
+            .unwrap_or_else(|e| panic!("{} (online): {e}", policy.name()));
+        // No clairvoyance about existence: a job's rectangle may not begin
+        // before the instant the scheduler learned about it — even for
+        // policies whose *prepared view* strips release dates.
+        for a in online.run.schedule.assignments() {
+            assert!(
+                a.start >= release_of[&a.job],
+                "{}: job {} starts at {:?} before release {:?}",
+                policy.name(),
+                a.job,
+                a.start,
+                release_of[&a.job]
+            );
+        }
+        // Completed-set equivalence with the replay executor's event
+        // accounting: same jobs, exactly one completion event per job.
+        let batch = policy.run(&jobs, m, &ctx);
+        let replay = des_replay(&batch.schedule, &batch.jobs);
+        let online_ids: Vec<JobId> = online.records.iter().map(|r| r.id).collect();
+        let replay_ids: Vec<JobId> = replay.iter().map(|r| r.id).collect();
+        assert_eq!(online_ids, replay_ids, "{}", policy.name());
+        // Event budget: n arrivals + n completions + at most one decision
+        // per arrival/completion instant, nothing else.
+        let n = jobs.len() as u64;
+        assert!(
+            online.stats.events_dispatched > 2 * n && online.stats.events_dispatched <= 4 * n,
+            "{}: {} events for n = {n}",
+            policy.name(),
+            online.stats.events_dispatched
+        );
+    }
+}
