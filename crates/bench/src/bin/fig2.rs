@@ -4,48 +4,38 @@
 //! has been realized […] the simulation assumed a cluster of 100 machines,
 //! parallel and non-parallel jobs, and two criteria Cmax and Σ ωiCi."
 //!
-//! A declarative config over [`lsps_bench::runner::ExperimentRunner`]: one
-//! policy (`bicriteria` from the registry), workloads = the two Fig. 2 job
+//! A thin wrapper over the built-in
+//! [`lsps_scenario::campaign::builtin::fig2_spec`] campaign: one policy
+//! (`bicriteria` from the registry), workloads = the two Fig. 2 job
 //! populations × n = 50..1000 × 10 seeds, one platform (m = 100). The
 //! table reports the two ratios the figure plots, aggregated over seeds;
-//! the CSV carries every raw cell in the standard runner schema.
+//! the CSV carries every raw cell in the standard runner schema
+//! (byte-identical to the pre-campaign hand-rolled sweep).
 //!
 //! Expected shape (paper): ratios between 1 and ~2.8, decreasing with the
 //! number of tasks, the non-parallel series above the parallel one for
 //! Σ ωiCi.
 
-use lsps_bench::runner::{self, summarize_by, ExperimentRunner, PlatformCase, WorkloadCase};
+use lsps_bench::runner::{self, summarize_by};
 use lsps_bench::{write_csv, Table};
-use lsps_core::policy::by_name;
-use lsps_workload::WorkloadSpec;
-
-const M: usize = 100;
-const SEEDS: u64 = 10;
-const NS: [usize; 11] = [50, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000];
+use lsps_scenario::campaign::builtin::fig2_spec;
+use lsps_scenario::{run_campaign, CampaignOptions};
 
 fn main() {
-    println!("FIG2 — bi-criteria simulation on {M} machines ({SEEDS} seeds/point)\n");
-
-    let mut r = ExperimentRunner::new(vec![by_name("bicriteria").expect("registered")]);
-    r.platforms = vec![PlatformCase::new("fig2", M)];
-    r.workloads = NS
+    let spec = fig2_spec();
+    // Banner shape comes from the spec itself: m from the single platform,
+    // seeds/point from how many entries share one series name.
+    let m = spec.platforms[0].m;
+    let seeds = spec
+        .workloads
         .iter()
-        .flat_map(|&n| {
-            (0..SEEDS).flat_map(move |seed| {
-                [
-                    WorkloadCase::new(format!("Non Parallel/{n}"), 1000 + seed, move |m, rng| {
-                        let mut rng = rng.child(n as u64);
-                        WorkloadSpec::fig2_sequential(n).generate(m, &mut rng)
-                    }),
-                    WorkloadCase::new(format!("Parallel/{n}"), 1000 + seed, move |m, rng| {
-                        let mut rng = rng.child(n as u64);
-                        WorkloadSpec::fig2_parallel(n).generate(m, &mut rng)
-                    }),
-                ]
-            })
-        })
-        .collect();
-    let cells = r.run();
+        .filter(|w| w.name == spec.workloads[0].name)
+        .count();
+    println!("FIG2 — bi-criteria simulation on {m} machines ({seeds} seeds/point)\n");
+
+    let report =
+        run_campaign(&spec, &CampaignOptions::default()).expect("built-in campaign spec runs");
+    let cells = report.cells;
 
     let wici = summarize_by(&cells, |c| c.workload.clone(), |c| c.wsum_ratio);
     let cmax = summarize_by(&cells, |c| c.workload.clone(), |c| c.cmax_ratio);

@@ -7,61 +7,30 @@
 //! * SMART (rigid, Σ Ci / Σ ωiCi): 8 / 8.53               (§4.3)
 //! * bi-criteria (both criteria): 4ρ = 8 with ρ = 2       (§4.4)
 //!
-//! A declarative config over [`lsps_bench::runner::ExperimentRunner`]: the
-//! claims are rows of a table (registry policy name × workload family ×
-//! criterion × proven bound); every measurement flows through the same
-//! runner code path and the standard CSV schema. Ratios divide by
+//! A thin wrapper over built-in campaign specs
+//! ([`lsps_scenario::campaign::builtin::guarantees_spec`]): the claims are
+//! rows of a table (registry policy name × workload family × criterion ×
+//! proven bound); every measurement flows through the campaign layer, the
+//! same runner code path and the standard CSV schema. The instance
+//! families (`moldable0`, `moldable-online`, `rigid0`) live in
+//! [`lsps_scenario::families`]; sequential seed derivation reproduces the
+//! historical `seed_base + k` streams byte-for-byte. Ratios divide by
 //! *certified lower bounds*, so they upper-bound the true ratio vs OPT.
 //! The MRT two-shelf invariant (`Cmax ≤ 3λ*/2`) needs the accepted guess
 //! λ*, which only `mrt_schedule_with_lambda` exposes — that single row is
 //! measured directly.
 
-use lsps_bench::runner::{self, summarize_by, ExperimentRunner, PlatformCase, WorkloadCase};
+use lsps_bench::runner::{self, summarize_by};
 use lsps_bench::{write_csv, Table};
 use lsps_core::mrt::{mrt_schedule_with_lambda, MrtParams};
-use lsps_core::policy::{by_name, PolicyCtx};
-use lsps_des::{Dur, SimRng, Time};
+use lsps_des::SimRng;
 use lsps_metrics::Summary;
-use lsps_workload::{Job, MoldableProfile, SpeedupModel};
+use lsps_scenario::campaign::builtin::guarantees_spec;
+use lsps_scenario::families::moldable_instance;
+use lsps_scenario::{run_campaign, CampaignOptions};
 
 const SEEDS: u64 = 12;
 const SIZES: [(usize, usize); 4] = [(16, 10), (64, 40), (100, 80), (256, 120)];
-
-fn moldable_instance(rng: &mut SimRng, n: usize, m: usize, online: bool) -> Vec<Job> {
-    let mut clock = 0u64;
-    (0..n)
-        .map(|i| {
-            if online {
-                clock += rng.int_range(0, 200);
-            }
-            Job::moldable(
-                i as u64,
-                MoldableProfile::from_model(
-                    Dur::from_ticks(rng.int_range(50, 5_000)),
-                    &SpeedupModel::Amdahl {
-                        seq_fraction: rng.range(0.0, 0.3),
-                    },
-                    rng.int_range(1, m as u64) as usize,
-                ),
-            )
-            .released_at(Time::from_ticks(clock))
-            .with_weight(rng.range(0.5, 5.0))
-        })
-        .collect()
-}
-
-fn rigid_instance(rng: &mut SimRng, n: usize, m: usize) -> Vec<Job> {
-    (0..n)
-        .map(|i| {
-            Job::rigid(
-                i as u64,
-                rng.int_range(1, m as u64) as usize,
-                Dur::from_ticks(rng.int_range(10, 2_000)),
-            )
-            .with_weight(rng.range(0.5, 5.0))
-        })
-        .collect()
-}
 
 /// One proven claim: measure `policy` over `family` workloads, read the
 /// `ratio` column, compare against `proven`.
@@ -128,29 +97,10 @@ const CLAIMS: &[Claim] = &[
     },
 ];
 
-fn family_case(family: &'static str, seed: u64, n: usize) -> WorkloadCase {
-    let name = format!("{family}-n{n}");
-    match family {
-        "moldable0" => WorkloadCase::new(name, seed, move |m, rng| {
-            let mut rng = rng.child(m as u64);
-            moldable_instance(&mut rng, n, m, false)
-        }),
-        "moldable-online" => WorkloadCase::new(name, seed, move |m, rng| {
-            let mut rng = rng.child(m as u64);
-            moldable_instance(&mut rng, n, m, true)
-        }),
-        "rigid0" => WorkloadCase::new(name, seed, move |m, rng| {
-            let mut rng = rng.child(m as u64);
-            rigid_instance(&mut rng, n, m)
-        }),
-        other => panic!("unknown workload family {other}"),
-    }
-}
-
 fn main() {
     println!("TAB-G — measured ratios vs proven guarantees ({SEEDS} seeds × sizes)\n");
 
-    // The checkable claims: one runner per (claim, machine size) so every
+    // The checkable claims: one campaign per (claim, machine size) so every
     // workload is paired with its historical platform — the seed × (m, n)
     // instance families of the original experiment, nothing extra.
     let mut csv_cells = Vec::new();
@@ -158,19 +108,20 @@ fn main() {
     for (idx, claim) in CLAIMS.iter().enumerate() {
         let mut summary = Summary::new();
         for &(m, n) in &SIZES {
-            let mut r =
-                ExperimentRunner::new(vec![by_name(claim.policy)
-                    .unwrap_or_else(|| panic!("{} is registered", claim.policy))]);
-            r.platforms = vec![PlatformCase::new(format!("m{m}"), m)];
-            r.workloads = (0..SEEDS)
-                .map(|seed| family_case(claim.family, claim.seed_base + seed, n))
-                .collect();
-            r.ctx = PolicyCtx::default();
-            let cells = r.run();
-            for c in &cells {
+            let spec = guarantees_spec(
+                claim.policy,
+                claim.family,
+                claim.seed_base,
+                SEEDS as usize,
+                m,
+                n,
+            );
+            let report = run_campaign(&spec, &CampaignOptions::default())
+                .expect("built-in campaign spec runs");
+            for c in &report.cells {
                 summary.add((claim.ratio)(c));
             }
-            csv_cells.extend(cells);
+            csv_cells.extend(report.cells);
         }
         measured.push((idx, summary));
     }

@@ -1,69 +1,33 @@
 //! TAB-P — "which policy for which application?", quantified.
 //!
 //! The paper's thesis is that the right policy depends on the application
-//! class and the criterion. This binary is a declarative config over
-//! [`lsps_bench::runner::ExperimentRunner`]: the advisor's policy choices
-//! (instantiated straight from [`PolicyChoice::instantiate`]) cross three
-//! workload classes on the Fig. 2 machine (m = 100), in both off-line and
-//! on-line release modes, through one code path. The measured winners are
-//! then compared against the advisor's recommendations.
+//! class and the criterion. This binary is a thin wrapper over the
+//! built-in [`lsps_scenario::campaign::builtin::models_compare_spec`]
+//! campaigns: the advisor's policy choices (by registry name) cross three
+//! workload classes on the Fig. 2 machine (m = 100) and every executor,
+//! one campaign per release mode, through one code path. The measured
+//! winners are then compared against the advisor's recommendations.
 
-use lsps_bench::runner::{self, Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
+use lsps_bench::runner::{self, Cell};
 use lsps_bench::{write_csv, Table};
-use lsps_core::advisor::{advise, Application, Objective, PolicyChoice};
+use lsps_core::advisor::{advise, Application, Objective};
 use lsps_core::allot::{two_phase_moldable, AllotRule};
 use lsps_core::list::JobOrder;
 use lsps_core::mrt::{mrt_schedule, MrtParams};
-use lsps_core::policy::{PolicyCtx, ReleaseMode};
+use lsps_core::policy::ReleaseMode;
 use lsps_des::{Dur, SimRng, Time};
 use lsps_metrics::cmax_lower_bound;
-use lsps_workload::{Job, JobKind, MoldableProfile, SpeedupModel, WorkloadSpec};
+use lsps_scenario::campaign::builtin::models_compare_spec;
+use lsps_scenario::{run_campaign, CampaignOptions};
+use lsps_workload::{Job, MoldableProfile, SpeedupModel, WorkloadSpec};
 
 const M: usize = 100;
 const N: usize = 400;
-const SEED: u64 = 7;
-
-/// The application classes under comparison, as workload generators.
-fn workload_cases() -> Vec<WorkloadCase> {
-    vec![
-        WorkloadCase::from_spec("SequentialBag", SEED, WorkloadSpec::fig2_sequential(N)),
-        WorkloadCase::new("Rigid", SEED, |m, rng| {
-            // Rigidified moldable mix: a realistic rigid trace.
-            WorkloadSpec::fig2_parallel(N)
-                .generate(m, rng)
-                .into_iter()
-                .map(|j| match &j.kind {
-                    JobKind::Moldable { profile } => {
-                        let k = (profile.max_procs() / 2).max(1);
-                        let len = profile.time(k);
-                        Job {
-                            kind: JobKind::Rigid { procs: k, len },
-                            ..j
-                        }
-                    }
-                    _ => j,
-                })
-                .collect()
-        }),
-        WorkloadCase::from_spec("Moldable", SEED, WorkloadSpec::fig2_parallel(N)),
-    ]
-}
-
-/// The advisor's PT policy choices, instantiated through the registry.
-fn policy_choices() -> Vec<PolicyChoice> {
-    vec![
-        PolicyChoice::WsptList,
-        PolicyChoice::Backfilling,
-        PolicyChoice::SmartShelves,
-        PolicyChoice::MrtBatch,
-        PolicyChoice::BiCriteriaBatches,
-    ]
-}
 
 fn main() {
     println!("TAB-P — policy × workload matrix on m = {M} (ratios vs lower bounds)\n");
 
-    // Every (mode × executor) through one runner config: the executor
+    // Every (mode × executor) through one campaign per mode: the executor
     // column quantifies what moving from a batch rectangle evaluation
     // (direct / des-replay, which must agree) to honest event-driven online
     // execution (des-online) costs each policy.
@@ -73,23 +37,10 @@ fn main() {
             ReleaseMode::Offline => "off-line",
             ReleaseMode::Online => "on-line",
         };
-        for executor in Executor::ALL {
-            let mut r = ExperimentRunner::new(
-                policy_choices()
-                    .into_iter()
-                    .map(|c| c.instantiate().expect("PT policy choices instantiate"))
-                    .collect(),
-            );
-            r.workloads = workload_cases();
-            r.platforms = vec![PlatformCase::new("fig2", M)];
-            r.executor = executor;
-            r.ctx = PolicyCtx {
-                release_mode: mode,
-                ..PolicyCtx::default()
-            };
-            for cell in r.run() {
-                all_cells.push((mode_name.to_string(), cell));
-            }
+        let report = run_campaign(&models_compare_spec(mode), &CampaignOptions::default())
+            .expect("built-in campaign spec runs");
+        for cell in report.cells {
+            all_cells.push((mode_name.to_string(), cell));
         }
     }
 

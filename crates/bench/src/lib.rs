@@ -1,138 +1,22 @@
-//! Shared plumbing for the experiment binaries: the scenario runner
-//! ([`runner::ExperimentRunner`]), result files and tables.
+//! Shared plumbing for the experiment binaries.
+//!
+//! The scenario runner, the campaign subsystem, result-file helpers and
+//! the table printer all live in `lsps_scenario`; this crate re-exports
+//! them under their historical `lsps_bench` paths (every experiment
+//! binary, test and example keeps compiling unchanged) and adds the
+//! binary-facing convenience [`write_csv`].
 //!
 //! Every binary writes machine-readable CSV under `results/` (created at
 //! the workspace root when run from inside it) and a human-readable table
 //! on stdout. EXPERIMENTS.md references both.
 
-use std::fs;
-use std::path::{Path, PathBuf};
-
-pub mod runner;
-
+pub use lsps_scenario::runner;
+pub use lsps_scenario::{results_dir, write_file_atomic, Table};
 pub use runner::{Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
-
-/// Resolve (and create) the results directory: the nearest ancestor of the
-/// current directory that looks like the workspace root (has `Cargo.toml`
-/// and `crates/`), falling back to the current directory, so experiment
-/// binaries work from any crate directory.
-pub fn results_dir() -> PathBuf {
-    let cwd = std::env::current_dir().expect("cwd");
-    let base = cwd
-        .ancestors()
-        .find(|c| c.join("Cargo.toml").exists() && c.join("crates").exists())
-        .unwrap_or(&cwd)
-        .to_path_buf();
-    let dir = base.join("results");
-    fs::create_dir_all(&dir).expect("create results dir");
-    dir
-}
-
-/// Atomically write `content` to `dir/<name>`: the bytes go to a hidden
-/// sibling temp file first and land under the final name via `rename`, so a
-/// reader (or a crash mid-write) never observes a torn or half-replaced
-/// file — long sweeps re-running into the same `results/` replace each CSV
-/// in one step instead of truncating it for the duration of the write.
-pub fn write_file_atomic(dir: &Path, name: &str, content: &str) -> PathBuf {
-    let path = dir.join(name);
-    // Per-process temp name: two concurrent writers of the same CSV must
-    // not share a staging file, or one could publish the other's torn
-    // half-write — last rename wins instead.
-    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
-    fs::write(&tmp, content).expect("write temp results file");
-    fs::rename(&tmp, &path).expect("rename temp results file into place");
-    path
-}
 
 /// Write CSV content to `results/<name>` (atomically — see
 /// [`write_file_atomic`]) and report the path on stdout.
 pub fn write_csv(name: &str, content: &str) {
     let path = write_file_atomic(&results_dir(), name, content);
     println!("\n[written] {}", path.display());
-}
-
-/// Fixed-width table printer.
-pub struct Table {
-    widths: Vec<usize>,
-    rows: Vec<Vec<String>>,
-}
-
-impl Table {
-    /// Start a table with the given headers.
-    pub fn new(headers: &[&str]) -> Table {
-        let mut t = Table {
-            widths: headers.iter().map(|h| h.len()).collect(),
-            rows: Vec::new(),
-        };
-        t.row(headers.iter().map(|s| s.to_string()).collect());
-        t
-    }
-
-    /// Append a row (must match the header arity).
-    pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.widths.len(), "ragged table row");
-        for (w, c) in self.widths.iter_mut().zip(&cells) {
-            *w = (*w).max(c.len());
-        }
-        self.rows.push(cells);
-    }
-
-    /// Render with a separator under the header.
-    pub fn print(&self) {
-        for (i, row) in self.rows.iter().enumerate() {
-            let line: Vec<String> = row
-                .iter()
-                .zip(&self.widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect();
-            println!("{}", line.join("  "));
-            if i == 0 {
-                let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
-                println!("{}", sep.join("  "));
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn atomic_write_replaces_wholesale_and_leaves_no_temp() {
-        let dir = std::env::temp_dir().join(format!("lsps-atomic-write-{}", std::process::id()));
-        fs::create_dir_all(&dir).expect("temp dir");
-        let p1 = write_file_atomic(&dir, "out.csv", "first,version\n");
-        assert_eq!(fs::read_to_string(&p1).unwrap(), "first,version\n");
-        // Re-writing the same name replaces the content in one step…
-        let p2 = write_file_atomic(&dir, "out.csv", "second\n");
-        assert_eq!(p1, p2);
-        assert_eq!(fs::read_to_string(&p2).unwrap(), "second\n");
-        // …and no staging file outlives the call.
-        let leftovers: Vec<_> = fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().file_name().into_string().unwrap())
-            .filter(|n| n.ends_with(".tmp"))
-            .collect();
-        assert!(
-            leftovers.is_empty(),
-            "staging files left behind: {leftovers:?}"
-        );
-        fs::remove_dir_all(&dir).expect("cleanup");
-    }
-
-    #[test]
-    fn table_aligns() {
-        let mut t = Table::new(&["a", "bbbb"]);
-        t.row(vec!["12345".into(), "1".into()]);
-        t.print(); // smoke: no panic, widths grow
-        assert_eq!(t.widths, vec![5, 4]);
-    }
-
-    #[test]
-    #[should_panic]
-    fn ragged_rows_rejected() {
-        let mut t = Table::new(&["a"]);
-        t.row(vec!["1".into(), "2".into()]);
-    }
 }

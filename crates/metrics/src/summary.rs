@@ -56,6 +56,20 @@ impl Summary {
         (self.m2 / self.values.len() as f64).sqrt()
     }
 
+    /// Half-width of the normal-approximation 95% confidence interval on
+    /// the mean: `1.96 · s / √n` with `s` the *sample* (n−1) standard
+    /// deviation. Zero when fewer than two observations exist — a single
+    /// replication carries no spread information, and campaign aggregate
+    /// rows must stay finite.
+    pub fn ci95(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let sample_var = self.m2 / (n as f64 - 1.0);
+        1.96 * (sample_var / n as f64).sqrt()
+    }
+
     /// Smallest observation.
     pub fn min(&self) -> f64 {
         self.values.iter().copied().fold(f64::INFINITY, f64::min)
@@ -132,6 +146,26 @@ mod tests {
     #[should_panic]
     fn rejects_nan() {
         Summary::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn ci95_is_zero_for_degenerate_samples() {
+        let mut s = Summary::new();
+        assert_eq!(s.ci95(), 0.0, "n = 0");
+        s.add(7.0);
+        assert_eq!(s.ci95(), 0.0, "n = 1");
+        s.add(7.0);
+        assert_eq!(s.ci95(), 0.0, "zero variance");
+    }
+
+    #[test]
+    fn ci95_matches_known_dataset() {
+        // [2, 4, 4, 4, 5, 5, 7, 9]: sample std = sqrt(32/7), n = 8.
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let expected = 1.96 * (32.0f64 / 7.0).sqrt() / (8.0f64).sqrt();
+        assert!((s.ci95() - expected).abs() < 1e-12, "{}", s.ci95());
+        // And the interval is the textbook mean ± half-width shape.
+        assert!((s.mean() - expected..s.mean() + expected).contains(&5.0));
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Content-addressed cell cache.
+//!
+//! Every campaign cell is addressed by a *key preimage*: a canonical JSON
+//! string of everything that determines its outcome (policy name,
+//! executor, platform, workload source — trace files by content hash —
+//! replication seed, scheduling context, and a cache version). The shard
+//! file name is the FNV-1a 64 hash of that preimage; the shard stores the
+//! preimage back plus a content hash of the serialized cell, so a load
+//! trusts nothing it cannot re-verify:
+//!
+//! * key mismatch (hash collision, or a shard from an older spec) → miss;
+//! * cell hash mismatch (poisoned / hand-edited / torn shard) → miss;
+//! * parse failure (truncated file, schema drift) → miss.
+//!
+//! A miss is always safe: the campaign recomputes the cell and overwrites
+//! the shard atomically. Because cells serialize losslessly (`f64` via the
+//! shortest round-trip form), a warm run is byte-identical to a cold one.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::io::write_file_atomic;
+use crate::runner::Cell;
+use crate::spec::fnv64;
+
+/// Bumped whenever the cell schema or key layout changes; stale shards
+/// then miss instead of deserializing wrongly.
+pub const CACHE_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Shard {
+    version: u32,
+    key: String,
+    cell_hash: String,
+    cell: Cell,
+}
+
+fn content_hash(text: &str) -> String {
+    format!("{:016x}", fnv64(text.as_bytes()))
+}
+
+/// A directory of cell shards.
+pub struct CellCache {
+    dir: PathBuf,
+}
+
+impl CellCache {
+    /// Open (creating if needed) the cache directory.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<CellCache> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CellCache { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Shard path for a key preimage.
+    pub fn shard_path(&self, key: &str) -> PathBuf {
+        self.dir
+            .join(format!("{:016x}.json", fnv64(key.as_bytes())))
+    }
+
+    /// Look a cell up; any verification failure is a miss, never an error.
+    pub fn load(&self, key: &str) -> Option<Cell> {
+        let text = fs::read_to_string(self.shard_path(key)).ok()?;
+        let shard: Shard = serde_json::from_str(&text).ok()?;
+        if shard.version != CACHE_VERSION || shard.key != key {
+            return None;
+        }
+        let cell_json = serde_json::to_string(&shard.cell).ok()?;
+        if content_hash(&cell_json) != shard.cell_hash {
+            return None;
+        }
+        Some(shard.cell)
+    }
+
+    /// Persist a cell under its key (atomic write; a concurrent reader
+    /// never sees a torn shard).
+    pub fn store(&self, key: &str, cell: &Cell) {
+        let cell_json = serde_json::to_string(cell).expect("cells serialize");
+        let shard = Shard {
+            version: CACHE_VERSION,
+            key: key.to_string(),
+            cell_hash: content_hash(&cell_json),
+            cell: cell.clone(),
+        };
+        let name = format!("{:016x}.json", fnv64(key.as_bytes()));
+        let text = serde_json::to_string(&shard).expect("shards serialize");
+        write_file_atomic(&self.dir, &name, &text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lsps_metrics::{CompletedJob, Criteria};
+    use lsps_workload::Job;
+
+    fn sample_cell() -> Cell {
+        use lsps_des::{Dur, Time};
+        let records = [CompletedJob::from_job(
+            &Job::sequential(1, Dur::from_ticks(10)),
+            Time::ZERO,
+            Time::from_ticks(10),
+            1,
+        )];
+        Cell {
+            policy: "list-fcfs".into(),
+            executor: "direct".into(),
+            workload: "w".into(),
+            seed: 42,
+            platform: "m8".into(),
+            m: 8,
+            n: 1,
+            criteria: Criteria::evaluate(&records),
+            cmax_ratio: 1.25,
+            csum_ratio: 1.0 / 3.0, // a non-terminating binary fraction
+            wsum_ratio: 1.5,
+            utilization: 0.125,
+        }
+    }
+
+    fn temp_cache(tag: &str) -> CellCache {
+        let dir = std::env::temp_dir().join(format!("lsps-cache-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        CellCache::new(dir).expect("temp cache dir")
+    }
+
+    #[test]
+    fn store_load_round_trips_exactly() {
+        let cache = temp_cache("roundtrip");
+        let cell = sample_cell();
+        assert!(cache.load("k1").is_none(), "cold cache misses");
+        cache.store("k1", &cell);
+        let back = cache.load("k1").expect("hit");
+        // CSV is the consumer; byte-identity there is the contract.
+        assert_eq!(back.csv_row(), cell.csv_row());
+        assert_eq!(back.criteria, cell.criteria);
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn key_mismatch_is_a_miss() {
+        let cache = temp_cache("keymiss");
+        let cell = sample_cell();
+        cache.store("k1", &cell);
+        // Simulate a filename collision: copy the shard where another key
+        // would look for it. The stored preimage differs → miss.
+        fs::copy(cache.shard_path("k1"), cache.shard_path("other-key")).unwrap();
+        assert!(cache.load("other-key").is_none());
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn poisoned_or_truncated_shards_miss() {
+        let cache = temp_cache("poison");
+        let cell = sample_cell();
+        cache.store("k1", &cell);
+        let path = cache.shard_path("k1");
+        // Poison: edit a cell value without updating the content hash.
+        let text = fs::read_to_string(&path).unwrap();
+        let poisoned = text.replace("1.25", "9.75");
+        assert_ne!(text, poisoned, "the edit must hit the payload");
+        fs::write(&path, &poisoned).unwrap();
+        assert!(cache.load("k1").is_none(), "hash mismatch is not trusted");
+        // Truncation: parse failure is a miss too.
+        fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert!(cache.load("k1").is_none());
+        // Recompute path: storing again repairs the shard.
+        cache.store("k1", &cell);
+        assert!(cache.load("k1").is_some());
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+}

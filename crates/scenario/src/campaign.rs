@@ -1,0 +1,382 @@
+//! Campaign execution: expand a [`CampaignSpec`] into runner cells, skip
+//! the cached ones, run the rest, aggregate replications.
+//!
+//! The canonical cell order is executor-major, then the runner's own order
+//! (platform → workload entry → replication → policy). The cache never
+//! affects ordering — a warm, partially warm or cold run emits exactly the
+//! same bytes — so interrupting a campaign and re-running it *is* resume.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use lsps_core::policy::by_name;
+use lsps_metrics::Summary;
+use serde::{Serialize, Value};
+
+use crate::cache::{CellCache, CACHE_VERSION};
+use crate::families::builtin_family;
+use crate::runner::{to_csv, Cell, ExperimentRunner, PlatformCase, WorkloadCase};
+use crate::spec::{fnv64, CampaignSpec, SpecError, WorkloadSource};
+
+/// How a campaign runs: where the cache lives, how wide the pool is, and
+/// what relative trace paths resolve against.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignOptions {
+    /// Cell-cache directory; `None` disables caching (every cell runs).
+    pub cache_dir: Option<PathBuf>,
+    /// Worker-pool size per executor sweep (`0` = one thread per core).
+    pub threads: usize,
+    /// Base directory for relative trace-file paths (usually the spec
+    /// file's directory); `None` resolves against the current directory.
+    pub base_dir: Option<PathBuf>,
+}
+
+/// Everything a campaign run produced.
+pub struct CampaignReport {
+    /// Every cell, in canonical order.
+    pub cells: Vec<Cell>,
+    /// The raw per-cell CSV (standard runner schema).
+    pub raw_csv: String,
+    /// Replications aggregated per (policy, executor, workload, platform).
+    pub aggregate_csv: String,
+    /// Total cell count.
+    pub total: usize,
+    /// Cells served from the cache.
+    pub cache_hits: usize,
+}
+
+impl CampaignReport {
+    /// Cache-hit rate in percent (100 when there was nothing to run).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.cache_hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// Why a campaign could not run.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The spec itself is invalid.
+    Spec(SpecError),
+    /// A trace-backed workload entry failed to load.
+    Trace {
+        /// Workload entry name.
+        entry: String,
+        /// Underlying error rendering.
+        error: String,
+    },
+    /// The cache directory could not be created.
+    Cache(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Spec(e) => e.fmt(f),
+            CampaignError::Trace { entry, error } => {
+                write!(f, "workload `{entry}`: {error}")
+            }
+            CampaignError::Cache(e) => write!(f, "cache: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<SpecError> for CampaignError {
+    fn from(e: SpecError) -> CampaignError {
+        CampaignError::Spec(e)
+    }
+}
+
+/// A workload entry expanded to its replication seeds plus the canonical
+/// source value that goes into cell keys (trace files by content hash).
+/// Trace files are read and parsed exactly once, here — the per-seed
+/// cases (and every executor sweep, and fully-warm runs) share the parsed
+/// job list instead of re-reading an immutable file.
+struct ExpandedEntry {
+    entry_idx: usize,
+    seeds: Vec<u64>,
+    canonical_source: Value,
+    trace_jobs: Option<Vec<lsps_workload::Job>>,
+}
+
+fn resolve_path(base: &Option<PathBuf>, path: &str) -> PathBuf {
+    let p = Path::new(path);
+    match base {
+        Some(dir) if p.is_relative() => dir.join(p),
+        _ => p.to_path_buf(),
+    }
+}
+
+fn expand_entries(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<Vec<ExpandedEntry>, CampaignError> {
+    spec.workloads
+        .iter()
+        .enumerate()
+        .map(|(entry_idx, entry)| {
+            let trace_err = |error: String| CampaignError::Trace {
+                entry: entry.name.clone(),
+                error,
+            };
+            let (canonical_source, trace_jobs) = match &entry.source {
+                // Trace files are keyed by *content*: replacing the file
+                // invalidates its cells even though the path is unchanged.
+                WorkloadSource::SwfFile(path) | WorkloadSource::JsonlFile(path) => {
+                    let resolved = resolve_path(&opts.base_dir, path);
+                    let text = std::fs::read_to_string(&resolved)
+                        .map_err(|e| trace_err(format!("{}: {e}", resolved.display())))?;
+                    let (tag, jobs) = match &entry.source {
+                        WorkloadSource::SwfFile(_) => {
+                            ("SwfFile", lsps_workload::swf::from_swf(&text))
+                        }
+                        _ => ("JsonlFile", lsps_workload::swf::from_jsonl(&text)),
+                    };
+                    let jobs = jobs.map_err(|e| trace_err(e.to_string()))?;
+                    let canon = Value::Map(vec![(
+                        tag.into(),
+                        Value::Map(vec![
+                            ("path".into(), path.to_value()),
+                            (
+                                "content_fnv".into(),
+                                format!("{:016x}", fnv64(text.as_bytes())).to_value(),
+                            ),
+                        ]),
+                    )]);
+                    (canon, Some(jobs))
+                }
+                source => (source.to_value(), None),
+            };
+            Ok(ExpandedEntry {
+                entry_idx,
+                seeds: spec.replication.seeds_for(entry),
+                canonical_source,
+                trace_jobs,
+            })
+        })
+        .collect()
+}
+
+/// The expanded workload list plus, per case, its (entry index, seed).
+type ExpandedCases = (Vec<WorkloadCase>, Vec<(usize, u64)>);
+
+/// Build the runner workload list — one [`WorkloadCase`] per (entry,
+/// replication seed), in entry order — plus the aligned expanded-entry
+/// index of every case.
+fn build_cases(spec: &CampaignSpec, expanded: &[ExpandedEntry]) -> ExpandedCases {
+    let mut cases = Vec::new();
+    let mut meta = Vec::new();
+    for exp in expanded {
+        let entry = &spec.workloads[exp.entry_idx];
+        for &seed in &exp.seeds {
+            let case = match &entry.source {
+                WorkloadSource::Spec(ws) => {
+                    WorkloadCase::from_spec(entry.name.clone(), seed, ws.clone())
+                }
+                WorkloadSource::Family { family, n } => {
+                    let family = builtin_family(family, *n).expect("validated family");
+                    WorkloadCase::new(entry.name.clone(), seed, move |m, rng| family(m, rng))
+                }
+                WorkloadSource::SwfFile(_) | WorkloadSource::JsonlFile(_) => WorkloadCase::fixed(
+                    entry.name.clone(),
+                    seed,
+                    exp.trace_jobs.clone().expect("trace parsed at expansion"),
+                ),
+            };
+            cases.push(case);
+            meta.push((exp.entry_idx, seed));
+        }
+    }
+    (cases, meta)
+}
+
+/// The key preimage of one cell: everything its outcome depends on, as
+/// canonical compact JSON.
+fn cell_key(
+    spec: &CampaignSpec,
+    executor: crate::runner::Executor,
+    platform_idx: usize,
+    policy_idx: usize,
+    entry: &ExpandedEntry,
+    entry_name: &str,
+    seed: u64,
+) -> String {
+    let plat = &spec.platforms[platform_idx];
+    let key = Value::Map(vec![
+        ("v".into(), Value::UInt(CACHE_VERSION as u64)),
+        ("policy".into(), spec.policies[policy_idx].to_value()),
+        ("executor".into(), executor.name().to_value()),
+        ("platform".into(), plat.to_value()),
+        ("workload".into(), entry_name.to_value()),
+        ("seed".into(), Value::UInt(seed)),
+        ("source".into(), entry.canonical_source.clone()),
+        ("ctx".into(), spec.ctx.to_value()),
+    ]);
+    serde_json::to_string(&key).expect("keys serialize")
+}
+
+/// Run a campaign: validate, expand, serve cached cells, execute the rest
+/// through the runner's worker pool, persist fresh cells, aggregate.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, CampaignError> {
+    spec.validate()?;
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(CellCache::new(dir).map_err(|e| CampaignError::Cache(e.to_string()))?),
+        None => None,
+    };
+    let expanded = expand_entries(spec, opts)?;
+    let mut cells: Vec<Cell> = Vec::with_capacity(spec.cell_count());
+    let mut cache_hits = 0usize;
+    for &executor in &spec.executors {
+        let (workloads, meta) = build_cases(spec, &expanded);
+        let runner = ExperimentRunner {
+            policies: spec
+                .policies
+                .iter()
+                .map(|p| by_name(p).expect("validated policy"))
+                .collect(),
+            workloads,
+            platforms: spec
+                .platforms
+                .iter()
+                .map(|p| PlatformCase::new(p.name.clone(), p.m))
+                .collect(),
+            ctx: spec.ctx.to_policy_ctx(),
+            executor,
+            threads: opts.threads,
+        };
+        let order = runner.cell_order();
+        let keys: Vec<String> = order
+            .iter()
+            .map(|&(pi, wi, ki)| {
+                let (entry_idx, seed) = meta[wi];
+                cell_key(
+                    spec,
+                    executor,
+                    pi,
+                    ki,
+                    &expanded[entry_idx],
+                    &spec.workloads[entry_idx].name,
+                    seed,
+                )
+            })
+            .collect();
+        let mut slots: Vec<Option<Cell>> = match &cache {
+            Some(c) => keys.iter().map(|k| c.load(k)).collect(),
+            None => keys.iter().map(|_| None).collect(),
+        };
+        cache_hits += slots.iter().filter(|s| s.is_some()).count();
+        let missing: Vec<(usize, (usize, usize, usize))> = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| slots[*i].is_none())
+            .map(|(i, &t)| (i, t))
+            .collect();
+        let tasks: Vec<(usize, usize, usize)> = missing.iter().map(|&(_, t)| t).collect();
+        let fresh = runner.run_cells(&tasks);
+        for (&(slot, _), cell) in missing.iter().zip(fresh) {
+            if let Some(c) = &cache {
+                c.store(&keys[slot], &cell);
+            }
+            slots[slot] = Some(cell);
+        }
+        cells.extend(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled (cache hit or fresh run)")),
+        );
+    }
+    let total = cells.len();
+    Ok(CampaignReport {
+        raw_csv: to_csv(&cells),
+        aggregate_csv: aggregate_csv(&cells),
+        cells,
+        total,
+        cache_hits,
+    })
+}
+
+/// A cell metric accessor, as the aggregate table names them.
+pub type MetricFn = fn(&Cell) -> f64;
+
+/// The metrics the aggregate CSV summarizes, as (column stem, accessor).
+pub const AGG_METRICS: [(&str, MetricFn); 5] = [
+    ("cmax_ratio", |c| c.cmax_ratio),
+    ("csum_ratio", |c| c.csum_ratio),
+    ("wsum_ratio", |c| c.wsum_ratio),
+    ("mean_flow_s", |c| c.criteria.mean_flow),
+    ("utilization", |c| c.utilization),
+];
+
+const AGG_STATS: [&str; 6] = ["mean", "std", "ci95", "min", "median", "max"];
+
+/// Header of the aggregate CSV.
+pub fn aggregate_header() -> String {
+    let mut h = String::from("policy,executor,workload,platform,m,reps");
+    for (metric, _) in AGG_METRICS {
+        for stat in AGG_STATS {
+            h.push(',');
+            h.push_str(metric);
+            h.push('_');
+            h.push_str(stat);
+        }
+    }
+    h
+}
+
+/// Aggregate replications: one row per (policy, executor, workload,
+/// platform) group in first-seen order, each metric summarized as
+/// mean/std/ci95/min/median/max over the group's cells.
+pub fn aggregate_csv(cells: &[Cell]) -> String {
+    type GroupKey = (String, String, String, String);
+    let mut order: Vec<GroupKey> = Vec::new();
+    let mut groups: std::collections::HashMap<GroupKey, (usize, Vec<Summary>)> =
+        std::collections::HashMap::new();
+    for c in cells {
+        let key = (
+            c.policy.clone(),
+            c.executor.clone(),
+            c.workload.clone(),
+            c.platform.clone(),
+        );
+        let (_, summaries) = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (c.m, AGG_METRICS.iter().map(|_| Summary::new()).collect())
+        });
+        for ((_, metric), s) in AGG_METRICS.iter().zip(summaries.iter_mut()) {
+            s.add(metric(c));
+        }
+    }
+    let mut out = aggregate_header();
+    out.push('\n');
+    for key in order {
+        let (m, summaries) = &groups[&key];
+        let (policy, executor, workload, platform) = &key;
+        out.push_str(&format!(
+            "{policy},{executor},{workload},{platform},{m},{}",
+            summaries[0].n()
+        ));
+        for s in summaries {
+            out.push_str(&format!(
+                ",{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+                s.mean(),
+                s.std_dev(),
+                s.ci95(),
+                s.min(),
+                s.median(),
+                s.max()
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+pub mod builtin;

@@ -1,0 +1,165 @@
+//! Named workload families — generator closures a campaign spec can name.
+//!
+//! A family is a seeded generator parameterized by an instance size `n`;
+//! resolution happens at spec-validation time, so an unknown family fails
+//! before any cell runs. The built-ins cover the paper's experiment
+//! populations:
+//!
+//! * `fig2-parallel` / `fig2-sequential` — the Fig. 2 job populations,
+//!   drawn through a per-`n` child stream (so every `n` of a sweep sees
+//!   independent draws from one base seed), exactly as the `fig2` binary
+//!   always generated them.
+//! * `fig2-rigid` — the Fig. 2 parallel population rigidified at half its
+//!   maximum width: the "realistic rigid trace" of the TAB-P comparison.
+//! * `moldable0` / `moldable-online` / `rigid0` — the instance families of
+//!   the guarantees experiment (TAB-G), drawn through a per-`m` child
+//!   stream so every machine size sees its historical instances.
+//!
+//! Synthetic one-off workloads do not need a family: a spec can embed a
+//! full [`lsps_workload::WorkloadSpec`] inline
+//! ([`crate::spec::WorkloadSource::Spec`]).
+
+use std::sync::Arc;
+
+use lsps_des::{Dur, SimRng, Time};
+use lsps_workload::{Job, JobKind, MoldableProfile, SpeedupModel, WorkloadSpec};
+
+/// A resolved family: machine size + seeded RNG in, jobs out.
+pub type FamilyGen = Arc<dyn Fn(usize, &mut SimRng) -> Vec<Job> + Send + Sync>;
+
+/// A weighted moldable instance of the guarantees experiment: Amdahl
+/// profiles, work 50..5000 s, optional staggered releases. (Moved verbatim
+/// from the `guarantees` binary — the instances are seed-pinned history.)
+pub fn moldable_instance(rng: &mut SimRng, n: usize, m: usize, online: bool) -> Vec<Job> {
+    let mut clock = 0u64;
+    (0..n)
+        .map(|i| {
+            if online {
+                clock += rng.int_range(0, 200);
+            }
+            Job::moldable(
+                i as u64,
+                MoldableProfile::from_model(
+                    Dur::from_ticks(rng.int_range(50, 5_000)),
+                    &SpeedupModel::Amdahl {
+                        seq_fraction: rng.range(0.0, 0.3),
+                    },
+                    rng.int_range(1, m as u64) as usize,
+                ),
+            )
+            .released_at(Time::from_ticks(clock))
+            .with_weight(rng.range(0.5, 5.0))
+        })
+        .collect()
+}
+
+/// A weighted rigid instance of the guarantees experiment.
+pub fn rigid_instance(rng: &mut SimRng, n: usize, m: usize) -> Vec<Job> {
+    (0..n)
+        .map(|i| {
+            Job::rigid(
+                i as u64,
+                rng.int_range(1, m as u64) as usize,
+                Dur::from_ticks(rng.int_range(10, 2_000)),
+            )
+            .with_weight(rng.range(0.5, 5.0))
+        })
+        .collect()
+}
+
+/// Rigidify a moldable job list at half the maximum width (minimum one
+/// processor) — the TAB-P "Rigid" application class.
+pub fn rigidify_at_half_width(jobs: Vec<Job>) -> Vec<Job> {
+    jobs.into_iter()
+        .map(|j| match &j.kind {
+            JobKind::Moldable { profile } => {
+                let k = (profile.max_procs() / 2).max(1);
+                let len = profile.time(k);
+                Job {
+                    kind: JobKind::Rigid { procs: k, len },
+                    ..j
+                }
+            }
+            _ => j,
+        })
+        .collect()
+}
+
+/// Resolve a built-in family name at instance size `n`. Returns `None` for
+/// unknown names (spec validation reports that before any cell runs).
+pub fn builtin_family(family: &str, n: usize) -> Option<FamilyGen> {
+    Some(match family {
+        "fig2-parallel" => Arc::new(move |m, rng: &mut SimRng| {
+            let mut rng = rng.child(n as u64);
+            WorkloadSpec::fig2_parallel(n).generate(m, &mut rng)
+        }),
+        "fig2-sequential" => Arc::new(move |m, rng: &mut SimRng| {
+            let mut rng = rng.child(n as u64);
+            WorkloadSpec::fig2_sequential(n).generate(m, &mut rng)
+        }),
+        "fig2-rigid" => Arc::new(move |m, rng: &mut SimRng| {
+            rigidify_at_half_width(WorkloadSpec::fig2_parallel(n).generate(m, rng))
+        }),
+        "moldable0" => Arc::new(move |m, rng: &mut SimRng| {
+            let mut rng = rng.child(m as u64);
+            moldable_instance(&mut rng, n, m, false)
+        }),
+        "moldable-online" => Arc::new(move |m, rng: &mut SimRng| {
+            let mut rng = rng.child(m as u64);
+            moldable_instance(&mut rng, n, m, true)
+        }),
+        "rigid0" => Arc::new(move |m, rng: &mut SimRng| {
+            let mut rng = rng.child(m as u64);
+            rigid_instance(&mut rng, n, m)
+        }),
+        _ => return None,
+    })
+}
+
+/// Every built-in family name, for docs and error messages.
+pub const FAMILY_NAMES: [&str; 6] = [
+    "fig2-parallel",
+    "fig2-sequential",
+    "fig2-rigid",
+    "moldable0",
+    "moldable-online",
+    "rigid0",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_family_resolves_and_generates() {
+        for name in FAMILY_NAMES {
+            let family = builtin_family(name, 8).unwrap_or_else(|| panic!("{name} resolves"));
+            let mut rng = SimRng::seed_from(3);
+            let jobs = family(32, &mut rng);
+            assert_eq!(jobs.len(), 8, "{name}");
+            // Deterministic: same seed, same jobs.
+            let mut rng2 = SimRng::seed_from(3);
+            assert_eq!(jobs, family(32, &mut rng2), "{name}");
+        }
+        assert!(builtin_family("nope", 8).is_none());
+    }
+
+    #[test]
+    fn fig2_rigid_is_all_rigid() {
+        let family = builtin_family("fig2-rigid", 20).unwrap();
+        let jobs = family(100, &mut SimRng::seed_from(7));
+        assert!(jobs.iter().all(|j| matches!(j.kind, JobKind::Rigid { .. })));
+        // Half-width rigidification keeps widths within the machine.
+        assert!(jobs.iter().all(|j| j.min_procs() <= 50));
+    }
+
+    #[test]
+    fn guarantee_families_depend_on_machine_size_stream() {
+        // The per-m child stream means different machine sizes draw
+        // different instances from the same seed — the historical shape.
+        let family = builtin_family("rigid0", 10).unwrap();
+        let a = family(16, &mut SimRng::seed_from(1));
+        let b = family(64, &mut SimRng::seed_from(1));
+        assert_ne!(a, b);
+    }
+}

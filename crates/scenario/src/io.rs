@@ -1,0 +1,64 @@
+//! Result-file plumbing: the `results/` directory and atomic writes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Resolve (and create) the results directory: the nearest ancestor of the
+/// current directory that looks like the workspace root (has `Cargo.toml`
+/// and `crates/`), falling back to the current directory, so experiment
+/// binaries work from any crate directory.
+pub fn results_dir() -> PathBuf {
+    let cwd = std::env::current_dir().expect("cwd");
+    let base = cwd
+        .ancestors()
+        .find(|c| c.join("Cargo.toml").exists() && c.join("crates").exists())
+        .unwrap_or(&cwd)
+        .to_path_buf();
+    let dir = base.join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Atomically write `content` to `dir/<name>`: the bytes go to a hidden
+/// sibling temp file first and land under the final name via `rename`, so a
+/// reader (or a crash mid-write) never observes a torn or half-replaced
+/// file — long sweeps re-running into the same `results/` replace each CSV
+/// in one step instead of truncating it for the duration of the write.
+pub fn write_file_atomic(dir: &Path, name: &str, content: &str) -> PathBuf {
+    let path = dir.join(name);
+    // Per-process temp name: two concurrent writers of the same CSV must
+    // not share a staging file, or one could publish the other's torn
+    // half-write — last rename wins instead.
+    let tmp = dir.join(format!(".{name}.{}.tmp", std::process::id()));
+    fs::write(&tmp, content).expect("write temp results file");
+    fs::rename(&tmp, &path).expect("rename temp results file into place");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_wholesale_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("lsps-atomic-write-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let p1 = write_file_atomic(&dir, "out.csv", "first,version\n");
+        assert_eq!(fs::read_to_string(&p1).unwrap(), "first,version\n");
+        // Re-writing the same name replaces the content in one step…
+        let p2 = write_file_atomic(&dir, "out.csv", "second\n");
+        assert_eq!(p1, p2);
+        assert_eq!(fs::read_to_string(&p2).unwrap(), "second\n");
+        // …and no staging file outlives the call.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "staging files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

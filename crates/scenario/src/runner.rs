@@ -25,8 +25,13 @@
 //! sequential order no matter how the OS schedules the workers.
 
 use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
 
 use lsps_core::policy::{PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
 use lsps_core::schedule::Schedule;
@@ -100,12 +105,59 @@ impl WorkloadCase {
         WorkloadCase::new(name, seed, move |_m, _rng| jobs.clone())
     }
 
+    /// A real-trace workload read from a Standard Workload Format file
+    /// (`lsps_workload::swf::from_swf`). The trace is parsed eagerly, so
+    /// I/O and format errors surface at construction, not mid-sweep; the
+    /// seed is recorded for the CSV but the jobs are the trace's.
+    pub fn from_swf_file(
+        name: impl Into<String>,
+        seed: u64,
+        path: impl AsRef<Path>,
+    ) -> Result<WorkloadCase, TraceLoadError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(TraceLoadError::Io)?;
+        let jobs = lsps_workload::swf::from_swf(&text).map_err(TraceLoadError::Parse)?;
+        Ok(WorkloadCase::fixed(name, seed, jobs))
+    }
+
+    /// A real-trace workload read from a JSON-lines file
+    /// (`lsps_workload::swf::from_jsonl`) — the workspace's lossless native
+    /// interchange format, so moldable profiles survive the round trip.
+    pub fn from_jsonl_file(
+        name: impl Into<String>,
+        seed: u64,
+        path: impl AsRef<Path>,
+    ) -> Result<WorkloadCase, TraceLoadError> {
+        let text = std::fs::read_to_string(path.as_ref()).map_err(TraceLoadError::Io)?;
+        let jobs = lsps_workload::swf::from_jsonl(&text).map_err(TraceLoadError::Parse)?;
+        Ok(WorkloadCase::fixed(name, seed, jobs))
+    }
+
     /// Generate the jobs for machine size `m`.
     pub fn generate(&self, m: usize) -> Vec<Job> {
         let mut rng = SimRng::seed_from(self.seed);
         (self.gen)(m, &mut rng)
     }
 }
+
+/// Why a trace-backed [`WorkloadCase`] could not be built.
+#[derive(Debug)]
+pub enum TraceLoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file's content did not parse as the expected trace format.
+    Parse(lsps_workload::swf::ParseError),
+}
+
+impl fmt::Display for TraceLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLoadError::Io(e) => write!(f, "trace file unreadable: {e}"),
+            TraceLoadError::Parse(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TraceLoadError {}
 
 /// How a cell is executed and its completion records extracted.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -138,8 +190,46 @@ impl Executor {
     }
 }
 
-/// One (policy × workload × platform) outcome.
-#[derive(Clone, Debug)]
+impl fmt::Display for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An executor name that matched nothing in [`Executor::ALL`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownExecutor(pub String);
+
+impl fmt::Display for UnknownExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown executor `{}` (expected one of: direct, des-replay, des-online)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownExecutor {}
+
+impl FromStr for Executor {
+    type Err = UnknownExecutor;
+
+    /// Parse the stable [`Executor::name`] identifiers, so campaign specs
+    /// and CLI flags name executors without each binary re-rolling the
+    /// mapping.
+    fn from_str(s: &str) -> Result<Executor, UnknownExecutor> {
+        Executor::ALL
+            .into_iter()
+            .find(|e| e.name() == s)
+            .ok_or_else(|| UnknownExecutor(s.to_string()))
+    }
+}
+
+/// One (policy × workload × platform) outcome. Serializable so the
+/// campaign cache can persist cells as shards and replay them byte-for-byte
+/// (`f64` values round-trip exactly through the JSON layer).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Cell {
     /// Policy name (registry identifier).
     pub policy: String,
@@ -299,38 +389,58 @@ impl ExperimentRunner {
         }
     }
 
-    /// Run the full cross product. Every schedule is validated against the
-    /// policy's as-scheduled job view — a policy bug fails loudly instead
-    /// of producing flattering numbers.
-    ///
-    /// Cells are independent, so they are fanned out over
-    /// [`threads`](ExperimentRunner::threads) workers; each worker claims
-    /// the next cell index off a shared counter and writes its result into
-    /// that cell's dedicated slot, so the returned order (platform-major,
-    /// then workload, then policy) and every byte of downstream CSV are
-    /// identical to a sequential run.
-    pub fn run(&self) -> Vec<Cell> {
-        // Workloads are generated once per (platform, workload) pair on the
-        // calling thread: generators share one RNG stream per case, so
-        // per-cell regeneration would waste work, and doing it up front
-        // keeps the workers pure functions of their task.
-        let mut jobs: Vec<Vec<Job>> =
-            Vec::with_capacity(self.platforms.len() * self.workloads.len());
-        let mut tasks: Vec<(usize, usize, usize)> = Vec::new();
-        for (pi, platform) in self.platforms.iter().enumerate() {
-            for (wi, workload) in self.workloads.iter().enumerate() {
-                jobs.push(workload.generate(platform.m));
+    /// The canonical cell order of the full cross product:
+    /// platform-major, then workload, then policy. Each task is a
+    /// `(platform, workload, policy)` index triple accepted by
+    /// [`run_cells`](ExperimentRunner::run_cells) — callers that skip cells
+    /// (the campaign cache) filter this list and still get byte-identical
+    /// output for the cells they do run.
+    pub fn cell_order(&self) -> Vec<(usize, usize, usize)> {
+        let mut tasks =
+            Vec::with_capacity(self.platforms.len() * self.workloads.len() * self.policies.len());
+        for pi in 0..self.platforms.len() {
+            for wi in 0..self.workloads.len() {
                 for ki in 0..self.policies.len() {
                     tasks.push((pi, wi, ki));
                 }
             }
+        }
+        tasks
+    }
+
+    /// Run the full cross product ([`cell_order`](ExperimentRunner::cell_order)).
+    /// Every schedule is validated against the policy's as-scheduled job
+    /// view — a policy bug fails loudly instead of producing flattering
+    /// numbers.
+    pub fn run(&self) -> Vec<Cell> {
+        self.run_cells(&self.cell_order())
+    }
+
+    /// Run exactly the given `(platform, workload, policy)` cells, in the
+    /// given order.
+    ///
+    /// Cells are independent, so they are fanned out over
+    /// [`threads`](ExperimentRunner::threads) workers; each worker claims
+    /// the next cell index off a shared counter and writes its result into
+    /// that cell's dedicated slot, so the returned order and every byte of
+    /// downstream CSV are identical to a sequential run.
+    pub fn run_cells(&self, tasks: &[(usize, usize, usize)]) -> Vec<Cell> {
+        // Workloads are generated once per referenced (platform, workload)
+        // pair on the calling thread: each case seeds a fresh RNG, so the
+        // jobs are a pure function of (case, m) no matter which subset of
+        // cells runs, and doing it up front keeps the workers pure
+        // functions of their task.
+        let mut jobs: HashMap<(usize, usize), Vec<Job>> = HashMap::new();
+        for &(pi, wi, _) in tasks {
+            jobs.entry((pi, wi))
+                .or_insert_with(|| self.workloads[wi].generate(self.platforms[pi].m));
         }
         let run_task = |&(pi, wi, ki): &(usize, usize, usize)| {
             self.run_cell(
                 self.policies[ki].as_ref(),
                 &self.workloads[wi],
                 &self.platforms[pi],
-                &jobs[pi * self.workloads.len() + wi],
+                &jobs[&(pi, wi)],
             )
         };
         let threads = match self.threads {
@@ -703,6 +813,90 @@ mod tests {
             r.threads = 4;
             let parallel = to_csv(&r.run());
             assert_eq!(sequential, parallel, "{}", executor.name());
+        }
+    }
+
+    #[test]
+    fn executor_names_round_trip_through_fromstr_and_display() {
+        for e in Executor::ALL {
+            assert_eq!(e.to_string().parse::<Executor>(), Ok(e));
+            assert_eq!(e.name().parse::<Executor>(), Ok(e));
+        }
+        let err = "batch".parse::<Executor>().unwrap_err();
+        assert_eq!(err, UnknownExecutor("batch".into()));
+        assert!(err.to_string().contains("des-online"));
+        // Strict: the mapping is the stable CSV identifier, nothing looser.
+        assert!("Direct".parse::<Executor>().is_err());
+    }
+
+    fn fixture(name: &str) -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../examples/data")
+            .join(name)
+    }
+
+    #[test]
+    fn swf_file_workload_feeds_the_runner() {
+        let case = WorkloadCase::from_swf_file("trace", 5, fixture("sample_trace.swf"))
+            .expect("fixture parses");
+        let jobs = case.generate(16);
+        assert_eq!(jobs.len(), 10);
+        assert!(jobs.iter().all(|j| j.min_procs() <= 8));
+        // Submits are staggered: the trace exercises the release-date path.
+        assert!(jobs.last().unwrap().release > Time::ZERO);
+        let mut r = ExperimentRunner::new(vec![lsps_core::policy::by_name("list-fcfs").unwrap()]);
+        r.workloads = vec![case];
+        r.platforms = vec![PlatformCase::new("m16", 16)];
+        let cells = r.run();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].n, 10);
+        assert!(cells[0].cmax_ratio >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn jsonl_file_workload_round_trips_profiles() {
+        use lsps_workload::{MoldableProfile, SpeedupModel};
+        let jobs = vec![
+            Job::rigid(1, 4, Dur::from_ticks(100)),
+            Job::moldable(
+                2,
+                MoldableProfile::from_model(Dur::from_ticks(500), &SpeedupModel::Linear, 8),
+            ),
+        ];
+        let dir = std::env::temp_dir().join(format!("lsps-jsonl-case-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        std::fs::write(&path, lsps_workload::swf::to_jsonl(&jobs)).unwrap();
+        let case = WorkloadCase::from_jsonl_file("jsonl", 3, &path).expect("round-trips");
+        assert_eq!(case.generate(16), jobs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_load_errors_are_reported() {
+        let missing = WorkloadCase::from_swf_file("x", 0, "/nonexistent/trace.swf");
+        assert!(matches!(missing, Err(TraceLoadError::Io(_))));
+        let dir = std::env::temp_dir().join(format!("lsps-bad-swf-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.swf");
+        std::fs::write(&path, "1 2 3\n").unwrap();
+        let bad = WorkloadCase::from_swf_file("x", 0, &path);
+        assert!(matches!(bad, Err(TraceLoadError::Parse(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_cells_subset_matches_full_run() {
+        let r = runner();
+        let full = r.run();
+        let order = r.cell_order();
+        // Every other cell, out of their cross-product positions.
+        let subset: Vec<_> = order.iter().copied().step_by(2).collect();
+        let partial = r.run_cells(&subset);
+        assert_eq!(partial.len(), subset.len());
+        for (cell, &(pi, wi, ki)) in partial.iter().zip(&subset) {
+            let i = order.iter().position(|t| *t == (pi, wi, ki)).unwrap();
+            assert_eq!(cell.csv_row(), full[i].csv_row());
         }
     }
 

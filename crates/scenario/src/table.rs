@@ -1,0 +1,64 @@
+//! Fixed-width stdout tables shared by the experiment binaries.
+
+/// Fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given headers.
+    pub fn new(headers: &[&str]) -> Table {
+        let mut t = Table {
+            widths: headers.iter().map(|h| h.len()).collect(),
+            rows: Vec::new(),
+        };
+        t.row(headers.iter().map(|s| s.to_string()).collect());
+        t
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.widths.len(), "ragged table row");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Render with a separator under the header.
+    pub fn print(&self) {
+        for (i, row) in self.rows.iter().enumerate() {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&self.widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("{}", line.join("  "));
+            if i == 0 {
+                let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+                println!("{}", sep.join("  "));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["12345".into(), "1".into()]);
+        t.print(); // smoke: no panic, widths grow
+        assert_eq!(t.widths, vec![5, 4]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

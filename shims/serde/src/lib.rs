@@ -92,6 +92,18 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, Error>;
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Fetch a required struct field (derive-internal helper).
 pub fn field<'v>(v: &'v Value, name: &str) -> Result<&'v Value, Error> {
     v.get(name)
