@@ -11,7 +11,10 @@
 //! on stdout. EXPERIMENTS.md references both.
 
 pub use lsps_scenario::runner;
-pub use lsps_scenario::{results_dir, write_file_atomic, Table};
+pub use lsps_scenario::{
+    campaign, results_dir, run_campaign, write_file_atomic, CampaignOptions, CampaignReport,
+    CampaignSpec, Table,
+};
 pub use runner::{Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
 
 /// Write CSV content to `results/<name>` (atomically — see

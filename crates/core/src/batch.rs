@@ -1,10 +1,10 @@
-//! On-line batch scheduling (§4.2 of the paper; ref [17] Shmoys, Wein,
+//! On-line batch scheduling (§4.2 of the paper; ref \[17\] Shmoys, Wein,
 //! Williamson).
 //!
 //! "The jobs are gathered into sets (called batches) that are scheduled
 //! together. All further arriving tasks are delayed to be considered in the
 //! next batch. […] an algorithm for scheduling independent tasks without
-//! release dates with a performance ratio of ρ [becomes] a batch scheduling
+//! release dates with a performance ratio of ρ \[becomes\] a batch scheduling
 //! algorithm with unknown release dates with a performance ratio of 2ρ."
 //!
 //! [`batch_online`] is that transformation, generic over the off-line

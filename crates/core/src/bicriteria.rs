@@ -1,4 +1,4 @@
-//! The bi-criteria doubling-batch algorithm (§4.4 of the paper; ref [10]
+//! The bi-criteria doubling-batch algorithm (§4.4 of the paper; ref \[10\]
 //! Hall, Schulz, Shmoys, Wein).
 //!
 //! "The main idea is to use algorithm ACmax (with performance ratio ρCmax

@@ -5,10 +5,10 @@
 //!
 //! | paper § | result | module |
 //! |---------|--------|--------|
-//! | 4.1 | MRT two-shelf dual-approximation for off-line moldable makespan, ratio 3/2 + ε (ref [8]) | [`mrt`] |
-//! | 4.2 | batch transformation of an off-line ρ-approximation into an on-line 2ρ algorithm with release dates (ref [17]) | [`batch`] |
-//! | 4.3 | SMART shelf scheduling of rigid tasks for (weighted) average completion time, ratio 8 / 8.53 (ref [14]) | [`smart`] |
-//! | 4.4 | bi-criteria doubling-batch algorithm from a makespan procedure ACmax, simultaneous ratio 4ρ (ref [10]) | [`bicriteria`] |
+//! | 4.1 | MRT two-shelf dual-approximation for off-line moldable makespan, ratio 3/2 + ε (ref \[8\]) | [`mrt`] |
+//! | 4.2 | batch transformation of an off-line ρ-approximation into an on-line 2ρ algorithm with release dates (ref \[17\]) | [`batch`] |
+//! | 4.3 | SMART shelf scheduling of rigid tasks for (weighted) average completion time, ratio 8 / 8.53 (ref \[14\]) | [`smart`] |
+//! | 4.4 | bi-criteria doubling-batch algorithm from a makespan procedure ACmax, simultaneous ratio 4ρ (ref \[10\]) | [`bicriteria`] |
 //! | 5.1 | mixes of rigid and moldable jobs; advance reservations | [`mixed`], [`backfill`] |
 //! | 3 / 4.3 | single-machine SPT / WSPT optimal substrate | [`single`] |
 //! | whole paper | "which policy for which application" | [`advisor`] |
@@ -39,6 +39,7 @@ pub mod malleable;
 pub mod mixed;
 pub mod mrt;
 pub mod nonclairvoyant;
+pub mod outcome;
 pub mod policy;
 pub mod schedule;
 pub mod shelf;
@@ -55,7 +56,8 @@ pub use list::{list_schedule, JobOrder};
 pub use malleable::{deq_schedule, MalleableSchedule, MalleableSegment};
 pub use mrt::{mrt_schedule, MrtParams};
 pub use nonclairvoyant::{exponential_trial_schedule, TrialStats};
-pub use policy::{registry, PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
+pub use outcome::{Outcome, OutcomeError, OutcomeKind, OutcomeRun};
+pub use policy::{registry, Knowledge, PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
 pub use schedule::{Assignment, Schedule, ValidationError};
 pub use shelf::{shelf_schedule, ShelfAlgo};
 pub use single::{single_machine, SingleRule};
@@ -75,7 +77,10 @@ pub mod prelude {
     pub use crate::malleable::{deq_schedule, MalleableSchedule, MalleableSegment};
     pub use crate::mrt::{mrt_schedule, MrtParams};
     pub use crate::nonclairvoyant::{exponential_trial_schedule, TrialStats};
-    pub use crate::policy::{registry, PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
+    pub use crate::outcome::{Outcome, OutcomeError, OutcomeKind, OutcomeRun};
+    pub use crate::policy::{
+        registry, Knowledge, PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode,
+    };
     pub use crate::schedule::{Assignment, Schedule, ValidationError};
     pub use crate::shelf::{shelf_schedule, ShelfAlgo};
     pub use crate::single::{single_machine, SingleRule};

@@ -1,5 +1,5 @@
 //! MRT — the two-shelf dual-approximation algorithm for off-line moldable
-//! makespan (§4.1 of the paper; ref [8] Dutot–Mounié–Trystram, after
+//! makespan (§4.1 of the paper; ref \[8\] Dutot–Mounié–Trystram, after
 //! Mounié–Rastello–Trystram).
 //!
 //! "The MRT algorithm has a performance ratio of 3/2 + ε. It is obtained by
@@ -32,7 +32,7 @@
 //!
 //! The binary search maintains the invariant that the returned schedule has
 //! makespan ≤ (3/2)·λ* for the smallest accepted guess λ*, and λ* converges
-//! within a (1+ε) factor. With the exact repair phases of [8] the accepted
+//! within a (1+ε) factor. With the exact repair phases of \[8\] the accepted
 //! set is precisely {λ ≥ C*max}, giving 3/2 + ε; our stacking step is the
 //! practical variant of that repair — its empirical ratio is measured
 //! against certified lower bounds by the `guarantees` experiment (TAB-G)

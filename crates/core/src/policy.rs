@@ -27,7 +27,7 @@
 
 use std::borrow::Cow;
 
-use lsps_des::Time;
+use lsps_des::{Dur, Time};
 use lsps_platform::{BookingKind, ProcSet, Timeline};
 use lsps_workload::{Job, JobKind};
 
@@ -38,9 +38,12 @@ use crate::bicriteria::{bicriteria_schedule, BiCriteriaParams};
 use crate::list::{list_schedule_allotted, JobOrder};
 use crate::malleable::{deq_schedule, MalleableSchedule};
 use crate::mrt::{mrt_schedule, MrtParams};
-use crate::schedule::Schedule;
+use crate::nonclairvoyant::exponential_trial_schedule;
+use crate::outcome::{Outcome, OutcomeKind, OutcomeRun};
+use crate::schedule::{Assignment, Schedule};
 use crate::shelf::{shelf_schedule, ShelfAlgo};
 use crate::smart::smart_schedule;
+use crate::uniform::uniform_list_schedule;
 
 /// How release dates reach the policy.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,6 +56,27 @@ pub enum ReleaseMode {
     /// Zero every release date first: the pure off-line comparison.
     Offline,
 }
+
+/// What the policy knows about runtimes when a job arrives (§4.2): the
+/// clairvoyant/non-clairvoyant split of on-line algorithms.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Knowledge {
+    /// Execution times are known on arrival (every classical policy here).
+    #[default]
+    Clairvoyant,
+    /// Execution times are *unknown*: trial-based policies seed their
+    /// kill-and-resubmit doubling from `initial_estimate`. Clairvoyant
+    /// policies ignore the knob — the non-clairvoyant bridge is the
+    /// [`NonclairvoyantExpTrial`] policy.
+    NonClairvoyant {
+        /// First runtime estimate handed to every job.
+        initial_estimate: Dur,
+    },
+}
+
+/// Default first estimate of the exponential-trial doubling (60 s) when
+/// neither the policy nor the ctx picks one.
+pub const DEFAULT_INITIAL_ESTIMATE: Dur = Dur::from_secs(60);
 
 /// A booking with an exact processor set that the policy must not touch —
 /// the incremental/grid form of an advance reservation, where re-fitting a
@@ -83,6 +107,16 @@ pub struct PolicyCtx {
     /// Allotment rule used when a rigid-only policy must rigidify
     /// moldable jobs.
     pub allot_rule: AllotRule,
+    /// Machine model (§2.2): per-processor relative speeds. Empty (the
+    /// default) means identical unit-speed processors; non-empty speeds
+    /// are only consumed by uniform-capable policies
+    /// ([`Policy::outcome_kind`] == [`OutcomeKind::Uniform`]) — every
+    /// other policy rejects them instead of silently mis-reading the
+    /// machine.
+    pub speeds: Vec<f64>,
+    /// Knowledge model (§4.2): clairvoyant, or non-clairvoyant with an
+    /// initial runtime estimate.
+    pub knowledge: Knowledge,
 }
 
 impl Default for PolicyCtx {
@@ -93,6 +127,8 @@ impl Default for PolicyCtx {
             pinned: Vec::new(),
             estimate_factor: 1.0,
             allot_rule: AllotRule::Balanced,
+            speeds: Vec::new(),
+            knowledge: Knowledge::Clairvoyant,
         }
     }
 }
@@ -108,6 +144,12 @@ impl PolicyCtx {
 
     fn has_reservations(&self) -> bool {
         !self.reservations.is_empty() || !self.pinned.is_empty()
+    }
+
+    /// True iff the machine model is identical processors — no speeds, or
+    /// all speeds exactly 1 (the degenerate uniform machine).
+    pub fn is_identical_machine(&self) -> bool {
+        self.speeds.is_empty() || self.speeds.iter().all(|&s| s == 1.0)
     }
 }
 
@@ -180,6 +222,39 @@ pub trait Policy: Send + Sync {
         PolicyRun {
             schedule: self.schedule(&prepared, m, ctx),
             jobs: prepared,
+        }
+    }
+
+    /// The [`OutcomeKind`] this policy's [`run_outcome`](Policy::run_outcome)
+    /// produces — its capability tag. Executors that can only replay or
+    /// drive rectangles (`des-replay`, `des-online`) check this before
+    /// running the policy, and campaign validation rejects incompatible
+    /// (policy, executor) pairs up front.
+    fn outcome_kind(&self) -> OutcomeKind {
+        OutcomeKind::Rect
+    }
+
+    /// The generalized pipeline every executor cell goes through: schedule
+    /// plus the matching job view, as an [`Outcome`]. The default wraps
+    /// [`run`](Policy::run) in [`Outcome::Rect`], so the fourteen
+    /// rectangle policies are untouched; trial- and uniform-outcome
+    /// policies override it to carry their richer result.
+    ///
+    /// # Panics
+    /// If `ctx` carries non-identical machine speeds and the policy is not
+    /// uniform-capable — a rectangle policy silently ignoring speeds would
+    /// mis-report every span.
+    fn run_outcome(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> OutcomeRun {
+        assert!(
+            ctx.is_identical_machine(),
+            "{}: heterogeneous machine speeds need a uniform-capable policy \
+             (outcome kind `uniform`), e.g. `uniform-mct`",
+            self.name()
+        );
+        let run = self.run(jobs, m, ctx);
+        OutcomeRun {
+            outcome: Outcome::Rect(run.schedule),
+            jobs: run.jobs,
         }
     }
 
@@ -635,13 +710,195 @@ impl Policy for DeqEquipartition {
     }
 }
 
+/// Non-clairvoyant exponential-trial scheduling (§4.2): run every rigid
+/// job FCFS with a runtime estimate, kill it at expiry, resubmit with the
+/// estimate doubled. The total processing paid per job with true time `p`
+/// and first estimate `e` stays below `4·p + 2e`, so any clairvoyant
+/// guarantee degrades by a constant factor — the classical price of not
+/// knowing execution times.
+///
+/// The first estimate comes from the ctx knowledge model
+/// ([`Knowledge::NonClairvoyant`]); under a clairvoyant ctx the policy
+/// still runs its trials, seeded from [`NonclairvoyantExpTrial::initial_estimate`]
+/// ([`DEFAULT_INITIAL_ESTIMATE`] by default).
+///
+/// [`Policy::schedule`] returns the actual-times rectangle schedule (final
+/// trials only); the burnt machine time of killed trials is only visible
+/// through [`Policy::run_outcome`], whose [`Outcome::Trial`] carries the
+/// [`crate::nonclairvoyant::TrialStats`] counters — which is why the
+/// policy's outcome kind is [`OutcomeKind::Trial`] and the event-driven
+/// executors refuse it.
+#[derive(Clone, Copy, Debug)]
+pub struct NonclairvoyantExpTrial {
+    /// Fallback first estimate when the ctx knowledge model does not set
+    /// one.
+    pub initial_estimate: Dur,
+}
+
+impl Default for NonclairvoyantExpTrial {
+    fn default() -> Self {
+        NonclairvoyantExpTrial {
+            initial_estimate: DEFAULT_INITIAL_ESTIMATE,
+        }
+    }
+}
+
+impl NonclairvoyantExpTrial {
+    fn estimate(&self, ctx: &PolicyCtx) -> Dur {
+        match ctx.knowledge {
+            Knowledge::NonClairvoyant { initial_estimate } => initial_estimate,
+            Knowledge::Clairvoyant => self.initial_estimate,
+        }
+    }
+}
+
+impl Policy for NonclairvoyantExpTrial {
+    fn name(&self) -> &str {
+        "nonclairvoyant-exp-trial"
+    }
+
+    fn supports_releases(&self) -> bool {
+        true
+    }
+
+    fn outcome_kind(&self) -> OutcomeKind {
+        OutcomeKind::Trial
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        normalize_rigid(self.name(), jobs, m, ctx, false)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        let jobs = self.prepare(jobs, m, ctx);
+        exponential_trial_schedule(&jobs, m, self.estimate(ctx)).0
+    }
+
+    fn run_outcome(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> OutcomeRun {
+        assert!(
+            ctx.is_identical_machine(),
+            "{}: heterogeneous machine speeds need a uniform-capable policy",
+            self.name()
+        );
+        reject_reservations(self.name(), ctx);
+        let prepared = self.prepare(jobs, m, ctx).into_owned();
+        let (schedule, stats) = exponential_trial_schedule(&prepared, m, self.estimate(ctx));
+        OutcomeRun {
+            outcome: Outcome::Trial { schedule, stats },
+            jobs: prepared,
+        }
+    }
+}
+
+/// Greedy minimum-completion-time on uniform machines (§2.2): every
+/// sequential job goes to the processor that finishes it earliest under
+/// the per-processor speeds in [`PolicyCtx::speeds`], in LPT priority
+/// order — the classical uniform-machine list heuristic.
+///
+/// The policy's domain is sequential work: moldable/malleable jobs are
+/// rigidified at one processor ([`prepare`](Policy::prepare)); wider rigid
+/// jobs are rejected, because a multi-processor rectangle has no
+/// well-defined span across processors of different speeds.
+///
+/// [`Policy::run_outcome`] produces the real [`Outcome::Uniform`];
+/// [`Policy::schedule`] is the identical-machine projection (all speeds 1,
+/// machine index = processor index), which is what keeps the policy
+/// runnable — and bit-comparable — next to the rectangle policies on
+/// homogeneous platforms.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformMct {
+    /// Priority order jobs are placed in.
+    pub order: JobOrder,
+}
+
+impl Default for UniformMct {
+    fn default() -> Self {
+        UniformMct {
+            order: JobOrder::Lpt,
+        }
+    }
+}
+
+impl UniformMct {
+    fn effective_speeds(&self, m: usize, ctx: &PolicyCtx) -> Vec<f64> {
+        if ctx.speeds.is_empty() {
+            return vec![1.0; m];
+        }
+        assert_eq!(
+            ctx.speeds.len(),
+            m,
+            "{}: {} speeds for an m = {m} machine",
+            self.name(),
+            ctx.speeds.len()
+        );
+        ctx.speeds.clone()
+    }
+}
+
+impl Policy for UniformMct {
+    fn name(&self) -> &str {
+        "uniform-mct"
+    }
+
+    fn supports_releases(&self) -> bool {
+        true
+    }
+
+    fn outcome_kind(&self) -> OutcomeKind {
+        OutcomeKind::Uniform
+    }
+
+    fn prepare<'a>(&self, jobs: &'a [Job], _m: usize, ctx: &PolicyCtx) -> Cow<'a, [Job]> {
+        // Sequential allotment: uniform machines run one-processor work.
+        normalize(self.name(), jobs, ctx, Some(&|_: &Job| 1), false)
+    }
+
+    fn schedule(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> Schedule {
+        reject_reservations(self.name(), ctx);
+        assert!(
+            ctx.is_identical_machine(),
+            "{}: schedule() is the identical-machine projection; run \
+             heterogeneous speeds through run_outcome()",
+            self.name()
+        );
+        let jobs = self.prepare(jobs, m, ctx);
+        let uni = uniform_list_schedule(&jobs, &vec![1.0; m], self.order);
+        let mut rect = Schedule::new(m);
+        for a in uni.assignments() {
+            rect.push(Assignment {
+                job: a.job,
+                start: a.start,
+                end: a.end,
+                procs: ProcSet::from_indices([a.machine]),
+            });
+        }
+        rect
+    }
+
+    fn run_outcome(&self, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> OutcomeRun {
+        reject_reservations(self.name(), ctx);
+        let prepared = self.prepare(jobs, m, ctx).into_owned();
+        let speeds = self.effective_speeds(m, ctx);
+        OutcomeRun {
+            outcome: Outcome::Uniform(uniform_list_schedule(&prepared, &speeds, self.order)),
+            jobs: prepared,
+        }
+    }
+}
+
 /// Every paper policy as a boxed, named instance.
 ///
 /// Names are stable identifiers (CSV columns, [`by_name`] lookups):
 /// `list-fcfs`, `list-lpt`, `list-spt`, `list-wspt`, `shelf-nfdh`,
 /// `shelf-ffdh`, `backfill-easy`, `backfill-conservative`, `smart`,
 /// `smart-weighted`, `mrt`, `batch-mrt`, `bicriteria`,
-/// `deq-equipartition`.
+/// `deq-equipartition`, `nonclairvoyant-exp-trial`, `uniform-mct`.
+///
+/// The first fourteen produce rectangle outcomes; the last two carry the
+/// paper's other execution models ([`OutcomeKind::Trial`] /
+/// [`OutcomeKind::Uniform`]) and are appended *after* them so every
+/// historical iteration order is preserved.
 pub fn registry() -> Vec<Box<dyn Policy>> {
     vec![
         Box::new(ListScheduling::new(JobOrder::Fcfs)),
@@ -658,6 +915,8 @@ pub fn registry() -> Vec<Box<dyn Policy>> {
         Box::new(BatchedMrt::default()),
         Box::new(BiCriteriaDoubling::default()),
         Box::new(DeqEquipartition),
+        Box::new(NonclairvoyantExpTrial::default()),
+        Box::new(UniformMct::default()),
     ]
 }
 
@@ -688,15 +947,41 @@ mod tests {
         ]
     }
 
+    /// The registry workload every policy can schedule: `mixed_jobs` with
+    /// wide rigid work narrowed to the sequential domain for
+    /// uniform-machine policies.
+    fn domain_jobs(policy: &dyn Policy) -> Vec<Job> {
+        match policy.outcome_kind() {
+            OutcomeKind::Uniform => mixed_jobs()
+                .into_iter()
+                .map(|j| match j.kind {
+                    JobKind::Rigid { len, .. } => Job {
+                        kind: JobKind::Rigid { procs: 1, len },
+                        ..j
+                    },
+                    _ => j,
+                })
+                .collect(),
+            _ => mixed_jobs(),
+        }
+    }
+
     #[test]
     fn registry_names_are_unique_and_plentiful() {
         let reg = registry();
-        assert!(reg.len() >= 9, "registry has {} policies", reg.len());
+        assert!(reg.len() >= 16, "registry has {} policies", reg.len());
         let mut names: Vec<&str> = reg.iter().map(|p| p.name()).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();
         assert_eq!(before, names.len(), "duplicate policy names");
+        // The historical prefix: rectangle policies first, new outcome
+        // kinds appended after them.
+        assert!(reg[..14]
+            .iter()
+            .all(|p| p.outcome_kind() == OutcomeKind::Rect));
+        assert_eq!(reg[14].name(), "nonclairvoyant-exp-trial");
+        assert_eq!(reg[15].name(), "uniform-mct");
     }
 
     #[test]
@@ -710,8 +995,8 @@ mod tests {
 
     #[test]
     fn every_policy_schedules_a_mixed_workload() {
-        let jobs = mixed_jobs();
         for policy in registry() {
+            let jobs = domain_jobs(policy.as_ref());
             for ctx in [PolicyCtx::default(), PolicyCtx::offline()] {
                 let run = policy.run(&jobs, 8, &ctx);
                 assert_eq!(
@@ -722,6 +1007,30 @@ mod tests {
                     ctx.release_mode
                 );
                 assert_eq!(run.schedule.len(), jobs.len(), "{}", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_policy_runs_through_the_outcome_interface() {
+        for policy in registry() {
+            let jobs = domain_jobs(policy.as_ref());
+            let run = policy.run_outcome(&jobs, 8, &PolicyCtx::default());
+            assert_eq!(run.validate(), Ok(()), "{}", policy.name());
+            assert_eq!(
+                run.outcome.kind(),
+                policy.outcome_kind(),
+                "{}",
+                policy.name()
+            );
+            assert_eq!(run.outcome.len(), jobs.len(), "{}", policy.name());
+            let records = run.outcome.completed(&run.jobs);
+            assert_eq!(records.len(), jobs.len(), "{}", policy.name());
+            // Rect policies: the outcome is exactly the batch run.
+            if policy.outcome_kind() == OutcomeKind::Rect {
+                let batch = policy.run(&jobs, 8, &PolicyCtx::default());
+                assert_eq!(run.outcome.as_rect(), Some(&batch.schedule));
+                assert_eq!(run.outcome.trial_stats(), None);
             }
         }
     }
@@ -823,12 +1132,12 @@ mod tests {
     fn schedule_pending_with_no_commitments_at_zero_is_the_batch_schedule() {
         // The hook's contract: pending jobs have all arrived (release <=
         // now), so at now = 0 the jobs are release-free.
-        let jobs: Vec<Job> = mixed_jobs()
-            .into_iter()
-            .map(|j| j.released_at(Time::ZERO))
-            .collect();
         let ctx = PolicyCtx::default();
         for policy in registry() {
+            let jobs: Vec<Job> = domain_jobs(policy.as_ref())
+                .into_iter()
+                .map(|j| j.released_at(Time::ZERO))
+                .collect();
             let batch = policy.schedule(&jobs, 8, &ctx);
             let incremental = policy.schedule_pending(&jobs, 8, Time::ZERO, &[], &ctx);
             assert_eq!(batch, incremental, "{}", policy.name());
@@ -967,6 +1276,88 @@ mod tests {
                 "assignment {a:?} crosses the blackout"
             );
         }
+    }
+
+    #[test]
+    fn trial_policy_reads_the_ctx_estimate_and_reports_waste() {
+        // True length 700 ticks, ctx estimate 100: kills at 100/200/400,
+        // succeeds at 800 — the stats the rectangle interface cannot carry.
+        let jobs = vec![Job::rigid(1, 1, d(700))];
+        let policy = NonclairvoyantExpTrial::default();
+        let ctx = PolicyCtx {
+            knowledge: Knowledge::NonClairvoyant {
+                initial_estimate: d(100),
+            },
+            ..PolicyCtx::default()
+        };
+        let run = policy.run_outcome(&jobs, 1, &ctx);
+        assert_eq!(run.validate(), Ok(()));
+        let stats = run.outcome.trial_stats().expect("trial outcome");
+        assert_eq!(stats.trials, 4);
+        assert_eq!(stats.kills, 3);
+        assert_eq!(stats.wasted_ticks, 100 + 200 + 400);
+        assert_eq!(run.outcome.makespan(), Time::from_ticks(1400));
+        // schedule() is the same run minus the counters.
+        assert_eq!(
+            run.outcome.as_rect(),
+            Some(&policy.schedule(&jobs, 1, &ctx))
+        );
+        // Clairvoyant ctx: the policy's own default estimate seeds the
+        // doubling (60 s = 60 000 ticks > 700, so no kills).
+        let clair = policy.run_outcome(&jobs, 1, &PolicyCtx::default());
+        assert_eq!(clair.outcome.trial_stats().unwrap().kills, 0);
+    }
+
+    #[test]
+    fn uniform_mct_consumes_ctx_speeds() {
+        let jobs = vec![Job::sequential(1, d(100))];
+        let ctx = PolicyCtx {
+            speeds: vec![1.0, 2.0],
+            ..PolicyCtx::default()
+        };
+        let run = UniformMct::default().run_outcome(&jobs, 2, &ctx);
+        assert_eq!(run.validate(), Ok(()));
+        // The lone job lands on the fast machine and finishes in 50 ticks.
+        assert_eq!(run.outcome.makespan(), Time::from_ticks(50));
+        assert_eq!(run.outcome.speeds(), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn uniform_mct_identical_projection_matches_unit_speed_outcome() {
+        let jobs: Vec<Job> = (0..6).map(|i| Job::sequential(i, d(40 + 15 * i))).collect();
+        let policy = UniformMct::default();
+        let ctx = PolicyCtx::default();
+        let rect = policy.run(&jobs, 3, &ctx);
+        assert_eq!(rect.validate(), Ok(()));
+        let outcome = policy.run_outcome(&jobs, 3, &ctx);
+        assert_eq!(outcome.validate(), Ok(()));
+        assert_eq!(rect.schedule.makespan(), outcome.outcome.makespan());
+        // Same placements: machine index == processor index.
+        let uni = match &outcome.outcome {
+            Outcome::Uniform(u) => u,
+            other => panic!("expected uniform outcome, got {:?}", other.kind()),
+        };
+        for (r, u) in rect.schedule.assignments().iter().zip(uni.assignments()) {
+            assert_eq!(r.job, u.job);
+            assert_eq!(r.start, u.start);
+            assert_eq!(r.procs, ProcSet::from_indices([u.machine]));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rect_policies_reject_heterogeneous_speeds() {
+        let ctx = PolicyCtx {
+            speeds: vec![1.0, 0.5],
+            ..PolicyCtx::default()
+        };
+        ListScheduling::new(JobOrder::Fcfs).run_outcome(&[Job::sequential(1, d(5))], 2, &ctx);
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_mct_rejects_wide_rigid_jobs() {
+        UniformMct::default().run_outcome(&[Job::rigid(1, 2, d(10))], 4, &PolicyCtx::default());
     }
 
     #[test]

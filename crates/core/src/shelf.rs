@@ -1,7 +1,7 @@
 //! Shelf (level) algorithms for rigid jobs — the strip-packing view.
 //!
 //! "The allocation problem corresponds to a strip-packing problem" (§2.2,
-//! ref [13]). Shelf algorithms sort jobs by decreasing height (execution
+//! ref \[13\]). Shelf algorithms sort jobs by decreasing height (execution
 //! time) and fill horizontal levels of the strip (machine width `m`):
 //!
 //! * **NFDH** — next-fit: only the current shelf is considered;

@@ -1,5 +1,5 @@
 //! SMART — shelf scheduling of rigid tasks for (weighted) average
-//! completion time (§4.3 of the paper, ref [14] Schwiegelshohn, Ludwig,
+//! completion time (§4.3 of the paper, ref \[14\] Schwiegelshohn, Ludwig,
 //! Wolf, Turek, Yu).
 //!
 //! "Schwiegelshohn et al. proposed for rigid PTs to use shelves (where all

@@ -62,6 +62,18 @@ pub enum UniformError {
 }
 
 impl UniformSchedule {
+    /// Assemble a schedule from raw parts (unchecked here — run
+    /// [`validate`](UniformSchedule::validate) before consuming it). This
+    /// is how external tooling and property tests build candidate or
+    /// deliberately-corrupted schedules.
+    pub fn from_parts(speeds: Vec<f64>, assignments: Vec<UniformAssignment>) -> UniformSchedule {
+        assert!(!speeds.is_empty(), "a machine needs at least one processor");
+        UniformSchedule {
+            speeds,
+            assignments,
+        }
+    }
+
     /// Expected span of `job` on machine `m` (ceiling of `len / speed`).
     fn expected_span(speeds: &[f64], m: usize, job: &Job) -> Dur {
         job.time_on(1)

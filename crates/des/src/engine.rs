@@ -70,7 +70,8 @@ impl<'a, E> Ctx<'a, E> {
     }
 }
 
-/// Counters reported by [`Simulation::run`] variants.
+/// Counters reported by the [`Simulation::run_to_completion`] /
+/// [`Simulation::run_until`] variants.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RunStats {
     /// Events dispatched to the model.

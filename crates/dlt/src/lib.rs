@@ -2,7 +2,7 @@
 //!
 //! "A Divisible Load Task can be seen as a (usually large) set of
 //! computations that can be partitioned in every possible way" — introduced
-//! by Cheng & Robertazzi (ref [4]) for big data files, and in the paper the
+//! by Cheng & Robertazzi (ref \[4\]) for big data files, and in the paper the
 //! natural model for the CIMENT *multi-parametric* campaigns.
 //!
 //! The crate implements the distribution policies the paper discusses:
@@ -17,9 +17,9 @@
 //!   communication and computation at the price of extra latencies;
 //! * [`steady`] — bandwidth-centric steady state: the asymptotically
 //!   optimal throughput for arbitrarily long campaigns, "computed in
-//!   polynomial time" (§5.2), on stars and on trees (ref [4]'s topology);
+//!   polynomial time" (§5.2), on stars and on trees (ref \[4\]'s topology);
 //! * [`selfsched`] — dynamic chunk self-scheduling (work-stealing flavour,
-//!   §2.1 ref [3]) as the practical baseline the closed forms are measured
+//!   §2.1 ref \[3\]) as the practical baseline the closed forms are measured
 //!   against.
 //!
 //! Units: *load* is measured in abstract units (1 unit = 1 second of work

@@ -1,7 +1,7 @@
 //! Dynamic chunk self-scheduling — the work-stealing-flavoured baseline.
 //!
 //! "This distribution can be made in one, several rounds or dynamically
-//! with a work stealing strategy [3]" (§2.1). Here workers pull fixed-size
+//! with a work stealing strategy \[3\]" (§2.1). Here workers pull fixed-size
 //! chunks from the master whenever idle; the master's one-port serializes
 //! the hand-outs. Small chunks self-balance perfectly but pay one latency
 //! each; large chunks amortize latency but strand load on slow workers at

@@ -11,7 +11,7 @@
 //! knapsack optimum.
 //!
 //! [`tree_steady_state`] extends the rule to the tree networks of Cheng &
-//! Robertazzi (ref [4]): a subtree collapses into an equivalent worker whose
+//! Robertazzi (ref \[4\]): a subtree collapses into an equivalent worker whose
 //! rate is the min of its uplink bandwidth and its internal capacity,
 //! computed bottom-up.
 

@@ -1,5 +1,5 @@
 //! One-round distribution on tree networks — Cheng & Robertazzi's original
-//! setting (ref [4] of the paper: "Distributed computation for a tree
+//! setting (ref \[4\] of the paper: "Distributed computation for a tree
 //! network with communication delays").
 //!
 //! The classical solution collapses the tree bottom-up: a subtree behaves

@@ -5,7 +5,7 @@
 //! The protocol here is the threshold flavour the paper sketches: every
 //! exchange period, the most backlogged cluster ships queued jobs to the
 //! least backlogged one whenever the imbalance exceeds a factor, paying a
-//! WAN migration delay per job. Fairness ("making [resources] available to
+//! WAN migration delay per job. Fairness ("making \[resources\] available to
 //! others does not make them loose too much") is measured per community by
 //! the caller through the returned records.
 

@@ -28,7 +28,10 @@ pub mod summary;
 pub use completed::CompletedJob;
 pub use criteria::Criteria;
 pub use fairness::{jain_index, per_user, UserReport};
-pub use lower_bounds::{area_seconds, cmax_lower_bound, csum_lower_bound, wsum_lower_bound};
+pub use lower_bounds::{
+    area_seconds, cmax_lower_bound, csum_lower_bound, uniform_cmax_lower_bound,
+    uniform_csum_lower_bound, uniform_wsum_lower_bound, wsum_lower_bound,
+};
 pub use summary::Summary;
 
 /// Commonly used items.
@@ -37,7 +40,8 @@ pub mod prelude {
     pub use crate::criteria::Criteria;
     pub use crate::fairness::{jain_index, per_user, UserReport};
     pub use crate::lower_bounds::{
-        area_seconds, cmax_lower_bound, csum_lower_bound, wsum_lower_bound,
+        area_seconds, cmax_lower_bound, csum_lower_bound, uniform_cmax_lower_bound,
+        uniform_csum_lower_bound, uniform_wsum_lower_bound, wsum_lower_bound,
     };
     pub use crate::summary::Summary;
 }

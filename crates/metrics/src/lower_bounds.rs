@@ -9,7 +9,7 @@
 //! * [`cmax_lower_bound`]: `max( ⌈W/m⌉ , max_j (rj + pj^min) )` where `W`
 //!   is total minimal work — the *area* bound and the *tallest job* bound.
 //! * [`wsum_lower_bound`]: the squashed-area WSPT bound used in the SMART
-//!   analysis ([14] in the paper): compress each job to its minimal work on
+//!   analysis (\[14\] in the paper): compress each job to its minimal work on
 //!   a single speed-`m` resource, order by Smith ratio (work/weight), and
 //!   charge each job the max of its squashed completion and its individual
 //!   bound `rj + pj^min`. Both components bound any feasible schedule from
@@ -85,6 +85,76 @@ pub fn csum_lower_bound(jobs: &[Job], m: usize) -> f64 {
     wsum_lower_bound(&unweighted, m)
 }
 
+/// Assert a uniform-machine speed vector is usable for bounding.
+fn check_speeds(speeds: &[f64]) -> (f64, f64) {
+    assert!(
+        !speeds.is_empty() && speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+        "speeds must be non-empty, positive and finite"
+    );
+    let total: f64 = speeds.iter().sum();
+    let max = speeds.iter().cloned().fold(f64::MIN, f64::max);
+    (total, max)
+}
+
+/// Lower bound (seconds) on the optimal makespan of sequential `jobs` on
+/// *uniform* machines with the given relative `speeds`: the speed-aware
+/// area bound `Σ p / Σ s` and the tallest-job bound `max_j (rj + pj/s_max)`
+/// — the identical-machine [`cmax_lower_bound`] with the machine count
+/// replaced by aggregate speed and the per-job height scaled by the
+/// fastest processor.
+pub fn uniform_cmax_lower_bound(jobs: &[Job], speeds: &[f64]) -> f64 {
+    let (total_speed, max_speed) = check_speeds(speeds);
+    let ticks = lsps_des::TICKS_PER_SEC as f64;
+    let total_work: f64 = jobs.iter().map(|j| j.min_work().ticks() as f64).sum();
+    let area = total_work / total_speed / ticks;
+    let tallest = jobs
+        .iter()
+        .map(|j| j.release.as_secs_f64() + j.min_time().ticks() as f64 / max_speed / ticks)
+        .fold(0.0, f64::max);
+    area.max(tallest)
+}
+
+/// Lower bound on the optimal `Σ ωj Cj` on uniform machines, in
+/// weight-seconds — [`wsum_lower_bound`]'s two certified totals with the
+/// squashed resource running at the aggregate speed `Σ s` and the
+/// individual bound `Cj ≥ rj + pj / s_max`.
+pub fn uniform_wsum_lower_bound(jobs: &[Job], speeds: &[f64]) -> f64 {
+    let (total_speed, max_speed) = check_speeds(speeds);
+    let ticks = lsps_des::TICKS_PER_SEC as f64;
+    let mut order: Vec<&Job> = jobs.iter().collect();
+    order.sort_by(|a, b| {
+        let ra = a.min_work().ticks() as f64 / a.weight.max(f64::MIN_POSITIVE);
+        let rb = b.min_work().ticks() as f64 / b.weight.max(f64::MIN_POSITIVE);
+        ra.partial_cmp(&rb)
+            .expect("finite ratios")
+            .then(a.id.cmp(&b.id))
+    });
+    let mut acc_work = 0.0;
+    let mut squashed_total = 0.0;
+    let mut individual_total = 0.0;
+    for j in order {
+        acc_work += j.min_work().ticks() as f64;
+        squashed_total += j.weight * (acc_work / total_speed);
+        individual_total += j.weight
+            * (j.release.since_epoch().ticks() as f64 + j.min_time().ticks() as f64 / max_speed);
+    }
+    squashed_total.max(individual_total) / ticks
+}
+
+/// Lower bound on the optimal sum of completion times on uniform machines:
+/// [`uniform_wsum_lower_bound`] with all weights forced to one.
+pub fn uniform_csum_lower_bound(jobs: &[Job], speeds: &[f64]) -> f64 {
+    let unweighted: Vec<Job> = jobs
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.weight = 1.0;
+            j
+        })
+        .collect();
+    uniform_wsum_lower_bound(&unweighted, speeds)
+}
+
 /// Hint for sizing experiments: the time `Σ min_work / m` it takes the
 /// whole machine to chew through the workload area (seconds).
 pub fn area_seconds(jobs: &[Job], m: usize) -> f64 {
@@ -125,6 +195,46 @@ mod tests {
         // Area bound on 1 machine = sequential work; tallest = min time.
         assert_eq!(cmax_lower_bound(&jobs, 1), d(100));
         assert_eq!(cmax_lower_bound(&jobs, 64), min_t);
+    }
+
+    #[test]
+    fn uniform_bounds_reduce_to_identical_machine_bounds_at_unit_speed() {
+        let jobs: Vec<Job> = (0..9)
+            .map(|i| Job::sequential(i, Dur::from_secs(10 + i * 7)).with_weight(1.0 + i as f64))
+            .collect();
+        let speeds = vec![1.0; 4];
+        let cmax = uniform_cmax_lower_bound(&jobs, &speeds);
+        // The identical-machine bound ceils the area to whole ticks; the
+        // uniform one does not — equal up to that rounding.
+        let ident = cmax_lower_bound(&jobs, 4).as_secs_f64();
+        assert!((cmax - ident).abs() < 1e-3, "{cmax} vs {ident}");
+        let wsum = uniform_wsum_lower_bound(&jobs, &speeds);
+        assert!((wsum - wsum_lower_bound(&jobs, 4)).abs() < 1e-6);
+        let csum = uniform_csum_lower_bound(&jobs, &speeds);
+        assert!((csum - csum_lower_bound(&jobs, 4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_cmax_uses_aggregate_speed_and_fastest_height() {
+        // Work 100 s on speeds (3, 1): area bound 25 s; a single 100 s job
+        // bounded by 100/3 on the fastest machine.
+        let jobs = vec![Job::sequential(0, Dur::from_secs(100))];
+        let lb = uniform_cmax_lower_bound(&jobs, &[3.0, 1.0]);
+        assert!((lb - 100.0 / 3.0).abs() < 1e-9, "lb = {lb}");
+        let many: Vec<Job> = (0..8)
+            .map(|i| Job::sequential(i, Dur::from_secs(100)))
+            .collect();
+        let lb = uniform_cmax_lower_bound(&many, &[3.0, 1.0]);
+        assert!(
+            (lb - 800.0 / 4.0).abs() < 1e-9,
+            "area bound dominates: {lb}"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_bounds_reject_bad_speeds() {
+        uniform_cmax_lower_bound(&[], &[1.0, 0.0]);
     }
 
     #[test]

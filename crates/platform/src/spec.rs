@@ -174,6 +174,21 @@ impl Platform {
             .sum()
     }
 
+    /// The flattened per-processor speed vector, in global processor
+    /// order — the bridge from a structured [`Platform`] to the
+    /// uniform-machine model (`lsps_core::uniform`, the scenario layer's
+    /// speeded platform axis).
+    pub fn proc_speeds(&self) -> Vec<f64> {
+        self.clusters
+            .iter()
+            .flat_map(|c| {
+                c.nodes
+                    .iter()
+                    .flat_map(|n| std::iter::repeat_n(n.speed, n.cpus as usize))
+            })
+            .collect()
+    }
+
     /// A one-paragraph ASCII rendition of the platform (Fig. 1 / Fig. 3
     /// style), for the `platforms` experiment binary.
     pub fn render(&self) -> String {
@@ -241,6 +256,18 @@ mod tests {
         assert_eq!(p.proc_speed(ProcId(1)), 1.0);
         assert_eq!(p.proc_speed(ProcId(5)), 0.5);
         assert!((p.total_power() - (4.0 + 1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proc_speeds_flattens_in_global_order() {
+        let p = two_cluster();
+        let speeds = p.proc_speeds();
+        assert_eq!(speeds, vec![1.0, 1.0, 1.0, 1.0, 0.5, 0.5, 0.5]);
+        // Consistent with the per-proc accessor and the aggregate power.
+        for (i, &s) in speeds.iter().enumerate() {
+            assert_eq!(s, p.proc_speed(ProcId(i as u32)));
+        }
+        assert!((speeds.iter().sum::<f64>() - p.total_power()).abs() < 1e-12);
     }
 
     #[test]

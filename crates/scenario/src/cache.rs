@@ -26,8 +26,9 @@ use crate::runner::Cell;
 use crate::spec::fnv64;
 
 /// Bumped whenever the cell schema or key layout changes; stale shards
-/// then miss instead of deserializing wrongly.
-pub const CACHE_VERSION: u32 = 1;
+/// then miss instead of deserializing wrongly. (2: trial-overhead counters
+/// on cells, machine/knowledge axes in the key preimage.)
+pub const CACHE_VERSION: u32 = 2;
 
 #[derive(Serialize, Deserialize)]
 struct Shard {
@@ -122,6 +123,9 @@ mod tests {
             csum_ratio: 1.0 / 3.0, // a non-terminating binary fraction
             wsum_ratio: 1.5,
             utilization: 0.125,
+            trials: Some(3),
+            kills: Some(2),
+            wasted_ticks: Some(1500),
         }
     }
 
@@ -141,6 +145,10 @@ mod tests {
         // CSV is the consumer; byte-identity there is the contract.
         assert_eq!(back.csv_row(), cell.csv_row());
         assert_eq!(back.criteria, cell.criteria);
+        // Trial counters feed the aggregate CSV; they must survive too.
+        assert_eq!(back.trials, cell.trials);
+        assert_eq!(back.kills, cell.kills);
+        assert_eq!(back.wasted_ticks, cell.wasted_ticks);
         fs::remove_dir_all(cache.dir()).unwrap();
     }
 

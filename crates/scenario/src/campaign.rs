@@ -246,7 +246,11 @@ pub fn run_campaign(
             platforms: spec
                 .platforms
                 .iter()
-                .map(|p| PlatformCase::new(p.name.clone(), p.m))
+                .map(|p| PlatformCase {
+                    name: p.name.clone(),
+                    m: p.m,
+                    speeds: p.speeds.clone(),
+                })
                 .collect(),
             ctx: spec.ctx.to_policy_ctx(),
             executor,
@@ -317,6 +321,11 @@ pub const AGG_METRICS: [(&str, MetricFn); 5] = [
 
 const AGG_STATS: [&str; 6] = ["mean", "std", "ci95", "min", "median", "max"];
 
+/// The trial-overhead columns appended after the metric statistics:
+/// per-group means of the non-clairvoyant counters, *empty* for groups of
+/// rectangle/uniform outcomes (which have no trial overhead).
+const AGG_TRIAL_COLUMNS: [&str; 3] = ["trials", "kills", "wasted_ticks"];
+
 /// Header of the aggregate CSV.
 pub fn aggregate_header() -> String {
     let mut h = String::from("policy,executor,workload,platform,m,reps");
@@ -328,17 +337,22 @@ pub fn aggregate_header() -> String {
             h.push_str(stat);
         }
     }
+    for col in AGG_TRIAL_COLUMNS {
+        h.push(',');
+        h.push_str(col);
+    }
     h
 }
 
 /// Aggregate replications: one row per (policy, executor, workload,
 /// platform) group in first-seen order, each metric summarized as
-/// mean/std/ci95/min/median/max over the group's cells.
+/// mean/std/ci95/min/median/max over the group's cells, plus the mean
+/// trial-overhead counters (empty columns for groups without them).
 pub fn aggregate_csv(cells: &[Cell]) -> String {
     type GroupKey = (String, String, String, String);
+    type Group = (usize, Vec<Summary>, [Summary; 3]);
     let mut order: Vec<GroupKey> = Vec::new();
-    let mut groups: std::collections::HashMap<GroupKey, (usize, Vec<Summary>)> =
-        std::collections::HashMap::new();
+    let mut groups: std::collections::HashMap<GroupKey, Group> = std::collections::HashMap::new();
     for c in cells {
         let key = (
             c.policy.clone(),
@@ -346,18 +360,27 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
             c.workload.clone(),
             c.platform.clone(),
         );
-        let (_, summaries) = groups.entry(key.clone()).or_insert_with(|| {
+        let (_, summaries, trial) = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            (c.m, AGG_METRICS.iter().map(|_| Summary::new()).collect())
+            (
+                c.m,
+                AGG_METRICS.iter().map(|_| Summary::new()).collect(),
+                [Summary::new(), Summary::new(), Summary::new()],
+            )
         });
         for ((_, metric), s) in AGG_METRICS.iter().zip(summaries.iter_mut()) {
             s.add(metric(c));
+        }
+        for (counter, s) in [c.trials, c.kills, c.wasted_ticks].iter().zip(trial) {
+            if let Some(v) = counter {
+                s.add(*v as f64);
+            }
         }
     }
     let mut out = aggregate_header();
     out.push('\n');
     for key in order {
-        let (m, summaries) = &groups[&key];
+        let (m, summaries, trial) = &groups[&key];
         let (policy, executor, workload, platform) = &key;
         out.push_str(&format!(
             "{policy},{executor},{workload},{platform},{m},{}",
@@ -373,6 +396,13 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
                 s.median(),
                 s.max()
             ));
+        }
+        for s in trial {
+            if s.n() == 0 {
+                out.push(',');
+            } else {
+                out.push_str(&format!(",{:.2}", s.mean()));
+            }
         }
         out.push('\n');
     }

@@ -37,6 +37,7 @@ pub fn fig2_spec() -> CampaignSpec {
     spec.platforms = vec![PlatformSpec {
         name: "fig2".into(),
         m: M,
+        speeds: None,
     }];
     for &n in &NS {
         for seed in 0..SEEDS {
@@ -78,6 +79,7 @@ pub fn models_compare_spec(mode: ReleaseMode) -> CampaignSpec {
     spec.platforms = vec![PlatformSpec {
         name: "fig2".into(),
         m: M,
+        speeds: None,
     }];
     spec.workloads = vec![
         WorkloadEntry {
@@ -116,6 +118,7 @@ pub fn guarantees_spec(
     spec.platforms = vec![PlatformSpec {
         name: format!("m{m}"),
         m,
+        speeds: None,
     }];
     spec.workloads = vec![WorkloadEntry {
         name: format!("{family_name}-n{n}"),

@@ -112,18 +112,60 @@ pub fn builtin_family(family: &str, n: usize) -> Option<FamilyGen> {
             let mut rng = rng.child(m as u64);
             rigid_instance(&mut rng, n, m)
         }),
+        "uniform-seq" => Arc::new(move |_m, rng: &mut SimRng| {
+            let mut rng = rng.child(n as u64);
+            uniform_seq_instance(&mut rng, n)
+        }),
+        "unknown-runtimes" => Arc::new(move |_m, rng: &mut SimRng| {
+            let mut rng = rng.child(n as u64);
+            unknown_runtimes_instance(&mut rng, n)
+        }),
         _ => return None,
     })
 }
 
+/// A sequential bag for the *uniform-machine* model (§2.2): n weighted
+/// one-processor jobs, 60–900 s, staggered arrivals — the workload class
+/// where per-processor speeds, not widths, decide placement. Independent
+/// of `m` (the machine is the axis under study).
+pub fn uniform_seq_instance(rng: &mut SimRng, n: usize) -> Vec<Job> {
+    let mut clock = 0u64;
+    (0..n)
+        .map(|i| {
+            clock += rng.int_range(0, 120);
+            Job::sequential(i as u64, Dur::from_secs(rng.int_range(60, 900)))
+                .released_at(Time::from_secs(clock))
+                .with_weight(rng.range(0.5, 5.0))
+        })
+        .collect()
+}
+
+/// A sequential bag whose runtimes the scheduler must *discover* (§4.2
+/// non-clairvoyance): heavy-tailed log-uniform lengths over 2.5 orders of
+/// magnitude, so any fixed estimate is badly wrong for most jobs and the
+/// exponential-trial doubling actually pays its overhead.
+pub fn unknown_runtimes_instance(rng: &mut SimRng, n: usize) -> Vec<Job> {
+    let mut clock = 0u64;
+    (0..n)
+        .map(|i| {
+            clock += rng.int_range(0, 60);
+            Job::sequential(i as u64, Dur::from_secs_f64(rng.log_uniform(10.0, 5_000.0)))
+                .released_at(Time::from_secs(clock))
+                .with_weight(rng.range(0.5, 5.0))
+        })
+        .collect()
+}
+
 /// Every built-in family name, for docs and error messages.
-pub const FAMILY_NAMES: [&str; 6] = [
+pub const FAMILY_NAMES: [&str; 8] = [
     "fig2-parallel",
     "fig2-sequential",
     "fig2-rigid",
     "moldable0",
     "moldable-online",
     "rigid0",
+    "uniform-seq",
+    "unknown-runtimes",
 ];
 
 #[cfg(test)]
@@ -151,6 +193,29 @@ mod tests {
         assert!(jobs.iter().all(|j| matches!(j.kind, JobKind::Rigid { .. })));
         // Half-width rigidification keeps widths within the machine.
         assert!(jobs.iter().all(|j| j.min_procs() <= 50));
+    }
+
+    #[test]
+    fn sequential_families_are_sequential_and_machine_independent() {
+        for name in ["uniform-seq", "unknown-runtimes"] {
+            let family = builtin_family(name, 12).unwrap();
+            let a = family(8, &mut SimRng::seed_from(9));
+            let b = family(128, &mut SimRng::seed_from(9));
+            assert_eq!(a, b, "{name}: machine size must not perturb the draws");
+            assert!(
+                a.iter()
+                    .all(|j| matches!(j.kind, JobKind::Rigid { procs: 1, .. })),
+                "{name}: every job is sequential"
+            );
+            assert!(a.iter().all(|j| !j.time_on(1).is_zero()), "{name}");
+        }
+        // The unknown-runtimes tail is heavy: the longest job dwarfs the
+        // shortest by at least an order of magnitude on a modest draw.
+        let family = builtin_family("unknown-runtimes", 30).unwrap();
+        let jobs = family(8, &mut SimRng::seed_from(5));
+        let lens: Vec<u64> = jobs.iter().map(|j| j.time_on(1).ticks()).collect();
+        let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        assert!(hi / lo.max(&1) >= 10, "spread {lo}..{hi}");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! written slot-indexed, which keeps the output byte-identical to the
 //! sequential order no matter how the OS schedules the workers.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -33,6 +34,7 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
+use lsps_core::outcome::{Outcome, OutcomeKind, OutcomeRun};
 use lsps_core::policy::{PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
 use lsps_core::schedule::Schedule;
 use lsps_des::{
@@ -40,28 +42,50 @@ use lsps_des::{
     Time,
 };
 use lsps_metrics::{
-    cmax_lower_bound, csum_lower_bound, wsum_lower_bound, CompletedJob, Criteria, Summary,
+    cmax_lower_bound, csum_lower_bound, uniform_cmax_lower_bound, uniform_csum_lower_bound,
+    uniform_wsum_lower_bound, wsum_lower_bound, CompletedJob, Criteria, Summary,
 };
 use lsps_workload::{Job, JobId, WorkloadSpec};
 
 use crate::Table;
 
-/// A named machine size (platforms are identical-processor clusters at
-/// this layer; heterogeneity lives in `lsps-grid`).
+/// A named machine: `m` identical processors, or — with
+/// [`speeds`](PlatformCase::speeds) set — `m` *uniform* processors of the
+/// given relative speeds (§2.2 weak heterogeneity). Speeded platforms are
+/// only runnable by uniform-capable policies under the `direct` executor;
+/// between-cluster heterogeneity stays in `lsps-grid`.
 #[derive(Clone, Debug)]
 pub struct PlatformCase {
     /// Display/CSV name.
     pub name: String,
     /// Processor count.
     pub m: usize,
+    /// Per-processor relative speeds (`None` = identical machines). When
+    /// set, the length equals `m` and the values are injected into every
+    /// cell's [`PolicyCtx::speeds`].
+    pub speeds: Option<Vec<f64>>,
 }
 
 impl PlatformCase {
-    /// A named `m`-processor machine.
+    /// A named `m`-processor identical machine.
     pub fn new(name: impl Into<String>, m: usize) -> PlatformCase {
         PlatformCase {
             name: name.into(),
             m,
+            speeds: None,
+        }
+    }
+
+    /// A named uniform machine with one processor per speed entry.
+    pub fn uniform(name: impl Into<String>, speeds: Vec<f64>) -> PlatformCase {
+        assert!(
+            !speeds.is_empty() && speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "speeds must be non-empty, positive and finite"
+        );
+        PlatformCase {
+            name: name.into(),
+            m: speeds.len(),
+            speeds: Some(speeds),
         }
     }
 }
@@ -188,6 +212,18 @@ impl Executor {
             Executor::DesOnline => "des-online",
         }
     }
+
+    /// Can this executor run a policy of the given [`OutcomeKind`]?
+    ///
+    /// `direct` consumes every outcome through the uniform
+    /// [`Outcome::completed`] interface; the DES executors replay or drive
+    /// *rectangles* — a trial outcome's burnt machine time and a uniform
+    /// outcome's speed-scaled spans have no event representation there, so
+    /// those pairs are rejected (by campaign validation up front, and by a
+    /// loud panic in [`ExperimentRunner::run_cells`] for direct API users).
+    pub fn supports(self, kind: OutcomeKind) -> bool {
+        matches!(self, Executor::Direct) || kind == OutcomeKind::Rect
+    }
 }
 
 impl fmt::Display for Executor {
@@ -255,6 +291,13 @@ pub struct Cell {
     pub wsum_ratio: f64,
     /// Machine utilization in `[0, 1]`.
     pub utilization: f64,
+    /// Trials started (non-clairvoyant outcomes only; `None` — an empty
+    /// aggregate-CSV column — for rectangle and uniform outcomes).
+    pub trials: Option<u64>,
+    /// Trials killed at their estimate.
+    pub kills: Option<u64>,
+    /// CPU-ticks burnt on killed trials — the price of non-clairvoyance.
+    pub wasted_ticks: Option<u64>,
 }
 
 /// The one CSV schema every runner-based binary emits.
@@ -480,32 +523,77 @@ impl ExperimentRunner {
         platform: &PlatformCase,
         jobs: &[Job],
     ) -> Cell {
-        let validate = |run: &PolicyRun| {
-            run.validate().unwrap_or_else(|e| {
-                panic!(
-                    "{} on {}/{} (m={}, {}): invalid schedule: {e}",
-                    policy.name(),
-                    workload.name,
-                    workload.seed,
-                    platform.m,
-                    self.executor.name()
-                )
-            })
+        let cell_id = || {
+            format!(
+                "{} on {}/{} (m={}, {})",
+                policy.name(),
+                workload.name,
+                workload.seed,
+                platform.m,
+                self.executor.name()
+            )
         };
-        let (run, mut records) = match self.executor {
-            Executor::Direct | Executor::DesReplay => {
-                let run = policy.run(jobs, platform.m, &self.ctx);
-                validate(&run);
-                let records = match self.executor {
-                    Executor::Direct => run.schedule.completed(&run.jobs),
-                    _ => des_replay(&run.schedule, &run.jobs),
-                };
-                (run, records)
+        // Per-cell context: a speeded platform injects its machine model.
+        let ctx: Cow<'_, PolicyCtx> = match &platform.speeds {
+            None => Cow::Borrowed(&self.ctx),
+            Some(speeds) => Cow::Owned(PolicyCtx {
+                speeds: speeds.clone(),
+                ..self.ctx.clone()
+            }),
+        };
+        let (orun, mut records) = match self.executor {
+            Executor::Direct => {
+                // The generalized path: every outcome kind (rectangle,
+                // trial-annotated, uniform-machine) extracts through the
+                // one `Outcome::completed` interface.
+                let orun = policy.run_outcome(jobs, platform.m, &ctx);
+                orun.validate()
+                    .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", cell_id()));
+                let records = orun.outcome.completed(&orun.jobs);
+                (orun, records)
             }
-            Executor::DesOnline => {
-                let online = des_online(policy, jobs, platform.m, &self.ctx);
-                validate(&online.run);
-                (online.run, online.records)
+            Executor::DesReplay | Executor::DesOnline => {
+                // Validated capability check: the DES executors stay
+                // rectangle-only.
+                assert!(
+                    self.executor.supports(policy.outcome_kind()),
+                    "{}: policy produces `{}` outcomes, which executor `{}` \
+                     cannot replay or drive — run it under `direct`",
+                    cell_id(),
+                    policy.outcome_kind(),
+                    self.executor.name()
+                );
+                assert!(
+                    ctx.is_identical_machine(),
+                    "{}: a speeded machine needs a uniform-capable policy \
+                     under the `direct` executor",
+                    cell_id()
+                );
+                let validate = |run: &PolicyRun| {
+                    run.validate()
+                        .unwrap_or_else(|e| panic!("{}: invalid schedule: {e}", cell_id()))
+                };
+                let (run, records) = match self.executor {
+                    Executor::DesReplay => {
+                        let run = policy.run(jobs, platform.m, &ctx);
+                        // Validate before handing the rectangles to the
+                        // event engine: a policy bug must fail with cell
+                        // context, not deep inside the replay.
+                        validate(&run);
+                        let records = des_replay(&run.schedule, &run.jobs);
+                        (run, records)
+                    }
+                    _ => {
+                        let online = des_online(policy, jobs, platform.m, &ctx);
+                        validate(&online.run);
+                        (online.run, online.records)
+                    }
+                };
+                let orun = OutcomeRun {
+                    outcome: Outcome::Rect(run.schedule),
+                    jobs: run.jobs,
+                };
+                (orun, records)
             }
         };
         // Canonical record order (job id) so every executor feeds Criteria
@@ -514,10 +602,22 @@ impl ExperimentRunner {
         records.sort_by_key(|r| r.id);
         let criteria = Criteria::evaluate(&records);
         // Bounds on the as-scheduled jobs: policies that strip releases or
-        // rigidify are measured against the instance they actually solved.
-        let cmax_lb = cmax_lower_bound(&run.jobs, platform.m).as_secs_f64();
-        let csum_lb = csum_lower_bound(&run.jobs, platform.m);
-        let wsum_lb = wsum_lower_bound(&run.jobs, platform.m);
+        // rigidify are measured against the instance they actually solved —
+        // on the machine model they actually solved it for (speed-aware
+        // bounds for uniform outcomes).
+        let (cmax_lb, csum_lb, wsum_lb) = match orun.outcome.speeds() {
+            Some(speeds) => (
+                uniform_cmax_lower_bound(&orun.jobs, speeds),
+                uniform_csum_lower_bound(&orun.jobs, speeds),
+                uniform_wsum_lower_bound(&orun.jobs, speeds),
+            ),
+            None => (
+                cmax_lower_bound(&orun.jobs, platform.m).as_secs_f64(),
+                csum_lower_bound(&orun.jobs, platform.m),
+                wsum_lower_bound(&orun.jobs, platform.m),
+            ),
+        };
+        let stats = orun.outcome.trial_stats();
         Cell {
             policy: policy.name().to_string(),
             executor: self.executor.name().to_string(),
@@ -525,12 +625,15 @@ impl ExperimentRunner {
             seed: workload.seed,
             platform: platform.name.clone(),
             m: platform.m,
-            n: run.jobs.len(),
+            n: orun.jobs.len(),
             utilization: criteria.utilization(platform.m),
             cmax_ratio: criteria.cmax / cmax_lb.max(f64::MIN_POSITIVE),
             csum_ratio: criteria.sum_completion / csum_lb.max(f64::MIN_POSITIVE),
             wsum_ratio: criteria.weighted_sum_completion / wsum_lb.max(f64::MIN_POSITIVE),
             criteria,
+            trials: stats.map(|s| s.trials),
+            kills: stats.map(|s| s.kills),
+            wasted_ticks: stats.map(|s| s.wasted_ticks),
         }
     }
 }
@@ -734,8 +837,16 @@ mod tests {
     use lsps_core::policy::registry;
     use lsps_des::Dur;
 
+    /// The policies the DES executors can run (see [`Executor::supports`]).
+    fn rect_registry() -> Vec<Box<dyn Policy>> {
+        registry()
+            .into_iter()
+            .filter(|p| p.outcome_kind() == OutcomeKind::Rect)
+            .collect()
+    }
+
     fn runner() -> ExperimentRunner {
-        let mut r = ExperimentRunner::new(registry());
+        let mut r = ExperimentRunner::new(rect_registry());
         r.workloads = vec![
             WorkloadCase::from_spec("fig2-par", 7, WorkloadSpec::fig2_parallel(30)),
             WorkloadCase::from_spec("fig2-seq", 7, WorkloadSpec::fig2_sequential(30)),
@@ -746,7 +857,11 @@ mod tests {
 
     #[test]
     fn full_registry_cross_product_runs() {
-        let r = runner();
+        // Under `direct`, *every* registry policy — all three outcome
+        // kinds — runs through the one code path. (The fig2 workloads are
+        // moldable/sequential, inside every policy's domain.)
+        let mut r = runner();
+        r.policies = registry();
         let cells = r.run();
         assert_eq!(cells.len(), registry().len() * 2);
         for c in &cells {
@@ -754,6 +869,55 @@ mod tests {
             assert!(c.utilization <= 1.0 + 1e-9, "{}", c.policy);
             assert_eq!(c.n, 30);
         }
+        // Trial cells carry counters; everything else leaves them empty.
+        for c in &cells {
+            let has_stats = c.trials.is_some();
+            assert_eq!(
+                has_stats,
+                c.policy == "nonclairvoyant-exp-trial",
+                "{}",
+                c.policy
+            );
+            assert_eq!(c.kills.is_some(), has_stats, "{}", c.policy);
+            assert_eq!(c.wasted_ticks.is_some(), has_stats, "{}", c.policy);
+        }
+    }
+
+    #[test]
+    fn uniform_cells_run_on_speeded_platforms() {
+        let mut r = ExperimentRunner::new(vec![lsps_core::policy::by_name("uniform-mct").unwrap()]);
+        r.workloads = vec![WorkloadCase::from_spec(
+            "fig2-seq",
+            7,
+            WorkloadSpec::fig2_sequential(30),
+        )];
+        // Two CPU generations in one cluster (§2.2 weak heterogeneity).
+        let speeds: Vec<f64> = (0..16).map(|i| if i < 8 { 1.0 } else { 0.55 }).collect();
+        r.platforms = vec![PlatformCase::uniform("two-gen", speeds)];
+        let cells = r.run();
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        assert_eq!(c.m, 16);
+        assert_eq!(c.n, 30);
+        assert!(c.cmax_ratio >= 1.0 - 1e-9, "speed-aware LB holds");
+        assert_eq!(c.trials, None, "uniform outcomes carry no trial counters");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot replay or drive")]
+    fn des_executors_reject_non_rect_policies() {
+        let mut r =
+            ExperimentRunner::new(vec![
+                lsps_core::policy::by_name("nonclairvoyant-exp-trial").unwrap()
+            ]);
+        r.workloads = vec![WorkloadCase::from_spec(
+            "fig2-seq",
+            7,
+            WorkloadSpec::fig2_sequential(10),
+        )];
+        r.platforms = vec![PlatformCase::new("m8", 8)];
+        r.executor = Executor::DesOnline;
+        r.run();
     }
 
     #[test]
@@ -795,7 +959,7 @@ mod tests {
         r.workloads.truncate(1);
         r.executor = Executor::DesOnline;
         let cells = r.run();
-        assert_eq!(cells.len(), registry().len());
+        assert_eq!(cells.len(), rect_registry().len());
         for c in &cells {
             assert_eq!(c.n, 30, "{}", c.policy);
             assert_eq!(c.executor, "des-online");
@@ -920,6 +1084,9 @@ mod tests {
             csum_ratio: v,
             wsum_ratio: v,
             utilization: 1.0,
+            trials: None,
+            kills: None,
+            wasted_ticks: None,
         };
         let cells = vec![mk("b", 1.0), mk("a", 2.0), mk("b", 3.0)];
         let grouped = summarize_by(&cells, |c| c.policy.clone(), |c| c.cmax_ratio);

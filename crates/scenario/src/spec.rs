@@ -16,7 +16,9 @@ use std::str::FromStr;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 use lsps_core::allot::AllotRule;
-use lsps_core::policy::{by_name, PolicyCtx, ReleaseMode};
+use lsps_core::outcome::OutcomeKind;
+use lsps_core::policy::{by_name, Knowledge, PolicyCtx, ReleaseMode, DEFAULT_INITIAL_ESTIMATE};
+use lsps_des::Dur;
 use lsps_workload::WorkloadSpec;
 
 use crate::families::builtin_family;
@@ -162,13 +164,43 @@ impl ReplicationSpec {
     }
 }
 
-/// A named machine size.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// A named machine: identical processors, or — with `speeds` — a uniform
+/// machine (the spec's *machine* axis, §2.2).
+#[derive(Clone, Debug, PartialEq)]
 pub struct PlatformSpec {
     /// Display/CSV name.
     pub name: String,
     /// Processor count.
     pub m: usize,
+    /// Per-processor relative speeds (`None` = identical machines). When
+    /// set, the length must equal `m`, every value must be positive, and
+    /// every policy of the spec must be uniform-capable — validation
+    /// reports violations before any cell runs.
+    pub speeds: Option<Vec<f64>>,
+}
+
+impl Deserialize for PlatformSpec {
+    fn from_value(v: &Value) -> Result<PlatformSpec, SerdeError> {
+        check_keys(v, &["name", "m", "speeds"])?;
+        Ok(PlatformSpec {
+            name: Deserialize::from_value(serde::field(v, "name")?)?,
+            m: Deserialize::from_value(serde::field(v, "m")?)?,
+            speeds: opt_or(v, "speeds", None)?,
+        })
+    }
+}
+
+impl Serialize for PlatformSpec {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("name".into(), self.name.to_value()),
+            ("m".into(), self.m.to_value()),
+        ];
+        if let Some(speeds) = &self.speeds {
+            map.push(("speeds".into(), speeds.to_value()));
+        }
+        Value::Map(map)
+    }
 }
 
 /// The scheduling-context knobs a spec may set (reservations and pinned
@@ -181,6 +213,10 @@ pub struct CtxSpec {
     pub estimate_factor: f64,
     /// Rigidification rule (`"sequential"` / `"min-time"` / `"balanced"`).
     pub allot_rule: AllotRule,
+    /// Knowledge model (`"clairvoyant"` / `"nonclairvoyant"` in JSON, the
+    /// latter with an optional `initial_estimate_s` seconds knob seeding
+    /// the exponential-trial doubling).
+    pub knowledge: Knowledge,
 }
 
 impl Default for CtxSpec {
@@ -190,6 +226,7 @@ impl Default for CtxSpec {
             release_mode: d.release_mode,
             estimate_factor: d.estimate_factor,
             allot_rule: d.allot_rule,
+            knowledge: d.knowledge,
         }
     }
 }
@@ -201,6 +238,7 @@ impl CtxSpec {
             release_mode: self.release_mode,
             estimate_factor: self.estimate_factor,
             allot_rule: self.allot_rule,
+            knowledge: self.knowledge,
             ..PolicyCtx::default()
         }
     }
@@ -256,12 +294,17 @@ impl CampaignSpec {
     }
 
     /// Semantic validation beyond JSON shape: non-empty axes, resolvable
-    /// policy and family names, sane sizes. Trace-file existence is checked
+    /// policy and family names, sane sizes, and executor/platform ×
+    /// policy *capability compatibility* — the DES executors and speeded
+    /// platforms only accept the policies that can honour them. Every
+    /// problem is collected and reported at once (joined with `; `), so a
+    /// sweep with three typos fails with three messages up front instead
+    /// of panicking mid-run on the first. Trace-file existence is checked
     /// at expansion time (paths resolve relative to the spec file).
     pub fn validate(&self) -> Result<(), SpecError> {
-        let err = |msg: String| Err(SpecError(msg));
+        let mut problems: Vec<String> = Vec::new();
         if self.name.is_empty() {
-            return err("empty campaign name".into());
+            problems.push("empty campaign name".into());
         }
         for (what, empty) in [
             ("policies", self.policies.is_empty()),
@@ -270,18 +313,45 @@ impl CampaignSpec {
             ("workloads", self.workloads.is_empty()),
         ] {
             if empty {
-                return err(format!("`{what}` must be non-empty"));
-            }
-        }
-        for p in &self.policies {
-            if by_name(p).is_none() {
-                return err(format!("unknown policy `{p}` (not in the registry)"));
+                problems.push(format!("`{what}` must be non-empty"));
             }
         }
         let mut seen_policies = std::collections::HashSet::new();
         for p in &self.policies {
             if !seen_policies.insert(p.as_str()) {
-                return err(format!("duplicate policy `{p}`"));
+                problems.push(format!("duplicate policy `{p}`"));
+            }
+            let Some(policy) = by_name(p) else {
+                problems.push(format!("unknown policy `{p}` (not in the registry)"));
+                continue;
+            };
+            // Capability compatibility, checked before any cell runs: the
+            // DES executors replay/drive rectangles only, and a speeded
+            // platform needs a uniform-capable policy.
+            let kind = policy.outcome_kind();
+            for &e in &self.executors {
+                if !e.supports(kind) {
+                    problems.push(format!(
+                        "policy `{p}` produces `{kind}` outcomes, which executor \
+                         `{e}` cannot replay or drive (use `direct`)"
+                    ));
+                }
+            }
+            if kind != OutcomeKind::Uniform {
+                for plat in self.platforms.iter().filter(|pl| pl.speeds.is_some()) {
+                    problems.push(format!(
+                        "platform `{}` has per-processor speeds, which policy \
+                         `{p}` (outcome `{kind}`) cannot honour — uniform-capable \
+                         policies only",
+                        plat.name
+                    ));
+                }
+            }
+        }
+        let mut seen_executors = std::collections::HashSet::new();
+        for e in &self.executors {
+            if !seen_executors.insert(e.name()) {
+                problems.push(format!("duplicate executor `{e}`"));
             }
         }
         // Workload entries may share a name (explicit per-seed entries of
@@ -291,26 +361,51 @@ impl CampaignSpec {
         let mut seen_platforms = std::collections::HashSet::new();
         for plat in &self.platforms {
             if plat.m == 0 {
-                return err(format!("platform `{}` has m = 0", plat.name));
+                problems.push(format!("platform `{}` has m = 0", plat.name));
             }
             if !seen_platforms.insert(plat.name.as_str()) {
-                return err(format!("duplicate platform name `{}`", plat.name));
+                problems.push(format!("duplicate platform name `{}`", plat.name));
+            }
+            if let Some(speeds) = &plat.speeds {
+                if speeds.len() != plat.m {
+                    problems.push(format!(
+                        "platform `{}`: {} speeds for m = {}",
+                        plat.name,
+                        speeds.len(),
+                        plat.m
+                    ));
+                }
+                if !speeds.iter().all(|&s| s > 0.0 && s.is_finite()) {
+                    problems.push(format!(
+                        "platform `{}`: speeds must be positive and finite",
+                        plat.name
+                    ));
+                }
             }
         }
         for w in &self.workloads {
             if let WorkloadSource::Family { family, n } = &w.source {
                 if builtin_family(family, *n).is_none() {
-                    return err(format!("workload `{}`: unknown family `{family}`", w.name));
+                    problems.push(format!("workload `{}`: unknown family `{family}`", w.name));
                 }
             }
         }
         if self.replication.replications == 0 {
-            return err("`replication.replications` must be >= 1".into());
+            problems.push("`replication.replications` must be >= 1".into());
         }
         if self.ctx.estimate_factor < 1.0 {
-            return err("`ctx.estimate_factor` must be >= 1".into());
+            problems.push("`ctx.estimate_factor` must be >= 1".into());
         }
-        Ok(())
+        if let Knowledge::NonClairvoyant { initial_estimate } = self.ctx.knowledge {
+            if initial_estimate.is_zero() {
+                problems.push("`ctx.initial_estimate_s` must be positive".into());
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(SpecError(problems.join("; ")))
+        }
     }
 
     /// Total cell count of the expanded grid.
@@ -405,9 +500,52 @@ impl Serialize for ReplicationSpec {
 
 impl Deserialize for CtxSpec {
     fn from_value(v: &Value) -> Result<CtxSpec, SerdeError> {
-        check_keys(v, &["release_mode", "estimate_factor", "allot_rule"])?;
+        check_keys(
+            v,
+            &[
+                "release_mode",
+                "estimate_factor",
+                "allot_rule",
+                "knowledge",
+                "initial_estimate_s",
+            ],
+        )?;
         let d = CtxSpec::default();
+        let knowledge_name = match opt(v, "knowledge") {
+            Some(x) => Some(String::from_value(x)?),
+            None => None,
+        };
+        let knowledge = match knowledge_name.as_deref() {
+            Some("nonclairvoyant") => {
+                let secs: f64 = opt_or(
+                    v,
+                    "initial_estimate_s",
+                    DEFAULT_INITIAL_ESTIMATE.as_secs_f64(),
+                )?;
+                Knowledge::NonClairvoyant {
+                    initial_estimate: Dur::from_secs_f64(secs),
+                }
+            }
+            Some("clairvoyant") | None => {
+                if opt(v, "initial_estimate_s").is_some() {
+                    return Err(SerdeError::custom(
+                        "`initial_estimate_s` requires `knowledge: \"nonclairvoyant\"`",
+                    ));
+                }
+                match knowledge_name {
+                    Some(_) => Knowledge::Clairvoyant,
+                    None => d.knowledge,
+                }
+            }
+            Some(other) => {
+                return Err(SerdeError::custom(format!(
+                    "unknown knowledge model `{other}` \
+                     (expected `clairvoyant` or `nonclairvoyant`)"
+                )))
+            }
+        };
         Ok(CtxSpec {
+            knowledge,
             release_mode: match opt(v, "release_mode") {
                 Some(x) => match String::from_value(x)?.as_str() {
                     "online" => ReleaseMode::Online,
@@ -441,11 +579,24 @@ impl Deserialize for CtxSpec {
 
 impl Serialize for CtxSpec {
     fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut map = vec![
             ("release_mode".into(), self.release_mode_name().to_value()),
             ("estimate_factor".into(), self.estimate_factor.to_value()),
             ("allot_rule".into(), self.allot_rule_name().to_value()),
-        ])
+        ];
+        match self.knowledge {
+            Knowledge::Clairvoyant => {
+                map.push(("knowledge".into(), "clairvoyant".to_value()));
+            }
+            Knowledge::NonClairvoyant { initial_estimate } => {
+                map.push(("knowledge".into(), "nonclairvoyant".to_value()));
+                map.push((
+                    "initial_estimate_s".into(),
+                    initial_estimate.as_secs_f64().to_value(),
+                ));
+            }
+        }
+        Value::Map(map)
     }
 }
 
@@ -564,6 +715,7 @@ mod tests {
         spec.platforms.push(PlatformSpec {
             name: "m8".into(),
             m: 64,
+            speeds: None,
         });
         assert!(spec
             .validate()
@@ -588,6 +740,120 @@ mod tests {
                 "executors":["warp-drive"]}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn validation_reports_every_problem_at_once() {
+        let mut spec: CampaignSpec = serde_json::from_str(MINIMAL).unwrap();
+        spec.policies = vec!["no-such-policy".into(), "also-missing".into()];
+        spec.workloads[0].source = WorkloadSource::Family {
+            family: "no-such-family".into(),
+            n: 5,
+        };
+        spec.replication.replications = 0;
+        let msg = spec.validate().unwrap_err().0;
+        for needle in [
+            "no-such-policy",
+            "also-missing",
+            "no-such-family",
+            "replications",
+        ] {
+            assert!(msg.contains(needle), "`{needle}` missing from: {msg}");
+        }
+    }
+
+    #[test]
+    fn capability_compatibility_is_validated_up_front() {
+        // Non-rect policies under a DES executor are rejected by name.
+        let mut spec: CampaignSpec = serde_json::from_str(MINIMAL).unwrap();
+        spec.policies = vec!["nonclairvoyant-exp-trial".into(), "uniform-mct".into()];
+        spec.executors = vec![Executor::Direct, Executor::DesOnline];
+        let msg = spec.validate().unwrap_err().0;
+        assert!(msg.contains("nonclairvoyant-exp-trial"), "{msg}");
+        assert!(msg.contains("uniform-mct"), "{msg}");
+        assert!(msg.contains("des-online"), "{msg}");
+        // Under direct alone the same pair is fine.
+        spec.executors = vec![Executor::Direct];
+        spec.validate().expect("direct handles every outcome kind");
+        // A speeded platform rejects every non-uniform policy.
+        let mut spec: CampaignSpec = serde_json::from_str(MINIMAL).unwrap();
+        spec.platforms[0].speeds = Some(vec![1.0; 8]);
+        let msg = spec.validate().unwrap_err().0;
+        assert!(msg.contains("per-processor speeds"), "{msg}");
+        spec.policies = vec!["uniform-mct".into()];
+        spec.validate().expect("uniform policy rides the speeds");
+        // Speed-vector shape is checked too.
+        spec.platforms[0].speeds = Some(vec![1.0; 3]);
+        let msg = spec.validate().unwrap_err().0;
+        assert!(msg.contains("3 speeds for m = 8"), "{msg}");
+        spec.platforms[0].speeds = Some(vec![1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let msg = spec.validate().unwrap_err().0;
+        assert!(msg.contains("positive and finite"), "{msg}");
+    }
+
+    #[test]
+    fn machine_and_knowledge_axes_round_trip_through_json() {
+        let text = r#"{
+            "name": "hetero",
+            "policies": ["uniform-mct"],
+            "platforms": [{"name": "two-gen", "m": 4, "speeds": [1.0, 1.0, 0.55, 0.55]}],
+            "workloads": [
+                {"name": "fam", "source": {"Family": {"family": "uniform-seq", "n": 5}}}
+            ],
+            "ctx": {"knowledge": "nonclairvoyant", "initial_estimate_s": 120.0}
+        }"#;
+        let spec: CampaignSpec = serde_json::from_str(text).expect("parses");
+        assert_eq!(
+            spec.platforms[0].speeds.as_deref(),
+            Some(&[1.0, 1.0, 0.55, 0.55][..])
+        );
+        assert_eq!(
+            spec.ctx.knowledge,
+            Knowledge::NonClairvoyant {
+                initial_estimate: Dur::from_secs(120)
+            }
+        );
+        spec.validate().expect("valid");
+        let back: CampaignSpec =
+            serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, back);
+        // The runnable ctx carries the knowledge model.
+        assert_eq!(spec.ctx.to_policy_ctx().knowledge, spec.ctx.knowledge);
+    }
+
+    #[test]
+    fn knowledge_knob_rejects_misuse() {
+        let base = r#"{
+            "name": "x",
+            "policies": ["list-fcfs"],
+            "platforms": [{"name": "m8", "m": 8}],
+            "workloads": [
+                {"name": "fam", "source": {"Family": {"family": "fig2-sequential", "n": 5}}}
+            ],
+            "ctx": CTX
+        }"#;
+        // Unknown knowledge model.
+        let bad = base.replace("CTX", r#"{"knowledge": "psychic"}"#);
+        let e = serde_json::from_str::<CampaignSpec>(&bad).unwrap_err();
+        assert!(e.to_string().contains("unknown knowledge model"), "{e}");
+        // initial_estimate_s without nonclairvoyant knowledge.
+        let bad = base.replace("CTX", r#"{"initial_estimate_s": 10.0}"#);
+        let e = serde_json::from_str::<CampaignSpec>(&bad).unwrap_err();
+        assert!(e.to_string().contains("requires"), "{e}");
+        let bad = base.replace(
+            "CTX",
+            r#"{"knowledge": "clairvoyant", "initial_estimate_s": 10.0}"#,
+        );
+        assert!(serde_json::from_str::<CampaignSpec>(&bad).is_err());
+        // Default estimate when nonclairvoyant omits the knob.
+        let ok = base.replace("CTX", r#"{"knowledge": "nonclairvoyant"}"#);
+        let spec: CampaignSpec = serde_json::from_str(&ok).unwrap();
+        assert_eq!(
+            spec.ctx.knowledge,
+            Knowledge::NonClairvoyant {
+                initial_estimate: DEFAULT_INITIAL_ESTIMATE
+            }
+        );
     }
 
     #[test]

@@ -121,6 +121,7 @@ fn campaign_matches_hand_built_runner() {
     spec.platforms = vec![lsps_scenario::spec::PlatformSpec {
         name: "m32".into(),
         m: 32,
+        speeds: None,
     }];
     spec.workloads = vec![WorkloadEntry {
         name: "par".into(),

@@ -8,7 +8,7 @@
 //!   makespan criteria).
 //! * [`CommunityProfile`] — the §5.2 communities: numerical physicists with
 //!   very long sequential jobs, computer scientists with short debug runs,
-//!   parametric campaigns (see [`crate::campaign`]).
+//!   parametric campaigns (see [`crate::campaign`](mod@crate::campaign)).
 //!
 //! All draws flow from the [`SimRng`] passed in; a given (spec, seed) pair
 //! always produces the identical job list.

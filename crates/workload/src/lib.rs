@@ -10,7 +10,7 @@
 //!   (time non-increasing, work non-decreasing in the processor count).
 //! * **Divisible Load (DLT)** — arbitrarily splittable bags of fine-grain
 //!   work ([`JobKind::Divisible`]), covering the CIMENT *multi-parametric*
-//!   campaigns of §5.2 ([`campaign`]).
+//!   campaigns of §5.2 ([`campaign`](mod@crate::campaign)).
 //!
 //! The crate also provides the workload generators used by the experiment
 //! harness: the Fig. 2 parallel / non-parallel mixes, per-community profiles

@@ -149,7 +149,7 @@ impl MoldableProfile {
     }
 
     /// The *minimal* allotment achieving `time(k) <= limit` — the γ(j, λ)
-    /// selection at the heart of the MRT algorithm ([8] in the paper): by
+    /// selection at the heart of the MRT algorithm (\[8\] in the paper): by
     /// work monotony it is also the allotment of minimal work meeting the
     /// deadline. `None` when even `max_procs` cannot meet it.
     pub fn min_allotment_within(&self, limit: Dur) -> Option<usize> {

@@ -1,18 +1,25 @@
-//! Two practical §2.2/§4.2 effects in one run:
+//! Two practical §2.2/§4.2 effects, both through the unified `Policy` /
+//! `Outcome` surface — no bespoke entry points:
 //!
-//! 1. **Inexact runtime estimates** — users over-request wall time; EASY
-//!    backfilling recovers the over-estimated tails at completion, while
-//!    conservative backfilling trusts the estimates it booked.
-//! 2. **Weak intra-cluster heterogeneity** — two CPU generations inside a
-//!    cluster, scheduled with speed-aware minimum-completion-time.
+//! 1. **Unknown runtimes** — the registry's `nonclairvoyant-exp-trial`
+//!    policy discovers execution times by kill-and-resubmit doubling; the
+//!    ctx `Knowledge` knob sweeps the initial estimate and the
+//!    `Outcome::Trial` counters price the non-clairvoyance.
+//! 2. **Weak intra-cluster heterogeneity** — the registry's `uniform-mct`
+//!    policy on a two-CPU-generation cluster, driven end-to-end by the
+//!    checked-in declarative campaign spec
+//!    (`examples/heterogeneous_campaign.json`).
 //!
 //! ```sh
 //! cargo run --example estimates_and_speeds --release
 //! ```
 
-use lsps::core::backfill::backfill_schedule_estimated;
-use lsps::core::uniform::uniform_list_schedule;
+use std::path::Path;
+
+use lsps::core::policy::{by_name, Knowledge, PolicyCtx};
 use lsps::prelude::*;
+use lsps::scenario::campaign::aggregate_header;
+use lsps::scenario::{run_campaign, CampaignOptions, CampaignSpec};
 
 fn main() {
     let m = 32;
@@ -28,37 +35,77 @@ fn main() {
         })
         .collect();
 
-    println!("estimate accuracy vs backfilling flavour (m = {m}, 80 rigid jobs):");
+    // 1. Non-clairvoyance priced by the trial counters: the worse the
+    // first estimate, the more machine time is burnt on killed trials.
+    let trial = by_name("nonclairvoyant-exp-trial").expect("registered");
+    println!("unknown runtimes vs initial estimate (m = {m}, 80 rigid jobs):");
     println!(
-        "{:>8}  {:>22}  {:>22}",
-        "factor", "conservative Cmax (s)", "EASY Cmax (s)"
+        "{:>14}  {:>10}  {:>6}  {:>14}  {:>10}",
+        "estimate (s)", "trials", "kills", "wasted (CPU-s)", "Cmax (s)"
     );
-    for factor in [1.0, 1.5, 2.0, 5.0] {
-        let cons = backfill_schedule_estimated(&jobs, m, &[], BackfillPolicy::Conservative, factor);
-        let easy = backfill_schedule_estimated(&jobs, m, &[], BackfillPolicy::Easy, factor);
-        cons.validate(&jobs).expect("valid");
-        easy.validate(&jobs).expect("valid");
+    for estimate_s in [30u64, 120, 600, 3_600] {
+        let ctx = PolicyCtx {
+            knowledge: Knowledge::NonClairvoyant {
+                initial_estimate: Dur::from_secs(estimate_s),
+            },
+            ..PolicyCtx::default()
+        };
+        let run = trial.run_outcome(&jobs, m, &ctx);
+        run.validate().expect("valid");
+        let stats = run.outcome.trial_stats().expect("trial outcome");
         println!(
-            "{factor:>8.1}  {:>22.0}  {:>22.0}",
-            cons.makespan().as_secs_f64(),
-            easy.makespan().as_secs_f64(),
+            "{estimate_s:>14}  {:>10}  {:>6}  {:>14.0}  {:>10.0}",
+            stats.trials,
+            stats.kills,
+            stats.wasted_ticks as f64 / lsps::des::TICKS_PER_SEC as f64,
+            run.outcome.makespan().as_secs_f64(),
         );
     }
-    println!("reading: over-estimates inflate conservative schedules; EASY reuses the\nfreed tails, so its degradation is milder.\n");
-
-    // Uniform machines: the two CIMENT Athlon generations in one cluster.
-    let seq_jobs: Vec<Job> = (0..60)
-        .map(|i| Job::sequential(1_000 + i, Dur::from_secs(rng.int_range(60, 900))))
-        .collect();
-    let speeds: Vec<f64> = (0..16).map(|i| if i < 8 { 1.0 } else { 0.55 }).collect();
-    let s = uniform_list_schedule(&seq_jobs, &speeds, JobOrder::Lpt);
-    s.validate(&seq_jobs).expect("valid");
-    let on_fast = s.assignments().iter().filter(|a| a.machine < 8).count();
-    println!("uniform machines (8 × speed 1.0 + 8 × speed 0.55):");
     println!(
-        "  makespan {:.0} s; {} of {} jobs landed on the fast generation",
-        s.makespan().as_secs_f64(),
-        on_fast,
-        seq_jobs.len()
+        "reading: the doubling pays < 4p + 2e per job, so even a 30 s seed \
+         estimate\nonly costs a constant factor — the §4.2 price of not \
+         knowing runtimes.\n"
+    );
+
+    // 2. Uniform machines, declaratively: the checked-in spec sweeps the
+    // two CIMENT Athlon generations (8 x 1.0 + 8 x 0.55) against a
+    // homogeneous 16-processor reference, three seeded replications each.
+    let spec_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/heterogeneous_campaign.json");
+    let text = std::fs::read_to_string(&spec_path).expect("checked-in spec");
+    let spec: CampaignSpec = serde_json::from_str(&text).expect("spec parses");
+    let opts = CampaignOptions {
+        base_dir: spec_path.parent().map(Into::into),
+        ..CampaignOptions::default()
+    };
+    let report = run_campaign(&spec, &opts).expect("campaign runs");
+    println!(
+        "uniform machines via campaign `{}` ({} cells):",
+        spec.name, report.total
+    );
+    println!(
+        "{:>10}  {:>9}  {:>12}  {:>8}",
+        "platform", "reps", "Cmax ratio", "util %"
+    );
+    let col = |name: &str| {
+        aggregate_header()
+            .split(',')
+            .position(|h| h == name)
+            .expect("known aggregate column")
+    };
+    for line in report.aggregate_csv.lines().skip(1) {
+        let f: Vec<&str> = line.split(',').collect();
+        let util: f64 = f[col("utilization_mean")].parse().unwrap_or(f64::NAN);
+        println!(
+            "{:>10}  {:>9}  {:>12}  {:>8.1}",
+            f[3],
+            f[5],
+            f[col("cmax_ratio_mean")],
+            util * 100.0
+        );
+    }
+    println!(
+        "reading: MCT lands work on the fast generation first; the \
+         speed-aware\nlower bound keeps the ratio honest on both platforms."
     );
 }

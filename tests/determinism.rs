@@ -73,7 +73,12 @@ fn online_executor_is_deterministic_including_the_parallel_runner() {
     // the thread count. This is the guard against ordering nondeterminism
     // in the pool (results are slot-indexed, not completion-ordered).
     let mk = |threads: usize| {
-        let mut r = ExperimentRunner::new(registry());
+        // DesOnline drives rectangle policies only (capability check).
+        let rect: Vec<_> = registry()
+            .into_iter()
+            .filter(|p| p.outcome_kind() == lsps::core::OutcomeKind::Rect)
+            .collect();
+        let mut r = ExperimentRunner::new(rect);
         r.workloads = vec![
             WorkloadCase::from_spec("fig2-par", 11, WorkloadSpec::fig2_parallel(40)),
             WorkloadCase::from_spec("fig2-seq", 11, WorkloadSpec::fig2_sequential(40)),

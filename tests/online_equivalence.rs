@@ -1,5 +1,7 @@
 //! The contract of `Executor::DesOnline`, pinned for **every** registry
-//! policy:
+//! policy the executor accepts (rectangle outcomes — trial and uniform
+//! policies are rejected by the validated capability check, covered in
+//! the runner's own tests):
 //!
 //! * with exact runtimes (clairvoyance factor 1.0) and all-zero release
 //!   dates, the online event-driven execution is **bit-identical** to the
@@ -12,11 +14,19 @@
 
 use std::collections::HashMap;
 
-use lsps::core::policy::{registry, PolicyCtx};
+use lsps::core::policy::{registry, Policy, PolicyCtx};
 use lsps::prelude::*;
 use lsps_bench::runner::{
     des_online, des_replay, to_csv, Executor, ExperimentRunner, PlatformCase, WorkloadCase,
 };
+
+/// The registry policies the DES executors can drive (`Executor::supports`).
+fn rect_registry() -> Vec<Box<dyn Policy>> {
+    registry()
+        .into_iter()
+        .filter(|p| p.outcome_kind() == OutcomeKind::Rect)
+        .collect()
+}
 
 /// Mixed rigid/moldable workload with weights; releases come from `stagger`.
 fn workload(seed: u64, n: usize, m: usize, stagger: bool) -> Vec<Job> {
@@ -52,7 +62,7 @@ fn zero_releases_make_online_bit_identical_to_direct() {
     let m = 32;
     let jobs = workload(5, 40, m, false);
     let ctx = PolicyCtx::default(); // estimate_factor = 1.0: exact runtimes
-    for policy in registry() {
+    for policy in rect_registry() {
         let direct = policy.run(&jobs, m, &ctx);
         direct
             .validate()
@@ -75,7 +85,7 @@ fn zero_releases_make_online_bit_identical_to_direct() {
 fn zero_release_cells_agree_bit_for_bit_across_executors() {
     // Same property one layer up: whole runner cells, CSV-rendered, equal
     // in every byte except the executor column itself.
-    let mut r = ExperimentRunner::new(registry());
+    let mut r = ExperimentRunner::new(rect_registry());
     r.workloads = vec![WorkloadCase::fixed(
         "zero-rel",
         5,
@@ -107,7 +117,7 @@ fn staggered_releases_never_start_early_and_match_replay_accounting() {
     let jobs = workload(9, 35, m, true);
     let release_of: HashMap<JobId, Time> = jobs.iter().map(|j| (j.id, j.release)).collect();
     let ctx = PolicyCtx::default();
-    for policy in registry() {
+    for policy in rect_registry() {
         let online = des_online(policy.as_ref(), &jobs, m, &ctx);
         online
             .run

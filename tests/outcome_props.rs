@@ -1,0 +1,153 @@
+//! Property coverage of the outcome layer beyond rectangles:
+//!
+//! * the `UniformSchedule` validator *rejects* every overlap, early-start
+//!   and wrong-shape mutation of a valid MCT schedule — the experiments'
+//!   "fail loudly instead of reporting flattering garbage" contract holds
+//!   for the uniform-machine representation too;
+//! * the exponential-trial doubling's total processing per job respects
+//!   the classical `4·p + 2·e` bound, and the reported `TrialStats` are
+//!   exactly the closed-form trial/kill/waste counts the doubling implies
+//!   (`wasted_ticks` consistent with `kills`, `trials = n + kills`).
+
+use lsps::core::nonclairvoyant::exponential_trial_schedule;
+use lsps::core::uniform::{uniform_list_schedule, UniformError, UniformSchedule};
+use lsps::prelude::*;
+use proptest::prelude::*;
+
+fn seq_jobs(lens: &[u64], releases: &[u64]) -> Vec<Job> {
+    lens.iter()
+        .zip(releases)
+        .enumerate()
+        .map(|(i, (&len, &rel))| {
+            Job::sequential(i as u64, Dur::from_ticks(len)).released_at(Time::from_ticks(rel))
+        })
+        .collect()
+}
+
+/// Closed-form kill count of the doubling: the smallest `k` with
+/// `2^k · e ≥ p` (zero when the first estimate already covers the job).
+fn expected_kills(p: u64, e: u64) -> u32 {
+    let mut k = 0u32;
+    let mut estimate = e as u128;
+    while estimate < p as u128 {
+        estimate *= 2;
+        k += 1;
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A valid uniform MCT schedule validates; pushing any assignment one
+    /// tick before its release is an `EarlyStart`, perturbing any span is
+    /// a `WrongShape`, and stacking two jobs on one machine is an
+    /// `Overlap` — each caught as *that* error.
+    #[test]
+    fn uniform_validation_rejects_every_mutation(
+        lens in prop::collection::vec(1u64..1_000, 2..24),
+        speeds in prop::collection::vec(0.25f64..4.0, 1..6),
+        victim_seed in 0usize..1024,
+    ) {
+        let releases: Vec<u64> = (0..lens.len() as u64).map(|i| 1 + 37 * i).collect();
+        let jobs = seq_jobs(&lens, &releases);
+        let sched = uniform_list_schedule(&jobs, &speeds, JobOrder::Lpt);
+        prop_assert_eq!(sched.validate(&jobs), Ok(()));
+        let victim = victim_seed % sched.assignments().len();
+
+        // Early start: one tick before the release (every release is ≥ 1).
+        let mut mutated = sched.assignments().to_vec();
+        let job = jobs.iter().find(|j| j.id == mutated[victim].job).unwrap();
+        let span = mutated[victim].end - mutated[victim].start;
+        mutated[victim].start = Time::from_ticks(job.release.ticks() - 1);
+        mutated[victim].end = mutated[victim].start + span;
+        let early = UniformSchedule::from_parts(speeds.clone(), mutated);
+        prop_assert_eq!(early.validate(&jobs), Err(UniformError::EarlyStart(job.id)));
+
+        // Wrong shape: the span no longer matches ⌈len / speed⌉.
+        let mut mutated = sched.assignments().to_vec();
+        mutated[victim].end += Dur::from_ticks(1);
+        let warped = UniformSchedule::from_parts(speeds.clone(), mutated);
+        prop_assert_eq!(
+            warped.validate(&jobs),
+            Err(UniformError::WrongShape(sched.assignments()[victim].job))
+        );
+    }
+
+    /// Overlap mutation, isolated on a single machine with zero releases
+    /// so no other validation rule can fire first: two assignments forced
+    /// onto the same interval must be rejected as an `Overlap`.
+    #[test]
+    fn uniform_validation_rejects_overlap(
+        lens in prop::collection::vec(1u64..1_000, 2..24),
+        speed in 0.25f64..4.0,
+    ) {
+        let releases = vec![0u64; lens.len()];
+        let jobs = seq_jobs(&lens, &releases);
+        let sched = uniform_list_schedule(&jobs, &[speed], JobOrder::Fcfs);
+        prop_assert_eq!(sched.validate(&jobs), Ok(()));
+        // Slide the second assignment onto the first's start, span kept.
+        let mut mutated = sched.assignments().to_vec();
+        let span = mutated[1].end - mutated[1].start;
+        mutated[1].start = mutated[0].start;
+        mutated[1].end = mutated[1].start + span;
+        let stacked = UniformSchedule::from_parts(vec![speed], mutated);
+        prop_assert!(matches!(
+            stacked.validate(&jobs),
+            Err(UniformError::Overlap(_, _))
+        ));
+    }
+
+    /// The doubling's ledger: `trials = n + kills`, `kills` and
+    /// `wasted_ticks` equal their closed forms, waste is zero exactly when
+    /// kills are, and every job's total processing (waste + true run,
+    /// processor-weighted) respects the `4·p + 2·e` bound.
+    #[test]
+    fn exponential_trial_overhead_is_bounded_and_consistent(
+        shapes in prop::collection::vec((1u64..2_000, 1usize..4), 1..30),
+        estimate in 1u64..500,
+        m in 4usize..9,
+    ) {
+        let jobs: Vec<Job> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(len, w))| Job::rigid(i as u64, w.min(m), Dur::from_ticks(len)))
+            .collect();
+        let e = Dur::from_ticks(estimate);
+        let (sched, stats) = exponential_trial_schedule(&jobs, m, e);
+        prop_assert_eq!(sched.validate(&jobs), Ok(()));
+
+        // Closed-form ledger, job by job.
+        let mut kills = 0u64;
+        let mut wasted = 0u64;
+        let mut bound_ok = true;
+        for j in &jobs {
+            let p = j.time_on(j.min_procs()).ticks();
+            let q = j.min_procs() as u64;
+            let k = expected_kills(p, estimate);
+            kills += k as u64;
+            // Killed trials burn e + 2e + … + 2^(k-1)·e = e·(2^k − 1) on
+            // q processors each.
+            let wasted_j = estimate * ((1u64 << k) - 1);
+            wasted += wasted_j * q;
+            // Total processing ≤ 4p + 2e, processor-weighted.
+            bound_ok &= (wasted_j + p) * q <= (4 * p + 2 * estimate) * q;
+        }
+        prop_assert!(bound_ok, "a job exceeded the 4p + 2e bound");
+        prop_assert_eq!(stats.trials, jobs.len() as u64 + kills, "trials = n + kills");
+        prop_assert_eq!(stats.kills, kills);
+        prop_assert_eq!(stats.wasted_ticks, wasted);
+        prop_assert_eq!(stats.kills == 0, stats.wasted_ticks == 0);
+        // Aggregate form of the bound, as the module docs state it.
+        let total_work: u64 = jobs
+            .iter()
+            .map(|j| j.time_on(j.min_procs()).ticks() * j.min_procs() as u64)
+            .sum();
+        let n = jobs.len() as u64;
+        prop_assert!(
+            stats.wasted_ticks + total_work
+                <= 4 * total_work + 2 * estimate * n * m as u64,
+            "aggregate 4p + 2e bound"
+        );
+    }
+}
