@@ -28,6 +28,26 @@ fn set_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("take_first_half", m), &m, |bch, _| {
             bch.iter(|| a.take_first(a.len() / 2));
         });
+        // The profile-sweep hot paths: allocation-free feasibility count,
+        // a small take out of a large set (early word-scan stop), and the
+        // buffer-reusing scratch clone.
+        group.bench_with_input(BenchmarkId::new("difference_len", m), &m, |bch, _| {
+            bch.iter(|| a.difference_len(&b));
+        });
+        group.bench_with_input(BenchmarkId::new("take_first_16", m), &m, |bch, _| {
+            bch.iter(|| a.take_first(16));
+        });
+        group.bench_with_input(BenchmarkId::new("clone_from", m), &m, |bch, _| {
+            let mut scratch = ProcSet::full(m);
+            bch.iter(|| scratch.clone_from(&a));
+        });
+        group.bench_with_input(BenchmarkId::new("subtract_in_place", m), &m, |bch, _| {
+            let mut scratch = ProcSet::full(m);
+            bch.iter(|| {
+                scratch.clone_from(&a);
+                scratch.subtract(&b);
+            });
+        });
     }
     group.finish();
 }

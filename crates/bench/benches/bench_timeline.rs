@@ -26,7 +26,9 @@ fn timeline_ops(c: &mut Criterion) {
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    for &bookings in &[100usize, 500, 2000] {
+    // 8000 live bookings was firmly quadratic territory for the full-scan
+    // timeline; the availability profile keeps every query sublinear.
+    for &bookings in &[100usize, 500, 2000, 8000] {
         let mut rng = SimRng::seed_from(3);
         let tl = loaded_timeline(128, bookings, &mut rng);
         group.bench_with_input(
@@ -49,6 +51,13 @@ fn timeline_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("free_at", bookings), &bookings, |b, _| {
             b.iter(|| tl.free_at(Time::from_ticks(25_000)));
         });
+        group.bench_with_input(
+            BenchmarkId::new("free_during_1k", bookings),
+            &bookings,
+            |b, _| {
+                b.iter(|| tl.free_during(Time::from_ticks(20_000), Time::from_ticks(21_000)));
+            },
+        );
     }
     // Booking churn: book + remove cycles.
     group.bench_function("book_remove_cycle", |b| {

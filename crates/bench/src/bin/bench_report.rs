@@ -1,0 +1,163 @@
+//! Machine-readable perf baseline: times the [`Timeline`] hot operations
+//! (the backfill / CiGri / DES placement workhorse) and a full conservative
+//! backfill of a `large-scale` instance, then writes the medians to
+//! `BENCH_timeline.json` — the committed perf trajectory future PRs compare
+//! against.
+//!
+//! ```text
+//! cargo run --release -p lsps-bench --bin bench_report            # BENCH_timeline.json
+//! cargo run --release -p lsps-bench --bin bench_report -- out.json
+//! ```
+//!
+//! The timed operations mirror `benches/bench_timeline.rs`; this binary
+//! exists because the criterion harness prints for humans while the perf
+//! trajectory needs stable JSON. Absolute numbers are machine-specific —
+//! the trajectory tracks *relative* movement per op and size.
+
+use std::time::Instant;
+
+use serde::{Serialize, Value};
+
+use lsps_core::backfill::{backfill_schedule_estimated, BackfillPolicy};
+use lsps_des::{Dur, SimRng, Time};
+use lsps_platform::{BookingKind, ProcSet, Timeline};
+use lsps_scenario::families::large_scale_instance;
+
+/// Median wall-clock nanoseconds per call of `f` over `samples` batches.
+fn median_ns(samples: usize, batch: u32, mut f: impl FnMut()) -> u64 {
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            (t0.elapsed().as_nanos() / batch as u128) as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// A randomly loaded timeline with `bookings` live bookings (same shape as
+/// the criterion bench).
+fn loaded_timeline(m: usize, bookings: usize, rng: &mut SimRng) -> Timeline {
+    let mut tl = Timeline::with_procs(m);
+    for _ in 0..bookings {
+        let q = rng.int_range(1, (m as u64 / 4).max(1)) as usize;
+        let len = Dur::from_ticks(rng.int_range(10, 500));
+        let (start, procs) = tl
+            .earliest_slot(Time::from_ticks(rng.int_range(0, 50_000)), len, q)
+            .expect("fits");
+        tl.book(start, start + len, procs, BookingKind::Job);
+    }
+    tl
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_timeline.json".into());
+    let m = 1024;
+    let samples = 30;
+    let mut results: Vec<Value> = Vec::new();
+    let mut push = |op: &str, bookings: usize, ns: u64| {
+        eprintln!("{op:<28} @ {bookings:>5} bookings: {ns:>10} ns/op");
+        results.push(Value::Map(vec![
+            ("op".into(), op.to_value()),
+            ("bookings".into(), bookings.to_value()),
+            ("median_ns".into(), ns.to_value()),
+        ]));
+    };
+
+    for &bookings in &[100usize, 1_000, 4_000] {
+        let mut rng = SimRng::seed_from(3);
+        let tl = loaded_timeline(m, bookings, &mut rng);
+        let horizon = tl.horizon(Time::ZERO);
+        push(
+            "earliest_slot",
+            bookings,
+            median_ns(samples, 64, || {
+                std::hint::black_box(tl.earliest_slot(
+                    Time::from_ticks(10_000),
+                    Dur::from_ticks(100),
+                    16,
+                ));
+            }),
+        );
+        push(
+            "free_profile_full",
+            bookings,
+            median_ns(samples, 8, || {
+                std::hint::black_box(tl.free_profile(Time::ZERO, horizon));
+            }),
+        );
+        push(
+            "free_at",
+            bookings,
+            median_ns(samples, 256, || {
+                std::hint::black_box(tl.free_at(Time::from_ticks(25_000)));
+            }),
+        );
+        push(
+            "free_during_1k",
+            bookings,
+            median_ns(samples, 64, || {
+                std::hint::black_box(
+                    tl.free_during(Time::from_ticks(20_000), Time::from_ticks(21_000)),
+                );
+            }),
+        );
+        let mut churn = tl.clone();
+        push(
+            "book_remove_cycle",
+            bookings,
+            median_ns(samples, 64, || {
+                let free = churn.free_during(Time::from_ticks(60_000), Time::from_ticks(60_100));
+                let id = churn.book(
+                    Time::from_ticks(60_000),
+                    Time::from_ticks(60_100),
+                    free.take_first(8.min(free.len())),
+                    BookingKind::Job,
+                );
+                churn.remove(id).expect("present");
+            }),
+        );
+    }
+
+    // End-to-end placement: conservative + EASY backfill of a full
+    // `large-scale` instance — the workload the campaign spec
+    // `examples/large_scale_campaign.json` sweeps.
+    let n = 5_000;
+    let jobs = large_scale_instance(&mut SimRng::seed_from(7), n, m);
+    for (name, policy) in [
+        ("conservative_backfill_5k", BackfillPolicy::Conservative),
+        ("easy_backfill_5k", BackfillPolicy::Easy),
+    ] {
+        let t0 = Instant::now();
+        let sched = backfill_schedule_estimated(&jobs, m, &[], policy, 1.2);
+        let ns = t0.elapsed().as_nanos() as u64;
+        assert_eq!(sched.len(), n);
+        push(name, n, ns);
+    }
+
+    // A ProcSet datapoint so the bitset layer has a trajectory too.
+    let a = ProcSet::from_indices((0..m).filter(|i| i % 3 != 0));
+    let b = ProcSet::from_indices((0..m).filter(|i| i % 2 == 0));
+    push(
+        "procset_difference_len",
+        0,
+        median_ns(samples, 4096, || {
+            std::hint::black_box(a.difference_len(&b));
+        }),
+    );
+
+    let report = Value::Map(vec![
+        ("schema".into(), "lsps-bench/timeline-v1".to_value()),
+        ("m".into(), m.to_value()),
+        ("samples".into(), samples.to_value()),
+        ("results".into(), Value::Seq(results)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("[written] {out}");
+}

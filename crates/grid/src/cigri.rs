@@ -262,6 +262,17 @@ impl CigriSim {
 
     /// Fill current holes of every cluster with queued runs.
     fn poll(&mut self, now: Time, ctx: &mut Ctx<'_, CigriEvent>) {
+        // Garbage-collect past bookings every server cycle: between local
+        // completions (the only other gc site) a multi-day trace would
+        // otherwise accumulate dead bookings in the availability profiles.
+        // Safe for the utilization accounting because every finished
+        // proc-tick is credited to `busy_*_ticks` by the completion/kill
+        // handlers from their own records (`inflight`, `be_running`), never
+        // read back from the timelines.
+        for cl in &mut self.clusters {
+            cl.local_tl.gc(now);
+            cl.full_tl.gc(now);
+        }
         // Fastest clusters first: they drain the campaign quickest.
         let mut order: Vec<usize> = (0..self.clusters.len()).collect();
         order.sort_by(|&a, &b| {
@@ -661,6 +672,69 @@ mod tests {
             CigriSim::new(&p, d(50), true).with_local_policy(Box::new(BatchedMrt::default()))
         });
         assert!(rejected.is_err(), "batch-mrt must be rejected up front");
+    }
+
+    #[test]
+    fn poll_gc_bounds_dead_bookings_without_losing_utilization() {
+        // A long trace with many server cycles between local completions:
+        // the per-poll gc must keep the timelines free of dead bookings
+        // mid-run, and the report's utilization must still balance exactly
+        // (every finished proc-tick accounted before its booking is
+        // collectable). One cluster at speed 1.0 keeps the arithmetic in
+        // raw ticks.
+        use lsps_platform::{Cluster, LinkClass, NetworkModel};
+        let p = Platform::new(
+            "one",
+            vec![Cluster::homogeneous("c", 2, 1, 1.0, LinkClass::gige())],
+            NetworkModel::light_grid_default(),
+        );
+        let locals = vec![
+            (0, Job::sequential(1, d(100))),
+            (0, Job::sequential(2, d(80)).released_at(t(700))),
+        ];
+        let run_len = 60u64;
+        let n_runs = 8usize;
+        let mut sim = Simulation::new(CigriSim::new(&p, d(10), true));
+        for (cluster, job) in locals {
+            let at = job.release;
+            sim.schedule_at(at, CigriEvent::LocalSubmit { cluster, job });
+        }
+        sim.schedule_at(
+            Time::ZERO,
+            CigriEvent::CampaignSubmit(Campaign::new(1, n_runs, d(run_len))),
+        );
+        let mut max_bookings = 0usize;
+        while sim.step() {
+            let cl = &sim.model().clusters[0];
+            max_bookings = max_bookings
+                .max(cl.local_tl.n_bookings())
+                .max(cl.full_tl.n_bookings());
+        }
+        let horizon = sim.now();
+        let report = sim.model().report(horizon);
+        // Mid-run the timelines never hold more than the work that can be
+        // live at once (2 procs: 2 local + 2 BE bookings, plus one being
+        // placed) — dead bookings are collected by the poll cycles even
+        // while no local job completes for hundreds of ticks.
+        assert!(max_bookings <= 5, "dead bookings piled up: {max_bookings}");
+        let cl = &sim.model().clusters[0];
+        assert_eq!(cl.local_tl.n_bookings(), 0, "everything collected");
+        assert_eq!(cl.full_tl.n_bookings(), 0);
+        // Exact accounting identity: utilization ≈ (local + BE + wasted)
+        // proc-ticks over the 2 × horizon rectangle.
+        assert_eq!(report.be_completed, n_runs as u64);
+        let local_ticks: u64 = report
+            .local_records
+            .iter()
+            .map(|r| (r.completion - r.start).ticks() * r.procs as u64)
+            .sum();
+        let be_ticks = n_runs as u64 * run_len + (report.wasted_cpu_s * 1000.0).round() as u64;
+        let expected = (local_ticks + be_ticks) as f64 / (2 * horizon.ticks()) as f64;
+        assert!(
+            (report.utilization[0] - expected).abs() < 1e-9,
+            "utilization {} vs accounted {expected}",
+            report.utilization[0]
+        );
     }
 
     #[test]

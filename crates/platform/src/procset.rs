@@ -33,9 +33,25 @@ impl fmt::Display for ProcId {
 const WORD_BITS: usize = 64;
 
 /// A set of processors, stored as a bitset.
-#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProcSet {
     words: Vec<u64>,
+}
+
+impl Clone for ProcSet {
+    fn clone(&self) -> ProcSet {
+        ProcSet {
+            words: self.words.clone(),
+        }
+    }
+
+    /// Reuses the existing word buffer — the profile-maintenance hot loops
+    /// clone into scratch sets every query, so this avoids an allocation
+    /// per query.
+    fn clone_from(&mut self, source: &ProcSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&source.words);
+    }
 }
 
 impl ProcSet {
@@ -230,26 +246,57 @@ impl ProcSet {
             .all(|(wi, &a)| a & !other.words.get(wi).copied().unwrap_or(0) == 0)
     }
 
+    /// `|self \ other|` without materializing the difference — the
+    /// feasibility test of the availability-profile sweep ("are at least
+    /// `width` of the capacity procs outside this busy union?") runs this
+    /// per candidate start, so it must not allocate.
+    pub fn difference_len(&self, other: &ProcSet) -> usize {
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(wi, &a)| (a & !other.words.get(wi).copied().unwrap_or(0)).count_ones() as usize)
+            .sum()
+    }
+
     /// The `k` smallest-index processors of the set (a deterministic
     /// allocation rule: identical machines are interchangeable, so policies
-    /// always take the lowest free indices). Panics if fewer than `k`
-    /// processors are available.
+    /// always take the lowest free indices). Word-parallel: whole words are
+    /// taken at once and the scan stops at the word containing the `k`-th
+    /// member. Panics if fewer than `k` processors are available.
     pub fn take_first(&self, k: usize) -> ProcSet {
         let mut out = ProcSet::new();
-        let mut taken = 0;
-        for i in self.iter() {
-            if taken == k {
-                break;
-            }
-            out.insert(i.index());
-            taken += 1;
+        if k == 0 {
+            return out;
         }
-        assert!(
-            taken == k,
-            "take_first({k}) from a set of {} procs",
-            self.len()
-        );
-        out
+        let mut remaining = k;
+        for (wi, &w) in self.words.iter().enumerate() {
+            let here = w.count_ones() as usize;
+            if here == 0 {
+                continue;
+            }
+            if here <= remaining {
+                out.ensure_word(wi);
+                out.words[wi] = w;
+                remaining -= here;
+            } else {
+                // The k-th member lies in this word: keep its `remaining`
+                // lowest set bits, one isolate-lowest-bit step each.
+                let mut bits = w;
+                let mut kept = 0u64;
+                for _ in 0..remaining {
+                    let lowest = bits & bits.wrapping_neg();
+                    kept |= lowest;
+                    bits ^= lowest;
+                }
+                out.ensure_word(wi);
+                out.words[wi] = kept;
+                remaining = 0;
+            }
+            if remaining == 0 {
+                return out;
+            }
+        }
+        panic!("take_first({k}) from a set of {} procs", self.len());
     }
 
     /// Iterate over members in increasing index order.
@@ -422,6 +469,41 @@ mod tests {
         assert_eq!(s.take_first(2), ProcSet::from_indices([2, 4]));
         assert_eq!(s.take_first(0), ProcSet::new());
         assert_eq!(s.take_first(4), s);
+        // Across word boundaries, including a whole-word take.
+        let wide = ProcSet::from_indices((0..64).chain([70, 130, 200]));
+        assert_eq!(wide.take_first(64), ProcSet::range(0, 64));
+        assert_eq!(
+            wide.take_first(66),
+            ProcSet::from_indices((0..64).chain([70, 130]))
+        );
+        // Gap words (an empty middle word) are skipped.
+        let sparse = ProcSet::from_indices([1, 200, 201]);
+        assert_eq!(sparse.take_first(2), ProcSet::from_indices([1, 200]));
+    }
+
+    #[test]
+    fn difference_len_matches_difference() {
+        let a = ProcSet::from_indices([0, 5, 64, 100, 300]);
+        let b = ProcSet::from_indices([5, 100, 350]);
+        assert_eq!(a.difference_len(&b), a.difference(&b).len());
+        assert_eq!(a.difference_len(&ProcSet::new()), a.len());
+        assert_eq!(ProcSet::new().difference_len(&a), 0);
+        // `other` longer than `self` in words.
+        assert_eq!(ProcSet::from_indices([1]).difference_len(&b), 1);
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let a = ProcSet::from_indices([3, 70, 128]);
+        let mut b = ProcSet::full(500);
+        b.clone_from(&a);
+        assert_eq!(a, b);
+        // Shrinking keeps the trailing-zero-word invariant (structural
+        // equality with a fresh clone).
+        let mut c = ProcSet::full(500);
+        c.clone_from(&ProcSet::new());
+        assert_eq!(c, ProcSet::new());
+        assert!(c.is_empty());
     }
 
     #[test]
@@ -481,9 +563,13 @@ mod proptests {
             let diff: BTreeSet<_> = a.difference(&b).copied().collect();
             prop_assert_eq!(sa.union(&sb), ProcSet::from_indices(union));
             prop_assert_eq!(sa.intersection(&sb), ProcSet::from_indices(inter.clone()));
-            prop_assert_eq!(sa.difference(&sb), ProcSet::from_indices(diff));
+            prop_assert_eq!(sa.difference(&sb), ProcSet::from_indices(diff.clone()));
             prop_assert_eq!(sa.is_disjoint(&sb), inter.is_empty());
             prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+            prop_assert_eq!(sa.difference_len(&sb), diff.len());
+            let mut scratch = ProcSet::full(64);
+            scratch.clone_from(&sa);
+            prop_assert_eq!(&scratch, &sa);
         }
 
         /// `insert_range` equals element-wise insertion.

@@ -8,16 +8,49 @@
 //!   processors in a given time window"), booked ahead of time,
 //! * backfilling (EASY books only the head job's reservation, conservative
 //!   books every queued job),
-//! * the CiGri best-effort layer (§5.2), which enumerates the *holes* of the
-//!   local schedules via [`Timeline::free_profile`] and fills them with
-//!   killable grid jobs.
+//! * the CiGri best-effort layer (§5.2), which fills current holes of the
+//!   local schedules (via [`Timeline::earliest_slot_within`] /
+//!   [`Timeline::free_profile`]) with killable grid jobs.
 //!
-//! Invariant enforced at booking time: a booking's processors are a subset of
-//! capacity and disjoint from every time-overlapping booking. Everything
+//! Invariant enforced at booking time: a booking's processors are a subset
+//! of capacity and disjoint from every time-overlapping booking. Everything
 //! downstream (schedule validity, utilization accounting) relies on it.
+//!
+//! # The availability profile
+//!
+//! Alongside the booking table, the timeline maintains a **sweep-line
+//! availability profile** — the structure production batch schedulers
+//! (Slurm, OAR, EASY \[Lifka 95\]) keep to make placement sublinear. The
+//! profile is a piecewise-constant map from time to the *busy* processor
+//! set, stored as a `BTreeMap<Time, ProcSet>` keyed by segment start:
+//!
+//! * an entry `(t, busy)` means exactly `busy` is occupied on
+//!   `[t, next key)`; the last segment extends to [`Time::MAX`];
+//! * the map always contains a segment starting at [`Time::ZERO`];
+//! * adjacent segments hold *distinct* busy sets (boundaries are
+//!   coalesced away as bookings come and go), so every boundary is a real
+//!   change point and the segment count is bounded by 2 × live bookings.
+//!
+//! Every mutation ([`Timeline::try_book`], [`Timeline::remove`],
+//! [`Timeline::truncate`], [`Timeline::gc`]) updates the touched segments
+//! in O(log S + touched); every query reads the profile instead of
+//! scanning the booking table:
+//!
+//! * [`Timeline::free_at`] is one `BTreeMap` lookup,
+//! * [`Timeline::free_during`] unions the busy sets of the covered
+//!   segments,
+//! * [`Timeline::free_profile`] is a range read,
+//! * [`Timeline::earliest_slot`] walks forward over the boundaries where
+//!   processors are *freed* (the only instants the sliding-window free set
+//!   can grow), testing feasibility with an allocation-free popcount.
+//!
+//! The naive full-scan implementation is retained under `#[cfg(test)]`
+//! (`naive::NaiveTimeline`) as the reference oracle for the differential
+//! property tests at the bottom of this module.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::ops::Bound::{Excluded, Included};
 
 use serde::{Deserialize, Serialize};
 
@@ -51,9 +84,11 @@ pub struct Booking {
 }
 
 impl Booking {
+    /// Non-empty intersection of the booking interval with `[start, end)`.
+    /// The clipped form makes degenerate (zero-length) bookings and queries
+    /// fall out as `false` without a separate emptiness check.
     fn overlaps(&self, start: Time, end: Time) -> bool {
-        // An empty booking occupies nothing and never conflicts.
-        self.start < self.end && self.start < end && start < self.end
+        self.start.max(start) < self.end.min(end)
     }
 }
 
@@ -84,11 +119,93 @@ impl fmt::Display for BookError {
 
 impl std::error::Error for BookError {}
 
+/// The piecewise-constant busy profile (see the module docs). Key =
+/// segment start; value = processors busy on `[key, next key)`.
+#[derive(Clone, Debug)]
+struct Profile {
+    segs: BTreeMap<Time, ProcSet>,
+}
+
+impl Profile {
+    fn new() -> Profile {
+        let mut segs = BTreeMap::new();
+        segs.insert(Time::ZERO, ProcSet::new());
+        Profile { segs }
+    }
+
+    /// The busy set at instant `t`.
+    fn busy_at(&self, t: Time) -> &ProcSet {
+        self.segs
+            .range(..=t)
+            .next_back()
+            .expect("profile always has a segment at Time::ZERO")
+            .1
+    }
+
+    /// Ensure a boundary exists at `t`, splitting the covering segment.
+    fn split_at(&mut self, t: Time) {
+        if !self.segs.contains_key(&t) {
+            let busy = self.busy_at(t).clone();
+            self.segs.insert(t, busy);
+        }
+    }
+
+    /// Drop the boundary at `t` if it no longer changes the busy set.
+    fn coalesce_at(&mut self, t: Time) {
+        if t == Time::ZERO {
+            return;
+        }
+        let Some(cur) = self.segs.get(&t) else { return };
+        let prev = self
+            .segs
+            .range(..t)
+            .next_back()
+            .expect("a segment at Time::ZERO precedes every other")
+            .1;
+        if prev == cur {
+            self.segs.remove(&t);
+        }
+    }
+
+    /// Mark `procs` busy on `[start, end)`. Caller guarantees they are
+    /// currently free throughout the interval (the booking invariant), so
+    /// interior boundaries stay distinct and only the edges can coalesce.
+    fn add(&mut self, start: Time, end: Time, procs: &ProcSet) {
+        if start >= end || procs.is_empty() {
+            return;
+        }
+        self.split_at(start);
+        self.split_at(end);
+        for (_, busy) in self.segs.range_mut(start..end) {
+            busy.union_with(procs);
+        }
+        self.coalesce_at(end);
+        self.coalesce_at(start);
+    }
+
+    /// Mark `procs` free on `[start, end)`. Caller guarantees they are
+    /// busy throughout the interval (they belong to one booking covering
+    /// it), mirroring [`add`](Profile::add).
+    fn sub(&mut self, start: Time, end: Time, procs: &ProcSet) {
+        if start >= end || procs.is_empty() {
+            return;
+        }
+        self.split_at(start);
+        self.split_at(end);
+        for (_, busy) in self.segs.range_mut(start..end) {
+            busy.subtract(procs);
+        }
+        self.coalesce_at(end);
+        self.coalesce_at(start);
+    }
+}
+
 /// Availability calendar of a set of processors.
 #[derive(Clone, Debug)]
 pub struct Timeline {
     capacity: ProcSet,
     bookings: BTreeMap<BookingId, Booking>,
+    profile: Profile,
     next_id: u64,
 }
 
@@ -98,6 +215,7 @@ impl Timeline {
         Timeline {
             capacity,
             bookings: BTreeMap::new(),
+            profile: Profile::new(),
             next_id: 0,
         }
     }
@@ -117,6 +235,12 @@ impl Timeline {
         self.bookings.len()
     }
 
+    /// Number of segments of the availability profile (diagnostics: stays
+    /// within `2 × n_bookings + 1` by the coalescing invariant).
+    pub fn n_segments(&self) -> usize {
+        self.profile.segs.len()
+    }
+
     /// Look up a booking.
     pub fn booking(&self, id: BookingId) -> Option<&Booking> {
         self.bookings.get(&id)
@@ -125,6 +249,27 @@ impl Timeline {
     /// Iterate over all bookings (deterministic id order).
     pub fn bookings(&self) -> impl Iterator<Item = (BookingId, &Booking)> {
         self.bookings.iter().map(|(&id, b)| (id, b))
+    }
+
+    /// The first booking colliding with `procs` on `[start, end)` in id
+    /// order, if any. The fast path is a profile probe; the booking table
+    /// is scanned only to *name* the conflict in the error.
+    fn conflict(&self, start: Time, end: Time, procs: &ProcSet) -> Option<BookingId> {
+        let clash = !self.profile.busy_at(start).is_disjoint(procs)
+            || self
+                .profile
+                .segs
+                .range((Excluded(start), Excluded(end)))
+                .any(|(_, busy)| !busy.is_disjoint(procs));
+        if !clash {
+            return None;
+        }
+        let id = self
+            .bookings
+            .iter()
+            .find(|(_, b)| b.overlaps(start, end) && !b.procs.is_disjoint(procs))
+            .map(|(&id, _)| id);
+        Some(id.expect("busy profile procs always belong to some booking"))
     }
 
     /// Book `procs` during `[start, end)`, validating capacity and
@@ -144,14 +289,13 @@ impl Timeline {
             return Err(BookError::OutsideCapacity);
         }
         if start < end {
-            for (&id, b) in &self.bookings {
-                if b.overlaps(start, end) && !b.procs.is_disjoint(&procs) {
-                    return Err(BookError::Conflict(id));
-                }
+            if let Some(id) = self.conflict(start, end, &procs) {
+                return Err(BookError::Conflict(id));
             }
         }
         let id = BookingId(self.next_id);
         self.next_id += 1;
+        self.profile.add(start, end, &procs);
         self.bookings.insert(
             id,
             Booking {
@@ -173,39 +317,51 @@ impl Timeline {
 
     /// Remove a booking (job completed early, reservation cancelled).
     pub fn remove(&mut self, id: BookingId) -> Option<Booking> {
-        self.bookings.remove(&id)
+        let b = self.bookings.remove(&id)?;
+        self.profile.sub(b.start, b.end, &b.procs);
+        Some(b)
     }
 
     /// Shorten a booking to end at `at` (kill semantics for best-effort
     /// jobs). If `at <= start` the booking is removed entirely. Returns the
-    /// resulting booking state (with its possibly shortened end), or `None`
-    /// if the id is unknown.
-    pub fn truncate(&mut self, id: BookingId, at: Time) -> Option<Booking> {
+    /// booking's resulting end — its start when it was removed, its
+    /// unchanged end when `at` lies at or past it — or `None` if the id is
+    /// unknown.
+    pub fn truncate(&mut self, id: BookingId, at: Time) -> Option<Time> {
         let b = self.bookings.get_mut(&id)?;
         if at <= b.start {
-            return self.bookings.remove(&id);
+            let b = self.bookings.remove(&id).expect("present above");
+            self.profile.sub(b.start, b.end, &b.procs);
+            return Some(b.start);
         }
         if at < b.end {
+            let old_end = b.end;
             b.end = at;
+            self.profile.sub(at, old_end, &b.procs);
+            return Some(at);
         }
-        Some(b.clone())
+        Some(b.end)
     }
 
     /// Drop every booking that ends at or before `now` (history no longer
     /// needed for feasibility). Utilization accounting across gc boundaries
     /// is the caller's responsibility.
     pub fn gc(&mut self, now: Time) {
-        self.bookings.retain(|_, b| b.end > now);
+        let profile = &mut self.profile;
+        self.bookings.retain(|_, b| {
+            if b.end <= now {
+                profile.sub(b.start, b.end, &b.procs);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Processors free at instant `t`.
     pub fn free_at(&self, t: Time) -> ProcSet {
         let mut free = self.capacity.clone();
-        for b in self.bookings.values() {
-            if b.start <= t && t < b.end {
-                free.subtract(&b.procs);
-            }
-        }
+        free.subtract(self.profile.busy_at(t));
         free
     }
 
@@ -216,12 +372,32 @@ impl Timeline {
             return self.free_at(start);
         }
         let mut free = self.capacity.clone();
-        for b in self.bookings.values() {
-            if b.overlaps(start, end) {
-                free.subtract(&b.procs);
-            }
+        free.subtract(self.profile.busy_at(start));
+        for (_, busy) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+            free.subtract(busy);
         }
         free
+    }
+
+    /// At least `width` of capacity free throughout `[start, end)`? The
+    /// allocation-free feasibility probe of the sweep: busy sets are only
+    /// counted against capacity, never materialized, and the walk stops as
+    /// soon as the window is known infeasible.
+    fn window_fits(&self, start: Time, end: Time, width: usize, busy: &mut ProcSet) -> bool {
+        busy.clone_from(self.profile.busy_at(start));
+        if self.capacity.difference_len(busy) < width {
+            return false;
+        }
+        if end <= start {
+            return true;
+        }
+        for (_, b) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+            busy.union_with(b);
+            if self.capacity.difference_len(busy) < width {
+                return false;
+            }
+        }
+        true
     }
 
     /// Earliest start `>= earliest` at which `width` processors are free for
@@ -229,8 +405,11 @@ impl Timeline {
     /// the deterministic allocation rule). `None` iff `width` exceeds
     /// capacity.
     ///
-    /// The free set over a sliding window only grows when a booking *ends*,
-    /// so it suffices to test `earliest` and every booking end after it.
+    /// The free set over a sliding window only grows when processors are
+    /// *freed*, so it suffices to test `earliest` and every profile
+    /// boundary after it where the busy set loses a processor — a single
+    /// forward walk over the profile instead of a per-candidate scan of
+    /// every booking.
     pub fn earliest_slot(&self, earliest: Time, dur: Dur, width: usize) -> Option<(Time, ProcSet)> {
         self.earliest_slot_within(earliest, Time::MAX, dur, width)
     }
@@ -251,20 +430,37 @@ impl Timeline {
         if width == 0 {
             return Some((earliest, ProcSet::new()));
         }
-        let mut candidates: Vec<Time> = self
-            .bookings
-            .values()
-            .map(|b| b.end)
-            .filter(|&e| e > earliest && e <= latest_start)
-            .collect();
-        candidates.push(earliest);
-        candidates.sort_unstable();
-        candidates.dedup();
-        for t in candidates {
-            let free = self.free_during(t, t.saturating_add(dur));
-            if free.len() >= width {
-                return Some((t, free.take_first(width)));
+        let mut busy = ProcSet::new();
+        let check = |tl: &Timeline, t: Time, busy: &mut ProcSet| -> Option<(Time, ProcSet)> {
+            if tl.window_fits(t, t.saturating_add(dur), width, busy) {
+                let free = tl.free_during(t, t.saturating_add(dur));
+                Some((t, free.take_first(width)))
+            } else {
+                None
             }
+        };
+        // `earliest` itself is always a candidate — even past
+        // `latest_start`, matching the historical candidate set.
+        if let Some(hit) = check(self, earliest, &mut busy) {
+            return Some(hit);
+        }
+        if latest_start <= earliest {
+            return None;
+        }
+        // Walk the boundaries where the busy set *shrinks* — the only
+        // instants the sliding window's free set can grow.
+        let mut prev = self.profile.busy_at(earliest);
+        for (&t, b) in self
+            .profile
+            .segs
+            .range((Excluded(earliest), Included(latest_start)))
+        {
+            if prev.difference_len(b) > 0 {
+                if let Some(hit) = check(self, t, &mut busy) {
+                    return Some(hit);
+                }
+            }
+            prev = b;
         }
         None
     }
@@ -274,58 +470,264 @@ impl Timeline {
     /// filter); consecutive segments with equal free sets are merged.
     pub fn free_profile(&self, from: Time, to: Time) -> Vec<(Time, Time, ProcSet)> {
         assert!(to >= from);
-        let mut points: Vec<Time> = vec![from, to];
-        for b in self.bookings.values() {
-            if b.start > from && b.start < to {
-                points.push(b.start);
-            }
-            if b.end > from && b.end < to {
-                points.push(b.end);
-            }
-        }
-        points.sort_unstable();
-        points.dedup();
         let mut segments: Vec<(Time, Time, ProcSet)> = Vec::new();
-        for w in points.windows(2) {
-            let (s, e) = (w[0], w[1]);
-            let free = self.free_at(s);
-            match segments.last_mut() {
-                Some(last) if last.2 == free && last.1 == s => last.1 = e,
-                _ => segments.push((s, e, free)),
+        if from == to {
+            return segments;
+        }
+        let mut cur_start = from;
+        let mut cur_free = self.free_at(from);
+        for (&t, busy) in self.profile.segs.range((Excluded(from), Excluded(to))) {
+            let mut free = self.capacity.clone();
+            free.subtract(busy);
+            if free != cur_free {
+                segments.push((cur_start, t, cur_free));
+                cur_start = t;
+                cur_free = free;
             }
         }
+        segments.push((cur_start, to, cur_free));
         segments
     }
 
     /// Fraction of the capacity×window rectangle `[from, to)` that is
-    /// booked (all booking kinds).
+    /// booked (all booking kinds). A range read over the profile: exact
+    /// integer proc-tick accounting, one division at the end.
     pub fn utilization(&self, from: Time, to: Time) -> f64 {
         assert!(to > from, "empty utilization window");
-        let window = (to - from).ticks() as f64;
-        let cap = self.capacity.len() as f64;
-        if cap == 0.0 {
+        let cap = self.capacity.len();
+        if cap == 0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .bookings
-            .values()
-            .map(|b| {
-                let s = b.start.max(from);
-                let e = b.end.min(to);
-                if e > s {
-                    (e - s).ticks() as f64 * b.procs.len() as f64
-                } else {
-                    0.0
-                }
-            })
-            .sum();
-        busy / (window * cap)
+        let mut busy_ticks: u128 = 0;
+        let mut seg_start = from;
+        let mut seg_busy = self.profile.busy_at(from).len();
+        for (&t, busy) in self.profile.segs.range((Excluded(from), Excluded(to))) {
+            busy_ticks += (t - seg_start).ticks() as u128 * seg_busy as u128;
+            seg_start = t;
+            seg_busy = busy.len();
+        }
+        busy_ticks += (to - seg_start).ticks() as u128 * seg_busy as u128;
+        let window = (to - from).ticks() as f64;
+        busy_ticks as f64 / (window * cap as f64)
     }
 
     /// Latest end over all bookings (the timeline's makespan), or `from` if
-    /// no booking exists.
+    /// no booking exists. Scans the booking table: zero-occupancy bookings
+    /// count here even though they never touch the profile.
     pub fn horizon(&self, from: Time) -> Time {
         self.bookings.values().map(|b| b.end).fold(from, Time::max)
+    }
+
+    /// Structural invariants of the profile (test support): coalesced,
+    /// anchored at zero, and equal to a from-scratch recomputation over the
+    /// booking table.
+    #[cfg(test)]
+    fn assert_profile_consistent(&self) {
+        assert!(self.profile.segs.contains_key(&Time::ZERO));
+        let mut prev: Option<&ProcSet> = None;
+        for busy in self.profile.segs.values() {
+            assert!(busy.is_subset(&self.capacity));
+            assert_ne!(prev, Some(busy), "adjacent segments must differ");
+            prev = Some(busy);
+        }
+        let mut fresh = Profile::new();
+        for b in self.bookings.values() {
+            fresh.add(b.start, b.end, &b.procs);
+        }
+        assert_eq!(
+            fresh.segs, self.profile.segs,
+            "profile must equal a from-scratch rebuild"
+        );
+    }
+}
+
+#[cfg(test)]
+mod naive {
+    //! The pre-profile `Timeline`, retained verbatim as the reference
+    //! oracle: every query is a full linear scan over the booking table.
+    //! The differential proptests below drive it in lockstep with the
+    //! profile-based implementation and compare every answer.
+
+    use super::*;
+
+    pub struct NaiveTimeline {
+        capacity: ProcSet,
+        bookings: BTreeMap<BookingId, Booking>,
+        next_id: u64,
+    }
+
+    impl NaiveTimeline {
+        pub fn with_procs(m: usize) -> Self {
+            NaiveTimeline {
+                capacity: ProcSet::full(m),
+                bookings: BTreeMap::new(),
+                next_id: 0,
+            }
+        }
+
+        pub fn n_bookings(&self) -> usize {
+            self.bookings.len()
+        }
+
+        pub fn try_book(
+            &mut self,
+            start: Time,
+            end: Time,
+            procs: ProcSet,
+            kind: BookingKind,
+        ) -> Result<BookingId, BookError> {
+            if end < start {
+                return Err(BookError::NegativeInterval);
+            }
+            if !procs.is_subset(&self.capacity) {
+                return Err(BookError::OutsideCapacity);
+            }
+            if start < end {
+                for (&id, b) in &self.bookings {
+                    if b.overlaps(start, end) && !b.procs.is_disjoint(&procs) {
+                        return Err(BookError::Conflict(id));
+                    }
+                }
+            }
+            let id = BookingId(self.next_id);
+            self.next_id += 1;
+            self.bookings.insert(
+                id,
+                Booking {
+                    start,
+                    end,
+                    procs,
+                    kind,
+                },
+            );
+            Ok(id)
+        }
+
+        pub fn remove(&mut self, id: BookingId) -> Option<Booking> {
+            self.bookings.remove(&id)
+        }
+
+        pub fn truncate(&mut self, id: BookingId, at: Time) -> Option<Time> {
+            let b = self.bookings.get_mut(&id)?;
+            if at <= b.start {
+                let b = self.bookings.remove(&id).expect("present");
+                return Some(b.start);
+            }
+            if at < b.end {
+                b.end = at;
+            }
+            Some(b.end)
+        }
+
+        pub fn gc(&mut self, now: Time) {
+            self.bookings.retain(|_, b| b.end > now);
+        }
+
+        pub fn free_at(&self, t: Time) -> ProcSet {
+            let mut free = self.capacity.clone();
+            for b in self.bookings.values() {
+                if b.start <= t && t < b.end {
+                    free.subtract(&b.procs);
+                }
+            }
+            free
+        }
+
+        pub fn free_during(&self, start: Time, end: Time) -> ProcSet {
+            if end <= start {
+                return self.free_at(start);
+            }
+            let mut free = self.capacity.clone();
+            for b in self.bookings.values() {
+                if b.overlaps(start, end) {
+                    free.subtract(&b.procs);
+                }
+            }
+            free
+        }
+
+        pub fn earliest_slot_within(
+            &self,
+            earliest: Time,
+            latest_start: Time,
+            dur: Dur,
+            width: usize,
+        ) -> Option<(Time, ProcSet)> {
+            if width > self.capacity.len() {
+                return None;
+            }
+            if width == 0 {
+                return Some((earliest, ProcSet::new()));
+            }
+            let mut candidates: Vec<Time> = self
+                .bookings
+                .values()
+                .map(|b| b.end)
+                .filter(|&e| e > earliest && e <= latest_start)
+                .collect();
+            candidates.push(earliest);
+            candidates.sort_unstable();
+            candidates.dedup();
+            for t in candidates {
+                let free = self.free_during(t, t.saturating_add(dur));
+                if free.len() >= width {
+                    return Some((t, free.take_first(width)));
+                }
+            }
+            None
+        }
+
+        pub fn free_profile(&self, from: Time, to: Time) -> Vec<(Time, Time, ProcSet)> {
+            assert!(to >= from);
+            let mut points: Vec<Time> = vec![from, to];
+            for b in self.bookings.values() {
+                if b.start > from && b.start < to {
+                    points.push(b.start);
+                }
+                if b.end > from && b.end < to {
+                    points.push(b.end);
+                }
+            }
+            points.sort_unstable();
+            points.dedup();
+            let mut segments: Vec<(Time, Time, ProcSet)> = Vec::new();
+            for w in points.windows(2) {
+                let (s, e) = (w[0], w[1]);
+                let free = self.free_at(s);
+                match segments.last_mut() {
+                    Some(last) if last.2 == free && last.1 == s => last.1 = e,
+                    _ => segments.push((s, e, free)),
+                }
+            }
+            segments
+        }
+
+        pub fn utilization(&self, from: Time, to: Time) -> f64 {
+            assert!(to > from, "empty utilization window");
+            let window = (to - from).ticks() as f64;
+            let cap = self.capacity.len() as f64;
+            if cap == 0.0 {
+                return 0.0;
+            }
+            let busy: f64 = self
+                .bookings
+                .values()
+                .map(|b| {
+                    let s = b.start.max(from);
+                    let e = b.end.min(to);
+                    if e > s {
+                        (e - s).ticks() as f64 * b.procs.len() as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            busy / (window * cap)
+        }
+
+        pub fn horizon(&self, from: Time) -> Time {
+            self.bookings.values().map(|b| b.end).fold(from, Time::max)
+        }
     }
 }
 
@@ -350,6 +752,7 @@ mod tests {
         assert_eq!(tl.free_at(t(20)), ProcSet::full(4), "end is exclusive");
         tl.remove(id);
         assert_eq!(tl.free_at(t(15)), ProcSet::full(4));
+        tl.assert_profile_consistent();
     }
 
     #[test]
@@ -373,6 +776,7 @@ mod tests {
             .try_book(t(5), t(4), ProcSet::new(), BookingKind::Job)
             .unwrap_err();
         assert_eq!(err, BookError::NegativeInterval);
+        tl.assert_profile_consistent();
     }
 
     #[test]
@@ -382,6 +786,7 @@ mod tests {
         // The same procs can be booked over that instant.
         tl.book(t(0), t(10), ProcSet::range(0, 2), BookingKind::Job);
         assert_eq!(tl.n_bookings(), 2);
+        tl.assert_profile_consistent();
     }
 
     #[test]
@@ -442,6 +847,35 @@ mod tests {
     }
 
     #[test]
+    fn latest_start_cutoff_is_honoured_by_the_sweep() {
+        // Regression for the sweep walk: feasible busy-decrease boundaries
+        // beyond `latest_start` must not be visited, boundaries exactly at
+        // the cutoff must, and an infeasible `earliest` stays the only
+        // candidate when the cutoff precedes it.
+        let mut tl = Timeline::with_procs(2);
+        tl.book(t(0), t(30), ProcSet::from_indices([0]), BookingKind::Job);
+        tl.book(t(0), t(50), ProcSet::from_indices([1]), BookingKind::Job);
+        // Width 2 frees at 50; cutoff 49 rejects, cutoff exactly 50 accepts.
+        assert_eq!(tl.earliest_slot_within(t(0), t(49), d(5), 2), None);
+        assert_eq!(
+            tl.earliest_slot_within(t(0), t(50), d(5), 2).map(|s| s.0),
+            Some(t(50))
+        );
+        // Width 1 frees at 30 (an interior boundary <= cutoff).
+        assert_eq!(
+            tl.earliest_slot_within(t(0), t(49), d(5), 1).map(|s| s.0),
+            Some(t(30))
+        );
+        // Cutoff before `earliest`: the historical candidate set still
+        // tests `earliest` itself (and nothing else).
+        assert_eq!(
+            tl.earliest_slot_within(t(60), t(10), d(5), 2).map(|s| s.0),
+            Some(t(60))
+        );
+        assert_eq!(tl.earliest_slot_within(t(40), t(10), d(5), 2), None);
+    }
+
+    #[test]
     fn zero_width_slot_is_immediate() {
         let tl = Timeline::with_procs(1);
         assert_eq!(
@@ -454,17 +888,19 @@ mod tests {
     fn truncate_kills_tail() {
         let mut tl = Timeline::with_procs(1);
         let id = tl.book(t(0), t(100), ProcSet::full(1), BookingKind::BestEffort);
-        let b = tl.truncate(id, t(40)).unwrap();
-        assert_eq!(b.end, t(40));
+        assert_eq!(tl.truncate(id, t(40)), Some(t(40)));
+        assert_eq!(tl.booking(id).unwrap().end, t(40));
         assert_eq!(tl.free_at(t(50)), ProcSet::full(1));
-        // Truncating before start removes.
+        // Truncating before start removes (and reports the start).
         let id2 = tl.book(t(50), t(60), ProcSet::full(1), BookingKind::BestEffort);
-        tl.truncate(id2, t(50));
+        assert_eq!(tl.truncate(id2, t(50)), Some(t(50)));
         assert!(tl.booking(id2).is_none());
         assert_eq!(tl.n_bookings(), 1);
         // Truncating past the end is a no-op.
-        let b = tl.truncate(id, t(1000)).unwrap();
-        assert_eq!(b.end, t(40));
+        assert_eq!(tl.truncate(id, t(1000)), Some(t(40)));
+        // Unknown id.
+        assert_eq!(tl.truncate(id2, t(55)), None);
+        tl.assert_profile_consistent();
     }
 
     #[test]
@@ -480,6 +916,7 @@ mod tests {
                 (t(20), t(30), ProcSet::full(2)),
             ]
         );
+        assert!(tl.free_profile(t(5), t(5)).is_empty());
     }
 
     #[test]
@@ -491,6 +928,7 @@ mod tests {
         tl.book(t(10), t(20), ProcSet::from_indices([0]), BookingKind::Job);
         let prof = tl.free_profile(t(0), t(20));
         assert_eq!(prof, vec![(t(0), t(20), ProcSet::from_indices([1]))]);
+        tl.assert_profile_consistent();
     }
 
     #[test]
@@ -512,6 +950,7 @@ mod tests {
         tl.gc(t(10));
         assert_eq!(tl.n_bookings(), 1);
         assert!(tl.booking(keep).is_some());
+        tl.assert_profile_consistent();
     }
 
     #[test]
@@ -521,10 +960,45 @@ mod tests {
         tl.book(t(0), t(42), ProcSet::full(1), BookingKind::Job);
         assert_eq!(tl.horizon(t(5)), t(42));
     }
+
+    #[test]
+    fn profile_stays_coalesced_and_bounded() {
+        let mut tl = Timeline::with_procs(8);
+        let mut ids = Vec::new();
+        for i in 0..50u64 {
+            let p0 = (i % 7) as usize;
+            let id = tl.book(
+                t(i * 3),
+                t(i * 3 + 10),
+                ProcSet::range(p0, p0 + 1),
+                BookingKind::Job,
+            );
+            ids.push(id);
+            assert!(
+                tl.n_segments() <= 2 * tl.n_bookings() + 1,
+                "{} segments for {} bookings",
+                tl.n_segments(),
+                tl.n_bookings()
+            );
+        }
+        tl.assert_profile_consistent();
+        for id in ids.iter().step_by(2) {
+            tl.remove(*id);
+        }
+        tl.assert_profile_consistent();
+        tl.gc(t(100));
+        tl.assert_profile_consistent();
+        for id in ids {
+            tl.truncate(id, t(80));
+        }
+        tl.assert_profile_consistent();
+        assert!(tl.n_segments() <= 2 * tl.n_bookings() + 1);
+    }
 }
 
 #[cfg(test)]
 mod proptests {
+    use super::naive::NaiveTimeline;
     use super::*;
     use proptest::prelude::*;
 
@@ -593,6 +1067,132 @@ mod proptests {
                 prop_assert_eq!(&tl.free_at(*s), free);
                 let mid = Time::from_ticks((s.ticks() + e.ticks()) / 2);
                 prop_assert_eq!(&tl.free_at(mid), free);
+            }
+        }
+    }
+
+    /// One mutation of the differential interleaving.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Book {
+            start: u64,
+            len: u64,
+            p0: usize,
+            w: usize,
+        },
+        Remove {
+            pick: usize,
+        },
+        Truncate {
+            pick: usize,
+            at: u64,
+        },
+        Gc {
+            at: u64,
+        },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // Books dominate (selectors 0–3) so timelines actually fill up;
+        // len 0 and width 0 exercise the degenerate paths.
+        (
+            0usize..7,
+            (0u64..120, 0u64..40, 0usize..6, 0usize..4),
+            0usize..32,
+            0u64..160,
+        )
+            .prop_map(|(sel, (start, len, p0, w), pick, at)| match sel {
+                0..=3 => Op::Book { start, len, p0, w },
+                4 => Op::Remove { pick },
+                5 => Op::Truncate { pick, at },
+                _ => Op::Gc { at },
+            })
+    }
+
+    proptest! {
+        /// The profile-based timeline agrees with the naive full-scan
+        /// oracle on **every** query API under random interleavings of
+        /// book / remove / truncate / gc — including degenerate bookings,
+        /// rejected bookings (same error, same conflict id) and queries
+        /// with inverted or empty windows.
+        #[test]
+        fn differential_vs_naive_oracle(
+            ops in prop::collection::vec(op_strategy(), 1..40),
+            probes in prop::collection::vec((0u64..200, 0u64..60), 8),
+            slots in prop::collection::vec((0u64..150, 0u64..200, 0u64..50, 0usize..8), 8),
+        ) {
+            let m = 6;
+            let mut fast = Timeline::with_procs(m);
+            let mut slow = NaiveTimeline::with_procs(m);
+            let mut issued: Vec<BookingId> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Book { start, len, p0, w } => {
+                        let procs = ProcSet::range(p0, (p0 + w).min(m));
+                        let a = fast.try_book(t(start), t(start + len), procs.clone(), BookingKind::Job);
+                        let b = slow.try_book(t(start), t(start + len), procs, BookingKind::Job);
+                        prop_assert_eq!(&a, &b, "try_book diverged");
+                        if let Ok(id) = a {
+                            issued.push(id);
+                        }
+                    }
+                    Op::Remove { pick } => {
+                        if issued.is_empty() { continue; }
+                        let id = issued[pick % issued.len()];
+                        prop_assert_eq!(fast.remove(id), slow.remove(id), "remove diverged");
+                    }
+                    Op::Truncate { pick, at } => {
+                        if issued.is_empty() { continue; }
+                        let id = issued[pick % issued.len()];
+                        prop_assert_eq!(fast.truncate(id, t(at)), slow.truncate(id, t(at)), "truncate diverged");
+                    }
+                    Op::Gc { at } => {
+                        fast.gc(t(at));
+                        slow.gc(t(at));
+                    }
+                }
+                prop_assert_eq!(fast.n_bookings(), slow.n_bookings());
+            }
+            fast.assert_profile_consistent();
+            // Query battery over the final state: all four query APIs plus
+            // the accounting reads.
+            for &(p, len) in &probes {
+                prop_assert_eq!(fast.free_at(t(p)), slow.free_at(t(p)), "free_at({p})");
+                prop_assert_eq!(
+                    fast.free_during(t(p), t(p + len)),
+                    slow.free_during(t(p), t(p + len)),
+                    "free_during({p}, {})", p + len
+                );
+                // Inverted window degenerates to free_at on both.
+                prop_assert_eq!(
+                    fast.free_during(t(p + len), t(p)),
+                    slow.free_during(t(p + len), t(p)),
+                    "inverted free_during"
+                );
+                prop_assert_eq!(
+                    fast.free_profile(t(p), t(p + len)),
+                    slow.free_profile(t(p), t(p + len)),
+                    "free_profile({p}, {})", p + len
+                );
+                if len > 0 {
+                    let (a, b) = (
+                        fast.utilization(t(p), t(p + len)),
+                        slow.utilization(t(p), t(p + len)),
+                    );
+                    prop_assert!((a - b).abs() < 1e-9, "utilization {a} vs {b}");
+                }
+                prop_assert_eq!(fast.horizon(t(p)), slow.horizon(t(p)));
+            }
+            for &(earliest, latest, dur, width) in &slots {
+                let a = fast.earliest_slot_within(t(earliest), t(latest), Dur::from_ticks(dur), width);
+                let b = slow.earliest_slot_within(t(earliest), t(latest), Dur::from_ticks(dur), width);
+                prop_assert_eq!(
+                    a, b,
+                    "earliest_slot_within({earliest}, {latest}, {dur}, {width})"
+                );
+                let a = fast.earliest_slot(t(earliest), Dur::from_ticks(dur), width);
+                let b = slow.earliest_slot_within(t(earliest), Time::MAX, Dur::from_ticks(dur), width);
+                prop_assert_eq!(a, b, "earliest_slot({earliest}, {dur}, {width})");
             }
         }
     }

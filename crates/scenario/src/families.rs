@@ -112,6 +112,10 @@ pub fn builtin_family(family: &str, n: usize) -> Option<FamilyGen> {
             let mut rng = rng.child(m as u64);
             rigid_instance(&mut rng, n, m)
         }),
+        "large-scale" => Arc::new(move |m, rng: &mut SimRng| {
+            let mut rng = rng.child(n as u64);
+            large_scale_instance(&mut rng, n, m)
+        }),
         "uniform-seq" => Arc::new(move |_m, rng: &mut SimRng| {
             let mut rng = rng.child(n as u64);
             uniform_seq_instance(&mut rng, n)
@@ -122,6 +126,31 @@ pub fn builtin_family(family: &str, n: usize) -> Option<FamilyGen> {
         }),
         _ => return None,
     })
+}
+
+/// The "large scale platforms" population of the paper's title: a
+/// thousands-of-jobs rigid stream for 1024+-processor machines. Widths
+/// are heavy-tailed log-uniform up to `m/8` (mostly narrow jobs, the
+/// occasional wide one — the shape backfilling exploits), runtimes span
+/// two orders of magnitude, and arrivals keep the machine near
+/// saturation. Placing such an instance was infeasible with full-scan
+/// timeline queries; the availability profile handles it in seconds.
+pub fn large_scale_instance(rng: &mut SimRng, n: usize, m: usize) -> Vec<Job> {
+    let max_w = (m / 8).max(1) as f64;
+    let mut clock = 0u64;
+    (0..n)
+        .map(|i| {
+            clock += rng.int_range(0, 120);
+            let w = (rng.log_uniform(1.0, max_w).round() as usize).clamp(1, m);
+            Job::rigid(
+                i as u64,
+                w,
+                Dur::from_secs_f64(rng.log_uniform(120.0, 14_400.0)),
+            )
+            .released_at(Time::from_secs(clock))
+            .with_weight(rng.range(0.5, 5.0))
+        })
+        .collect()
 }
 
 /// A sequential bag for the *uniform-machine* model (§2.2): n weighted
@@ -157,13 +186,14 @@ pub fn unknown_runtimes_instance(rng: &mut SimRng, n: usize) -> Vec<Job> {
 }
 
 /// Every built-in family name, for docs and error messages.
-pub const FAMILY_NAMES: [&str; 8] = [
+pub const FAMILY_NAMES: [&str; 9] = [
     "fig2-parallel",
     "fig2-sequential",
     "fig2-rigid",
     "moldable0",
     "moldable-online",
     "rigid0",
+    "large-scale",
     "uniform-seq",
     "unknown-runtimes",
 ];
@@ -216,6 +246,24 @@ mod tests {
         let lens: Vec<u64> = jobs.iter().map(|j| j.time_on(1).ticks()).collect();
         let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
         assert!(hi / lo.max(&1) >= 10, "spread {lo}..{hi}");
+    }
+
+    #[test]
+    fn large_scale_family_shape() {
+        let family = builtin_family("large-scale", 200).unwrap();
+        let m = 1024;
+        let jobs = family(m, &mut SimRng::seed_from(11));
+        assert_eq!(jobs.len(), 200);
+        assert!(jobs.iter().all(|j| matches!(j.kind, JobKind::Rigid { .. })));
+        // Widths respect the heavy-tail cap and runtimes are positive.
+        assert!(jobs.iter().all(|j| (1..=m / 8).contains(&j.min_procs())));
+        assert!(jobs.iter().all(|j| !j.time_on(j.min_procs()).is_zero()));
+        // Mostly narrow: the median width is far below the cap.
+        let mut widths: Vec<usize> = jobs.iter().map(|j| j.min_procs()).collect();
+        widths.sort_unstable();
+        assert!(widths[100] < m / 16, "median width {}", widths[100]);
+        // Releases form a stream, not a batch.
+        assert!(jobs.last().unwrap().release > jobs[0].release);
     }
 
     #[test]

@@ -45,6 +45,7 @@ use lsps_metrics::{
     cmax_lower_bound, csum_lower_bound, uniform_cmax_lower_bound, uniform_csum_lower_bound,
     uniform_wsum_lower_bound, wsum_lower_bound, CompletedJob, Criteria, Summary,
 };
+use lsps_platform::{BookingKind, Timeline};
 use lsps_workload::{Job, JobId, WorkloadSpec};
 
 use crate::Table;
@@ -704,8 +705,12 @@ struct PolicyDispatch<'a> {
     policy: &'a dyn Policy,
     m: usize,
     ctx: &'a PolicyCtx,
-    /// Live commitments, passed to the policy as exact-processor bookings.
-    committed: Vec<PinnedBooking>,
+    /// Live commitments, tracked on a real availability [`Timeline`]: the
+    /// long-running loop garbage-collects completed work out of the
+    /// profile every decision instant, so a multi-day trace never
+    /// accumulates dead bookings. The policy still sees plain
+    /// exact-processor [`PinnedBooking`]s.
+    committed: Timeline,
     /// Aggregate of every commitment, for end-of-run validation.
     schedule: Schedule,
 }
@@ -714,16 +719,26 @@ impl Dispatcher for PolicyDispatch<'_> {
     type Job = Job;
 
     fn decide(&mut self, now: Time, pending: &mut Vec<Job>) -> Vec<Commitment<Job>> {
-        self.committed.retain(|p| p.end > now);
-        if !self.committed.is_empty() && !self.policy.supports_pinned() {
+        // Completed commitments no longer constrain placement.
+        self.committed.gc(now);
+        if self.committed.n_bookings() > 0 && !self.policy.supports_pinned() {
             // Hole-blind policy with work still running: keep accumulating.
             // The final completion of the running batch re-invokes us with
             // an empty commitment set.
             return Vec::new();
         }
+        let live: Vec<PinnedBooking> = self
+            .committed
+            .bookings()
+            .map(|(_, b)| PinnedBooking {
+                start: b.start,
+                end: b.end,
+                procs: b.procs.clone(),
+            })
+            .collect();
         let placed = self
             .policy
-            .schedule_pending(pending, self.m, now, &self.committed, self.ctx);
+            .schedule_pending(pending, self.m, now, &live, self.ctx);
         let mut by_id: HashMap<JobId, Job> = pending.drain(..).map(|j| (j.id, j)).collect();
         placed
             .assignments()
@@ -732,11 +747,15 @@ impl Dispatcher for PolicyDispatch<'_> {
                 let job = by_id.remove(&a.job).unwrap_or_else(|| {
                     panic!("{}: scheduled unknown job {}", self.policy.name(), a.job)
                 });
-                self.committed.push(PinnedBooking {
-                    start: a.start,
-                    end: a.end,
-                    procs: a.procs.clone(),
-                });
+                self.committed
+                    .try_book(a.start, a.end, a.procs.clone(), BookingKind::Job)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{}: commitment for job {} collides with running work: {e}",
+                            self.policy.name(),
+                            a.job
+                        )
+                    });
                 self.schedule.push(a.clone());
                 Commitment {
                     job,
@@ -794,7 +813,7 @@ pub fn des_online(policy: &dyn Policy, jobs: &[Job], m: usize, ctx: &PolicyCtx) 
         policy,
         m,
         ctx,
-        committed: Vec::new(),
+        committed: Timeline::with_procs(m),
         schedule: Schedule::new(m),
     });
     let mut sim = Simulation::new(machine);
