@@ -1,13 +1,22 @@
 //! Machine-readable perf baseline: times the [`Timeline`] hot operations
-//! (the backfill / CiGri / DES placement workhorse) and a full conservative
-//! backfill of a `large-scale` instance, then writes the medians to
-//! `BENCH_timeline.json` — the committed perf trajectory future PRs compare
-//! against.
+//! (the backfill / CiGri / DES placement workhorse) plus the end-to-end
+//! scheduler loops — conservative/EASY backfill of a `large-scale`
+//! instance and a 100k-job `trace-100k` DesOnline replay through the
+//! incremental planner — then writes the medians to `BENCH_timeline.json`,
+//! the committed perf trajectory future PRs compare against.
 //!
 //! ```text
 //! cargo run --release -p lsps-bench --bin bench_report            # BENCH_timeline.json
 //! cargo run --release -p lsps-bench --bin bench_report -- out.json
+//! cargo run --release -p lsps-bench --bin bench_report -- --check # CI perf smoke gate
 //! ```
+//!
+//! `--check` re-measures with a reduced sample count and compares every
+//! datapoint against the committed baseline (`BENCH_timeline.json` or the
+//! path given after the flag): any op slower than 3× its committed median
+//! fails the run. The 3× headroom absorbs machine noise and CI jitter —
+//! the gate exists to catch algorithmic regressions (a dropped index, an
+//! accidental O(n²)), not percent-level drift.
 //!
 //! The timed operations mirror `benches/bench_timeline.rs`; this binary
 //! exists because the criterion harness prints for humans while the perf
@@ -19,9 +28,11 @@ use std::time::Instant;
 use serde::{Serialize, Value};
 
 use lsps_core::backfill::{backfill_schedule_estimated, BackfillPolicy};
+use lsps_core::policy::{Backfilling, PolicyCtx, ReleaseMode};
 use lsps_des::{Dur, SimRng, Time};
 use lsps_platform::{BookingKind, ProcSet, Timeline};
-use lsps_scenario::families::large_scale_instance;
+use lsps_scenario::families::{large_scale_instance, trace_instance};
+use lsps_scenario::runner::des_online;
 
 /// Median wall-clock nanoseconds per call of `f` over `samples` batches.
 fn median_ns(samples: usize, batch: u32, mut f: impl FnMut()) -> u64 {
@@ -53,20 +64,26 @@ fn loaded_timeline(m: usize, bookings: usize, rng: &mut SimRng) -> Timeline {
     tl
 }
 
-fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_timeline.json".into());
+/// One measured datapoint: a micro-op over a loaded timeline (`size` =
+/// live bookings) or a scheduler-loop entry (`size` = instance jobs).
+struct Datapoint {
+    op: &'static str,
+    size: usize,
+    median_ns: u64,
+}
+
+/// Measure everything. `samples` scales the micro-op batching; the
+/// scheduler loops are one-shot (they are seconds-scale already).
+fn measure(samples: usize) -> (Vec<Datapoint>, Vec<Datapoint>) {
     let m = 1024;
-    let samples = 30;
-    let mut results: Vec<Value> = Vec::new();
-    let mut push = |op: &str, bookings: usize, ns: u64| {
-        eprintln!("{op:<28} @ {bookings:>5} bookings: {ns:>10} ns/op");
-        results.push(Value::Map(vec![
-            ("op".into(), op.to_value()),
-            ("bookings".into(), bookings.to_value()),
-            ("median_ns".into(), ns.to_value()),
-        ]));
+    let mut micro: Vec<Datapoint> = Vec::new();
+    let push = |v: &mut Vec<Datapoint>, op: &'static str, size: usize, ns: u64| {
+        eprintln!("{op:<28} @ {size:>6}: {ns:>12} ns/op");
+        v.push(Datapoint {
+            op,
+            size,
+            median_ns: ns,
+        });
     };
 
     for &bookings in &[100usize, 1_000, 4_000] {
@@ -74,6 +91,7 @@ fn main() {
         let tl = loaded_timeline(m, bookings, &mut rng);
         let horizon = tl.horizon(Time::ZERO);
         push(
+            &mut micro,
             "earliest_slot",
             bookings,
             median_ns(samples, 64, || {
@@ -85,6 +103,7 @@ fn main() {
             }),
         );
         push(
+            &mut micro,
             "free_profile_full",
             bookings,
             median_ns(samples, 8, || {
@@ -92,6 +111,7 @@ fn main() {
             }),
         );
         push(
+            &mut micro,
             "free_at",
             bookings,
             median_ns(samples, 256, || {
@@ -99,6 +119,7 @@ fn main() {
             }),
         );
         push(
+            &mut micro,
             "free_during_1k",
             bookings,
             median_ns(samples, 64, || {
@@ -109,6 +130,7 @@ fn main() {
         );
         let mut churn = tl.clone();
         push(
+            &mut micro,
             "book_remove_cycle",
             bookings,
             median_ns(samples, 64, || {
@@ -124,9 +146,22 @@ fn main() {
         );
     }
 
-    // End-to-end placement: conservative + EASY backfill of a full
-    // `large-scale` instance — the workload the campaign spec
+    // A ProcSet datapoint so the bitset layer has a trajectory too.
+    let a = ProcSet::from_indices((0..m).filter(|i| i % 3 != 0));
+    let b = ProcSet::from_indices((0..m).filter(|i| i % 2 == 0));
+    push(
+        &mut micro,
+        "procset_difference_len",
+        0,
+        median_ns(samples, 4096, || {
+            std::hint::black_box(a.difference_len(&b));
+        }),
+    );
+
+    // Scheduler loops, one-shot. Batch placement: conservative + EASY
+    // backfill of a full `large-scale` instance — the workload
     // `examples/large_scale_campaign.json` sweeps.
+    let mut ops: Vec<Datapoint> = Vec::new();
     let n = 5_000;
     let jobs = large_scale_instance(&mut SimRng::seed_from(7), n, m);
     for (name, policy) in [
@@ -137,25 +172,143 @@ fn main() {
         let sched = backfill_schedule_estimated(&jobs, m, &[], policy, 1.2);
         let ns = t0.elapsed().as_nanos() as u64;
         assert_eq!(sched.len(), n);
-        push(name, n, ns);
+        push(&mut ops, name, n, ns);
     }
 
-    // A ProcSet datapoint so the bitset layer has a trajectory too.
-    let a = ProcSet::from_indices((0..m).filter(|i| i % 3 != 0));
-    let b = ProcSet::from_indices((0..m).filter(|i| i % 2 == 0));
-    push(
-        "procset_difference_len",
-        0,
-        median_ns(samples, 4096, || {
-            std::hint::black_box(a.difference_len(&b));
-        }),
-    );
+    // Event-driven placement: the full 100k-job `trace-100k` replay the
+    // campaign `examples/trace_100k_campaign.json` runs — one decision per
+    // arrival/completion through the incremental planner.
+    let n = 100_000;
+    let jobs = trace_instance(&mut SimRng::seed_from(4096).child(n as u64), n, m);
+    let ctx = PolicyCtx {
+        release_mode: ReleaseMode::Online,
+        estimate_factor: 1.0,
+        ..PolicyCtx::default()
+    };
+    let policy = Backfilling::conservative();
+    let t0 = Instant::now();
+    let run = des_online(&policy, &jobs, m, &ctx);
+    let ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(run.records.len(), n);
+    assert_eq!(run.replan_touched, Some(n as u64));
+    push(&mut ops, "des_online_100k", n, ns);
 
+    (micro, ops)
+}
+
+fn to_json(entries: &[Datapoint], size_key: &str) -> Value {
+    Value::Seq(
+        entries
+            .iter()
+            .map(|d| {
+                Value::Map(vec![
+                    ("op".into(), d.op.to_value()),
+                    (size_key.into(), d.size.to_value()),
+                    ("median_ns".into(), d.median_ns.to_value()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Flatten a committed report into `(op, size, median_ns)` rows. Reads
+/// both the v1 layout (everything under `results`, size key `bookings`)
+/// and v2 (`results` + `ops`, size key `n` for ops).
+fn baseline_rows(report: &Value) -> Vec<(String, u64, u64)> {
+    let mut rows = Vec::new();
+    for section in ["results", "ops"] {
+        let Some(Value::Seq(entries)) = report.get(section) else {
+            continue;
+        };
+        for e in entries {
+            let Some(Value::Str(op)) = e.get("op") else {
+                continue;
+            };
+            let size = match e.get("bookings").or_else(|| e.get("n")) {
+                Some(Value::UInt(v)) => *v,
+                _ => 0,
+            };
+            let Some(Value::UInt(ns)) = e.get("median_ns") else {
+                continue;
+            };
+            rows.push((op.clone(), size, *ns));
+        }
+    }
+    rows
+}
+
+/// Compare fresh medians against the committed baseline: fail on any op
+/// slower than `factor ×` its committed median. Ops present on only one
+/// side are ignored (adding a datapoint must not break older baselines).
+fn check(baseline_path: &str, factor: f64) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("read {baseline_path}: {e}"))?;
+    let committed: Value =
+        serde_json::from_str(&text).map_err(|e| format!("parse {baseline_path}: {e:?}"))?;
+    let baseline = baseline_rows(&committed);
+
+    let (micro, ops) = measure(9);
+    let fresh: Vec<(String, u64, u64)> = micro
+        .iter()
+        .chain(ops.iter())
+        .map(|d| (d.op.to_string(), d.size as u64, d.median_ns))
+        .collect();
+
+    let mut regressions = Vec::new();
+    for (op, size, committed_ns) in &baseline {
+        let Some((_, _, fresh_ns)) = fresh
+            .iter()
+            .find(|(fop, fsize, _)| fop == op && fsize == size)
+        else {
+            continue;
+        };
+        let ratio = *fresh_ns as f64 / (*committed_ns).max(1) as f64;
+        if ratio > factor {
+            regressions.push(format!(
+                "{op} @ {size}: {fresh_ns} ns vs committed {committed_ns} ns ({ratio:.2}x > {factor}x)"
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        eprintln!(
+            "[check] {} datapoints within {factor}x of {baseline_path}",
+            baseline.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "perf regression vs {baseline_path}:\n  {}",
+            regressions.join("\n  ")
+        ))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let baseline = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("BENCH_timeline.json");
+        if let Err(msg) = check(baseline, 3.0) {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let out = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_timeline.json".into());
+    let samples = 30;
+    let (micro, ops) = measure(samples);
     let report = Value::Map(vec![
-        ("schema".into(), "lsps-bench/timeline-v1".to_value()),
-        ("m".into(), m.to_value()),
+        ("schema".into(), "lsps-bench/timeline-v2".to_value()),
+        ("m".into(), 1024usize.to_value()),
         ("samples".into(), samples.to_value()),
-        ("results".into(), Value::Seq(results)),
+        ("results".into(), to_json(&micro, "bookings")),
+        ("ops".into(), to_json(&ops, "n")),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));

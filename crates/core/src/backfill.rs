@@ -149,37 +149,153 @@ pub fn backfill_on_timeline(
     }
 }
 
-fn estimate(len: lsps_des::Dur, factor: f64) -> lsps_des::Dur {
+pub(crate) fn estimate(len: lsps_des::Dur, factor: f64) -> lsps_des::Dur {
     len.scale_ceil(factor).max(len)
 }
 
-fn fcfs_order(jobs: &[Job]) -> Vec<&Job> {
+pub(crate) fn fcfs_order(jobs: &[Job]) -> Vec<&Job> {
     let mut order: Vec<&Job> = jobs.iter().collect();
     order.sort_by_key(|j| (j.release, j.id));
     order
 }
 
-fn conservative(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
+/// A proven-infeasible scan range: while packing, a job of width `w` and
+/// duration `d` that placed at `hi` after scanning from `lo` certifies
+/// that **no** start in `[lo, hi)` admits a window of `d` ticks with `w`
+/// processors free. The conservative loop only ever *adds* bookings, so
+/// the certificate never expires, and it transfers to any wider/longer
+/// request (its window covers the failed one, its free set is a subset).
+#[derive(Clone, Copy)]
+struct InfeasibleRange {
+    w: usize,
+    d: lsps_des::Dur,
+    lo: Time,
+    hi: Time,
+}
+
+/// Monotone infeasibility frontier: the certificates accumulated so far.
+/// `advance` chains every applicable range to push a query's scan start
+/// forward — the saturated prefix of a backlogged schedule is skipped in
+/// O(frontier) instead of walked boundary-by-boundary per job. Purely an
+/// accelerator: it never changes which slot `earliest_slot` returns.
+struct Frontier {
+    ranges: Vec<InfeasibleRange>,
+}
+
+impl Frontier {
+    const CAP: usize = 48;
+
+    fn new() -> Self {
+        Frontier { ranges: Vec::new() }
+    }
+
+    /// Furthest scan start reachable from `from` for a `(w, d)` request.
+    fn advance(&self, mut from: Time, w: usize, d: lsps_des::Dur) -> Time {
+        loop {
+            let mut moved = false;
+            for r in &self.ranges {
+                if r.w <= w && r.d <= d && r.lo <= from && from < r.hi {
+                    from = r.hi;
+                    moved = true;
+                }
+            }
+            if !moved {
+                return from;
+            }
+        }
+    }
+
+    fn record(&mut self, r: InfeasibleRange) {
+        if r.hi <= r.lo {
+            return;
+        }
+        // Keep the set small: drop certificates the new one subsumes, and
+        // under pressure evict the one ending earliest (only performance
+        // is at stake, never correctness).
+        self.ranges
+            .retain(|e| !(r.w <= e.w && r.d <= e.d && r.lo <= e.lo && r.hi >= e.hi));
+        if self.ranges.len() == Self::CAP {
+            if let Some((i, _)) = self.ranges.iter().enumerate().min_by_key(|(_, e)| e.hi) {
+                self.ranges.swap_remove(i);
+            }
+        }
+        self.ranges.push(r);
+    }
+}
+
+/// One conservative packing pass over `order` (already FCFS-sorted) on an
+/// existing timeline. Every booking made is appended to `created` together
+/// with the job's *true* completion — the incremental planner uses that to
+/// pin batches at their real lengths afterwards; the batch entry point
+/// discards it.
+pub(crate) fn conservative_pass(
+    order: &[&Job],
+    tl: &mut Timeline,
+    factor: f64,
+    sched: &mut Schedule,
+    created: &mut Vec<(lsps_platform::BookingId, Time)>,
+) {
     // Conservative semantics with estimates: every queued job is booked at
     // its *estimated* length (no compression on early completion — later
     // bookings keep their guaranteed starts); the actual execution is the
     // true length inside that booking.
-    let mut sched = Schedule::new(m);
-    for job in fcfs_order(jobs) {
+    let mut frontier = Frontier::new();
+    for &job in order {
         let q = job.min_procs();
-        let est = estimate(job.time_on(q), factor);
+        let dur = job.time_on(q);
+        let est = estimate(dur, factor);
+        let from = frontier.advance(job.release, q, est);
         let (start, procs) = tl
-            .earliest_slot(job.release, est, q)
+            .earliest_slot(from, est, q)
             .expect("q <= m, so a slot always exists");
-        tl.book(start, start + est, procs.clone(), BookingKind::Job);
+        frontier.record(InfeasibleRange {
+            w: q,
+            d: est,
+            lo: from,
+            hi: start,
+        });
+        let bk = tl.book(start, start + est, procs.clone(), BookingKind::Job);
+        created.push((bk, start + dur));
         sched.place(job, start, procs);
     }
+}
+
+fn conservative(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
+    let mut sched = Schedule::new(m);
+    conservative_pass(
+        &fcfs_order(jobs),
+        &mut tl,
+        factor,
+        &mut sched,
+        &mut Vec::new(),
+    );
     sched
 }
 
 fn easy(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
-    let order = fcfs_order(jobs);
     let mut sched = Schedule::new(m);
+    easy_pass(
+        &fcfs_order(jobs),
+        &mut tl,
+        factor,
+        &mut sched,
+        &mut Vec::new(),
+    );
+    sched
+}
+
+/// One EASY replay pass over `order` (already FCFS-sorted) on an existing
+/// timeline — the event-driven engine behind [`easy`], factored out so the
+/// incremental planner can run the identical machinery batch-by-batch on a
+/// persistent timeline. Bookings created (with true completions) land in
+/// `created`, like [`conservative_pass`].
+pub(crate) fn easy_pass(
+    order: &[&Job],
+    tl: &mut Timeline,
+    factor: f64,
+    sched: &mut Schedule,
+    created: &mut Vec<(lsps_platform::BookingId, Time)>,
+) {
     // Event-driven replay: next_release pointer + completion/shadow events.
     let mut events: BinaryHeap<Reverse<Time>> = BinaryHeap::new();
     let mut next = 0usize; // first not-yet-released job in `order`
@@ -224,11 +340,15 @@ fn easy(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
             let q = job.min_procs();
             let dur = job.time_on(q);
             let est = estimate(dur, factor);
+            if tl.free_during_upper_bound(now, now + est) < q {
+                break;
+            }
             let free = tl.free_during(now, now + est);
             if free.len() >= q {
                 let procs = free.take_first(q);
                 let bk = tl.book(now, now + est, procs.clone(), BookingKind::Job);
                 running.push((bk, now + dur));
+                created.push((bk, now + dur));
                 sched.place(job, now, procs);
                 events.push(Reverse(now + dur));
                 queue.remove(0);
@@ -256,6 +376,13 @@ fn easy(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
             let q = job.min_procs();
             let dur = job.time_on(q);
             let est = estimate(dur, factor);
+            // Count-only reject: the union free set can never exceed the
+            // per-segment count bound, so a failing bound is a guaranteed
+            // miss — skip the set materialization entirely.
+            if tl.free_during_upper_bound(now, now + est) < q {
+                i += 1;
+                continue;
+            }
             let free = tl.free_during(now, now + est);
             let candidate = if now + est <= shadow_t {
                 // Its estimate ends before the head starts: any free procs.
@@ -268,6 +395,7 @@ fn easy(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
                 let procs = candidate.take_first(q);
                 let bk = tl.book(now, now + est, procs.clone(), BookingKind::Job);
                 running.push((bk, now + dur));
+                created.push((bk, now + dur));
                 sched.place(job, now, procs);
                 events.push(Reverse(now + dur));
                 queue.remove(i);
@@ -276,7 +404,6 @@ fn easy(jobs: &[Job], m: usize, mut tl: Timeline, factor: f64) -> Schedule {
             }
         }
     }
-    sched
 }
 
 /// Convenience: does `sched` keep every reservation interval untouched?

@@ -41,6 +41,7 @@ pub mod mrt;
 pub mod nonclairvoyant;
 pub mod outcome;
 pub mod policy;
+pub mod replan;
 pub mod schedule;
 pub mod shelf;
 pub mod single;

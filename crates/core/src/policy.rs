@@ -24,6 +24,19 @@
 //! (`lsps_grid::cigri`) and the advisor
 //! ([`crate::advisor::PolicyChoice::instantiate`]) all traffic in
 //! `Box<dyn Policy>`.
+//!
+//! # Incremental replanning
+//!
+//! [`Policy::schedule_pending`] is a *full replan*: every call rebuilds
+//! the availability state from the committed set before scheduling the
+//! batch. Event-driven callers that decide at every arrival/completion
+//! can instead ask for a persistent [`Policy::incremental_planner`],
+//! which keeps one timeline alive across decisions and does per-event
+//! work proportional to the **dirty window** — the new batch and the
+//! bookings that actually changed — instead of to everything live. The
+//! dirty-window invariant and the bit-identity argument live in
+//! [`crate::replan`]; the full-replan path stays as the differential
+//! oracle.
 
 use std::borrow::Cow;
 
@@ -40,6 +53,7 @@ use crate::malleable::{deq_schedule, MalleableSchedule};
 use crate::mrt::{mrt_schedule, MrtParams};
 use crate::nonclairvoyant::exponential_trial_schedule;
 use crate::outcome::{Outcome, OutcomeKind, OutcomeRun};
+use crate::replan::{BackfillPlanner, IncrementalPlanner};
 use crate::schedule::{Assignment, Schedule};
 use crate::shelf::{shelf_schedule, ShelfAlgo};
 use crate::smart::smart_schedule;
@@ -335,6 +349,20 @@ pub trait Policy: Send + Sync {
             self.schedule(&batch, m, &ctx).shifted(shift)
         }
     }
+
+    /// Persistent incremental planner for event-driven callers, or `None`
+    /// (the default) when the policy only supports the full-replan
+    /// [`schedule_pending`](Policy::schedule_pending) path. A returned
+    /// planner must produce placements bit-identical to the full replan —
+    /// it is an accelerator, never a different policy; see
+    /// [`crate::replan`] for the invariant.
+    fn incremental_planner(
+        &self,
+        _m: usize,
+        _ctx: &PolicyCtx,
+    ) -> Option<Box<dyn IncrementalPlanner>> {
+        None
+    }
 }
 
 /// Shared input normalisation. `allot`: when given, moldable/malleable
@@ -532,6 +560,14 @@ impl Policy for Backfilling {
         }
         book_reservations(&mut tl, &ctx.reservations);
         backfill_on_timeline(&jobs, m, tl, self.flavour, ctx.estimate_factor)
+    }
+
+    fn incremental_planner(
+        &self,
+        m: usize,
+        ctx: &PolicyCtx,
+    ) -> Option<Box<dyn IncrementalPlanner>> {
+        Some(Box::new(BackfillPlanner::new(self.flavour, m, ctx)))
     }
 }
 

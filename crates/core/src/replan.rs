@@ -1,0 +1,191 @@
+//! Incremental replanning: persistent planner state for event-driven
+//! execution.
+//!
+//! The online executor calls [`crate::policy::Policy::schedule_pending`]
+//! at every arrival/completion instant. The default implementation is a
+//! *full replan*: rebuild a fresh [`Timeline`], re-book every live
+//! commitment, re-place every reservation, then schedule the new batch —
+//! O(live) work per event, O(n²) over a trace. For the backfill family
+//! that rebuild is provably redundant, and this module removes it.
+//!
+//! # The dirty-window invariant
+//!
+//! A [`BackfillPlanner`] keeps **one** timeline alive across decisions and
+//! maintains this invariant at every decision instant `now`:
+//!
+//! > the persistent profile is pointwise-equal on `[now, ∞)` to the
+//! > profile the full replan would rebuild from scratch.
+//!
+//! Each event then only touches its *dirty window* — the new arrivals and
+//! the bookings whose state actually changed — instead of the whole
+//! pending set:
+//!
+//! * **Arrivals** are packed by the identical conservative/EASY pass the
+//!   batch path uses ([`crate::backfill`]), on the persistent timeline.
+//!   Every placement is booked at its *estimated* length during the pass
+//!   (exactly what the batch pass sees) and truncated to its **true**
+//!   length once the batch is placed — which is precisely the committed
+//!   interval the full replan would have re-booked at the next event.
+//! * **Completions** cost one heap pop: bookings expire off a
+//!   `(true_end, id)` min-heap and are removed from the profile, replacing
+//!   the full-path `Timeline::gc` scan. Removal only edits segments in
+//!   `[start, true_end) ⊆ [0, now)`, so the invariant is untouched.
+//! * **Reservations and pinned bookings** are booked once at
+//!   construction. The first-fit processor choice for a reservation is
+//!   stable across decisions (later commitments are always placed *around*
+//!   the booked reservation, so they never claim its processors and never
+//!   change which processors `take_first` sees free), so re-placing them
+//!   per event — as the full replan does — always reproduces the same
+//!   sets.
+//!
+//! Pointwise equality on `[now, ∞)` is all the passes can observe: every
+//! query they issue (`earliest_slot`, `free_during`, the shadow walk)
+//! starts at or after `now`, and two coalesced step functions that agree
+//! pointwise from `now` on expose identical boundary sets there. Hence
+//! the planner's placements are **bit-identical** to the full replan's —
+//! the property the differential tests in `lsps_scenario` pin down, with
+//! the retained full-replan path as the oracle.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lsps_des::Time;
+use lsps_platform::{BookingId, BookingKind, Timeline};
+use lsps_workload::{Job, JobKind};
+
+use crate::backfill::{
+    book_reservations, conservative_pass, easy_pass, fcfs_order, BackfillPolicy,
+};
+use crate::policy::PolicyCtx;
+use crate::schedule::Schedule;
+
+/// Persistent incremental scheduler state behind
+/// [`Policy::incremental_planner`](crate::policy::Policy::incremental_planner).
+///
+/// The contract mirrors `schedule_pending` split across calls: the caller
+/// invokes [`advance`](IncrementalPlanner::advance) then
+/// [`plan`](IncrementalPlanner::plan) at every decision instant with
+/// non-decreasing `now`, handing over only the **newly pending** jobs
+/// (already [`prepare`](crate::policy::Policy::prepare)d); the returned
+/// schedule must equal what the full-replan path would produce, and its
+/// assignments are committed by the caller verbatim.
+pub trait IncrementalPlanner {
+    /// Release everything that completed at or before `now`. Must be
+    /// called with non-decreasing `now`.
+    fn advance(&mut self, now: Time);
+
+    /// Place `pending` (all arrived: every release `<= now`) around all
+    /// previously planned work, no earlier than `now`, and absorb the
+    /// placements into the planner state at their true lengths.
+    fn plan(&mut self, pending: &[Job], now: Time) -> Schedule;
+
+    /// Jobs examined across all [`plan`](IncrementalPlanner::plan) calls —
+    /// the instrumentation the O(dirty) regression tests read. A full
+    /// replan would count O(live + batch) per event; an incremental
+    /// planner counts O(batch).
+    fn touched(&self) -> u64;
+}
+
+/// [`IncrementalPlanner`] for the backfill family (conservative + EASY).
+pub struct BackfillPlanner {
+    flavour: BackfillPolicy,
+    m: usize,
+    factor: f64,
+    /// The persistent planning timeline: pinned bookings + reservations +
+    /// every commitment still alive, at true lengths.
+    tl: Timeline,
+    /// True completion of every job booking, a min-heap — the O(log live)
+    /// replacement for the full path's per-event `gc` scan.
+    expiry: BinaryHeap<Reverse<(Time, BookingId)>>,
+    touched: u64,
+}
+
+impl BackfillPlanner {
+    /// Book the decision-independent state (pinned bookings, then
+    /// reservations first-fit — the same order the batch path uses) once.
+    ///
+    /// # Panics
+    /// On conflicting pinned bookings or unsatisfiable reservations, and
+    /// if `ctx.estimate_factor` undershoots — the same contracts the
+    /// batch path enforces per call.
+    pub fn new(flavour: BackfillPolicy, m: usize, ctx: &PolicyCtx) -> BackfillPlanner {
+        assert!(
+            ctx.estimate_factor >= 1.0 && ctx.estimate_factor.is_finite(),
+            "estimates must not undershoot (got factor {})",
+            ctx.estimate_factor
+        );
+        let mut tl = Timeline::with_procs(m);
+        for (i, p) in ctx.pinned.iter().enumerate() {
+            tl.try_book(p.start, p.end, p.procs.clone(), BookingKind::Reservation)
+                .unwrap_or_else(|e| panic!("pinned booking {i} conflicts: {e:?}"));
+        }
+        book_reservations(&mut tl, &ctx.reservations);
+        BackfillPlanner {
+            flavour,
+            m,
+            factor: ctx.estimate_factor,
+            tl,
+            expiry: BinaryHeap::new(),
+            touched: 0,
+        }
+    }
+}
+
+impl IncrementalPlanner for BackfillPlanner {
+    fn advance(&mut self, now: Time) {
+        while let Some(&Reverse((end, id))) = self.expiry.peek() {
+            if end > now {
+                break;
+            }
+            self.expiry.pop();
+            self.tl.remove(id).expect("expired booking still present");
+        }
+    }
+
+    fn plan(&mut self, pending: &[Job], now: Time) -> Schedule {
+        let mut sched = Schedule::new(self.m);
+        if pending.is_empty() {
+            return sched;
+        }
+        self.touched += pending.len() as u64;
+        let bumped: Vec<Job> = pending
+            .iter()
+            .map(|j| {
+                assert!(
+                    matches!(j.kind, JobKind::Rigid { .. }) && j.min_procs() <= self.m,
+                    "planner expects prepared rigid jobs fitting the machine; job {} is not",
+                    j.id
+                );
+                let mut j = j.clone();
+                j.release = j.release.max(now);
+                j
+            })
+            .collect();
+        let order = fcfs_order(&bumped);
+        let mut created = Vec::with_capacity(bumped.len());
+        match self.flavour {
+            BackfillPolicy::Conservative => {
+                conservative_pass(&order, &mut self.tl, self.factor, &mut sched, &mut created)
+            }
+            BackfillPolicy::Easy => {
+                easy_pass(&order, &mut self.tl, self.factor, &mut sched, &mut created)
+            }
+        }
+        // Pin the batch at true lengths: the next decision must see exactly
+        // the committed (true) intervals, not the estimate tails — that is
+        // what the full replan re-books from its commitment table.
+        for (bk, true_end) in created {
+            self.tl.truncate(bk, true_end);
+            // Zero-length work vanishes on truncation (and the EASY replay
+            // may already have dropped it mid-pass) — nothing to expire.
+            if self.tl.booking(bk).is_some() {
+                self.expiry.push(Reverse((true_end, bk)));
+            }
+        }
+        sched
+    }
+
+    fn touched(&self) -> u64 {
+        self.touched
+    }
+}

@@ -32,6 +32,12 @@ impl fmt::Display for ProcId {
 
 const WORD_BITS: usize = 64;
 
+/// Words per kernel chunk. The binary set operations below run over
+/// `LANES`-word blocks (4×u64 = one 256-bit vector register) so the
+/// compiler can keep them branch-free and vectorized; a 1024-processor
+/// machine is 16 words = 4 chunks per operation.
+const LANES: usize = 4;
+
 /// A set of processors, stored as a bitset.
 #[derive(Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProcSet {
@@ -156,7 +162,12 @@ impl ProcSet {
 
     /// Number of processors in the set.
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        let (chunks, tail) = self.words.as_chunks::<LANES>();
+        let mut n = 0usize;
+        for c in chunks {
+            n += c.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        }
+        n + tail.iter().map(|w| w.count_ones() as usize).sum::<usize>()
     }
 
     /// True iff the set is empty.
@@ -187,24 +198,51 @@ impl ProcSet {
     /// In-place union.
     pub fn union_with(&mut self, other: &ProcSet) {
         self.ensure_word(other.words.len().saturating_sub(1));
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
+        let n = other.words.len();
+        let (a_chunks, _) = self.words[..n].as_chunks_mut::<LANES>();
+        let (b_chunks, _) = other.words.as_chunks::<LANES>();
+        for (a, b) in a_chunks.iter_mut().zip(b_chunks) {
+            for i in 0..LANES {
+                a[i] |= b[i];
+            }
+        }
+        for i in (n / LANES) * LANES..n {
+            self.words[i] |= other.words[i];
         }
         self.normalize();
     }
 
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &ProcSet) {
-        for (wi, a) in self.words.iter_mut().enumerate() {
-            *a &= other.words.get(wi).copied().unwrap_or(0);
+        let n = self.words.len().min(other.words.len());
+        self.words.truncate(n);
+        let (a_chunks, a_tail) = self.words.as_chunks_mut::<LANES>();
+        let (b_chunks, _) = other.words.as_chunks::<LANES>();
+        for (a, b) in a_chunks.iter_mut().zip(b_chunks) {
+            for i in 0..LANES {
+                a[i] &= b[i];
+            }
+        }
+        let off = a_chunks.len() * LANES;
+        for (a, &b) in a_tail.iter_mut().zip(&other.words[off..n]) {
+            *a &= b;
         }
         self.normalize();
     }
 
     /// In-place difference (`self \ other`).
     pub fn subtract(&mut self, other: &ProcSet) {
-        for (wi, a) in self.words.iter_mut().enumerate() {
-            *a &= !other.words.get(wi).copied().unwrap_or(0);
+        let n = self.words.len().min(other.words.len());
+        let (a_chunks, a_tail) = self.words[..n].as_chunks_mut::<LANES>();
+        let (b_chunks, _) = other.words.as_chunks::<LANES>();
+        for (a, b) in a_chunks.iter_mut().zip(b_chunks) {
+            for i in 0..LANES {
+                a[i] &= !b[i];
+            }
+        }
+        let off = a_chunks.len() * LANES;
+        for (a, &b) in a_tail.iter_mut().zip(&other.words[off..n]) {
+            *a &= !b;
         }
         self.normalize();
     }
@@ -232,18 +270,50 @@ impl ProcSet {
 
     /// True iff the two sets share no processor.
     pub fn is_disjoint(&self, other: &ProcSet) -> bool {
-        self.words
+        let n = self.words.len().min(other.words.len());
+        let (a_chunks, _) = self.words[..n].as_chunks::<LANES>();
+        let (b_chunks, _) = other.words[..n].as_chunks::<LANES>();
+        for (a, b) in a_chunks.iter().zip(b_chunks) {
+            let mut acc = 0u64;
+            for i in 0..LANES {
+                acc |= a[i] & b[i];
+            }
+            if acc != 0 {
+                return false;
+            }
+        }
+        let off = (n / LANES) * LANES;
+        self.words[off..n]
             .iter()
-            .zip(&other.words)
+            .zip(&other.words[off..n])
             .all(|(&a, &b)| a & b == 0)
     }
 
     /// True iff every processor of `self` is in `other`.
     pub fn is_subset(&self, other: &ProcSet) -> bool {
-        self.words
+        let n = self.words.len().min(other.words.len());
+        let (a_chunks, _) = self.words[..n].as_chunks::<LANES>();
+        let (b_chunks, _) = other.words[..n].as_chunks::<LANES>();
+        for (a, b) in a_chunks.iter().zip(b_chunks) {
+            let mut acc = 0u64;
+            for i in 0..LANES {
+                acc |= a[i] & !b[i];
+            }
+            if acc != 0 {
+                return false;
+            }
+        }
+        let off = (n / LANES) * LANES;
+        if !self.words[off..n]
             .iter()
-            .enumerate()
-            .all(|(wi, &a)| a & !other.words.get(wi).copied().unwrap_or(0) == 0)
+            .zip(&other.words[off..n])
+            .all(|(&a, &b)| a & !b == 0)
+        {
+            return false;
+        }
+        // The normalize invariant allows non-zero words only up to len();
+        // anything of `self` beyond `other`'s words is outside `other`.
+        self.words[n..].iter().all(|&a| a == 0)
     }
 
     /// `|self \ other|` without materializing the difference — the
@@ -251,11 +321,25 @@ impl ProcSet {
     /// `width` of the capacity procs outside this busy union?") runs this
     /// per candidate start, so it must not allocate.
     pub fn difference_len(&self, other: &ProcSet) -> usize {
-        self.words
-            .iter()
-            .enumerate()
-            .map(|(wi, &a)| (a & !other.words.get(wi).copied().unwrap_or(0)).count_ones() as usize)
-            .sum()
+        let n = self.words.len().min(other.words.len());
+        let (a_chunks, _) = self.words[..n].as_chunks::<LANES>();
+        let (b_chunks, _) = other.words[..n].as_chunks::<LANES>();
+        let mut count = 0usize;
+        for (a, b) in a_chunks.iter().zip(b_chunks) {
+            for i in 0..LANES {
+                count += (a[i] & !b[i]).count_ones() as usize;
+            }
+        }
+        let off = (n / LANES) * LANES;
+        for (&a, &b) in self.words[off..n].iter().zip(&other.words[off..n]) {
+            count += (a & !b).count_ones() as usize;
+        }
+        // Words of `self` past `other`'s length survive the difference
+        // whole.
+        for &a in &self.words[n..] {
+            count += a.count_ones() as usize;
+        }
+        count
     }
 
     /// The `k` smallest-index processors of the set (a deterministic
@@ -269,7 +353,25 @@ impl ProcSet {
             return out;
         }
         let mut remaining = k;
-        for (wi, &w) in self.words.iter().enumerate() {
+        // Chunked fast path: whole `LANES`-word blocks whose combined
+        // popcount fits in `remaining` are copied wholesale; the scan
+        // drops to word granularity only inside the block holding the
+        // k-th member.
+        let (chunks, _) = self.words.as_chunks::<LANES>();
+        let mut wi0 = 0usize;
+        for c in chunks {
+            let here: usize = c.iter().map(|w| w.count_ones() as usize).sum();
+            if here >= remaining {
+                break;
+            }
+            if here > 0 {
+                out.ensure_word(wi0 + LANES - 1);
+                out.words[wi0..wi0 + LANES].copy_from_slice(c);
+                remaining -= here;
+            }
+            wi0 += LANES;
+        }
+        for (wi, &w) in self.words.iter().enumerate().skip(wi0) {
             let here = w.count_ones() as usize;
             if here == 0 {
                 continue;

@@ -93,8 +93,28 @@ impl Booking {
 }
 
 /// Handle to a booking within a [`Timeline`].
+///
+/// Packs `(sequence number << 32) | arena slot`: the high half is a
+/// monotonically allocated creation stamp (so `Ord` on ids is creation
+/// order, as it always was), the low half locates the booking's arena slot
+/// for O(1) generation-checked access. Two timelines hand out overlapping
+/// ids — an id is only meaningful against the timeline that produced it.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BookingId(u64);
+
+impl BookingId {
+    fn pack(seq: u32, slot: u32) -> BookingId {
+        BookingId(((seq as u64) << 32) | slot as u64)
+    }
+
+    fn seq(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & u32::MAX as u64) as usize
+    }
+}
 
 /// Error returned by [`Timeline::try_book`] on an invalid booking.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,22 +139,42 @@ impl fmt::Display for BookError {
 
 impl std::error::Error for BookError {}
 
+/// One profile segment: the busy set on `[key, next key)` plus its cached
+/// popcount. Every placement probe needs "how many processors are free
+/// here" before it needs the exact set, so the count is maintained on
+/// mutation instead of being recomputed per query — the count prefilter is
+/// what lets [`Timeline::earliest_slot`] skip candidate windows in O(1).
+#[derive(Clone, Debug, PartialEq)]
+struct Seg {
+    busy: ProcSet,
+    count: u32,
+}
+
+impl Seg {
+    fn empty() -> Seg {
+        Seg {
+            busy: ProcSet::new(),
+            count: 0,
+        }
+    }
+}
+
 /// The piecewise-constant busy profile (see the module docs). Key =
 /// segment start; value = processors busy on `[key, next key)`.
 #[derive(Clone, Debug)]
 struct Profile {
-    segs: BTreeMap<Time, ProcSet>,
+    segs: BTreeMap<Time, Seg>,
 }
 
 impl Profile {
     fn new() -> Profile {
         let mut segs = BTreeMap::new();
-        segs.insert(Time::ZERO, ProcSet::new());
+        segs.insert(Time::ZERO, Seg::empty());
         Profile { segs }
     }
 
-    /// The busy set at instant `t`.
-    fn busy_at(&self, t: Time) -> &ProcSet {
+    /// The segment covering instant `t`.
+    fn seg_at(&self, t: Time) -> &Seg {
         self.segs
             .range(..=t)
             .next_back()
@@ -142,11 +182,18 @@ impl Profile {
             .1
     }
 
+    /// The busy set at instant `t`.
+    fn busy_at(&self, t: Time) -> &ProcSet {
+        &self.seg_at(t).busy
+    }
+
     /// Ensure a boundary exists at `t`, splitting the covering segment.
     fn split_at(&mut self, t: Time) {
-        if !self.segs.contains_key(&t) {
-            let busy = self.busy_at(t).clone();
-            self.segs.insert(t, busy);
+        if let Some((&k, seg)) = self.segs.range(..=t).next_back() {
+            if k != t {
+                let copy = seg.clone();
+                self.segs.insert(t, copy);
+            }
         }
     }
 
@@ -162,7 +209,7 @@ impl Profile {
             .next_back()
             .expect("a segment at Time::ZERO precedes every other")
             .1;
-        if prev == cur {
+        if prev.count == cur.count && prev.busy == cur.busy {
             self.segs.remove(&t);
         }
     }
@@ -174,10 +221,14 @@ impl Profile {
         if start >= end || procs.is_empty() {
             return;
         }
+        let delta = procs.len() as u32;
         self.split_at(start);
         self.split_at(end);
-        for (_, busy) in self.segs.range_mut(start..end) {
-            busy.union_with(procs);
+        for (_, seg) in self.segs.range_mut(start..end) {
+            seg.busy.union_with(procs);
+            // Disjointness is the booking invariant, so the union grows by
+            // exactly |procs|.
+            seg.count += delta;
         }
         self.coalesce_at(end);
         self.coalesce_at(start);
@@ -190,13 +241,103 @@ impl Profile {
         if start >= end || procs.is_empty() {
             return;
         }
+        let delta = procs.len() as u32;
         self.split_at(start);
         self.split_at(end);
-        for (_, busy) in self.segs.range_mut(start..end) {
-            busy.subtract(procs);
+        for (_, seg) in self.segs.range_mut(start..end) {
+            seg.busy.subtract(procs);
+            seg.count -= delta;
         }
         self.coalesce_at(end);
         self.coalesce_at(start);
+    }
+}
+
+/// One slot of the booking arena: the sequence number of its current (or
+/// last) occupant plus the occupant itself. The sequence number doubles as
+/// the generation stamp — it is globally unique per timeline, so a stale
+/// [`BookingId`] can never alias a recycled slot.
+#[derive(Clone, Debug)]
+struct Slot {
+    seq: u32,
+    booking: Option<Booking>,
+}
+
+/// Arena + id-interned booking store. Bookings live in dense `u32`-indexed
+/// slots (vacated slots are recycled LIFO), and a [`BookingId`] packs
+/// `(seq, slot)` so lookup is one bounds-checked array access plus a
+/// generation check — no ordered map or hashing on the book/remove hot
+/// path. Sequence numbers are allocated monotonically, which keeps
+/// `BookingId` ordering equal to creation order (the pre-arena contract).
+#[derive(Clone, Debug, Default)]
+struct BookingStore {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    next_seq: u32,
+}
+
+impl BookingStore {
+    fn insert(&mut self, booking: Booking) -> BookingId {
+        let seq = self.next_seq;
+        self.next_seq = self
+            .next_seq
+            .checked_add(1)
+            .expect("booking sequence numbers exhausted");
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                let s = &mut self.slots[idx as usize];
+                s.seq = seq;
+                s.booking = Some(booking);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len()).expect("booking arena full");
+                self.slots.push(Slot {
+                    seq,
+                    booking: Some(booking),
+                });
+                idx
+            }
+        };
+        self.live += 1;
+        BookingId::pack(seq, slot)
+    }
+
+    fn get(&self, id: BookingId) -> Option<&Booking> {
+        let s = self.slots.get(id.slot())?;
+        if s.seq != id.seq() {
+            return None;
+        }
+        s.booking.as_ref()
+    }
+
+    fn get_mut(&mut self, id: BookingId) -> Option<&mut Booking> {
+        let s = self.slots.get_mut(id.slot())?;
+        if s.seq != id.seq() {
+            return None;
+        }
+        s.booking.as_mut()
+    }
+
+    fn remove(&mut self, id: BookingId) -> Option<Booking> {
+        let s = self.slots.get_mut(id.slot())?;
+        if s.seq != id.seq() {
+            return None;
+        }
+        let b = s.booking.take()?;
+        self.free.push(id.slot() as u32);
+        self.live -= 1;
+        Some(b)
+    }
+
+    /// Iterate over live bookings in slot order (NOT id order).
+    fn iter_unordered(&self) -> impl Iterator<Item = (BookingId, &Booking)> {
+        self.slots.iter().enumerate().filter_map(|(idx, s)| {
+            s.booking
+                .as_ref()
+                .map(|b| (BookingId::pack(s.seq, idx as u32), b))
+        })
     }
 }
 
@@ -204,9 +345,8 @@ impl Profile {
 #[derive(Clone, Debug)]
 pub struct Timeline {
     capacity: ProcSet,
-    bookings: BTreeMap<BookingId, Booking>,
+    bookings: BookingStore,
     profile: Profile,
-    next_id: u64,
 }
 
 impl Timeline {
@@ -214,9 +354,8 @@ impl Timeline {
     pub fn new(capacity: ProcSet) -> Self {
         Timeline {
             capacity,
-            bookings: BTreeMap::new(),
+            bookings: BookingStore::default(),
             profile: Profile::new(),
-            next_id: 0,
         }
     }
 
@@ -232,7 +371,7 @@ impl Timeline {
 
     /// Number of live bookings.
     pub fn n_bookings(&self) -> usize {
-        self.bookings.len()
+        self.bookings.live
     }
 
     /// Number of segments of the availability profile (diagnostics: stays
@@ -243,12 +382,16 @@ impl Timeline {
 
     /// Look up a booking.
     pub fn booking(&self, id: BookingId) -> Option<&Booking> {
-        self.bookings.get(&id)
+        self.bookings.get(id)
     }
 
-    /// Iterate over all bookings (deterministic id order).
+    /// Iterate over all bookings (deterministic id order). Materializes a
+    /// sorted view of the arena — fine for the walk-everything callers
+    /// (victim scans, diagnostics), not meant for per-placement loops.
     pub fn bookings(&self) -> impl Iterator<Item = (BookingId, &Booking)> {
-        self.bookings.iter().map(|(&id, b)| (id, b))
+        let mut all: Vec<(BookingId, &Booking)> = self.bookings.iter_unordered().collect();
+        all.sort_unstable_by_key(|(id, _)| *id);
+        all.into_iter()
     }
 
     /// The first booking colliding with `procs` on `[start, end)` in id
@@ -260,15 +403,16 @@ impl Timeline {
                 .profile
                 .segs
                 .range((Excluded(start), Excluded(end)))
-                .any(|(_, busy)| !busy.is_disjoint(procs));
+                .any(|(_, seg)| !seg.busy.is_disjoint(procs));
         if !clash {
             return None;
         }
         let id = self
             .bookings
-            .iter()
-            .find(|(_, b)| b.overlaps(start, end) && !b.procs.is_disjoint(procs))
-            .map(|(&id, _)| id);
+            .iter_unordered()
+            .filter(|(_, b)| b.overlaps(start, end) && !b.procs.is_disjoint(procs))
+            .map(|(id, _)| id)
+            .min();
         Some(id.expect("busy profile procs always belong to some booking"))
     }
 
@@ -293,19 +437,13 @@ impl Timeline {
                 return Err(BookError::Conflict(id));
             }
         }
-        let id = BookingId(self.next_id);
-        self.next_id += 1;
         self.profile.add(start, end, &procs);
-        self.bookings.insert(
-            id,
-            Booking {
-                start,
-                end,
-                procs,
-                kind,
-            },
-        );
-        Ok(id)
+        Ok(self.bookings.insert(Booking {
+            start,
+            end,
+            procs,
+            kind,
+        }))
     }
 
     /// Like [`try_book`](Self::try_book) but panics on error — for call
@@ -315,9 +453,10 @@ impl Timeline {
             .unwrap_or_else(|e| panic!("invalid booking [{start:?},{end:?}): {e}"))
     }
 
-    /// Remove a booking (job completed early, reservation cancelled).
+    /// Remove a booking (job completed early, reservation cancelled). The
+    /// arena slot is recycled for the next booking.
     pub fn remove(&mut self, id: BookingId) -> Option<Booking> {
-        let b = self.bookings.remove(&id)?;
+        let b = self.bookings.remove(id)?;
         self.profile.sub(b.start, b.end, &b.procs);
         Some(b)
     }
@@ -328,9 +467,9 @@ impl Timeline {
     /// unchanged end when `at` lies at or past it — or `None` if the id is
     /// unknown.
     pub fn truncate(&mut self, id: BookingId, at: Time) -> Option<Time> {
-        let b = self.bookings.get_mut(&id)?;
+        let b = self.bookings.get_mut(id)?;
         if at <= b.start {
-            let b = self.bookings.remove(&id).expect("present above");
+            let b = self.bookings.remove(id).expect("present above");
             self.profile.sub(b.start, b.end, &b.procs);
             return Some(b.start);
         }
@@ -347,15 +486,16 @@ impl Timeline {
     /// needed for feasibility). Utilization accounting across gc boundaries
     /// is the caller's responsibility.
     pub fn gc(&mut self, now: Time) {
-        let profile = &mut self.profile;
-        self.bookings.retain(|_, b| {
-            if b.end <= now {
-                profile.sub(b.start, b.end, &b.procs);
-                false
-            } else {
-                true
+        for idx in 0..self.bookings.slots.len() {
+            let s = &mut self.bookings.slots[idx];
+            let expired = s.booking.as_ref().is_some_and(|b| b.end <= now);
+            if expired {
+                let b = s.booking.take().expect("checked above");
+                self.bookings.free.push(idx as u32);
+                self.bookings.live -= 1;
+                self.profile.sub(b.start, b.end, &b.procs);
             }
-        });
+        }
     }
 
     /// Processors free at instant `t`.
@@ -368,15 +508,40 @@ impl Timeline {
     /// Processors free during the whole window `[start, end)`. For an empty
     /// window this degenerates to [`free_at`](Self::free_at)`(start)`.
     pub fn free_during(&self, start: Time, end: Time) -> ProcSet {
-        if end <= start {
-            return self.free_at(start);
-        }
-        let mut free = self.capacity.clone();
-        free.subtract(self.profile.busy_at(start));
-        for (_, busy) in self.profile.segs.range((Excluded(start), Excluded(end))) {
-            free.subtract(busy);
-        }
+        let mut free = ProcSet::new();
+        self.free_during_into(start, end, &mut free);
         free
+    }
+
+    /// [`free_during`](Self::free_during) writing into a caller-provided
+    /// scratch set — the allocation-free form the scheduler loops use (one
+    /// scratch buffer per loop instead of a fresh `Vec` per probe).
+    pub fn free_during_into(&self, start: Time, end: Time, free: &mut ProcSet) {
+        free.clone_from(&self.capacity);
+        free.subtract(self.profile.busy_at(start));
+        if end <= start {
+            return;
+        }
+        for (_, seg) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+            free.subtract(&seg.busy);
+        }
+    }
+
+    /// Upper bound on `free_during(start, end).len()`: capacity minus the
+    /// largest per-segment busy *count* over the window. A count-only read
+    /// off the cached segment popcounts — no set is materialized — so
+    /// scheduler loops can reject hopeless windows before paying for the
+    /// union walk. (`free_during` unions busy sets, so its popcount is
+    /// never above this bound.)
+    pub fn free_during_upper_bound(&self, start: Time, end: Time) -> usize {
+        let cap = self.capacity.len();
+        let mut max_busy = self.profile.seg_at(start).count as usize;
+        if end > start {
+            for (_, seg) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+                max_busy = max_busy.max(seg.count as usize);
+            }
+        }
+        cap - max_busy.min(cap)
     }
 
     /// At least `width` of capacity free throughout `[start, end)`? The
@@ -391,8 +556,8 @@ impl Timeline {
         if end <= start {
             return true;
         }
-        for (_, b) in self.profile.segs.range((Excluded(start), Excluded(end))) {
-            busy.union_with(b);
+        for (_, seg) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+            busy.union_with(&seg.busy);
             if self.capacity.difference_len(busy) < width {
                 return false;
             }
@@ -424,7 +589,8 @@ impl Timeline {
         dur: Dur,
         width: usize,
     ) -> Option<(Time, ProcSet)> {
-        if width > self.capacity.len() {
+        let cap_len = self.capacity.len();
+        if width > cap_len {
             return None;
         }
         if width == 0 {
@@ -448,19 +614,56 @@ impl Timeline {
             return None;
         }
         // Walk the boundaries where the busy set *shrinks* — the only
-        // instants the sliding window's free set can grow.
-        let mut prev = self.profile.busy_at(earliest);
-        for (&t, b) in self
+        // instants the sliding window's free set can grow. Two prunes keep
+        // the walk near-O(segments):
+        //
+        // * **count prefilter** — a window is only union-feasible if every
+        //   segment it covers has `width` processors free by count alone;
+        //   cached segment popcounts make this O(1) per segment, so the
+        //   expensive union walk runs only on count-feasible candidates;
+        // * **skip-ahead** — if the count check fails at a segment starting
+        //   at `b`, every candidate `t' <= b` is infeasible too (its window
+        //   would still cover the over-busy segment, since window ends only
+        //   move forward), so the scan jumps straight past `b`.
+        //
+        // Only the count check may skip: a window that passes counts but
+        // fails the union test (fragmented free sets) rules out nothing
+        // beyond itself.
+        let start_seg = self.profile.seg_at(earliest);
+        let mut prev_busy = &start_seg.busy;
+        let mut prev_count = start_seg.count;
+        let mut skip_until: Option<Time> = None;
+        for (&t, seg) in self
             .profile
             .segs
             .range((Excluded(earliest), Included(latest_start)))
         {
-            if prev.difference_len(b) > 0 {
-                if let Some(hit) = check(self, t, &mut busy) {
-                    return Some(hit);
+            let shrinks = seg.count < prev_count || prev_busy.difference_len(&seg.busy) > 0;
+            prev_busy = &seg.busy;
+            prev_count = seg.count;
+            if !shrinks || skip_until.is_some_and(|s| t <= s) {
+                continue;
+            }
+            let end = t.saturating_add(dur);
+            let mut blocked_at = None;
+            if cap_len - (seg.count as usize) < width {
+                blocked_at = Some(t);
+            } else if end > t {
+                for (&u, s2) in self.profile.segs.range((Excluded(t), Excluded(end))) {
+                    if cap_len - (s2.count as usize) < width {
+                        blocked_at = Some(u);
+                        break;
+                    }
                 }
             }
-            prev = b;
+            match blocked_at {
+                Some(b) => skip_until = Some(b),
+                None => {
+                    if let Some(hit) = check(self, t, &mut busy) {
+                        return Some(hit);
+                    }
+                }
+            }
         }
         None
     }
@@ -476,9 +679,9 @@ impl Timeline {
         }
         let mut cur_start = from;
         let mut cur_free = self.free_at(from);
-        for (&t, busy) in self.profile.segs.range((Excluded(from), Excluded(to))) {
+        for (&t, seg) in self.profile.segs.range((Excluded(from), Excluded(to))) {
             let mut free = self.capacity.clone();
-            free.subtract(busy);
+            free.subtract(&seg.busy);
             if free != cur_free {
                 segments.push((cur_start, t, cur_free));
                 cur_start = t;
@@ -500,11 +703,11 @@ impl Timeline {
         }
         let mut busy_ticks: u128 = 0;
         let mut seg_start = from;
-        let mut seg_busy = self.profile.busy_at(from).len();
-        for (&t, busy) in self.profile.segs.range((Excluded(from), Excluded(to))) {
+        let mut seg_busy = self.profile.seg_at(from).count as usize;
+        for (&t, seg) in self.profile.segs.range((Excluded(from), Excluded(to))) {
             busy_ticks += (t - seg_start).ticks() as u128 * seg_busy as u128;
             seg_start = t;
-            seg_busy = busy.len();
+            seg_busy = seg.count as usize;
         }
         busy_ticks += (to - seg_start).ticks() as u128 * seg_busy as u128;
         let window = (to - from).ticks() as f64;
@@ -515,7 +718,10 @@ impl Timeline {
     /// no booking exists. Scans the booking table: zero-occupancy bookings
     /// count here even though they never touch the profile.
     pub fn horizon(&self, from: Time) -> Time {
-        self.bookings.values().map(|b| b.end).fold(from, Time::max)
+        self.bookings
+            .iter_unordered()
+            .map(|(_, b)| b.end)
+            .fold(from, Time::max)
     }
 
     /// Structural invariants of the profile (test support): coalesced,
@@ -524,14 +730,15 @@ impl Timeline {
     #[cfg(test)]
     fn assert_profile_consistent(&self) {
         assert!(self.profile.segs.contains_key(&Time::ZERO));
-        let mut prev: Option<&ProcSet> = None;
-        for busy in self.profile.segs.values() {
-            assert!(busy.is_subset(&self.capacity));
-            assert_ne!(prev, Some(busy), "adjacent segments must differ");
-            prev = Some(busy);
+        let mut prev: Option<&Seg> = None;
+        for seg in self.profile.segs.values() {
+            assert!(seg.busy.is_subset(&self.capacity));
+            assert_eq!(seg.busy.len(), seg.count as usize, "cached count drifted");
+            assert_ne!(prev, Some(seg), "adjacent segments must differ");
+            prev = Some(seg);
         }
         let mut fresh = Profile::new();
-        for b in self.bookings.values() {
+        for (_, b) in self.bookings.iter_unordered() {
             fresh.add(b.start, b.end, &b.procs);
         }
         assert_eq!(
@@ -1124,27 +1331,38 @@ mod proptests {
             let m = 6;
             let mut fast = Timeline::with_procs(m);
             let mut slow = NaiveTimeline::with_procs(m);
-            let mut issued: Vec<BookingId> = Vec::new();
+            // Arena ids pack (seq, slot) while the oracle mints bare
+            // sequence numbers; both stamp exactly one new seq per
+            // successful book, so ids correspond through the seq half.
+            let same_id = |f: BookingId, s: BookingId| f.seq() as u64 == s.0;
+            let mut issued: Vec<(BookingId, BookingId)> = Vec::new();
             for op in ops {
                 match op {
                     Op::Book { start, len, p0, w } => {
                         let procs = ProcSet::range(p0, (p0 + w).min(m));
                         let a = fast.try_book(t(start), t(start + len), procs.clone(), BookingKind::Job);
                         let b = slow.try_book(t(start), t(start + len), procs, BookingKind::Job);
-                        prop_assert_eq!(&a, &b, "try_book diverged");
-                        if let Ok(id) = a {
-                            issued.push(id);
+                        match (a, b) {
+                            (Ok(fa), Ok(sb)) => {
+                                prop_assert!(same_id(fa, sb), "booked ids diverged: {:?} vs {:?}", fa, sb);
+                                issued.push((fa, sb));
+                            }
+                            (Err(BookError::Conflict(fa)), Err(BookError::Conflict(sb))) => {
+                                prop_assert!(same_id(fa, sb), "conflict ids diverged: {:?} vs {:?}", fa, sb);
+                            }
+                            (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb, "try_book errors diverged"),
+                            (a, b) => prop_assert!(false, "try_book diverged: {:?} vs {:?}", a, b),
                         }
                     }
                     Op::Remove { pick } => {
                         if issued.is_empty() { continue; }
-                        let id = issued[pick % issued.len()];
-                        prop_assert_eq!(fast.remove(id), slow.remove(id), "remove diverged");
+                        let (fid, sid) = issued[pick % issued.len()];
+                        prop_assert_eq!(fast.remove(fid), slow.remove(sid), "remove diverged");
                     }
                     Op::Truncate { pick, at } => {
                         if issued.is_empty() { continue; }
-                        let id = issued[pick % issued.len()];
-                        prop_assert_eq!(fast.truncate(id, t(at)), slow.truncate(id, t(at)), "truncate diverged");
+                        let (fid, sid) = issued[pick % issued.len()];
+                        prop_assert_eq!(fast.truncate(fid, t(at)), slow.truncate(sid, t(at)), "truncate diverged");
                     }
                     Op::Gc { at } => {
                         fast.gc(t(at));

@@ -36,6 +36,7 @@ use serde::{Deserialize, Serialize};
 
 use lsps_core::outcome::{Outcome, OutcomeKind, OutcomeRun};
 use lsps_core::policy::{PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode};
+use lsps_core::replan::IncrementalPlanner;
 use lsps_core::schedule::Schedule;
 use lsps_des::{
     Commitment, Ctx, Dispatcher, Model, OnlineEvent, OnlineMachine, RunStats, SimRng, Simulation,
@@ -713,12 +714,39 @@ struct PolicyDispatch<'a> {
     committed: Timeline,
     /// Aggregate of every commitment, for end-of-run validation.
     schedule: Schedule,
+    /// Persistent incremental planner, when the policy offers one
+    /// ([`Policy::incremental_planner`]). Its placements are bit-identical
+    /// to the full-replan path below — the differential tests in this
+    /// module drive both and compare — but each event costs O(batch)
+    /// instead of an O(live) availability rebuild, and the planner's own
+    /// expiry heap subsumes the `committed` bookkeeping entirely.
+    planner: Option<Box<dyn IncrementalPlanner>>,
 }
 
 impl Dispatcher for PolicyDispatch<'_> {
     type Job = Job;
 
     fn decide(&mut self, now: Time, pending: &mut Vec<Job>) -> Vec<Commitment<Job>> {
+        if let Some(planner) = self.planner.as_deref_mut() {
+            planner.advance(now);
+            let placed = planner.plan(pending, now);
+            let mut by_id: HashMap<JobId, Job> = pending.drain(..).map(|j| (j.id, j)).collect();
+            return placed
+                .assignments()
+                .iter()
+                .map(|a| {
+                    let job = by_id.remove(&a.job).unwrap_or_else(|| {
+                        panic!("{}: scheduled unknown job {}", self.policy.name(), a.job)
+                    });
+                    self.schedule.push(a.clone());
+                    Commitment {
+                        job,
+                        start: a.start,
+                        end: a.end,
+                    }
+                })
+                .collect();
+        }
         // Completed commitments no longer constrain placement.
         self.committed.gc(now);
         if self.committed.n_bookings() > 0 && !self.policy.supports_pinned() {
@@ -777,6 +805,10 @@ pub struct OnlineRun {
     pub records: Vec<CompletedJob>,
     /// Engine counters (arrivals + decisions + completions).
     pub stats: RunStats,
+    /// Jobs the incremental planner examined over the whole run, when one
+    /// was active (`None` on the full-replan path) — the instrumentation
+    /// the O(dirty) regression tests read.
+    pub replan_touched: Option<u64>,
 }
 
 /// Drive `policy` through the event engine: every job arrives at its
@@ -791,6 +823,29 @@ pub struct OnlineRun {
 /// [`Executor::Direct`] — the equivalence the test suite pins for every
 /// registry policy.
 pub fn des_online(policy: &dyn Policy, jobs: &[Job], m: usize, ctx: &PolicyCtx) -> OnlineRun {
+    des_online_impl(policy, jobs, m, ctx, true)
+}
+
+/// [`des_online`] with the incremental planner disabled: every decision
+/// goes through the full-replan `schedule_pending` path. This is the
+/// differential *oracle* — slower but independently derived — that the
+/// planner's bit-identity tests compare against.
+pub fn des_online_full_replan(
+    policy: &dyn Policy,
+    jobs: &[Job],
+    m: usize,
+    ctx: &PolicyCtx,
+) -> OnlineRun {
+    des_online_impl(policy, jobs, m, ctx, false)
+}
+
+fn des_online_impl(
+    policy: &dyn Policy,
+    jobs: &[Job],
+    m: usize,
+    ctx: &PolicyCtx,
+    use_planner: bool,
+) -> OnlineRun {
     // The as-scheduled view (rigidified, possibly release-stripped) fixes
     // the job shapes once, against the full instance — re-preparing inside
     // each decision would let allotments drift with the pending count.
@@ -815,6 +870,11 @@ pub fn des_online(policy: &dyn Policy, jobs: &[Job], m: usize, ctx: &PolicyCtx) 
         ctx,
         committed: Timeline::with_procs(m),
         schedule: Schedule::new(m),
+        planner: if use_planner {
+            policy.incremental_planner(m, ctx)
+        } else {
+            None
+        },
     });
     let mut sim = Simulation::new(machine);
     for job in &prepared {
@@ -840,6 +900,7 @@ pub fn des_online(policy: &dyn Policy, jobs: &[Job], m: usize, ctx: &PolicyCtx) 
         .map(|c| CompletedJob::from_job(&c.job, c.start, c.end, procs[&c.job.id]))
         .collect();
     records.sort_by_key(|r| r.id);
+    let replan_touched = dispatch.planner.as_ref().map(|p| p.touched());
     OnlineRun {
         run: PolicyRun {
             schedule: dispatch.schedule,
@@ -847,6 +908,7 @@ pub fn des_online(policy: &dyn Policy, jobs: &[Job], m: usize, ctx: &PolicyCtx) 
         },
         records,
         stats,
+        replan_touched,
     }
 }
 
@@ -1113,5 +1175,98 @@ mod tests {
         assert_eq!(grouped[0].0, "b");
         assert_eq!(grouped[0].1.mean(), 2.0);
         assert_eq!(grouped[1].0, "a");
+    }
+}
+
+#[cfg(test)]
+mod replan_tests {
+    //! Differential tests for the incremental planner: the retained
+    //! full-replan `schedule_pending` path is the oracle, and the planner
+    //! must be bit-identical to it — assignments (starts, ends, exact
+    //! processor sets), committed intervals and completion records alike.
+
+    use super::*;
+    use lsps_core::backfill::Reservation;
+    use lsps_core::policy::Backfilling;
+    use lsps_des::{Dur, SimRng};
+    use proptest::prelude::*;
+
+    use crate::families::large_scale_instance;
+
+    fn online_ctx(factor: f64) -> PolicyCtx {
+        PolicyCtx {
+            release_mode: ReleaseMode::Online,
+            estimate_factor: factor,
+            ..PolicyCtx::default()
+        }
+    }
+
+    proptest! {
+        /// Incremental vs full-replan over random arrival/length/width
+        /// interleavings, all three estimate regimes, both flavours, with
+        /// and without an advance reservation in the way.
+        #[test]
+        fn planner_matches_full_replan_oracle(
+            specs in prop::collection::vec((1usize..6, 1u64..40, 0u64..80), 1..30),
+            factor_pick in 0usize..3,
+            easy in any::<bool>(),
+            with_resv in any::<bool>(),
+            resv_spec in (0u64..50, 1u64..25, 1usize..3),
+        ) {
+            let m = 5;
+            let jobs: Vec<Job> = specs.iter().enumerate()
+                .map(|(i, &(q, len, rel))| {
+                    Job::rigid(i as u64, q.min(m), Dur::from_ticks(len))
+                        .released_at(Time::from_ticks(rel))
+                })
+                .collect();
+            let mut ctx = online_ctx([1.0, 1.3, 2.0][factor_pick]);
+            if with_resv {
+                let (start, len, procs) = resv_spec;
+                ctx.reservations.push(Reservation {
+                    start: Time::from_ticks(start),
+                    end: Time::from_ticks(start + len),
+                    procs,
+                });
+            }
+            let policy: Box<dyn Policy> = if easy {
+                Box::new(Backfilling::easy())
+            } else {
+                Box::new(Backfilling::conservative())
+            };
+            let fast = des_online(policy.as_ref(), &jobs, m, &ctx);
+            let slow = des_online_full_replan(policy.as_ref(), &jobs, m, &ctx);
+            prop_assert!(fast.replan_touched.is_some(), "planner must be active");
+            prop_assert!(slow.replan_touched.is_none(), "oracle must not use the planner");
+            prop_assert_eq!(
+                fast.run.schedule.assignments(),
+                slow.run.schedule.assignments(),
+                "placements diverged"
+            );
+            prop_assert_eq!(&fast.records, &slow.records, "records diverged");
+        }
+    }
+
+    /// With exact estimates every completion lands exactly on its booking
+    /// end, so each decision's dirty window is the new arrivals and
+    /// nothing else: the planner must examine each job exactly once over
+    /// the whole run — O(dirty), not O(pending) per event.
+    #[test]
+    fn planner_touches_each_job_once_with_exact_estimates() {
+        let n = 400;
+        let m = 64;
+        let jobs = large_scale_instance(&mut SimRng::seed_from(3), n, m);
+        let ctx = online_ctx(1.0);
+        for policy in [Backfilling::conservative(), Backfilling::easy()] {
+            let run = des_online(&policy, &jobs, m, &ctx);
+            let touched = run.replan_touched.expect("planner active");
+            assert_eq!(
+                touched,
+                n as u64,
+                "{}: planner touched {touched} jobs for {n} arrivals",
+                policy.name()
+            );
+            assert_eq!(run.records.len(), n);
+        }
     }
 }
