@@ -32,7 +32,9 @@ use lsps_core::policy::{Backfilling, PolicyCtx, ReleaseMode};
 use lsps_des::{Dur, SimRng, Time};
 use lsps_platform::{BookingKind, ProcSet, Timeline};
 use lsps_scenario::families::{large_scale_instance, trace_instance};
-use lsps_scenario::runner::des_online;
+use lsps_scenario::runner::{des_online, des_online_open};
+use lsps_scenario::spec::OpenEntry;
+use lsps_workload::{DistSpec, JobClass, OpenArrival, OpenStreamSpec};
 
 /// Median wall-clock nanoseconds per call of `f` over `samples` batches.
 fn median_ns(samples: usize, batch: u32, mut f: impl FnMut()) -> u64 {
@@ -192,6 +194,42 @@ fn measure(samples: usize) -> (Vec<Datapoint>, Vec<Datapoint>) {
     assert_eq!(run.records.len(), n);
     assert_eq!(run.replan_touched, Some(n as u64));
     push(&mut ops, "des_online_100k", n, ns);
+
+    // Open-arrival steady state: a million completions at ρ = 0.9 through
+    // the open driver — the `examples/open_1m_campaign.json` cell. Memory
+    // stays `O(live jobs + completions counted)`, so this is the long-run
+    // throughput trajectory of the whole arrive → plan → complete loop.
+    let n = 1_000_000;
+    let open = OpenEntry {
+        stream: OpenStreamSpec {
+            rho: 0.9,
+            arrival: OpenArrival::Poisson,
+            classes: vec![
+                JobClass {
+                    name: "narrow".into(),
+                    mix: 3.0,
+                    width: DistSpec::Fixed(1.0),
+                    service_s: DistSpec::Exp(120.0),
+                },
+                JobClass {
+                    name: "wide".into(),
+                    mix: 1.0,
+                    width: DistSpec::Uniform(2.0, 16.0),
+                    service_s: DistSpec::Exp(600.0),
+                },
+            ],
+        },
+        stop_completions: n as u64,
+        horizon_s: None,
+        warmup: OpenEntry::DEFAULT_WARMUP,
+        batches: OpenEntry::DEFAULT_BATCHES,
+    };
+    let policy = Backfilling::easy();
+    let t0 = Instant::now();
+    let out = des_online_open(&policy, &open, 64, &ctx, 9001);
+    let ns = t0.elapsed().as_nanos() as u64;
+    assert_eq!(out.completions, n as u64);
+    push(&mut ops, "des_online_open_1m", n, ns);
 
     (micro, ops)
 }

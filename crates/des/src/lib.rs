@@ -33,7 +33,9 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Ctx, Model, RunStats, Simulation};
-pub use online::{Commitment, Dispatcher, OnlineEvent, OnlineMachine};
+pub use online::{
+    ArrivalSource, Commitment, Dispatcher, OnlineEvent, OnlineMachine, OpenOnlineMachine,
+};
 pub use queue::{EventKey, EventQueue};
 pub use rng::SimRng;
 pub use time::{Dur, Time, TICKS_PER_SEC};

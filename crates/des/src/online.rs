@@ -179,6 +179,231 @@ impl<D: Dispatcher> Model for OnlineMachine<D> {
     }
 }
 
+/// An arrival stream fed to the machine lazily, one job at a time —
+/// the abstraction that lets open (unbounded) workloads drive the DES
+/// without ever materializing a job list.
+///
+/// Contract: releases are **nondecreasing** across calls (the machine
+/// asserts this), and `None` ends the stream — a finite source is just a
+/// stream that runs dry. Any `Iterator<Item = (Time, Job)>` is a source.
+pub trait ArrivalSource {
+    /// The job type produced.
+    type Job;
+
+    /// Draw the next arrival `(release, job)`, or `None` when exhausted.
+    fn next_arrival(&mut self) -> Option<(Time, Self::Job)>;
+}
+
+impl<J, I: Iterator<Item = (Time, J)>> ArrivalSource for I {
+    type Job = J;
+    fn next_arrival(&mut self) -> Option<(Time, J)> {
+        self.next()
+    }
+}
+
+/// The steady-state sibling of [`OnlineMachine`]: pulls arrivals from an
+/// [`ArrivalSource`] one ahead (the event queue holds at most one future
+/// arrival), recycles finished running slots through a free list, and
+/// hands each completion to a sink callback instead of retaining it — so
+/// memory stays `O(live jobs)` no matter how many jobs flow through.
+/// Decision mechanics (same-instant coalescing, drain-exactly commitment
+/// checks, finality) are identical to [`OnlineMachine`].
+///
+/// Feeding stops when the source runs dry or the next release is past
+/// `feed_until`; completion-count stopping rules live in the *driver*,
+/// which can step the simulation and watch `completions`
+/// (`OpenOnlineMachine::completions`) — events already queued simply stop
+/// being extended with new arrivals.
+pub struct OpenOnlineMachine<D: Dispatcher, S, F> {
+    dispatcher: D,
+    source: Option<S>,
+    sink: F,
+    pending: Vec<D::Job>,
+    running: Vec<Option<Commitment<D::Job>>>,
+    free_slots: Vec<usize>,
+    decide_at: Option<Time>,
+    decisions: u64,
+    arrivals: u64,
+    completions: u64,
+    feed_until: Time,
+    last_release: Time,
+    max_live: usize,
+}
+
+impl<D, S, F> OpenOnlineMachine<D, S, F>
+where
+    D: Dispatcher,
+    S: ArrivalSource<Job = D::Job>,
+    F: FnMut(Commitment<D::Job>),
+{
+    /// Build a machine over `source`, feeding arrivals released up to and
+    /// including `feed_until` (use [`Time::MAX`] for "until the driver
+    /// stops stepping"). `sink` observes every completion in event order.
+    pub fn new(dispatcher: D, source: S, feed_until: Time, sink: F) -> Self {
+        OpenOnlineMachine {
+            dispatcher,
+            source: Some(source),
+            sink,
+            pending: Vec::new(),
+            running: Vec::new(),
+            free_slots: Vec::new(),
+            decide_at: None,
+            decisions: 0,
+            arrivals: 0,
+            completions: 0,
+            feed_until,
+            last_release: Time::ZERO,
+            max_live: 0,
+        }
+    }
+
+    /// Pull the first arrival for the driver to seed into the simulation
+    /// (subsequent arrivals chain themselves one ahead). `None` means the
+    /// stream was empty or starts past `feed_until`.
+    pub fn first_arrival(&mut self) -> Option<(Time, D::Job)> {
+        self.pull()
+    }
+
+    /// Completions observed so far — the driver's stopping-rule counter.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Arrivals fed so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Dispatcher invocations so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// Jobs arrived but not yet committed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// High-water mark of live jobs (pending + running) — the bounded-
+    /// memory witness: it tracks queue depth, not total jobs replayed.
+    pub fn max_live(&self) -> usize {
+        self.max_live
+    }
+
+    /// Tear down into the dispatcher (the sink already saw every
+    /// completion).
+    pub fn into_dispatcher(self) -> D {
+        self.dispatcher
+    }
+
+    fn pull(&mut self) -> Option<(Time, D::Job)> {
+        let src = self.source.as_mut()?;
+        match src.next_arrival() {
+            Some((t, job)) if t <= self.feed_until => {
+                assert!(
+                    t >= self.last_release,
+                    "arrival source must release in nondecreasing order"
+                );
+                self.last_release = t;
+                Some((t, job))
+            }
+            _ => {
+                // Dry, or past the feed horizon: stop feeding for good.
+                self.source = None;
+                None
+            }
+        }
+    }
+
+    fn note_live(&mut self) {
+        let live = self.pending.len() + (self.running.len() - self.free_slots.len());
+        self.max_live = self.max_live.max(live);
+    }
+
+    fn request_decide(&mut self, now: Time, ctx: &mut Ctx<'_, OnlineEvent<D::Job>>) {
+        if self.pending.is_empty() || self.decide_at == Some(now) {
+            return;
+        }
+        self.decide_at = Some(now);
+        ctx.schedule_at(now, OnlineEvent::Decide);
+    }
+
+    fn decide(&mut self, now: Time, ctx: &mut Ctx<'_, OnlineEvent<D::Job>>) {
+        self.decide_at = None;
+        if self.pending.is_empty() {
+            return;
+        }
+        self.decisions += 1;
+        let before = self.pending.len();
+        let commitments = self.dispatcher.decide(now, &mut self.pending);
+        assert_eq!(
+            before,
+            self.pending.len() + commitments.len(),
+            "dispatcher must drain exactly the jobs it commits"
+        );
+        for c in commitments {
+            assert!(
+                now <= c.start && c.start <= c.end,
+                "commitment [{:?}, {:?}) violates causality at {:?}",
+                c.start,
+                c.end,
+                now
+            );
+            let end = c.end;
+            // Recycle slots: `running` grows to the *concurrency* high-water
+            // mark, never the total job count.
+            let slot = match self.free_slots.pop() {
+                Some(slot) => {
+                    self.running[slot] = Some(c);
+                    slot
+                }
+                None => {
+                    self.running.push(Some(c));
+                    self.running.len() - 1
+                }
+            };
+            ctx.schedule_at(end, OnlineEvent::Finish(slot));
+        }
+        self.note_live();
+    }
+}
+
+impl<D, S, F> Model for OpenOnlineMachine<D, S, F>
+where
+    D: Dispatcher,
+    S: ArrivalSource<Job = D::Job>,
+    F: FnMut(Commitment<D::Job>),
+{
+    type Event = OnlineEvent<D::Job>;
+
+    fn handle(&mut self, now: Time, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>) {
+        match event {
+            OnlineEvent::Arrive(job) => {
+                self.arrivals += 1;
+                self.pending.push(job);
+                self.note_live();
+                // One-ahead feeding: each arrival pulls its successor, so
+                // the queue never holds more than one future arrival.
+                if let Some((t, next)) = self.pull() {
+                    ctx.schedule_at(t, OnlineEvent::Arrive(next));
+                }
+                self.request_decide(now, ctx);
+            }
+            OnlineEvent::Decide => self.decide(now, ctx),
+            OnlineEvent::Finish(slot) => {
+                let c = self.running[slot]
+                    .take()
+                    .expect("finish fires once per slot");
+                debug_assert_eq!(c.end, now);
+                self.free_slots.push(slot);
+                self.completions += 1;
+                (self.sink)(c);
+                self.request_decide(now, ctx);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +529,141 @@ mod tests {
         let stats = sim.run_to_completion(10);
         assert_eq!(stats.last_event_time, t(101));
         assert_eq!(sim.model().completed().len(), 1);
+    }
+
+    #[test]
+    fn open_machine_matches_the_retained_machine_on_finite_streams() {
+        // Same dispatcher, same arrivals: the open machine's sink must see
+        // exactly the completion log the retained machine records.
+        let lens: Vec<(u32, Dur)> = (1..=20)
+            .map(|i| (i, Dur::from_ticks(u64::from(i % 7 + 1))))
+            .collect();
+        let arrivals: Vec<(Time, u32)> = (1..=20).map(|i| (t(u64::from(i) * 3), i)).collect();
+
+        let mut retained = Simulation::new(OnlineMachine::new(Fcfs {
+            free_at: Time::ZERO,
+            lens: lens.clone(),
+        }));
+        for &(at, job) in &arrivals {
+            retained.schedule_at(at, OnlineEvent::Arrive(job));
+        }
+        retained.run_to_completion(1_000);
+        let (_, expected, _) = retained.into_model().into_parts();
+
+        let mut sunk: Vec<Commitment<u32>> = Vec::new();
+        let mut machine = OpenOnlineMachine::new(
+            Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+            arrivals.clone().into_iter(),
+            Time::MAX,
+            |c| sunk.push(c),
+        );
+        let first = machine.first_arrival().expect("non-empty stream");
+        let mut sim = Simulation::new(machine);
+        sim.schedule_at(first.0, OnlineEvent::Arrive(first.1));
+        sim.run_to_completion(1_000);
+        let m = sim.model();
+        assert_eq!(m.arrivals(), 20);
+        assert_eq!(m.completions(), 20);
+        assert_eq!(m.pending_len(), 0);
+        drop(sim);
+        assert_eq!(sunk, expected);
+    }
+
+    #[test]
+    fn open_machine_recycles_running_slots() {
+        // FCFS runs one job at a time: however many jobs flow through, the
+        // running table must stay at one slot and live jobs at the queue
+        // depth — the bounded-memory property open mode exists for.
+        let n: u32 = 50;
+        let lens: Vec<(u32, Dur)> = (0..n).map(|i| (i, Dur::from_ticks(2))).collect();
+        let arrivals = (0..n).map(|i| (t(u64::from(i) * 5), i));
+        let mut count = 0u64;
+        let mut machine = OpenOnlineMachine::new(
+            Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+            arrivals,
+            Time::MAX,
+            |_| count += 1,
+        );
+        let first = machine.first_arrival().unwrap();
+        let mut sim = Simulation::new(machine);
+        sim.schedule_at(first.0, OnlineEvent::Arrive(first.1));
+        sim.run_to_completion(10_000);
+        let m = sim.model();
+        assert_eq!(m.completions(), u64::from(n));
+        assert_eq!(m.running.len(), 1, "slots are recycled, not appended");
+        assert_eq!(m.max_live(), 1, "jobs never queued behind each other");
+        drop(sim);
+        assert_eq!(count, u64::from(n));
+    }
+
+    #[test]
+    fn open_machine_stops_feeding_past_the_horizon() {
+        let lens: Vec<(u32, Dur)> = (0..10).map(|i| (i, Dur::from_ticks(1))).collect();
+        let arrivals = (0..10u32).map(|i| (t(u64::from(i) * 10), i));
+        let mut machine = OpenOnlineMachine::new(
+            Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+            arrivals,
+            t(45), // admits releases 0, 10, 20, 30, 40 — five jobs
+            |_| {},
+        );
+        let first = machine.first_arrival().unwrap();
+        let mut sim = Simulation::new(machine);
+        sim.schedule_at(first.0, OnlineEvent::Arrive(first.1));
+        sim.run_to_completion(1_000);
+        assert_eq!(sim.model().arrivals(), 5);
+        assert_eq!(sim.model().completions(), 5);
+    }
+
+    #[test]
+    fn open_machine_driver_can_stop_on_a_completion_count() {
+        // The stepping driver: break as soon as N completions are counted,
+        // leaving later arrivals unprocessed — the open stopping rule.
+        let lens: Vec<(u32, Dur)> = (0..100).map(|i| (i, Dur::from_ticks(1))).collect();
+        let arrivals = (0..100u32).map(|i| (t(u64::from(i) * 2), i));
+        let mut machine = OpenOnlineMachine::new(
+            Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+            arrivals,
+            Time::MAX,
+            |_| {},
+        );
+        let first = machine.first_arrival().unwrap();
+        let mut sim = Simulation::new(machine);
+        sim.schedule_at(first.0, OnlineEvent::Arrive(first.1));
+        while sim.model().completions() < 7 && sim.step() {}
+        assert_eq!(sim.model().completions(), 7);
+        assert!(sim.model().arrivals() < 100, "stream not exhausted");
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn open_machine_rejects_time_travelling_sources() {
+        let lens = vec![(0u32, Dur::from_ticks(1)), (1, Dur::from_ticks(1))];
+        let arrivals = vec![(t(10), 0u32), (t(5), 1)];
+        let mut machine = OpenOnlineMachine::new(
+            Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+            arrivals.into_iter(),
+            Time::MAX,
+            |_| {},
+        );
+        let first = machine.first_arrival().unwrap();
+        let mut sim = Simulation::new(machine);
+        sim.schedule_at(first.0, OnlineEvent::Arrive(first.1));
+        sim.run_to_completion(100);
     }
 
     #[test]

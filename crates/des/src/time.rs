@@ -86,6 +86,14 @@ impl Time {
         Time(self.0.saturating_add(d.0))
     }
 
+    /// `self + d` if it fits on the tick axis, else `None`. Use this where
+    /// a window end past [`Time::MAX`] means *infeasible* — saturating
+    /// would silently shorten the window instead.
+    #[inline]
+    pub fn checked_add(self, d: Dur) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+
     /// The later of two instants.
     #[inline]
     pub fn max(self, other: Time) -> Time {
@@ -354,6 +362,25 @@ mod tests {
             Dur::ZERO
         );
         assert_eq!(Dur::MAX.saturating_mul(2), Dur::MAX);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(
+            Time::from_ticks(3).checked_add(Dur::from_ticks(4)),
+            Some(Time::from_ticks(7))
+        );
+        // The exact boundary still fits…
+        assert_eq!(
+            Time::from_ticks(u64::MAX - 5).checked_add(Dur::from_ticks(5)),
+            Some(Time::MAX)
+        );
+        // …one tick past it does not.
+        assert_eq!(Time::MAX.checked_add(Dur::from_ticks(1)), None);
+        assert_eq!(
+            Time::from_ticks(u64::MAX - 5).checked_add(Dur::from_ticks(6)),
+            None
+        );
     }
 
     #[test]

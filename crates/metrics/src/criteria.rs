@@ -51,65 +51,11 @@ impl Criteria {
     /// Evaluate over `jobs`. Panics on an empty slice — an empty schedule
     /// has no meaningful criteria.
     pub fn evaluate(jobs: &[CompletedJob]) -> Criteria {
-        assert!(!jobs.is_empty(), "criteria of an empty job set");
-        let n = jobs.len();
-        let mut cmax = Time::ZERO;
-        let mut first_release = Time::MAX;
-        let mut sum_completion = 0.0;
-        let mut weighted_sum = 0.0;
-        let mut sum_flow = 0.0;
-        let mut max_flow = Dur::ZERO;
-        let mut sum_slow = 0.0;
-        let mut max_slow = 0.0f64;
-        let mut sum_bsld = 0.0;
-        const TAU_S: f64 = 10.0;
-        let mut n_late = 0;
-        let mut total_tard = Dur::ZERO;
-        let mut max_tard = Dur::ZERO;
-        let mut area = Dur::ZERO;
+        let mut acc = CriteriaAcc::new();
         for j in jobs {
-            cmax = cmax.max(j.completion);
-            first_release = first_release.min(j.release);
-            let c = j.completion.as_secs_f64();
-            sum_completion += c;
-            weighted_sum += j.weight * c;
-            sum_flow += j.flow().as_secs_f64();
-            max_flow = max_flow.max(j.flow());
-            let s = j.slowdown();
-            sum_slow += s;
-            max_slow = max_slow.max(s);
-            let denom = j.seq_time.as_secs_f64().max(TAU_S);
-            sum_bsld += (j.flow().as_secs_f64() / denom).max(1.0);
-            if j.is_late() {
-                n_late += 1;
-            }
-            total_tard += j.tardiness();
-            max_tard = max_tard.max(j.tardiness());
-            area += j.area();
+            acc.push(j);
         }
-        let span_s = (cmax.saturating_sub(first_release)).as_secs_f64();
-        let throughput_per_hour = if span_s > 0.0 {
-            n as f64 / span_s * 3600.0
-        } else {
-            f64::INFINITY
-        };
-        Criteria {
-            n,
-            cmax: cmax.as_secs_f64(),
-            sum_completion,
-            weighted_sum_completion: weighted_sum,
-            mean_completion: sum_completion / n as f64,
-            mean_flow: sum_flow / n as f64,
-            max_flow: max_flow.as_secs_f64(),
-            mean_slowdown: sum_slow / n as f64,
-            max_slowdown: max_slow,
-            mean_bounded_slowdown: sum_bsld / n as f64,
-            n_late,
-            total_tardiness: total_tard.as_secs_f64(),
-            max_tardiness: max_tard.as_secs_f64(),
-            throughput_per_hour,
-            total_area: area.as_secs_f64(),
-        }
+        acc.finish()
     }
 
     /// Machine utilization over `[0, Cmax]` on `m` processors: area divided
@@ -119,6 +65,121 @@ impl Criteria {
             return 0.0;
         }
         self.total_area / (m as f64 * self.cmax)
+    }
+}
+
+/// Streaming accumulator behind [`Criteria::evaluate`]: push completions
+/// one at a time and [`finish`](CriteriaAcc::finish) at the end. Constant
+/// memory, so open-arrival runs can fold millions of completions into
+/// criteria without retaining the [`CompletedJob`] records.
+#[derive(Clone, Debug)]
+pub struct CriteriaAcc {
+    n: usize,
+    cmax: Time,
+    first_release: Time,
+    sum_completion: f64,
+    weighted_sum: f64,
+    sum_flow: f64,
+    max_flow: Dur,
+    sum_slow: f64,
+    max_slow: f64,
+    sum_bsld: f64,
+    n_late: usize,
+    total_tard: Dur,
+    max_tard: Dur,
+    area: Dur,
+}
+
+impl Default for CriteriaAcc {
+    fn default() -> CriteriaAcc {
+        CriteriaAcc::new()
+    }
+}
+
+impl CriteriaAcc {
+    /// Bounded-slowdown floor τ = 10 s.
+    const TAU_S: f64 = 10.0;
+
+    /// An empty accumulator.
+    pub fn new() -> CriteriaAcc {
+        CriteriaAcc {
+            n: 0,
+            cmax: Time::ZERO,
+            first_release: Time::MAX,
+            sum_completion: 0.0,
+            weighted_sum: 0.0,
+            sum_flow: 0.0,
+            max_flow: Dur::ZERO,
+            sum_slow: 0.0,
+            max_slow: 0.0,
+            sum_bsld: 0.0,
+            n_late: 0,
+            total_tard: Dur::ZERO,
+            max_tard: Dur::ZERO,
+            area: Dur::ZERO,
+        }
+    }
+
+    /// Fold one completion in.
+    pub fn push(&mut self, j: &CompletedJob) {
+        self.n += 1;
+        self.cmax = self.cmax.max(j.completion);
+        self.first_release = self.first_release.min(j.release);
+        let c = j.completion.as_secs_f64();
+        self.sum_completion += c;
+        self.weighted_sum += j.weight * c;
+        self.sum_flow += j.flow().as_secs_f64();
+        self.max_flow = self.max_flow.max(j.flow());
+        let s = j.slowdown();
+        self.sum_slow += s;
+        self.max_slow = self.max_slow.max(s);
+        let denom = j.seq_time.as_secs_f64().max(Self::TAU_S);
+        self.sum_bsld += (j.flow().as_secs_f64() / denom).max(1.0);
+        if j.is_late() {
+            self.n_late += 1;
+        }
+        self.total_tard += j.tardiness();
+        self.max_tard = self.max_tard.max(j.tardiness());
+        self.area += j.area();
+    }
+
+    /// Completions folded so far.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The criteria over everything pushed. Panics when nothing was.
+    pub fn finish(&self) -> Criteria {
+        assert!(self.n > 0, "criteria of an empty job set");
+        let n = self.n;
+        // A zero-length span (single instantaneous job, or cmax ≤ first
+        // release after the saturating subtraction) carries no rate
+        // information; report 0.0 rather than an inf/NaN that would poison
+        // downstream aggregate statistics (Summary::add rejects non-finite
+        // observations).
+        let span_s = (self.cmax.saturating_sub(self.first_release)).as_secs_f64();
+        let throughput_per_hour = if span_s > 0.0 {
+            n as f64 / span_s * 3600.0
+        } else {
+            0.0
+        };
+        Criteria {
+            n,
+            cmax: self.cmax.as_secs_f64(),
+            sum_completion: self.sum_completion,
+            weighted_sum_completion: self.weighted_sum,
+            mean_completion: self.sum_completion / n as f64,
+            mean_flow: self.sum_flow / n as f64,
+            max_flow: self.max_flow.as_secs_f64(),
+            mean_slowdown: self.sum_slow / n as f64,
+            max_slowdown: self.max_slow,
+            mean_bounded_slowdown: self.sum_bsld / n as f64,
+            n_late: self.n_late,
+            total_tardiness: self.total_tard.as_secs_f64(),
+            max_tardiness: self.max_tard.as_secs_f64(),
+            throughput_per_hour,
+            total_area: self.area.as_secs_f64(),
+        }
     }
 }
 
@@ -194,10 +255,24 @@ mod tests {
     }
 
     #[test]
-    fn single_instant_job_has_infinite_throughput() {
+    fn streaming_accumulator_matches_batch_evaluate() {
+        let jobs = two_jobs();
+        let mut acc = CriteriaAcc::new();
+        for j in &jobs {
+            acc.push(j);
+        }
+        assert_eq!(acc.n(), 2);
+        assert_eq!(acc.finish(), Criteria::evaluate(&jobs));
+    }
+
+    #[test]
+    fn zero_span_throughput_is_zero_not_infinite() {
+        // Regression: a zero-length span once produced f64::INFINITY, which
+        // poisoned aggregate CSV statistics. It must be finite (0.0).
         let j = Job::sequential(1, Dur::from_ticks(1));
         let rec = CompletedJob::from_job(&j, Time::ZERO, Time::ZERO, 1);
         let c = Criteria::evaluate(&[rec]);
-        assert!(c.throughput_per_hour.is_infinite());
+        assert_eq!(c.throughput_per_hour, 0.0);
+        assert!(c.throughput_per_hour.is_finite());
     }
 }

@@ -48,12 +48,15 @@ impl Summary {
         self.mean
     }
 
-    /// Population standard deviation.
+    /// Sample (n−1, Bessel-corrected) standard deviation — the same
+    /// estimator [`Summary::ci95`] is built on, so `mean ± std` and
+    /// `mean ± ci95` never disagree about the spread estimate. Zero for
+    /// fewer than two observations.
     pub fn std_dev(&self) -> f64 {
         if self.values.len() < 2 {
             return 0.0;
         }
-        (self.m2 / self.values.len() as f64).sqrt()
+        (self.m2 / (self.values.len() as f64 - 1.0)).sqrt()
     }
 
     /// Half-width of the normal-approximation 95% confidence interval on
@@ -122,7 +125,9 @@ mod tests {
         let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
         assert_eq!(s.n(), 8);
         assert!((s.mean() - 5.0).abs() < 1e-12);
-        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        // m2 = 32, so the sample estimator gives sqrt(32/7) — NOT the
+        // population sqrt(32/8) = 2.0 this test once encoded.
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min(), 2.0);
         assert_eq!(s.max(), 9.0);
         assert_eq!(s.median(), 4.0);
@@ -170,7 +175,17 @@ mod tests {
 
     #[test]
     fn display_formats() {
+        // Sample std of [1, 3] is sqrt(2) ≈ 1.4 (population would be 1.0).
         let s = Summary::from_iter([1.0, 3.0]);
-        assert_eq!(s.display(1), "2.0 ± 1.0 [1.0, 3.0]");
+        assert_eq!(s.display(1), "2.0 ± 1.4 [1.0, 3.0]");
+    }
+
+    #[test]
+    fn std_dev_and_ci95_share_the_sample_estimator() {
+        // Regression: std_dev once divided m2 by n (population) while ci95
+        // used n−1, so ci95 != 1.96·std/√n. They must agree.
+        let s = Summary::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        let expected = 1.96 * s.std_dev() / (s.n() as f64).sqrt();
+        assert!((s.ci95() - expected).abs() < 1e-12);
     }
 }

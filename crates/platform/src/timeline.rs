@@ -596,10 +596,17 @@ impl Timeline {
         if width == 0 {
             return Some((earliest, ProcSet::new()));
         }
+        // Invariant: a candidate start `t` is feasible only if the whole
+        // window `[t, t + dur)` exists on the tick axis. Saturating the end
+        // at `Time::MAX` would silently *shorten* windows near the top of
+        // the axis, making an infeasible booking look feasible. Window ends
+        // are monotone in the start, so once `earliest + dur` overflows, so
+        // does every later candidate — the whole search is infeasible.
+        let first_end = earliest.checked_add(dur)?;
         let mut busy = ProcSet::new();
-        let check = |tl: &Timeline, t: Time, busy: &mut ProcSet| -> Option<(Time, ProcSet)> {
-            if tl.window_fits(t, t.saturating_add(dur), width, busy) {
-                let free = tl.free_during(t, t.saturating_add(dur));
+        let check = |tl: &Timeline, t: Time, end: Time, busy: &mut ProcSet| {
+            if tl.window_fits(t, end, width, busy) {
+                let free = tl.free_during(t, end);
                 Some((t, free.take_first(width)))
             } else {
                 None
@@ -607,7 +614,7 @@ impl Timeline {
         };
         // `earliest` itself is always a candidate — even past
         // `latest_start`, matching the historical candidate set.
-        if let Some(hit) = check(self, earliest, &mut busy) {
+        if let Some(hit) = check(self, earliest, first_end, &mut busy) {
             return Some(hit);
         }
         if latest_start <= earliest {
@@ -644,7 +651,9 @@ impl Timeline {
             if !shrinks || skip_until.is_some_and(|s| t <= s) {
                 continue;
             }
-            let end = t.saturating_add(dur);
+            // Monotone overflow: the first candidate whose window end falls
+            // off the tick axis ends the search — every later one does too.
+            let end = t.checked_add(dur)?;
             let mut blocked_at = None;
             if cap_len - (seg.count as usize) < width {
                 blocked_at = Some(t);
@@ -659,7 +668,7 @@ impl Timeline {
             match blocked_at {
                 Some(b) => skip_until = Some(b),
                 None => {
-                    if let Some(hit) = check(self, t, &mut busy) {
+                    if let Some(hit) = check(self, t, end, &mut busy) {
                         return Some(hit);
                     }
                 }
@@ -1051,6 +1060,47 @@ mod tests {
         assert_eq!(tl.earliest_slot_within(t(12), t(15), d(5), 1), None);
         let got = tl.earliest_slot_within(t(12), t(25), d(5), 1).unwrap();
         assert_eq!(got.0, t(20));
+    }
+
+    #[test]
+    fn earliest_slot_rejects_windows_past_the_tick_axis() {
+        // Regression: window ends were computed with `saturating_add`,
+        // silently shortening windows near `Time::MAX` so an infeasible
+        // booking could look feasible. A window that would end past
+        // `Time::MAX` is infeasible; one ending exactly at `Time::MAX`
+        // still fits.
+        let tl = Timeline::with_procs(2);
+        // `earliest + dur` overflows: no slot, even on an empty timeline.
+        assert_eq!(tl.earliest_slot(t(u64::MAX - 10), d(100), 1), None);
+        assert_eq!(tl.earliest_slot(Time::MAX, d(1), 1), None);
+        // The exact boundary is still feasible.
+        let (start, _) = tl.earliest_slot(t(u64::MAX - 100), d(100), 1).unwrap();
+        assert_eq!(start, t(u64::MAX - 100));
+        // Zero-width requests keep their trivial answer.
+        assert_eq!(
+            tl.earliest_slot(t(u64::MAX - 10), d(100), 0).map(|s| s.0),
+            Some(t(u64::MAX - 10))
+        );
+    }
+
+    #[test]
+    fn sweep_walk_stops_at_overflowing_candidates() {
+        // The walk variant of the same regression: the candidate produced
+        // by a busy-decrease boundary near `Time::MAX` must not be reported
+        // feasible via a silently truncated window.
+        let mut tl = Timeline::with_procs(1);
+        tl.book(
+            t(10),
+            t(u64::MAX - 50),
+            ProcSet::from_indices([0]),
+            BookingKind::Job,
+        );
+        // Candidate 0 fails (booking in the way); the only busy-decrease
+        // boundary is MAX-50, whose window [MAX-50, MAX-50+100) overflows.
+        assert_eq!(tl.earliest_slot(t(0), d(100), 1), None);
+        // A duration that fits the tail exactly is still found there.
+        let (start, _) = tl.earliest_slot(t(0), d(50), 1).unwrap();
+        assert_eq!(start, t(u64::MAX - 50));
     }
 
     #[test]

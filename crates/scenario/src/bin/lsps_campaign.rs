@@ -92,6 +92,18 @@ fn run() -> Result<(), String> {
         threads: args.threads,
         base_dir: args.spec_path.parent().map(PathBuf::from),
     };
+    // Survey the cache up front with the stray-file-tolerant listing: a
+    // long-lived cache dir full of editor droppings must not kill the run.
+    if let Some(dir) = &opts.cache_dir {
+        match lsps_scenario::cache::CellCache::new(dir) {
+            Ok(cache) => println!(
+                "cache: {} shards under {}",
+                cache.shard_names().len(),
+                dir.display()
+            ),
+            Err(e) => eprintln!("[warn] cache dir {}: {e}", dir.display()),
+        }
+    }
     println!(
         "campaign `{}`: {} cells ({} policies x {} executors x {} platforms x {} workload reps)",
         spec.name,

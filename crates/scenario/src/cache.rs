@@ -27,8 +27,9 @@ use crate::spec::fnv64;
 
 /// Bumped whenever the cell schema or key layout changes; stale shards
 /// then miss instead of deserializing wrongly. (2: trial-overhead counters
-/// on cells, machine/knowledge axes in the key preimage.)
-pub const CACHE_VERSION: u32 = 2;
+/// on cells, machine/knowledge axes in the key preimage. 3: open-arrival
+/// per-class response distributions on cells.)
+pub const CACHE_VERSION: u32 = 3;
 
 #[derive(Serialize, Deserialize)]
 struct Shard {
@@ -80,6 +81,23 @@ impl CellCache {
         Some(shard.cell)
     }
 
+    /// Names of the shard files currently present (`<fnv64-hex>.json`),
+    /// sorted. Built on the robust listing in `crate::io`: stray content
+    /// in the cache directory — editor temp files, non-UTF-8 names,
+    /// subdirectories — is skipped with a warning instead of panicking the
+    /// campaign, and anything that is not shaped like a shard name is
+    /// filtered out here.
+    pub fn shard_names(&self) -> Vec<String> {
+        crate::io::list_file_names(&self.dir)
+            .into_iter()
+            .filter(|n| {
+                n.len() == 21
+                    && n.ends_with(".json")
+                    && n.bytes().take(16).all(|b| b.is_ascii_hexdigit())
+            })
+            .collect()
+    }
+
     /// Persist a cell under its key (atomic write; a concurrent reader
     /// never sees a torn shard).
     pub fn store(&self, key: &str, cell: &Cell) {
@@ -126,6 +144,17 @@ mod tests {
             trials: Some(3),
             kills: Some(2),
             wasted_ticks: Some(1500),
+            class_names: Some(vec!["narrow".into(), "wide".into()]),
+            responses: Some(vec![lsps_metrics::ClassResponse {
+                class: 0,
+                n: 1,
+                mean_flow_s: 10.0,
+                p50_flow_s: 10.0,
+                p95_flow_s: 10.0,
+                p99_flow_s: 10.0,
+                max_slowdown: 1.5,
+                ci95_flow_s: 0.25,
+            }]),
         }
     }
 
@@ -149,6 +178,32 @@ mod tests {
         assert_eq!(back.trials, cell.trials);
         assert_eq!(back.kills, cell.kills);
         assert_eq!(back.wasted_ticks, cell.wasted_ticks);
+        fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn shard_listing_ignores_stray_files() {
+        // Regression: one bogus file in the cache directory must neither
+        // panic the listing nor be mistaken for a shard.
+        let cache = temp_cache("strays");
+        cache.store("k1", &sample_cell());
+        cache.store("k2", &sample_cell());
+        fs::write(cache.dir().join("README.txt"), "not a shard").unwrap();
+        fs::write(cache.dir().join("0123.json"), "wrong name length").unwrap();
+        fs::create_dir_all(cache.dir().join("nested")).unwrap();
+        #[cfg(unix)]
+        {
+            use std::ffi::OsStr;
+            use std::os::unix::ffi::OsStrExt;
+            fs::write(cache.dir().join(OsStr::from_bytes(b"shard-\xff.json")), "x").unwrap();
+        }
+        let names = cache.shard_names();
+        assert_eq!(names.len(), 2, "exactly the two real shards: {names:?}");
+        for key in ["k1", "k2"] {
+            let expected = cache.shard_path(key);
+            assert!(names.iter().any(|n| expected.ends_with(n)), "{key}");
+            assert!(cache.load(key).is_some(), "strays must not break loads");
+        }
         fs::remove_dir_all(cache.dir()).unwrap();
     }
 

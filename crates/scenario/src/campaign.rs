@@ -8,15 +8,19 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use lsps_core::policy::by_name;
+use lsps_core::policy::{by_name, Policy};
 use lsps_metrics::Summary;
 use serde::{Serialize, Value};
 
 use crate::cache::{CellCache, CACHE_VERSION};
 use crate::families::builtin_family;
-use crate::runner::{to_csv, Cell, ExperimentRunner, PlatformCase, WorkloadCase};
-use crate::spec::{fnv64, CampaignSpec, SpecError, WorkloadSource};
+use crate::runner::{
+    des_online_open, to_csv, Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase,
+};
+use crate::spec::{fnv64, CampaignSpec, OpenEntry, SpecError, WorkloadSource};
 
 /// How a campaign runs: where the cache lives, how wide the pool is, and
 /// what relative trace paths resolve against.
@@ -187,6 +191,9 @@ fn build_cases(spec: &CampaignSpec, expanded: &[ExpandedEntry]) -> ExpandedCases
                     seed,
                     exp.trace_jobs.clone().expect("trace parsed at expansion"),
                 ),
+                WorkloadSource::Open(_) => {
+                    unreachable!("open campaigns bypass the runner case list")
+                }
             };
             cases.push(case);
             meta.push((exp.entry_idx, seed));
@@ -234,7 +241,18 @@ pub fn run_campaign(
     let expanded = expand_entries(spec, opts)?;
     let mut cells: Vec<Cell> = Vec::with_capacity(spec.cell_count());
     let mut cache_hits = 0usize;
+    // Open (steady-state) campaigns bypass the runner's finite case list:
+    // validation guarantees every entry is open and the executor list is
+    // exactly `[des-online]`.
+    let is_open = spec
+        .workloads
+        .iter()
+        .any(|w| matches!(w.source, WorkloadSource::Open(_)));
     for &executor in &spec.executors {
+        if is_open {
+            cache_hits += run_open_cells(spec, opts, &cache, &expanded, executor, &mut cells);
+            continue;
+        }
         let (workloads, meta) = build_cases(spec, &expanded);
         let runner = ExperimentRunner {
             policies: spec
@@ -307,6 +325,138 @@ pub fn run_campaign(
     })
 }
 
+/// Run every open-arrival cell of the spec under `executor` in canonical
+/// order (platform → workload entry → replication → policy, the runner's
+/// own order), serving cached cells and fanning fresh drives over a
+/// worker pool exactly like [`ExperimentRunner::run_cells`]. Appends the
+/// cells in order and returns the cache-hit count.
+fn run_open_cells(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+    cache: &Option<CellCache>,
+    expanded: &[ExpandedEntry],
+    executor: Executor,
+    cells: &mut Vec<Cell>,
+) -> usize {
+    struct OpenTask<'a> {
+        pi: usize,
+        entry_name: &'a str,
+        seed: u64,
+        ki: usize,
+        open: &'a OpenEntry,
+        key: String,
+    }
+    let policies: Vec<Box<dyn Policy>> = spec
+        .policies
+        .iter()
+        .map(|p| by_name(p).expect("validated policy"))
+        .collect();
+    let ctx = spec.ctx.to_policy_ctx();
+    let mut tasks: Vec<OpenTask<'_>> = Vec::new();
+    for pi in 0..spec.platforms.len() {
+        for exp in expanded {
+            let entry = &spec.workloads[exp.entry_idx];
+            let WorkloadSource::Open(open) = &entry.source else {
+                unreachable!("validated: open campaigns are uniformly open")
+            };
+            for &seed in &exp.seeds {
+                for ki in 0..spec.policies.len() {
+                    tasks.push(OpenTask {
+                        pi,
+                        entry_name: &entry.name,
+                        seed,
+                        ki,
+                        open,
+                        key: cell_key(spec, executor, pi, ki, exp, &entry.name, seed),
+                    });
+                }
+            }
+        }
+    }
+    let mut slots: Vec<Option<Cell>> = match cache {
+        Some(c) => tasks.iter().map(|t| c.load(&t.key)).collect(),
+        None => tasks.iter().map(|_| None).collect(),
+    };
+    let hits = slots.iter().filter(|s| s.is_some()).count();
+    let run_task = |t: &OpenTask<'_>| -> Cell {
+        let plat = &spec.platforms[t.pi];
+        let policy = policies[t.ki].as_ref();
+        let out = des_online_open(policy, t.open, plat.m, &ctx, t.seed);
+        let utilization = out.criteria.utilization(plat.m);
+        Cell {
+            policy: policy.name().to_string(),
+            executor: executor.name().to_string(),
+            workload: t.entry_name.to_string(),
+            seed: t.seed,
+            platform: plat.name.clone(),
+            m: plat.m,
+            n: out.completions as usize,
+            utilization,
+            // An open stream has no finite instance to lower-bound, so the
+            // ratio columns carry a finite 0 sentinel (aggregate-safe).
+            cmax_ratio: 0.0,
+            csum_ratio: 0.0,
+            wsum_ratio: 0.0,
+            criteria: out.criteria,
+            trials: None,
+            kills: None,
+            wasted_ticks: None,
+            class_names: Some(
+                t.open
+                    .stream
+                    .classes
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect(),
+            ),
+            responses: Some(out.responses),
+        }
+    };
+    let missing: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        t => t,
+    }
+    .min(missing.len().max(1));
+    if threads <= 1 {
+        for &i in &missing {
+            slots[i] = Some(run_task(&tasks[i]));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let fresh: Vec<Mutex<Option<Cell>>> = missing.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&slot) = missing.get(i) else { break };
+                    let cell = run_task(&tasks[slot]);
+                    *fresh[i].lock().expect("result slot") = Some(cell);
+                });
+            }
+        });
+        for (&slot, cell) in missing.iter().zip(fresh) {
+            slots[slot] = Some(cell.into_inner().expect("result slot").expect("worker ran"));
+        }
+    }
+    if let Some(c) = cache {
+        for &i in &missing {
+            c.store(&tasks[i].key, slots[i].as_ref().expect("fresh cell"));
+        }
+    }
+    cells.extend(
+        slots
+            .into_iter()
+            .map(|s| s.expect("every open slot filled (cache hit or fresh drive)")),
+    );
+    hits
+}
+
 /// A cell metric accessor, as the aggregate table names them.
 pub type MetricFn = fn(&Cell) -> f64;
 
@@ -326,6 +476,20 @@ const AGG_STATS: [&str; 6] = ["mean", "std", "ci95", "min", "median", "max"];
 /// rectangle/uniform outcomes (which have no trial overhead).
 const AGG_TRIAL_COLUMNS: [&str; 3] = ["trials", "kills", "wasted_ticks"];
 
+/// The per-class response-time columns appended after the trial counters,
+/// filled only for open-arrival groups (one aggregate row *per class*);
+/// finite groups leave them empty.
+const AGG_RESPONSE_COLUMNS: [&str; 8] = [
+    "class",
+    "resp_n",
+    "resp_mean_s",
+    "resp_ci95_s",
+    "resp_p50_s",
+    "resp_p95_s",
+    "resp_p99_s",
+    "resp_max_slowdown",
+];
+
 /// Header of the aggregate CSV.
 pub fn aggregate_header() -> String {
     let mut h = String::from("policy,executor,workload,platform,m,reps");
@@ -341,16 +505,50 @@ pub fn aggregate_header() -> String {
         h.push(',');
         h.push_str(col);
     }
+    for col in AGG_RESPONSE_COLUMNS {
+        h.push(',');
+        h.push_str(col);
+    }
     h
+}
+
+/// Per-class response aggregation across one group's replications.
+struct RespAgg {
+    /// Post-warmup completions, summed over replications.
+    n: u64,
+    /// Per-replication mean response times — their spread is the
+    /// across-replication CI.
+    means: Summary,
+    p50: Summary,
+    p95: Summary,
+    p99: Summary,
+    /// Max slowdown over every replication.
+    max_slowdown: f64,
+    /// The single-replication batch-means CI, used when only one
+    /// replication contributed (no across-replication spread to measure).
+    single_ci: f64,
 }
 
 /// Aggregate replications: one row per (policy, executor, workload,
 /// platform) group in first-seen order, each metric summarized as
 /// mean/std/ci95/min/median/max over the group's cells, plus the mean
 /// trial-overhead counters (empty columns for groups without them).
+///
+/// Open-arrival groups emit one row **per job class** instead: the group
+/// statistics repeat and the trailing `AGG_RESPONSE_COLUMNS` carry the
+/// class's response distribution — means/percentiles averaged across
+/// replications, `resp_ci95_s` the across-replication 95% half-width on
+/// the mean response (falling back to the single run's batch-means CI
+/// when the group has one replication), max slowdown the max.
 pub fn aggregate_csv(cells: &[Cell]) -> String {
     type GroupKey = (String, String, String, String);
-    type Group = (usize, Vec<Summary>, [Summary; 3]);
+    struct Group {
+        m: usize,
+        metrics: Vec<Summary>,
+        trial: [Summary; 3],
+        class_names: Vec<String>,
+        resp: std::collections::BTreeMap<u32, RespAgg>,
+    }
     let mut order: Vec<GroupKey> = Vec::new();
     let mut groups: std::collections::HashMap<GroupKey, Group> = std::collections::HashMap::new();
     for c in cells {
@@ -360,34 +558,55 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
             c.workload.clone(),
             c.platform.clone(),
         );
-        let (_, summaries, trial) = groups.entry(key.clone()).or_insert_with(|| {
+        let g = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key);
-            (
-                c.m,
-                AGG_METRICS.iter().map(|_| Summary::new()).collect(),
-                [Summary::new(), Summary::new(), Summary::new()],
-            )
+            Group {
+                m: c.m,
+                metrics: AGG_METRICS.iter().map(|_| Summary::new()).collect(),
+                trial: [Summary::new(), Summary::new(), Summary::new()],
+                class_names: c.class_names.clone().unwrap_or_default(),
+                resp: std::collections::BTreeMap::new(),
+            }
         });
-        for ((_, metric), s) in AGG_METRICS.iter().zip(summaries.iter_mut()) {
+        for ((_, metric), s) in AGG_METRICS.iter().zip(g.metrics.iter_mut()) {
             s.add(metric(c));
         }
-        for (counter, s) in [c.trials, c.kills, c.wasted_ticks].iter().zip(trial) {
+        for (counter, s) in [c.trials, c.kills, c.wasted_ticks].iter().zip(&mut g.trial) {
             if let Some(v) = counter {
                 s.add(*v as f64);
             }
+        }
+        for r in c.responses.iter().flatten() {
+            let agg = g.resp.entry(r.class).or_insert_with(|| RespAgg {
+                n: 0,
+                means: Summary::new(),
+                p50: Summary::new(),
+                p95: Summary::new(),
+                p99: Summary::new(),
+                max_slowdown: 0.0,
+                single_ci: 0.0,
+            });
+            agg.n += r.n as u64;
+            agg.means.add(r.mean_flow_s);
+            agg.p50.add(r.p50_flow_s);
+            agg.p95.add(r.p95_flow_s);
+            agg.p99.add(r.p99_flow_s);
+            agg.max_slowdown = agg.max_slowdown.max(r.max_slowdown);
+            agg.single_ci = r.ci95_flow_s;
         }
     }
     let mut out = aggregate_header();
     out.push('\n');
     for key in order {
-        let (m, summaries, trial) = &groups[&key];
+        let g = &groups[&key];
         let (policy, executor, workload, platform) = &key;
-        out.push_str(&format!(
-            "{policy},{executor},{workload},{platform},{m},{}",
-            summaries[0].n()
-        ));
-        for s in summaries {
-            out.push_str(&format!(
+        let mut stats = format!(
+            "{policy},{executor},{workload},{platform},{},{}",
+            g.m,
+            g.metrics[0].n()
+        );
+        for s in &g.metrics {
+            stats.push_str(&format!(
                 ",{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
                 s.mean(),
                 s.std_dev(),
@@ -397,14 +616,42 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
                 s.max()
             ));
         }
-        for s in trial {
+        for s in &g.trial {
             if s.n() == 0 {
-                out.push(',');
+                stats.push(',');
             } else {
-                out.push_str(&format!(",{:.2}", s.mean()));
+                stats.push_str(&format!(",{:.2}", s.mean()));
             }
         }
-        out.push('\n');
+        if g.resp.is_empty() {
+            out.push_str(&stats);
+            out.push_str(&",".repeat(AGG_RESPONSE_COLUMNS.len()));
+            out.push('\n');
+            continue;
+        }
+        for (&class, agg) in &g.resp {
+            let name = g
+                .class_names
+                .get(class as usize)
+                .cloned()
+                .unwrap_or_else(|| class.to_string());
+            let ci = if agg.means.n() >= 2 {
+                agg.means.ci95()
+            } else {
+                agg.single_ci
+            };
+            out.push_str(&stats);
+            out.push_str(&format!(
+                ",{name},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                agg.n,
+                agg.means.mean(),
+                ci,
+                agg.p50.mean(),
+                agg.p95.mean(),
+                agg.p99.mean(),
+                agg.max_slowdown,
+            ));
+        }
     }
     out
 }

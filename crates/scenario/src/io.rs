@@ -35,6 +35,46 @@ pub fn write_file_atomic(dir: &Path, name: &str, content: &str) -> PathBuf {
     path
 }
 
+/// Names of the plain files in `dir`, sorted. Robust against the stray
+/// content a long-lived `results/` or cache directory accumulates:
+/// unreadable entries and non-UTF-8 file names are skipped with a warning
+/// on stderr instead of panicking the whole campaign, and subdirectories
+/// are ignored.
+pub fn list_file_names(dir: &Path) -> Vec<String> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("[warn] cannot list {}: {err}", dir.display());
+            return Vec::new();
+        }
+    };
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = match entry {
+            Ok(entry) => entry,
+            Err(err) => {
+                eprintln!(
+                    "[warn] skipping unreadable entry in {}: {err}",
+                    dir.display()
+                );
+                continue;
+            }
+        };
+        if !entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            continue;
+        }
+        match entry.file_name().into_string() {
+            Ok(name) => names.push(name),
+            Err(bad) => eprintln!(
+                "[warn] skipping non-UTF-8 file name {bad:?} in {}",
+                dir.display()
+            ),
+        }
+    }
+    names.sort();
+    names
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,15 +90,39 @@ mod tests {
         assert_eq!(p1, p2);
         assert_eq!(fs::read_to_string(&p2).unwrap(), "second\n");
         // …and no staging file outlives the call.
-        let leftovers: Vec<_> = fs::read_dir(&dir)
-            .unwrap()
-            .map(|e| e.unwrap().file_name().into_string().unwrap())
+        let leftovers: Vec<_> = list_file_names(&dir)
+            .into_iter()
             .filter(|n| n.ends_with(".tmp"))
             .collect();
         assert!(
             leftovers.is_empty(),
             "staging files left behind: {leftovers:?}"
         );
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn listing_survives_bogus_directory_entries() {
+        // Regression: directory listings once double-unwrapped read_dir
+        // entries and file-name UTF-8 conversion, so one stray file could
+        // panic a whole campaign. Bad entries must be skipped, not fatal.
+        let dir = std::env::temp_dir().join(format!("lsps-list-bogus-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir");
+        fs::write(dir.join("good.json"), "{}").unwrap();
+        fs::create_dir_all(dir.join("subdir")).unwrap();
+        #[cfg(unix)]
+        {
+            use std::ffi::OsStr;
+            use std::os::unix::ffi::OsStrExt;
+            // 0xFF is never valid UTF-8: the classic stray-file name.
+            let bogus = dir.join(OsStr::from_bytes(b"bogus-\xff\xfe.json"));
+            fs::write(&bogus, "junk").unwrap();
+        }
+        let names = list_file_names(&dir);
+        assert_eq!(names, vec!["good.json".to_string()]);
+        // A missing directory is an empty listing, not a panic.
+        assert!(list_file_names(&dir.join("nope")).is_empty());
         fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

@@ -31,7 +31,9 @@ pub mod spec;
 mod table;
 
 pub use campaign::{run_campaign, CampaignError, CampaignOptions, CampaignReport};
-pub use io::{results_dir, write_file_atomic};
-pub use runner::{Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
-pub use spec::CampaignSpec;
+pub use io::{list_file_names, results_dir, write_file_atomic};
+pub use runner::{
+    des_online_open, Cell, Executor, ExperimentRunner, OpenOutcome, PlatformCase, WorkloadCase,
+};
+pub use spec::{CampaignSpec, OpenEntry};
 pub use table::Table;

@@ -39,16 +39,18 @@ use lsps_core::policy::{PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode
 use lsps_core::replan::IncrementalPlanner;
 use lsps_core::schedule::Schedule;
 use lsps_des::{
-    Commitment, Ctx, Dispatcher, Model, OnlineEvent, OnlineMachine, RunStats, SimRng, Simulation,
-    Time,
+    Commitment, Ctx, Dispatcher, Model, OnlineEvent, OnlineMachine, OpenOnlineMachine, RunStats,
+    SimRng, Simulation, Time,
 };
 use lsps_metrics::{
     cmax_lower_bound, csum_lower_bound, uniform_cmax_lower_bound, uniform_csum_lower_bound,
-    uniform_wsum_lower_bound, wsum_lower_bound, CompletedJob, Criteria, Summary,
+    uniform_wsum_lower_bound, wsum_lower_bound, ClassResponse, CompletedJob, Criteria, CriteriaAcc,
+    SteadyState, Summary,
 };
 use lsps_platform::{BookingKind, Timeline};
 use lsps_workload::{Job, JobId, WorkloadSpec};
 
+use crate::spec::OpenEntry;
 use crate::Table;
 
 /// A named machine: `m` identical processors, or — with
@@ -300,6 +302,13 @@ pub struct Cell {
     pub kills: Option<u64>,
     /// CPU-ticks burnt on killed trials — the price of non-clairvoyance.
     pub wasted_ticks: Option<u64>,
+    /// Open-arrival cells only: the stream's class names, indexed by the
+    /// `class` field of [`responses`](Cell::responses). `None` for finite
+    /// (closed) cells.
+    pub class_names: Option<Vec<String>>,
+    /// Open-arrival cells only: per-class post-warmup response-time
+    /// distributions (mean/p50/p95/p99, max slowdown, batch-means CI).
+    pub responses: Option<Vec<ClassResponse>>,
 }
 
 /// The one CSV schema every runner-based binary emits.
@@ -636,6 +645,8 @@ impl ExperimentRunner {
             trials: stats.map(|s| s.trials),
             kills: stats.map(|s| s.kills),
             wasted_ticks: stats.map(|s| s.wasted_ticks),
+            class_names: None,
+            responses: None,
         }
     }
 }
@@ -712,8 +723,10 @@ struct PolicyDispatch<'a> {
     /// accumulates dead bookings. The policy still sees plain
     /// exact-processor [`PinnedBooking`]s.
     committed: Timeline,
-    /// Aggregate of every commitment, for end-of-run validation.
-    schedule: Schedule,
+    /// Aggregate of every commitment, for end-of-run validation. `None`
+    /// on the open (steady-state) path, where retaining one assignment
+    /// per job would grow without bound over an unbounded stream.
+    schedule: Option<Schedule>,
     /// Persistent incremental planner, when the policy offers one
     /// ([`Policy::incremental_planner`]). Its placements are bit-identical
     /// to the full-replan path below — the differential tests in this
@@ -738,7 +751,9 @@ impl Dispatcher for PolicyDispatch<'_> {
                     let job = by_id.remove(&a.job).unwrap_or_else(|| {
                         panic!("{}: scheduled unknown job {}", self.policy.name(), a.job)
                     });
-                    self.schedule.push(a.clone());
+                    if let Some(s) = &mut self.schedule {
+                        s.push(a.clone());
+                    }
                     Commitment {
                         job,
                         start: a.start,
@@ -784,7 +799,9 @@ impl Dispatcher for PolicyDispatch<'_> {
                             a.job
                         )
                     });
-                self.schedule.push(a.clone());
+                if let Some(s) = &mut self.schedule {
+                    s.push(a.clone());
+                }
                 Commitment {
                     job,
                     start: a.start,
@@ -869,7 +886,7 @@ fn des_online_impl(
         m,
         ctx,
         committed: Timeline::with_procs(m),
-        schedule: Schedule::new(m),
+        schedule: Some(Schedule::new(m)),
         planner: if use_planner {
             policy.incremental_planner(m, ctx)
         } else {
@@ -889,8 +906,8 @@ fn des_online_impl(
         policy.name(),
         still_pending.len()
     );
-    let procs: HashMap<JobId, usize> = dispatch
-        .schedule
+    let schedule = dispatch.schedule.expect("finite path retains the schedule");
+    let procs: HashMap<JobId, usize> = schedule
         .assignments()
         .iter()
         .map(|a| (a.job, a.procs.len()))
@@ -903,12 +920,140 @@ fn des_online_impl(
     let replan_touched = dispatch.planner.as_ref().map(|p| p.touched());
     OnlineRun {
         run: PolicyRun {
-            schedule: dispatch.schedule,
+            schedule,
             jobs: prepared,
         },
         records,
         stats,
         replan_touched,
+    }
+}
+
+/// Outcome of one open-arrival (steady-state) drive: streaming criteria
+/// over every counted completion, per-class post-warmup response
+/// distributions, and the bounded-memory witnesses.
+pub struct OpenOutcome {
+    /// §3 criteria over *all* counted completions (warmup included — the
+    /// criteria describe the run; the response distributions describe the
+    /// steady state).
+    pub criteria: Criteria,
+    /// Per-class post-warmup response distributions.
+    pub responses: Vec<ClassResponse>,
+    /// Arrivals fed into the machine.
+    pub arrivals: u64,
+    /// Completions counted (= the stopping target unless a feed horizon
+    /// drained the stream first).
+    pub completions: u64,
+    /// High-water mark of live (pending + running) jobs — the witness that
+    /// memory tracked queue depth, not stream length.
+    pub max_live: usize,
+    /// Leading completions the warmup rule discarded.
+    pub warmup_cut: usize,
+}
+
+/// Drive `policy` over an unbounded open-arrival stream until the entry's
+/// stopping rule fires: the steady-state sibling of [`des_online`].
+///
+/// Arrivals are pulled one ahead from the seeded stream (the event queue
+/// never holds more than one future arrival), finished commitments are
+/// folded into streaming accumulators by the machine's sink instead of
+/// being retained, and the policy plans through the same
+/// `PolicyDispatch` paths as the finite driver — minus the end-of-run
+/// schedule aggregate, which would grow with the stream. Memory is
+/// `O(live jobs + counted completions)`.
+///
+/// Slowdown here is `flow / runtime` (runtime = completion − start), the
+/// open-queueing convention: over a stream there is no fixed instance to
+/// normalize against, and for rigid jobs runtime is the natural service
+/// denominator.
+pub fn des_online_open(
+    policy: &dyn Policy,
+    open: &OpenEntry,
+    m: usize,
+    ctx: &PolicyCtx,
+    seed: u64,
+) -> OpenOutcome {
+    assert_eq!(
+        policy.outcome_kind(),
+        OutcomeKind::Rect,
+        "{}: the open driver is rectangle-only, like every DES executor",
+        policy.name()
+    );
+    assert_eq!(
+        ctx.release_mode,
+        ReleaseMode::Online,
+        "an open stream needs honest online releases"
+    );
+    let mut stream = open.stream.stream(m, SimRng::seed_from(seed));
+    let source = std::iter::from_fn(move || {
+        // The class index rides along inside the job as its `user` tag.
+        let (_class, job) = stream.next_job();
+        Some((job.release, job))
+    });
+    // The sink is owned by the machine; shared cells hand the accumulators
+    // back to this frame after the drive.
+    let folded = std::rc::Rc::new(std::cell::RefCell::new((
+        SteadyState::new(),
+        CriteriaAcc::new(),
+    )));
+    let sink = {
+        let folded = std::rc::Rc::clone(&folded);
+        move |c: Commitment<Job>| {
+            // Open streams are rigid, so the allotment is the job's own.
+            let rec = CompletedJob::from_job(&c.job, c.start, c.end, c.job.min_procs());
+            let flow = rec.flow().as_secs_f64();
+            let runtime = c.end.saturating_sub(c.start).as_secs_f64();
+            let slowdown = if runtime > 0.0 { flow / runtime } else { 1.0 };
+            let (steady, crit) = &mut *folded.borrow_mut();
+            steady.record(c.job.user.0, flow, slowdown);
+            crit.push(&rec);
+        }
+    };
+    let feed_until = open.horizon_s.map_or(Time::MAX, Time::from_secs_f64);
+    let mut machine = OpenOnlineMachine::new(
+        PolicyDispatch {
+            policy,
+            m,
+            ctx,
+            committed: Timeline::with_procs(m),
+            schedule: None,
+            planner: policy.incremental_planner(m, ctx),
+        },
+        source,
+        feed_until,
+        sink,
+    );
+    let first = machine.first_arrival();
+    let mut sim = Simulation::new(machine);
+    if let Some((t, job)) = first {
+        sim.schedule_at(t, OnlineEvent::Arrive(job));
+    }
+    // The stopping rule lives here, not in the machine: step until the
+    // completion target is met or the (horizon-bounded) stream drains.
+    while sim.model().completions() < open.stop_completions && sim.step() {}
+    let machine = sim.into_model();
+    let (arrivals, completions, max_live) = (
+        machine.arrivals(),
+        machine.completions(),
+        machine.max_live(),
+    );
+    assert!(
+        completions > 0,
+        "open stream produced no completions (horizon {:?} s admitted nothing)",
+        open.horizon_s
+    );
+    drop(machine); // releases the sink's clone of `folded`
+    let (steady, crit) = std::rc::Rc::try_unwrap(folded)
+        .expect("sink dropped with the machine")
+        .into_inner();
+    let cut = steady.warmup_cut(open.warmup);
+    OpenOutcome {
+        criteria: crit.finish(),
+        responses: steady.per_class(cut, open.batches),
+        arrivals,
+        completions,
+        max_live,
+        warmup_cut: cut,
     }
 }
 
@@ -1168,6 +1313,8 @@ mod tests {
             trials: None,
             kills: None,
             wasted_ticks: None,
+            class_names: None,
+            responses: None,
         };
         let cells = vec![mk("b", 1.0), mk("a", 2.0), mk("b", 3.0)];
         let grouped = summarize_by(&cells, |c| c.policy.clone(), |c| c.cmax_ratio);
@@ -1245,6 +1392,101 @@ mod replan_tests {
             );
             prop_assert_eq!(&fast.records, &slow.records, "records diverged");
         }
+    }
+
+    fn sample_open_entry(rho: f64, stop: u64) -> OpenEntry {
+        use lsps_metrics::WarmupSpec;
+        use lsps_workload::{DistSpec, JobClass, OpenArrival, OpenStreamSpec};
+        OpenEntry {
+            stream: OpenStreamSpec {
+                rho,
+                arrival: OpenArrival::Poisson,
+                classes: vec![
+                    JobClass {
+                        name: "narrow".into(),
+                        mix: 3.0,
+                        width: DistSpec::Fixed(1.0),
+                        service_s: DistSpec::Exp(120.0),
+                    },
+                    JobClass {
+                        name: "wide".into(),
+                        mix: 1.0,
+                        width: DistSpec::Uniform(2.0, 6.0),
+                        service_s: DistSpec::Exp(300.0),
+                    },
+                ],
+            },
+            stop_completions: stop,
+            horizon_s: None,
+            warmup: WarmupSpec::Fraction(0.2),
+            batches: 10,
+        }
+    }
+
+    #[test]
+    fn open_drive_hits_the_completion_target_in_bounded_memory() {
+        let policy = lsps_core::policy::by_name("backfill-easy").unwrap();
+        let ctx = PolicyCtx::default();
+        let open = sample_open_entry(0.7, 600);
+        let out = des_online_open(policy.as_ref(), &open, 16, &ctx, 11);
+        assert_eq!(out.completions, 600);
+        assert!(out.arrivals >= 600);
+        assert_eq!(
+            out.criteria.n, 600,
+            "criteria fold every counted completion"
+        );
+        // The live-set high water tracks queue depth, not stream length.
+        assert!(
+            out.max_live < 600,
+            "max_live {} ~ stream length",
+            out.max_live
+        );
+        // Warmup applies before the class stats.
+        assert_eq!(out.warmup_cut, 120);
+        let n_post: usize = out.responses.iter().map(|r| r.n).sum();
+        assert_eq!(n_post, 600 - out.warmup_cut);
+        // Both classes completed, reported in index order with ordered
+        // percentiles and slowdown ≥ 1 (a started job never beats its own
+        // runtime).
+        let classes: Vec<u32> = out.responses.iter().map(|r| r.class).collect();
+        assert_eq!(classes, vec![0, 1]);
+        for r in &out.responses {
+            assert!(r.mean_flow_s > 0.0);
+            assert!(r.p50_flow_s <= r.p95_flow_s && r.p95_flow_s <= r.p99_flow_s);
+            assert!(r.max_slowdown >= 1.0);
+        }
+    }
+
+    #[test]
+    fn open_drive_is_bit_reproducible_per_seed() {
+        let policy = lsps_core::policy::by_name("backfill-conservative").unwrap();
+        let ctx = PolicyCtx::default();
+        let open = sample_open_entry(0.8, 300);
+        let a = des_online_open(policy.as_ref(), &open, 8, &ctx, 42);
+        let b = des_online_open(policy.as_ref(), &open, 8, &ctx, 42);
+        assert_eq!(a.criteria, b.criteria);
+        assert_eq!(a.responses, b.responses);
+        assert_eq!((a.arrivals, a.max_live), (b.arrivals, b.max_live));
+        let c = des_online_open(policy.as_ref(), &open, 8, &ctx, 43);
+        assert_ne!(
+            a.criteria.mean_flow, c.criteria.mean_flow,
+            "different seeds sample different paths"
+        );
+    }
+
+    #[test]
+    fn open_drive_horizon_drains_instead_of_hitting_the_target() {
+        let policy = lsps_core::policy::by_name("backfill-easy").unwrap();
+        let ctx = PolicyCtx::default();
+        let mut open = sample_open_entry(0.5, 1_000_000);
+        open.horizon_s = Some(4.0 * 3600.0);
+        let out = des_online_open(policy.as_ref(), &open, 16, &ctx, 7);
+        assert!(
+            out.completions < 1_000_000,
+            "four stream-hours cannot yield a million jobs"
+        );
+        // Everything admitted before the horizon drained to completion.
+        assert_eq!(out.completions, out.arrivals);
     }
 
     /// With exact estimates every completion lands exactly on its booking

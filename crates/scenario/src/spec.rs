@@ -19,7 +19,8 @@ use lsps_core::allot::AllotRule;
 use lsps_core::outcome::OutcomeKind;
 use lsps_core::policy::{by_name, Knowledge, PolicyCtx, ReleaseMode, DEFAULT_INITIAL_ESTIMATE};
 use lsps_des::Dur;
-use lsps_workload::WorkloadSpec;
+use lsps_metrics::WarmupSpec;
+use lsps_workload::{OpenStreamSpec, WorkloadSpec};
 
 use crate::families::builtin_family;
 use crate::runner::Executor;
@@ -75,6 +76,76 @@ pub enum WorkloadSource {
     /// A JSON-lines trace file (lossless native format, moldable profiles
     /// included).
     JsonlFile(String),
+    /// An open (steady-state) arrival stream, driven through the
+    /// `des-online` executor with a stopping rule instead of a job list.
+    Open(OpenEntry),
+}
+
+/// An open workload entry: the unbounded stream plus the stopping and
+/// estimation rules that make its steady-state statistics meaningful.
+/// Per-replication seeds seed the stream's RNG, so replications are
+/// independent sample paths of the same arrival process.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpenEntry {
+    /// The stream: target load ρ, arrival process, job-class mixture.
+    pub stream: OpenStreamSpec,
+    /// Primary stopping rule: stop the drive after this many counted
+    /// completions (memory for response observations is proportional to
+    /// this, not to simulated events).
+    pub stop_completions: u64,
+    /// Optional feed horizon (simulated seconds): arrivals released past
+    /// it are never admitted, queued work still drains. `None` feeds until
+    /// the completion target stops the driver.
+    pub horizon_s: Option<f64>,
+    /// Warmup (initial-transient) truncation rule. Default: drop the
+    /// first 20% of completions.
+    pub warmup: WarmupSpec,
+    /// Batch count for the single-replication batch-means CI. Default 20.
+    pub batches: usize,
+}
+
+impl OpenEntry {
+    /// Layered defaults for everything the JSON omits.
+    pub const DEFAULT_WARMUP: WarmupSpec = WarmupSpec::Fraction(0.2);
+    /// Default batch-means batch count.
+    pub const DEFAULT_BATCHES: usize = 20;
+}
+
+impl Deserialize for OpenEntry {
+    fn from_value(v: &Value) -> Result<OpenEntry, SerdeError> {
+        check_keys(
+            v,
+            &[
+                "stream",
+                "stop_completions",
+                "horizon_s",
+                "warmup",
+                "batches",
+            ],
+        )?;
+        Ok(OpenEntry {
+            stream: Deserialize::from_value(serde::field(v, "stream")?)?,
+            stop_completions: Deserialize::from_value(serde::field(v, "stop_completions")?)?,
+            horizon_s: opt_or(v, "horizon_s", None)?,
+            warmup: opt_or(v, "warmup", OpenEntry::DEFAULT_WARMUP)?,
+            batches: opt_or(v, "batches", OpenEntry::DEFAULT_BATCHES)?,
+        })
+    }
+}
+
+impl Serialize for OpenEntry {
+    fn to_value(&self) -> Value {
+        let mut map = vec![
+            ("stream".into(), self.stream.to_value()),
+            ("stop_completions".into(), self.stop_completions.to_value()),
+        ];
+        if let Some(h) = self.horizon_s {
+            map.push(("horizon_s".into(), h.to_value()));
+        }
+        map.push(("warmup".into(), self.warmup.to_value()));
+        map.push(("batches".into(), self.batches.to_value()));
+        Value::Map(map)
+    }
 }
 
 /// One named workload of the sweep.
@@ -387,6 +458,70 @@ impl CampaignSpec {
             if let WorkloadSource::Family { family, n } = &w.source {
                 if builtin_family(family, *n).is_none() {
                     problems.push(format!("workload `{}`: unknown family `{family}`", w.name));
+                }
+            }
+        }
+        // Open (steady-state) entries change the execution model — the
+        // campaign drives a stream with a stopping rule instead of running
+        // a job list to completion — so they demand a uniform campaign:
+        // every entry open, exactly the des-online executor, honest online
+        // releases.
+        let n_open = self
+            .workloads
+            .iter()
+            .filter(|w| matches!(w.source, WorkloadSource::Open(_)))
+            .count();
+        if n_open > 0 {
+            if n_open != self.workloads.len() {
+                problems.push(
+                    "open-arrival entries cannot mix with finite workload entries \
+                     in one campaign"
+                        .into(),
+                );
+            }
+            if self.executors != vec![Executor::DesOnline] {
+                problems.push(
+                    "open-arrival workloads run under exactly `[\"des-online\"]` executors".into(),
+                );
+            }
+            if self.ctx.release_mode != ReleaseMode::Online {
+                problems.push(
+                    "open-arrival workloads require `ctx.release_mode: \"online\"` \
+                     (offline would collapse the stream to one batch)"
+                        .into(),
+                );
+            }
+        }
+        for w in &self.workloads {
+            let WorkloadSource::Open(open) = &w.source else {
+                continue;
+            };
+            for p in open.stream.validate() {
+                problems.push(format!("workload `{}`: {p}", w.name));
+            }
+            if open.stop_completions == 0 {
+                problems.push(format!(
+                    "workload `{}`: `stop_completions` must be >= 1",
+                    w.name
+                ));
+            }
+            if open.batches < 2 {
+                problems.push(format!("workload `{}`: `batches` must be >= 2", w.name));
+            }
+            if let Some(h) = open.horizon_s {
+                if !(h > 0.0 && h.is_finite()) {
+                    problems.push(format!(
+                        "workload `{}`: `horizon_s` must be positive and finite",
+                        w.name
+                    ));
+                }
+            }
+            if let WarmupSpec::Fraction(f) = open.warmup {
+                if !(0.0..1.0).contains(&f) {
+                    problems.push(format!(
+                        "workload `{}`: warmup fraction must be in [0, 1)",
+                        w.name
+                    ));
                 }
             }
         }
@@ -854,6 +989,87 @@ mod tests {
                 initial_estimate: DEFAULT_INITIAL_ESTIMATE
             }
         );
+    }
+
+    const OPEN: &str = r#"{
+        "name": "open",
+        "policies": ["backfill-easy"],
+        "executors": ["des-online"],
+        "platforms": [{"name": "m64", "m": 64}],
+        "workloads": [
+            {"name": "rho-0.9", "source": {"Open": {
+                "stream": {
+                    "rho": 0.9,
+                    "arrival": "Poisson",
+                    "classes": [
+                        {"name": "narrow", "mix": 3.0,
+                         "width": {"Fixed": 1.0}, "service_s": {"Exp": 120.0}}
+                    ]
+                },
+                "stop_completions": 1000
+            }}}
+        ]
+    }"#;
+
+    #[test]
+    fn open_entries_parse_with_defaults_and_round_trip() {
+        let spec: CampaignSpec = serde_json::from_str(OPEN).expect("parses");
+        let WorkloadSource::Open(open) = &spec.workloads[0].source else {
+            panic!("open source expected");
+        };
+        assert_eq!(open.stop_completions, 1000);
+        assert_eq!(open.horizon_s, None);
+        assert_eq!(open.warmup, OpenEntry::DEFAULT_WARMUP);
+        assert_eq!(open.batches, OpenEntry::DEFAULT_BATCHES);
+        spec.validate().expect("valid");
+        let back: CampaignSpec =
+            serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn open_entries_demand_a_uniform_des_online_campaign() {
+        // Mixing open and finite entries is rejected.
+        let mut spec: CampaignSpec = serde_json::from_str(OPEN).unwrap();
+        spec.workloads.push(WorkloadEntry {
+            name: "finite".into(),
+            source: WorkloadSource::Family {
+                family: "fig2-sequential".into(),
+                n: 5,
+            },
+            seed: None,
+        });
+        assert!(spec.validate().unwrap_err().0.contains("cannot mix"));
+        // Any executor list other than exactly [des-online] is rejected.
+        let mut spec: CampaignSpec = serde_json::from_str(OPEN).unwrap();
+        spec.executors = vec![Executor::Direct];
+        assert!(spec.validate().unwrap_err().0.contains("des-online"));
+        let mut spec: CampaignSpec = serde_json::from_str(OPEN).unwrap();
+        spec.executors = vec![Executor::DesOnline, Executor::Direct];
+        assert!(spec.validate().is_err());
+        // Offline releases would collapse the stream into one batch.
+        let mut spec: CampaignSpec = serde_json::from_str(OPEN).unwrap();
+        spec.ctx.release_mode = ReleaseMode::Offline;
+        assert!(spec.validate().unwrap_err().0.contains("release_mode"));
+    }
+
+    #[test]
+    fn open_entry_knobs_are_validated() {
+        let mut spec: CampaignSpec = serde_json::from_str(OPEN).unwrap();
+        {
+            let WorkloadSource::Open(open) = &mut spec.workloads[0].source else {
+                unreachable!()
+            };
+            open.stream.rho = 1.5; // stream validation is surfaced too
+            open.stop_completions = 0;
+            open.batches = 1;
+            open.horizon_s = Some(-3.0);
+            open.warmup = WarmupSpec::Fraction(1.0);
+        }
+        let msg = spec.validate().unwrap_err().0;
+        for needle in ["rho", "stop_completions", "batches", "horizon_s", "warmup"] {
+            assert!(msg.contains(needle), "`{needle}` missing from: {msg}");
+        }
     }
 
     #[test]

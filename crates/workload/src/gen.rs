@@ -100,6 +100,43 @@ impl DistSpec {
             DistSpec::BoundedPareto(alpha, lo, hi) => rng.bounded_pareto(alpha, lo, hi),
         }
     }
+
+    /// Closed-form expectation of the distribution — the quantity the
+    /// open-arrival layer needs to turn a target utilization ρ into an
+    /// arrival rate (`λ = ρ·m / E[width]·E[service]`).
+    ///
+    /// * `Uniform(lo, hi)`: `(lo + hi) / 2`.
+    /// * `LogUniform(lo, hi)`: `(hi − lo) / ln(hi/lo)` (the mean of
+    ///   `e^U`, `U ~ Uniform[ln lo, ln hi]`).
+    /// * `BoundedPareto(α, lo, hi)`:
+    ///   `α·loᵅ·(hi^{1−α} − lo^{1−α}) / ((1 − α)·(1 − (lo/hi)ᵅ))`
+    ///   for α ≠ 1, and `lo·hi·ln(hi/lo) / (hi − lo)` at α = 1.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            DistSpec::Fixed(v) => v,
+            DistSpec::Uniform(lo, hi) => 0.5 * (lo + hi),
+            DistSpec::LogUniform(lo, hi) => {
+                if hi <= lo {
+                    lo
+                } else {
+                    (hi - lo) / (hi / lo).ln()
+                }
+            }
+            DistSpec::Exp(mean) => mean,
+            DistSpec::BoundedPareto(alpha, lo, hi) => {
+                if hi <= lo {
+                    return lo;
+                }
+                if (alpha - 1.0).abs() < 1e-9 {
+                    lo * hi * (hi / lo).ln() / (hi - lo)
+                } else {
+                    let norm = 1.0 - (lo / hi).powf(alpha);
+                    alpha * lo.powf(alpha) * (hi.powf(1.0 - alpha) - lo.powf(1.0 - alpha))
+                        / ((1.0 - alpha) * norm)
+                }
+            }
+        }
+    }
 }
 
 /// Full description of a synthetic workload.
@@ -376,6 +413,25 @@ mod tests {
         );
         assert!(phys.iter().all(|j| j.user == UserId(1)));
         assert!(cs.iter().all(|j| j.user == UserId(2)));
+    }
+
+    #[test]
+    fn dist_spec_means_match_monte_carlo() {
+        let dists = [
+            DistSpec::Fixed(3.0),
+            DistSpec::Uniform(1.0, 5.0),
+            DistSpec::LogUniform(2.0, 200.0),
+            DistSpec::Exp(7.0),
+            DistSpec::BoundedPareto(1.5, 2.0, 50.0),
+            DistSpec::BoundedPareto(1.0, 2.0, 50.0), // the α = 1 special case
+        ];
+        let mut rng = SimRng::seed_from(11);
+        for d in dists {
+            let n = 200_000;
+            let empirical = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            let rel = (empirical - d.mean()).abs() / d.mean();
+            assert!(rel < 0.02, "{d:?}: analytic {} vs MC {empirical}", d.mean());
+        }
     }
 
     #[test]

@@ -21,12 +21,14 @@
 pub mod campaign;
 pub mod gen;
 pub mod job;
+pub mod open;
 pub mod speedup;
 pub mod swf;
 
 pub use campaign::{campaign, Campaign};
 pub use gen::{ArrivalSpec, CommunityProfile, DistSpec, WorkloadSpec};
 pub use job::{Job, JobId, JobKind, UserId};
+pub use open::{JobClass, OpenArrival, OpenStream, OpenStreamSpec};
 pub use speedup::{MoldableProfile, SpeedupModel};
 
 /// Commonly used items.
@@ -34,5 +36,6 @@ pub mod prelude {
     pub use crate::campaign::{campaign, Campaign};
     pub use crate::gen::{ArrivalSpec, CommunityProfile, DistSpec, WorkloadSpec};
     pub use crate::job::{Job, JobId, JobKind, UserId};
+    pub use crate::open::{JobClass, OpenArrival, OpenStream, OpenStreamSpec};
     pub use crate::speedup::{MoldableProfile, SpeedupModel};
 }
