@@ -23,6 +23,7 @@
 //! trajectory needs stable JSON. Absolute numbers are machine-specific —
 //! the trajectory tracks *relative* movement per op and size.
 
+use std::path::Path;
 use std::time::Instant;
 
 use serde::{Serialize, Value};
@@ -230,6 +231,59 @@ fn measure(samples: usize) -> (Vec<Datapoint>, Vec<Datapoint>) {
     let ns = t0.elapsed().as_nanos() as u64;
     assert_eq!(out.completions, n as u64);
     push(&mut ops, "des_online_open_1m", n, ns);
+
+    // Service tier: `examples/small_campaign.json` end to end through the
+    // lsps-campaignd machinery — daemon boot, spec submission, sharding
+    // over worker processes, final aggregate — cold (every cell computed
+    // by a worker) and warm (a restarted daemon serving every cell from
+    // the content-addressed cache). Skipped when the `lsps-worker` binary
+    // isn't built alongside this one; the `--check` gate ignores ops
+    // present on only one side, so the skip is safe.
+    let worker = lsps_service::daemon::default_worker_cmd();
+    if worker.is_file() {
+        let spec_path =
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/small_campaign.json");
+        let spec_text = std::fs::read_to_string(&spec_path).expect("small campaign spec");
+        let root =
+            std::env::temp_dir().join(format!("lsps-bench-campaignd-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let base_dir = spec_path.parent().expect("spec dir").to_path_buf();
+        let mut cells = 0usize;
+        let mut run_service = |tag: &str| -> u64 {
+            let mut cfg = lsps_service::daemon::config_under(&root, &worker);
+            cfg.workers = 4;
+            cfg.base_dir = Some(base_dir.clone());
+            // A fresh journal per boot so each timing covers exactly one
+            // submit-to-aggregate pass; the cache carries between passes.
+            cfg.journal_dir = root.join(format!("journal-{tag}"));
+            let t0 = Instant::now();
+            let daemon = lsps_service::Daemon::start(cfg).expect("daemon starts");
+            let id = daemon.submit(&spec_text).expect("spec accepted");
+            loop {
+                let status = daemon.status_json(&id).expect("status");
+                assert!(status.contains("\"failed\":0"), "cells failed: {status}");
+                if status.contains("\"complete\":true") {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            let (_, agg) = daemon.csvs(&id).expect("aggregate");
+            cells = agg.lines().count() - 1;
+            daemon.shutdown();
+            t0.elapsed().as_nanos() as u64
+        };
+        let cold = run_service("cold");
+        let warm = run_service("warm");
+        push(&mut ops, "campaignd_small_spec_cold", 54, cold);
+        push(&mut ops, "campaignd_small_spec_warm", 54, warm);
+        assert_eq!(cells, 18, "small campaign aggregates to 18 groups");
+        let _ = std::fs::remove_dir_all(&root);
+    } else {
+        eprintln!(
+            "[skip] campaignd_small_spec: lsps-worker not built ({})",
+            worker.display()
+        );
+    }
 
     (micro, ops)
 }

@@ -12,9 +12,10 @@
 
 pub use lsps_scenario::runner;
 pub use lsps_scenario::{
-    campaign, results_dir, run_campaign, write_file_atomic, CampaignOptions, CampaignReport,
-    CampaignSpec, Table,
+    campaign, results_dir, run_campaign, write_file_atomic, CampaignOptions, CampaignPlan,
+    CampaignReport, CampaignSpec, Table,
 };
+pub use lsps_service as service;
 pub use runner::{Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase};
 
 /// Write CSV content to `results/<name>` (atomically — see

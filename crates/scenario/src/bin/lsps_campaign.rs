@@ -1,7 +1,7 @@
 //! `lsps-campaign` — run a declarative campaign spec.
 //!
 //! ```text
-//! lsps-campaign <spec.json> [--no-cache] [--resume] [--threads N] [--cache-dir DIR]
+//! lsps-campaign <spec.json> [--dry-run] [--no-cache] [--resume] [--threads N] [--cache-dir DIR]
 //! ```
 //!
 //! Reads a JSON [`CampaignSpec`], expands the grid, serves every cell it
@@ -12,29 +12,37 @@
 //! median/max per metric). Output is byte-identical whether cells came
 //! from the cache or fresh execution, so re-running after an interruption
 //! *is* resume; `--resume` spells that out and overrides `--no-cache`.
+//!
+//! `--dry-run` stops after expansion: it prints the cell count, how many
+//! cells the cache would serve, and a per-group breakdown (the same
+//! [`CampaignPlan`] surface the `lsps-campaignd` daemon shards on) without
+//! executing anything or writing any file.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use lsps_scenario::campaign::aggregate_header;
 use lsps_scenario::{
-    results_dir, run_campaign, write_file_atomic, CampaignOptions, CampaignSpec, Table,
+    results_dir, run_campaign, write_file_atomic, CampaignOptions, CampaignPlan, CampaignSpec,
+    Table,
 };
 
 struct Args {
     spec_path: PathBuf,
+    dry_run: bool,
     no_cache: bool,
     resume: bool,
     threads: usize,
     cache_dir: Option<PathBuf>,
 }
 
-const USAGE: &str =
-    "usage: lsps-campaign <spec.json> [--no-cache] [--resume] [--threads N] [--cache-dir DIR]";
+const USAGE: &str = "usage: lsps-campaign <spec.json> [--dry-run] [--no-cache] [--resume] \
+                     [--threads N] [--cache-dir DIR]";
 
 /// `Ok(None)` means help was requested: print usage to stdout, exit 0.
 fn parse_args() -> Result<Option<Args>, String> {
     let mut spec_path = None;
+    let mut dry_run = false;
     let mut no_cache = false;
     let mut resume = false;
     let mut threads = 0usize;
@@ -42,6 +50,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--dry-run" => dry_run = true,
             "--no-cache" => no_cache = true,
             "--resume" => resume = true,
             "--threads" => {
@@ -64,6 +73,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     }
     Ok(Some(Args {
         spec_path: spec_path.ok_or(USAGE)?,
+        dry_run,
         no_cache,
         resume,
         threads,
@@ -116,6 +126,9 @@ fn run() -> Result<(), String> {
             .map(|w| spec.replication.seeds_for(w).len())
             .sum::<usize>(),
     );
+    if args.dry_run {
+        return dry_run(&spec, &opts);
+    }
     let report = run_campaign(&spec, &opts).map_err(|e| e.to_string())?;
 
     // Aggregate table on stdout: the campaign-level view.
@@ -168,6 +181,62 @@ fn run() -> Result<(), String> {
         report.total,
         report.total - report.cache_hits,
         report.hit_rate(),
+    );
+    Ok(())
+}
+
+/// Expand the spec and report what a real run would do — cell count,
+/// cache hits, per-group breakdown — without executing a single cell.
+fn dry_run(spec: &CampaignSpec, opts: &CampaignOptions) -> Result<(), String> {
+    let plan = CampaignPlan::expand(spec, opts).map_err(|e| e.to_string())?;
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(lsps_scenario::cache::CellCache::new(dir).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    // Group in canonical cell order by (executor, platform, workload): the
+    // same axes the aggregate table groups on, minus the policy (each group
+    // spans the whole policy set).
+    let mut order: Vec<(String, String, String)> = Vec::new();
+    let mut counts: std::collections::HashMap<(String, String, String), (usize, usize)> =
+        std::collections::HashMap::new();
+    let mut cached = 0usize;
+    for cell in plan.cells() {
+        let key = (
+            cell.executor.name().to_string(),
+            spec.platforms[cell.platform].name.clone(),
+            spec.workloads[cell.entry].name.clone(),
+        );
+        let hit = cache.as_ref().is_some_and(|c| c.load(&cell.key).is_some());
+        cached += hit as usize;
+        let e = counts.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            (0, 0)
+        });
+        e.0 += 1;
+        e.1 += hit as usize;
+    }
+    let mut table = Table::new(&["executor", "platform", "workload", "cells", "cached"]);
+    for key in order {
+        let (total, hits) = counts[&key];
+        table.row(vec![
+            key.0,
+            key.1,
+            key.2,
+            total.to_string(),
+            hits.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\ndry-run: {} cells, {} cached ({:.1}%), {} to execute — nothing run, nothing written",
+        plan.cells().len(),
+        cached,
+        if plan.cells().is_empty() {
+            100.0
+        } else {
+            100.0 * cached as f64 / plan.cells().len() as f64
+        },
+        plan.cells().len() - cached,
     );
     Ok(())
 }

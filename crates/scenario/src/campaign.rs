@@ -5,6 +5,14 @@
 //! (platform → workload entry → replication → policy). The cache never
 //! affects ordering — a warm, partially warm or cold run emits exactly the
 //! same bytes — so interrupting a campaign and re-running it *is* resume.
+//!
+//! The expansion itself is a first-class surface: [`CampaignPlan`] holds
+//! the canonical cell list with each cell's content-addressed cache key
+//! and runs any single cell in isolation ([`CampaignPlan::run_cell`]),
+//! byte-identical to its place in a full [`run_campaign`]. The
+//! `lsps-campaignd` daemon plans campaigns and shards cells over worker
+//! processes through exactly this surface, and `lsps-campaign --dry-run`
+//! prints it.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -20,7 +28,7 @@ use crate::families::builtin_family;
 use crate::runner::{
     des_online_open, to_csv, Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase,
 };
-use crate::spec::{fnv64, CampaignSpec, OpenEntry, SpecError, WorkloadSource};
+use crate::spec::{fnv64, CampaignSpec, SpecError, WorkloadSource};
 
 /// How a campaign runs: where the cache lives, how wide the pool is, and
 /// what relative trace paths resolve against.
@@ -227,41 +235,135 @@ fn cell_key(
     serde_json::to_string(&key).expect("keys serialize")
 }
 
-/// Run a campaign: validate, expand, serve cached cells, execute the rest
-/// through the runner's worker pool, persist fresh cells, aggregate.
-pub fn run_campaign(
-    spec: &CampaignSpec,
-    opts: &CampaignOptions,
-) -> Result<CampaignReport, CampaignError> {
-    spec.validate()?;
-    let cache = match &opts.cache_dir {
-        Some(dir) => Some(CellCache::new(dir).map_err(|e| CampaignError::Cache(e.to_string()))?),
-        None => None,
-    };
-    let expanded = expand_entries(spec, opts)?;
-    let mut cells: Vec<Cell> = Vec::with_capacity(spec.cell_count());
-    let mut cache_hits = 0usize;
-    // Open (steady-state) campaigns bypass the runner's finite case list:
-    // validation guarantees every entry is open and the executor list is
-    // exactly `[des-online]`.
-    let is_open = spec
-        .workloads
-        .iter()
-        .any(|w| matches!(w.source, WorkloadSource::Open(_)));
-    for &executor in &spec.executors {
-        if is_open {
-            cache_hits += run_open_cells(spec, opts, &cache, &expanded, executor, &mut cells);
-            continue;
+/// One cell of an expanded campaign: the grid coordinates that determine
+/// its outcome plus its content-addressed cache key. Cells live in the
+/// canonical campaign order (executor-major, then platform → workload
+/// entry → replication → policy), and the index of a cell in
+/// [`CampaignPlan::cells`] is its stable identity for sharded execution —
+/// the daemon ships `(campaign, cell index)` pairs to workers and both
+/// sides agree on what the index means because both expanded the same
+/// spec.
+#[derive(Clone, Debug)]
+pub struct PlannedCell {
+    /// Executor the cell runs under.
+    pub executor: Executor,
+    /// Index into [`CampaignSpec::platforms`].
+    pub platform: usize,
+    /// Index into [`CampaignSpec::policies`].
+    pub policy: usize,
+    /// Index into [`CampaignSpec::workloads`].
+    pub entry: usize,
+    /// Replication seed.
+    pub seed: u64,
+    /// The cell's content-addressed cache key preimage (canonical JSON) —
+    /// also the dedup/resume token the service tier shards on.
+    pub key: String,
+    /// Runner case index (the workload-case axis of
+    /// [`ExperimentRunner::cell_order`]): position of this cell's
+    /// (entry, seed) pair in the entry-major case list.
+    case: usize,
+}
+
+/// A validated, fully expanded campaign: the spec, its trace content (read
+/// once, keyed by hash), and every cell in canonical order with its cache
+/// key. This is the library surface shared by [`run_campaign`], the
+/// `lsps-campaign --dry-run` breakdown, and the `lsps-campaignd` /
+/// `lsps-worker` service tier: the daemon plans, probes the cache and
+/// shards cell indices; each worker re-expands the same spec and runs
+/// single cells via [`CampaignPlan::run_cell`].
+pub struct CampaignPlan {
+    spec: CampaignSpec,
+    expanded: Vec<ExpandedEntry>,
+    cells: Vec<PlannedCell>,
+    open: bool,
+}
+
+impl CampaignPlan {
+    /// Validate `spec` and expand it into the canonical cell list.
+    pub fn expand(
+        spec: &CampaignSpec,
+        opts: &CampaignOptions,
+    ) -> Result<CampaignPlan, CampaignError> {
+        spec.validate()?;
+        let expanded = expand_entries(spec, opts)?;
+        let open = spec
+            .workloads
+            .iter()
+            .any(|w| matches!(w.source, WorkloadSource::Open(_)));
+        let mut cells = Vec::with_capacity(spec.cell_count());
+        for &executor in &spec.executors {
+            for pi in 0..spec.platforms.len() {
+                let mut case = 0usize;
+                for exp in &expanded {
+                    for &seed in &exp.seeds {
+                        for ki in 0..spec.policies.len() {
+                            cells.push(PlannedCell {
+                                executor,
+                                platform: pi,
+                                policy: ki,
+                                entry: exp.entry_idx,
+                                seed,
+                                key: cell_key(
+                                    spec,
+                                    executor,
+                                    pi,
+                                    ki,
+                                    exp,
+                                    &spec.workloads[exp.entry_idx].name,
+                                    seed,
+                                ),
+                                case,
+                            });
+                        }
+                        case += 1;
+                    }
+                }
+            }
         }
-        let (workloads, meta) = build_cases(spec, &expanded);
-        let runner = ExperimentRunner {
-            policies: spec
+        Ok(CampaignPlan {
+            spec: spec.clone(),
+            expanded,
+            cells,
+            open,
+        })
+    }
+
+    /// The validated spec the plan was expanded from.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Every cell, in canonical order.
+    pub fn cells(&self) -> &[PlannedCell] {
+        &self.cells
+    }
+
+    /// Whether this is an open (steady-state) campaign.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// The spec as canonical compact JSON — the content the service tier
+    /// derives campaign ids from and journals for restart resume. Two
+    /// spellings of the same spec (key order, layered defaults) canonicalize
+    /// to the same bytes.
+    pub fn canonical_spec_json(&self) -> String {
+        serde_json::to_string(&self.spec).expect("specs serialize")
+    }
+
+    /// The runner for one executor sweep, cases in canonical order.
+    fn runner(&self, executor: Executor, threads: usize) -> ExperimentRunner {
+        let (workloads, _meta) = build_cases(&self.spec, &self.expanded);
+        ExperimentRunner {
+            policies: self
+                .spec
                 .policies
                 .iter()
                 .map(|p| by_name(p).expect("validated policy"))
                 .collect(),
             workloads,
-            platforms: spec
+            platforms: self
+                .spec
                 .platforms
                 .iter()
                 .map(|p| PlatformCase {
@@ -270,124 +372,27 @@ pub fn run_campaign(
                     speeds: p.speeds.clone(),
                 })
                 .collect(),
-            ctx: spec.ctx.to_policy_ctx(),
+            ctx: self.spec.ctx.to_policy_ctx(),
             executor,
-            threads: opts.threads,
-        };
-        let order = runner.cell_order();
-        let keys: Vec<String> = order
-            .iter()
-            .map(|&(pi, wi, ki)| {
-                let (entry_idx, seed) = meta[wi];
-                cell_key(
-                    spec,
-                    executor,
-                    pi,
-                    ki,
-                    &expanded[entry_idx],
-                    &spec.workloads[entry_idx].name,
-                    seed,
-                )
-            })
-            .collect();
-        let mut slots: Vec<Option<Cell>> = match &cache {
-            Some(c) => keys.iter().map(|k| c.load(k)).collect(),
-            None => keys.iter().map(|_| None).collect(),
-        };
-        cache_hits += slots.iter().filter(|s| s.is_some()).count();
-        let missing: Vec<(usize, (usize, usize, usize))> = order
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| slots[*i].is_none())
-            .map(|(i, &t)| (i, t))
-            .collect();
-        let tasks: Vec<(usize, usize, usize)> = missing.iter().map(|&(_, t)| t).collect();
-        let fresh = runner.run_cells(&tasks);
-        for (&(slot, _), cell) in missing.iter().zip(fresh) {
-            if let Some(c) = &cache {
-                c.store(&keys[slot], &cell);
-            }
-            slots[slot] = Some(cell);
+            threads,
         }
-        cells.extend(
-            slots
-                .into_iter()
-                .map(|s| s.expect("every slot filled (cache hit or fresh run)")),
-        );
     }
-    let total = cells.len();
-    Ok(CampaignReport {
-        raw_csv: to_csv(&cells),
-        aggregate_csv: aggregate_csv(&cells),
-        cells,
-        total,
-        cache_hits,
-    })
-}
 
-/// Run every open-arrival cell of the spec under `executor` in canonical
-/// order (platform → workload entry → replication → policy, the runner's
-/// own order), serving cached cells and fanning fresh drives over a
-/// worker pool exactly like [`ExperimentRunner::run_cells`]. Appends the
-/// cells in order and returns the cache-hit count.
-fn run_open_cells(
-    spec: &CampaignSpec,
-    opts: &CampaignOptions,
-    cache: &Option<CellCache>,
-    expanded: &[ExpandedEntry],
-    executor: Executor,
-    cells: &mut Vec<Cell>,
-) -> usize {
-    struct OpenTask<'a> {
-        pi: usize,
-        entry_name: &'a str,
-        seed: u64,
-        ki: usize,
-        open: &'a OpenEntry,
-        key: String,
-    }
-    let policies: Vec<Box<dyn Policy>> = spec
-        .policies
-        .iter()
-        .map(|p| by_name(p).expect("validated policy"))
-        .collect();
-    let ctx = spec.ctx.to_policy_ctx();
-    let mut tasks: Vec<OpenTask<'_>> = Vec::new();
-    for pi in 0..spec.platforms.len() {
-        for exp in expanded {
-            let entry = &spec.workloads[exp.entry_idx];
-            let WorkloadSource::Open(open) = &entry.source else {
-                unreachable!("validated: open campaigns are uniformly open")
-            };
-            for &seed in &exp.seeds {
-                for ki in 0..spec.policies.len() {
-                    tasks.push(OpenTask {
-                        pi,
-                        entry_name: &entry.name,
-                        seed,
-                        ki,
-                        open,
-                        key: cell_key(spec, executor, pi, ki, exp, &entry.name, seed),
-                    });
-                }
-            }
-        }
-    }
-    let mut slots: Vec<Option<Cell>> = match cache {
-        Some(c) => tasks.iter().map(|t| c.load(&t.key)).collect(),
-        None => tasks.iter().map(|_| None).collect(),
-    };
-    let hits = slots.iter().filter(|s| s.is_some()).count();
-    let run_task = |t: &OpenTask<'_>| -> Cell {
-        let plat = &spec.platforms[t.pi];
-        let policy = policies[t.ki].as_ref();
-        let out = des_online_open(policy, t.open, plat.m, &ctx, t.seed);
+    /// Drive one open-arrival cell to completion.
+    fn open_cell(&self, c: &PlannedCell, policy: &dyn Policy) -> Cell {
+        let entry = &self.spec.workloads[c.entry];
+        let WorkloadSource::Open(open) = &entry.source else {
+            unreachable!("validated: open campaigns are uniformly open")
+        };
+        let plat = &self.spec.platforms[c.platform];
+        let ctx = self.spec.ctx.to_policy_ctx();
+        let out = des_online_open(policy, open, plat.m, &ctx, c.seed);
         let utilization = out.criteria.utilization(plat.m);
         Cell {
             policy: policy.name().to_string(),
-            executor: executor.name().to_string(),
-            workload: t.entry_name.to_string(),
-            seed: t.seed,
+            executor: c.executor.name().to_string(),
+            workload: entry.name.clone(),
+            seed: c.seed,
             platform: plat.name.clone(),
             m: plat.m,
             n: out.completions as usize,
@@ -401,60 +406,149 @@ fn run_open_cells(
             trials: None,
             kills: None,
             wasted_ticks: None,
-            class_names: Some(
-                t.open
-                    .stream
-                    .classes
-                    .iter()
-                    .map(|c| c.name.clone())
-                    .collect(),
-            ),
+            class_names: Some(open.stream.classes.iter().map(|c| c.name.clone()).collect()),
             responses: Some(out.responses),
         }
+    }
+
+    /// Run one cell by canonical index, in isolation: the single-cell entry
+    /// point workers execute. Byte-identical to the same cell's outcome
+    /// inside a full [`run_campaign`] — the workload is regenerated from
+    /// (entry, seed, m), which is a pure function.
+    pub fn run_cell(&self, idx: usize) -> Cell {
+        let c = &self.cells[idx];
+        if self.open {
+            let policy = by_name(&self.spec.policies[c.policy]).expect("validated policy");
+            return self.open_cell(c, policy.as_ref());
+        }
+        let runner = self.runner(c.executor, 1);
+        let mut fresh = runner.run_cells(&[(c.platform, c.case, c.policy)]);
+        fresh.pop().expect("one task yields one cell")
+    }
+
+    /// Run the cells at the given canonical indices across a worker pool of
+    /// `threads`, returning cells aligned with `indices`. Finite campaigns
+    /// batch by executor through [`ExperimentRunner::run_cells`] (sharing
+    /// generated workloads across the policies of a sweep); open campaigns
+    /// fan independent drives over the same pool shape.
+    pub fn run_cells(&self, indices: &[usize], threads: usize) -> Vec<Cell> {
+        if self.open {
+            let policies: Vec<Box<dyn Policy>> = self
+                .spec
+                .policies
+                .iter()
+                .map(|p| by_name(p).expect("validated policy"))
+                .collect();
+            return pool_map(threads, indices.len(), |i| {
+                let c = &self.cells[indices[i]];
+                self.open_cell(c, policies[c.policy].as_ref())
+            });
+        }
+        // Finite: cells are executor-major, so an ordered index list splits
+        // into contiguous per-executor runs; each run batches through the
+        // runner (which generates every referenced workload exactly once).
+        let mut out: Vec<Cell> = Vec::with_capacity(indices.len());
+        let mut i = 0;
+        while i < indices.len() {
+            let executor = self.cells[indices[i]].executor;
+            let mut j = i;
+            while j < indices.len() && self.cells[indices[j]].executor == executor {
+                j += 1;
+            }
+            let tasks: Vec<(usize, usize, usize)> = indices[i..j]
+                .iter()
+                .map(|&idx| {
+                    let c = &self.cells[idx];
+                    (c.platform, c.case, c.policy)
+                })
+                .collect();
+            out.extend(self.runner(executor, threads).run_cells(&tasks));
+            i = j;
+        }
+        out
+    }
+}
+
+/// Run `f(0..n)` across a pool of `threads` workers (`0` = one per core),
+/// results slot-indexed so the output order is byte-identical to a
+/// sequential run.
+fn pool_map<F>(threads: usize, n: usize, f: F) -> Vec<Cell>
+where
+    F: Fn(usize) -> Cell + Sync,
+{
+    let threads = match threads {
+        0 => std::thread::available_parallelism().map_or(1, |t| t.get()),
+        t => t,
+    }
+    .min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Cell>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = f(i);
+                *slots[i].lock().expect("result slot") = Some(cell);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+/// Run a campaign: validate, expand, serve cached cells, execute the rest
+/// through the runner's worker pool, persist fresh cells, aggregate.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, CampaignError> {
+    let plan = CampaignPlan::expand(spec, opts)?;
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(CellCache::new(dir).map_err(|e| CampaignError::Cache(e.to_string()))?),
+        None => None,
     };
+    let mut slots: Vec<Option<Cell>> = match &cache {
+        Some(c) => plan.cells().iter().map(|t| c.load(&t.key)).collect(),
+        None => plan.cells().iter().map(|_| None).collect(),
+    };
+    let cache_hits = slots.iter().filter(|s| s.is_some()).count();
     let missing: Vec<usize> = slots
         .iter()
         .enumerate()
         .filter(|(_, s)| s.is_none())
         .map(|(i, _)| i)
         .collect();
-    let threads = match opts.threads {
-        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-        t => t,
-    }
-    .min(missing.len().max(1));
-    if threads <= 1 {
-        for &i in &missing {
-            slots[i] = Some(run_task(&tasks[i]));
+    let fresh = plan.run_cells(&missing, opts.threads);
+    for (&idx, cell) in missing.iter().zip(fresh) {
+        if let Some(c) = &cache {
+            c.store(&plan.cells()[idx].key, &cell);
         }
-    } else {
-        let next = AtomicUsize::new(0);
-        let fresh: Vec<Mutex<Option<Cell>>> = missing.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&slot) = missing.get(i) else { break };
-                    let cell = run_task(&tasks[slot]);
-                    *fresh[i].lock().expect("result slot") = Some(cell);
-                });
-            }
-        });
-        for (&slot, cell) in missing.iter().zip(fresh) {
-            slots[slot] = Some(cell.into_inner().expect("result slot").expect("worker ran"));
-        }
+        slots[idx] = Some(cell);
     }
-    if let Some(c) = cache {
-        for &i in &missing {
-            c.store(&tasks[i].key, slots[i].as_ref().expect("fresh cell"));
-        }
-    }
-    cells.extend(
-        slots
-            .into_iter()
-            .map(|s| s.expect("every open slot filled (cache hit or fresh drive)")),
-    );
-    hits
+    let cells: Vec<Cell> = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled (cache hit or fresh run)"))
+        .collect();
+    let total = cells.len();
+    Ok(CampaignReport {
+        raw_csv: to_csv(&cells),
+        aggregate_csv: aggregate_csv(&cells),
+        cells,
+        total,
+        cache_hits,
+    })
 }
 
 /// A cell metric accessor, as the aggregate table names them.
@@ -530,9 +624,12 @@ struct RespAgg {
 }
 
 /// Aggregate replications: one row per (policy, executor, workload,
-/// platform) group in first-seen order, each metric summarized as
-/// mean/std/ci95/min/median/max over the group's cells, plus the mean
-/// trial-overhead counters (empty columns for groups without them).
+/// platform) group, each metric summarized as mean/std/ci95/min/median/max
+/// over the group's cells, plus the mean trial-overhead counters (empty
+/// columns for groups without them). Groups are written in canonical cell
+/// order — sorted by each group's first cell index — so the row order is a
+/// function of the cell list alone, never of `--threads`, worker count, or
+/// accumulation order.
 ///
 /// Open-arrival groups emit one row **per job class** instead: the group
 /// statistics repeat and the trailing `AGG_RESPONSE_COLUMNS` carry the
@@ -549,9 +646,9 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
         class_names: Vec<String>,
         resp: std::collections::BTreeMap<u32, RespAgg>,
     }
-    let mut order: Vec<GroupKey> = Vec::new();
+    let mut order: Vec<(usize, GroupKey)> = Vec::new();
     let mut groups: std::collections::HashMap<GroupKey, Group> = std::collections::HashMap::new();
-    for c in cells {
+    for (ci, c) in cells.iter().enumerate() {
         let key = (
             c.policy.clone(),
             c.executor.clone(),
@@ -559,7 +656,7 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
             c.platform.clone(),
         );
         let g = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key);
+            order.push((ci, key));
             Group {
                 m: c.m,
                 metrics: AGG_METRICS.iter().map(|_| Summary::new()).collect(),
@@ -595,9 +692,10 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
             agg.single_ci = r.ci95_flow_s;
         }
     }
+    order.sort_by_key(|&(first_cell, _)| first_cell);
     let mut out = aggregate_header();
     out.push('\n');
-    for key in order {
+    for (_, key) in order {
         let g = &groups[&key];
         let (policy, executor, workload, platform) = &key;
         let mut stats = format!(

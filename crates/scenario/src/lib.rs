@@ -30,7 +30,9 @@ pub mod runner;
 pub mod spec;
 mod table;
 
-pub use campaign::{run_campaign, CampaignError, CampaignOptions, CampaignReport};
+pub use campaign::{
+    run_campaign, CampaignError, CampaignOptions, CampaignPlan, CampaignReport, PlannedCell,
+};
 pub use io::{list_file_names, results_dir, write_file_atomic};
 pub use runner::{
     des_online_open, Cell, Executor, ExperimentRunner, OpenOutcome, PlatformCase, WorkloadCase,

@@ -113,6 +113,40 @@ fn resume_after_interruption_matches_cold_run() {
 }
 
 #[test]
+fn aggregate_order_independent_of_thread_count() {
+    // Aggregate row order is sorted on the canonical cell-order key (each
+    // group's first cell index), so the worker-pool width — 1 thread vs 8 —
+    // must never reorder (or otherwise alter) a single byte of output.
+    let (spec, base) = example_spec();
+    let single = run_campaign(
+        &spec,
+        &CampaignOptions {
+            cache_dir: None,
+            threads: 1,
+            base_dir: Some(base.clone()),
+        },
+    )
+    .expect("1-thread run");
+    let wide = run_campaign(
+        &spec,
+        &CampaignOptions {
+            cache_dir: None,
+            threads: 8,
+            base_dir: Some(base),
+        },
+    )
+    .expect("8-thread run");
+    assert_eq!(
+        single.aggregate_csv, wide.aggregate_csv,
+        "aggregate CSV must not depend on --threads"
+    );
+    assert_eq!(
+        single.raw_csv, wide.raw_csv,
+        "raw CSV must not depend on --threads"
+    );
+}
+
+#[test]
 fn campaign_matches_hand_built_runner() {
     // The declarative layer is sugar, not semantics: a spec-driven run
     // emits the exact bytes of the equivalent hand-built ExperimentRunner.

@@ -1,0 +1,96 @@
+//! `lsps-campaignd` — the long-running campaign service.
+//!
+//! ```text
+//! lsps-campaignd [--port P] [--workers N] [--cache-dir DIR] [--journal-dir DIR]
+//!                [--base-dir DIR] [--cell-timeout-s S] [--worker-cmd PATH]
+//! ```
+//!
+//! Boots the worker fleet, replays the spec journal (resuming every
+//! previously accepted campaign from the cell cache), prints the bound
+//! address as `listening on http://127.0.0.1:<port>` and serves:
+//!
+//! * `POST /campaigns` — submit a [`lsps_scenario::CampaignSpec`] JSON
+//!   body; idempotent by canonical spec content.
+//! * `GET /campaigns/{id}` — per-cell progress counts.
+//! * `GET /campaigns/{id}/aggregate` — the aggregate CSV, byte-identical
+//!   to `lsps-campaign`'s, once the campaign completes.
+//! * `GET /healthz` — liveness.
+//!
+//! `--port 0` (the default) binds an ephemeral port — scripts scrape it
+//! from the `listening on` line.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use lsps_service::daemon::default_worker_cmd;
+use lsps_service::{Daemon, DaemonConfig};
+
+const USAGE: &str = "usage: lsps-campaignd [--port P] [--workers N] [--cache-dir DIR] \
+                     [--journal-dir DIR] [--base-dir DIR] [--cell-timeout-s S] \
+                     [--worker-cmd PATH]";
+
+struct Args {
+    port: u16,
+    cfg: DaemonConfig,
+}
+
+/// `Ok(None)` means help was requested: print usage to stdout, exit 0.
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut port = 0u16;
+    let mut cfg = DaemonConfig::new(default_worker_cmd());
+    let mut argv = std::env::args().skip(1);
+    let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+        argv.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--port" => {
+                let v = value(&mut argv, "--port")?;
+                port = v.parse().map_err(|_| format!("bad port `{v}`"))?;
+            }
+            "--workers" => {
+                let v = value(&mut argv, "--workers")?;
+                cfg.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                if cfg.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--cache-dir" => cfg.cache_dir = PathBuf::from(value(&mut argv, "--cache-dir")?),
+            "--journal-dir" => cfg.journal_dir = PathBuf::from(value(&mut argv, "--journal-dir")?),
+            "--base-dir" => cfg.base_dir = Some(PathBuf::from(value(&mut argv, "--base-dir")?)),
+            "--cell-timeout-s" => {
+                let v = value(&mut argv, "--cell-timeout-s")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad timeout `{v}`"))?;
+                cfg.cell_timeout = Duration::from_secs(secs);
+            }
+            "--worker-cmd" => cfg.worker_cmd = PathBuf::from(value(&mut argv, "--worker-cmd")?),
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(Args { port, cfg }))
+}
+
+fn run() -> Result<(), String> {
+    let Some(args) = parse_args()? else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let listener = TcpListener::bind(("127.0.0.1", args.port)).map_err(|e| format!("bind: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let daemon = Daemon::start(args.cfg).map_err(|e| format!("start: {e}"))?;
+    println!("listening on http://{addr}");
+    daemon.serve(listener).map_err(|e| format!("serve: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! `lsps-worker` — one campaign worker process.
+//!
+//! Speaks the newline-delimited JSON protocol of
+//! [`lsps_service::protocol`] over stdin/stdout and exits when its stdin
+//! closes. Spawned and supervised by `lsps-campaignd`; running it by hand
+//! is only useful for poking at the protocol:
+//!
+//! ```text
+//! $ echo '{"Run":{"id":"x","cell":0}}' | lsps-worker
+//! {"Error":{"id":"x","cell":0,"error":"campaign not loaded"}}
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match lsps_service::worker::worker_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lsps-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

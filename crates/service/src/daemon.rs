@@ -1,0 +1,760 @@
+//! The `lsps-campaignd` state machine: campaign submission, the spec
+//! journal, cache probing, least-loaded sharding over supervised worker
+//! processes, and the HTTP query API.
+//!
+//! ## Lifecycle of a campaign
+//!
+//! `POST /campaigns` parses and expands the spec through
+//! [`CampaignPlan::expand`] (rejecting invalid specs synchronously), then
+//! derives the campaign id from the FNV-64 hash of the *canonical* spec
+//! JSON — resubmitting the same spec (any key order) is idempotent. The
+//! canonical JSON is journaled to `journal_dir/<id>.json` before the
+//! submission returns, so a daemon restart replays every accepted
+//! campaign. Each cell is probed against the content-addressed cell cache
+//! (`Cached` on hit) and the misses are queued.
+//!
+//! ## Sharding and supervision
+//!
+//! Queued cells are dispatched to the least-loaded live worker, ties
+//! broken by the cell's *home slot* — `fnv64(cache key) % workers` — so
+//! equal-load assignment is deterministic and sticky by content. Each
+//! worker holds at most [`INFLIGHT_CAP`] outstanding cells. A supervisor
+//! thread ticks every ~50 ms: a worker with outstanding work but no
+//! activity past the per-cell timeout is killed; dead workers have their
+//! in-flight cells requeued (up to [`DaemonConfig::max_attempts`], then
+//! `Failed`) and are respawned with a clean environment. Fresh results
+//! are stored back into the cell cache, which is what makes restart
+//! resume free: the replayed campaign finds every completed cell already
+//! cached.
+//!
+//! Completed campaigns serve `GET /campaigns/{id}/aggregate` (and
+//! `.../raw`, the per-cell rows) with the exact bytes
+//! [`lsps_scenario::run_campaign`] would produce: cells come back from
+//! workers through the lossless JSON round-trip and are reassembled in
+//! canonical plan order before aggregation.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lsps_scenario::cache::CellCache;
+use lsps_scenario::campaign::aggregate_csv;
+use lsps_scenario::runner::to_csv;
+use lsps_scenario::spec::fnv64;
+use lsps_scenario::{write_file_atomic, CampaignOptions, CampaignPlan, Cell};
+use serde::Value;
+
+use crate::http::{read_request, respond, Request};
+use crate::protocol::{FromWorker, ToWorker};
+
+/// Maximum cells outstanding per worker process: enough to hide dispatch
+/// latency, small enough that a worker death costs little rework.
+pub const INFLIGHT_CAP: usize = 2;
+
+/// Everything the daemon needs to run.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Worker-process count.
+    pub workers: usize,
+    /// A worker with outstanding cells but no completions for this long is
+    /// considered wedged, killed, and its cells reassigned.
+    pub cell_timeout: Duration,
+    /// Dispatch attempts per cell before it is marked `Failed`.
+    pub max_attempts: usize,
+    /// Content-addressed cell cache directory (shared with
+    /// `lsps-campaign`).
+    pub cache_dir: PathBuf,
+    /// Spec journal directory; replayed on startup.
+    pub journal_dir: PathBuf,
+    /// Directory relative trace paths resolve against.
+    pub base_dir: Option<PathBuf>,
+    /// Path to the `lsps-worker` binary.
+    pub worker_cmd: PathBuf,
+    /// Extra environment for *first-generation* workers only — the
+    /// fault-injection hook. Respawned workers always run clean.
+    pub worker_env: Vec<(String, String)>,
+}
+
+impl DaemonConfig {
+    /// Defaults for a daemon driving `worker_cmd`.
+    pub fn new(worker_cmd: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            workers: 2,
+            cell_timeout: Duration::from_secs(120),
+            max_attempts: 3,
+            cache_dir: PathBuf::from("results/cache"),
+            journal_dir: PathBuf::from("results/journal"),
+            base_dir: None,
+            worker_cmd: worker_cmd.into(),
+            worker_env: Vec::new(),
+        }
+    }
+}
+
+/// Where one cell of a tracked campaign stands.
+#[derive(Clone, Debug, PartialEq)]
+enum CellState {
+    /// Waiting for a worker slot.
+    Queued,
+    /// Dispatched to worker `worker`.
+    Running {
+        /// Worker slot index the cell was dispatched to.
+        worker: usize,
+    },
+    /// Served from the cell cache at submission.
+    Cached,
+    /// Computed by a worker this run.
+    Done,
+    /// Exhausted its attempts.
+    Failed,
+}
+
+/// One tracked campaign.
+struct CampaignState {
+    plan: CampaignPlan,
+    states: Vec<CellState>,
+    results: Vec<Option<Cell>>,
+    attempts: Vec<usize>,
+    /// First failure rendering, for the aggregate endpoint's error body.
+    error: Option<String>,
+}
+
+impl CampaignState {
+    /// (queued, running, cached, done, failed) counts.
+    fn counts(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for s in &self.states {
+            match s {
+                CellState::Queued => c.0 += 1,
+                CellState::Running { .. } => c.1 += 1,
+                CellState::Cached => c.2 += 1,
+                CellState::Done => c.3 += 1,
+                CellState::Failed => c.4 += 1,
+            }
+        }
+        c
+    }
+
+    /// No cell is queued or running.
+    fn complete(&self) -> bool {
+        !self
+            .states
+            .iter()
+            .any(|s| matches!(s, CellState::Queued | CellState::Running { .. }))
+    }
+}
+
+/// One supervised worker process.
+struct WorkerSlot {
+    child: Child,
+    stdin: ChildStdin,
+    /// Monotonic spawn counter; reader threads tag messages with the
+    /// generation they were spawned for, so a stale reader can never
+    /// mutate the slot's replacement.
+    generation: u64,
+    /// `(campaign id, cell index)` dispatched and not yet answered.
+    inflight: Vec<(String, usize)>,
+    /// Campaign ids already `Load`ed into this process.
+    loaded: HashSet<String>,
+    /// Last dispatch or completion; staleness past the cell timeout with
+    /// a non-empty `inflight` means the worker is wedged.
+    last_activity: Instant,
+    /// Set once the worker is known lost; the supervisor respawns it.
+    dead: bool,
+}
+
+struct Shared {
+    campaigns: HashMap<String, CampaignState>,
+    /// `None` until the initial spawn; `Some` thereafter (dead or alive).
+    workers: Vec<Option<WorkerSlot>>,
+    /// Queued `(campaign id, cell index)` in dispatch order.
+    queue: VecDeque<(String, usize)>,
+    /// Next worker generation.
+    next_gen: u64,
+    /// Set by [`Daemon::shutdown`]; readers stop requeueing.
+    stopping: bool,
+}
+
+/// The campaign service. Cheap to share: all state lives behind one
+/// mutex, and every public method locks internally.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    cache: CellCache,
+    shared: Mutex<Shared>,
+    stop: AtomicBool,
+}
+
+impl Daemon {
+    /// Build the service: create the cache and journal directories, spawn
+    /// the worker fleet, replay the journal, start the supervisor.
+    pub fn start(cfg: DaemonConfig) -> io::Result<Arc<Daemon>> {
+        assert!(cfg.workers > 0, "daemon needs at least one worker");
+        let cache = CellCache::new(&cfg.cache_dir)?;
+        std::fs::create_dir_all(&cfg.journal_dir)?;
+        let daemon = Arc::new(Daemon {
+            shared: Mutex::new(Shared {
+                campaigns: HashMap::new(),
+                workers: (0..cfg.workers).map(|_| None).collect(),
+                queue: VecDeque::new(),
+                next_gen: 0,
+                stopping: false,
+            }),
+            cache,
+            cfg,
+            stop: AtomicBool::new(false),
+        });
+        {
+            let mut sh = daemon.shared.lock().expect("daemon state");
+            for w in 0..daemon.cfg.workers {
+                daemon.spawn_worker(&mut sh, w, true)?;
+            }
+        }
+        daemon.replay_journal();
+        let sup = Arc::clone(&daemon);
+        std::thread::spawn(move || sup.supervise());
+        Ok(daemon)
+    }
+
+    /// Re-submit every journaled spec (sorted for a deterministic replay
+    /// order); completed campaigns resume entirely from the cache.
+    fn replay_journal(self: &Arc<Daemon>) {
+        let mut names = lsps_scenario::list_file_names(&self.cfg.journal_dir);
+        names.sort();
+        for name in names.iter().filter(|n| n.ends_with(".json")) {
+            let path = self.cfg.journal_dir.join(name);
+            match std::fs::read_to_string(&path) {
+                Ok(text) => {
+                    if let Err(e) = self.submit(&text) {
+                        eprintln!("[campaignd] journal {name}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("[campaignd] journal {name}: {e}"),
+            }
+        }
+    }
+
+    /// Accept a campaign spec (JSON text). Returns the campaign id;
+    /// resubmitting an equivalent spec returns the existing id without
+    /// touching its state.
+    pub fn submit(&self, spec_text: &str) -> Result<String, String> {
+        let spec: lsps_scenario::CampaignSpec =
+            serde_json::from_str(spec_text).map_err(|e| format!("spec: {e}"))?;
+        let opts = CampaignOptions {
+            cache_dir: None,
+            threads: 1,
+            base_dir: self.cfg.base_dir.clone(),
+        };
+        let plan = CampaignPlan::expand(&spec, &opts).map_err(|e| e.to_string())?;
+        let canonical = plan.canonical_spec_json();
+        let id = format!("{:016x}", fnv64(canonical.as_bytes()));
+        let mut sh = self.shared.lock().expect("daemon state");
+        if sh.campaigns.contains_key(&id) {
+            return Ok(id);
+        }
+        let n = plan.cells().len();
+        let mut states = Vec::with_capacity(n);
+        let mut results = Vec::with_capacity(n);
+        for cell in plan.cells() {
+            match self.cache.load(&cell.key) {
+                Some(data) => {
+                    states.push(CellState::Cached);
+                    results.push(Some(data));
+                }
+                None => {
+                    states.push(CellState::Queued);
+                    results.push(None);
+                }
+            }
+        }
+        for (i, s) in states.iter().enumerate() {
+            if *s == CellState::Queued {
+                sh.queue.push_back((id.clone(), i));
+            }
+        }
+        sh.campaigns.insert(
+            id.clone(),
+            CampaignState {
+                plan,
+                states,
+                results,
+                attempts: vec![0; n],
+                error: None,
+            },
+        );
+        write_file_atomic(&self.cfg.journal_dir, &format!("{id}.json"), &canonical);
+        self.dispatch(&mut sh);
+        Ok(id)
+    }
+
+    /// Spawn (or respawn) the worker in slot `widx` and its reader thread.
+    /// `first` spawns apply [`DaemonConfig::worker_env`].
+    fn spawn_worker(
+        self: &Arc<Daemon>,
+        sh: &mut Shared,
+        widx: usize,
+        first: bool,
+    ) -> io::Result<()> {
+        let mut cmd = Command::new(&self.cfg.worker_cmd);
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if first {
+            for (k, v) in &self.cfg.worker_env {
+                cmd.env(k, v);
+            }
+        }
+        let mut child = cmd.spawn()?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let generation = sh.next_gen;
+        sh.next_gen += 1;
+        sh.workers[widx] = Some(WorkerSlot {
+            child,
+            stdin,
+            generation,
+            inflight: Vec::new(),
+            loaded: HashSet::new(),
+            last_activity: Instant::now(),
+            dead: false,
+        });
+        let daemon = Arc::clone(self);
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde_json::from_str::<FromWorker>(&line) {
+                    Ok(msg) => daemon.on_worker_msg(widx, generation, msg),
+                    Err(e) => eprintln!("[campaignd] worker {widx}: unparseable reply: {e}"),
+                }
+            }
+            // EOF: the process exited (crash, kill, or shutdown).
+            let mut sh = daemon.shared.lock().expect("daemon state");
+            daemon.fail_worker(&mut sh, widx, generation);
+        });
+        Ok(())
+    }
+
+    /// Mark the worker lost and requeue its in-flight cells. Idempotent
+    /// per generation — the timeout path and the reader's EOF path can
+    /// both call it.
+    fn fail_worker(&self, sh: &mut Shared, widx: usize, generation: u64) {
+        if sh.stopping {
+            return;
+        }
+        let Some(slot) = sh.workers[widx].as_mut() else {
+            return;
+        };
+        if slot.generation != generation || slot.dead {
+            return;
+        }
+        slot.dead = true;
+        let _ = slot.child.kill();
+        let inflight = std::mem::take(&mut slot.inflight);
+        for (cid, cell) in inflight {
+            let Some(camp) = sh.campaigns.get_mut(&cid) else {
+                continue;
+            };
+            camp.attempts[cell] += 1;
+            if camp.attempts[cell] >= self.cfg.max_attempts {
+                camp.states[cell] = CellState::Failed;
+                camp.error
+                    .get_or_insert_with(|| format!("cell {cell}: worker died repeatedly"));
+            } else {
+                camp.states[cell] = CellState::Queued;
+                sh.queue.push_back((cid.clone(), cell));
+            }
+        }
+    }
+
+    /// One reply from worker `widx` (generation-tagged; stale readers are
+    /// ignored).
+    fn on_worker_msg(&self, widx: usize, generation: u64, msg: FromWorker) {
+        let mut sh = self.shared.lock().expect("daemon state");
+        {
+            let Some(slot) = sh.workers[widx].as_mut() else {
+                return;
+            };
+            if slot.generation != generation || slot.dead {
+                return;
+            }
+            slot.last_activity = Instant::now();
+        }
+        match msg {
+            FromWorker::Loaded { id, cells } => {
+                if let Some(camp) = sh.campaigns.get(&id) {
+                    if camp.plan.cells().len() != cells {
+                        eprintln!(
+                            "[campaignd] worker {widx}: campaign {id} expanded to {cells} cells, daemon has {}",
+                            camp.plan.cells().len()
+                        );
+                    }
+                }
+            }
+            FromWorker::Done { id, cell, data } => {
+                let slot = sh.workers[widx].as_mut().expect("checked above");
+                slot.inflight.retain(|(c, i)| !(c == &id && *i == cell));
+                if let Some(camp) = sh.campaigns.get_mut(&id) {
+                    if matches!(camp.states[cell], CellState::Running { worker } if worker == widx)
+                    {
+                        self.cache.store(&camp.plan.cells()[cell].key, &data);
+                        camp.results[cell] = Some(*data);
+                        camp.states[cell] = CellState::Done;
+                    }
+                }
+                self.dispatch(&mut sh);
+            }
+            FromWorker::Error { id, cell, error } => {
+                match cell {
+                    Some(cell) => {
+                        let slot = sh.workers[widx].as_mut().expect("checked above");
+                        slot.inflight.retain(|(c, i)| !(c == &id && *i == cell));
+                        if let Some(camp) = sh.campaigns.get_mut(&id) {
+                            camp.attempts[cell] += 1;
+                            if camp.attempts[cell] >= self.cfg.max_attempts {
+                                camp.states[cell] = CellState::Failed;
+                                camp.error.get_or_insert(format!("cell {cell}: {error}"));
+                            } else {
+                                camp.states[cell] = CellState::Queued;
+                                sh.queue.push_back((id, cell));
+                            }
+                        }
+                    }
+                    None => {
+                        // Load failed: the worker cannot run *any* cell of
+                        // this campaign (e.g. an unreadable trace file), and
+                        // every worker shares the environment — fail the
+                        // campaign outright rather than retry in a loop.
+                        if let Some(camp) = sh.campaigns.get_mut(&id) {
+                            camp.error.get_or_insert(format!("load: {error}"));
+                            for s in camp.states.iter_mut() {
+                                if matches!(*s, CellState::Queued | CellState::Running { .. }) {
+                                    *s = CellState::Failed;
+                                }
+                            }
+                        }
+                        sh.queue.retain(|(c, _)| c != &id);
+                        for slot in sh.workers.iter_mut().flatten() {
+                            slot.inflight.retain(|(c, _)| c != &id);
+                        }
+                    }
+                }
+                self.dispatch(&mut sh);
+            }
+        }
+    }
+
+    /// Drain the queue onto available workers: least-loaded live slot
+    /// wins, ties broken by the cell's home slot (`fnv64(key) % workers`)
+    /// so assignment is deterministic and content-sticky.
+    fn dispatch(&self, sh: &mut Shared) {
+        while let Some((cid, cell)) = sh.queue.pop_front() {
+            // Skip entries whose cell moved on (requeue dedup, load failure).
+            let key = match sh.campaigns.get(&cid) {
+                Some(camp) if camp.states[cell] == CellState::Queued => {
+                    camp.plan.cells()[cell].key.clone()
+                }
+                _ => continue,
+            };
+            let n = sh.workers.len();
+            let home = fnv64(key.as_bytes()) as usize % n;
+            let mut target: Option<usize> = None;
+            for off in 0..n {
+                let w = (home + off) % n;
+                let Some(slot) = sh.workers[w].as_ref() else {
+                    continue;
+                };
+                if slot.dead || slot.inflight.len() >= INFLIGHT_CAP {
+                    continue;
+                }
+                if target.is_none_or(|t| {
+                    slot.inflight.len()
+                        < sh.workers[t].as_ref().expect("live target").inflight.len()
+                }) {
+                    target = Some(w);
+                }
+            }
+            let Some(w) = target else {
+                // Every worker is saturated or down; put the cell back and
+                // let the next completion or respawn drain it.
+                sh.queue.push_front((cid, cell));
+                break;
+            };
+            let load_msg = {
+                let slot = sh.workers[w].as_ref().expect("live target");
+                let camp = &sh.campaigns[&cid];
+                (!slot.loaded.contains(&cid)).then(|| {
+                    serde_json::to_string(&ToWorker::Load {
+                        id: cid.clone(),
+                        spec: camp.plan.spec().clone(),
+                        base_dir: self
+                            .cfg
+                            .base_dir
+                            .as_ref()
+                            .map(|p| p.to_string_lossy().into_owned()),
+                    })
+                    .expect("requests serialize")
+                })
+            };
+            let run_msg = serde_json::to_string(&ToWorker::Run {
+                id: cid.clone(),
+                cell,
+            })
+            .expect("requests serialize");
+            let slot = sh.workers[w].as_mut().expect("live target");
+            let generation = slot.generation;
+            let mut write = || -> io::Result<()> {
+                if let Some(m) = &load_msg {
+                    writeln!(slot.stdin, "{m}")?;
+                }
+                writeln!(slot.stdin, "{run_msg}")?;
+                slot.stdin.flush()
+            };
+            match write() {
+                Ok(()) => {
+                    slot.loaded.insert(cid.clone());
+                    slot.inflight.push((cid.clone(), cell));
+                    slot.last_activity = Instant::now();
+                    let camp = sh.campaigns.get_mut(&cid).expect("campaign exists");
+                    camp.states[cell] = CellState::Running { worker: w };
+                }
+                Err(_) => {
+                    // Broken pipe: the worker is gone. Requeue this cell
+                    // (it was never dispatched) and fail the slot.
+                    sh.queue.push_front((cid, cell));
+                    self.fail_worker(sh, w, generation);
+                }
+            }
+        }
+    }
+
+    /// Supervisor loop: kill wedged workers, respawn dead ones, keep the
+    /// queue draining. Exits on [`Daemon::shutdown`].
+    fn supervise(self: Arc<Daemon>) {
+        while !self.stop.load(Ordering::SeqCst) {
+            {
+                let mut sh = self.shared.lock().expect("daemon state");
+                for w in 0..sh.workers.len() {
+                    let wedged = sh.workers[w].as_ref().is_some_and(|s| {
+                        !s.dead
+                            && !s.inflight.is_empty()
+                            && s.last_activity.elapsed() > self.cfg.cell_timeout
+                    });
+                    if wedged {
+                        let generation = sh.workers[w].as_ref().expect("checked above").generation;
+                        eprintln!(
+                            "[campaignd] worker {w}: no progress past cell timeout, respawning"
+                        );
+                        self.fail_worker(&mut sh, w, generation);
+                    }
+                    let dead = sh.workers[w].as_mut().is_some_and(|s| {
+                        if s.dead {
+                            let _ = s.child.wait();
+                        }
+                        s.dead
+                    });
+                    if dead {
+                        if let Err(e) = self.spawn_worker(&mut sh, w, false) {
+                            eprintln!("[campaignd] worker {w}: respawn failed: {e}");
+                        }
+                    }
+                }
+                self.dispatch(&mut sh);
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Progress of campaign `id` as a JSON object, or `None` if unknown.
+    pub fn status_json(&self, id: &str) -> Option<String> {
+        let sh = self.shared.lock().expect("daemon state");
+        let camp = sh.campaigns.get(id)?;
+        let (queued, running, cached, done, failed) = camp.counts();
+        let v = Value::Map(vec![
+            ("id".into(), Value::Str(id.into())),
+            ("name".into(), Value::Str(camp.plan.spec().name.clone())),
+            ("total".into(), Value::UInt(camp.states.len() as u64)),
+            ("queued".into(), Value::UInt(queued as u64)),
+            ("running".into(), Value::UInt(running as u64)),
+            ("cached".into(), Value::UInt(cached as u64)),
+            ("done".into(), Value::UInt(done as u64)),
+            ("failed".into(), Value::UInt(failed as u64)),
+            ("complete".into(), Value::Bool(camp.complete())),
+        ]);
+        Some(serde_json::to_string(&v).expect("status serializes"))
+    }
+
+    /// The campaign's CSVs, byte-identical to an in-process
+    /// [`lsps_scenario::run_campaign`]: `Ok((raw, aggregate))` once every
+    /// cell is accounted for, `Err((http status, message))` otherwise.
+    pub fn csvs(&self, id: &str) -> Result<(String, String), (u16, String)> {
+        let sh = self.shared.lock().expect("daemon state");
+        let Some(camp) = sh.campaigns.get(id) else {
+            return Err((404, format!("unknown campaign `{id}`\n")));
+        };
+        if !camp.complete() {
+            let (queued, running, ..) = camp.counts();
+            return Err((
+                409,
+                format!("campaign still running ({queued} queued, {running} running)\n"),
+            ));
+        }
+        if let Some(err) = &camp.error {
+            return Err((500, format!("campaign failed: {err}\n")));
+        }
+        let cells: Vec<Cell> = camp
+            .results
+            .iter()
+            .map(|r| r.clone().expect("complete without failures"))
+            .collect();
+        Ok((to_csv(&cells), aggregate_csv(&cells)))
+    }
+
+    /// Serve the HTTP API on `listener` until [`Daemon::shutdown`]. One
+    /// thread per connection; the listener polls so shutdown is prompt.
+    pub fn serve(self: &Arc<Daemon>, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let daemon = Arc::clone(self);
+                    std::thread::spawn(move || daemon.handle_connection(stream));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let req = match read_request(&mut stream) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = respond(
+                    &mut stream,
+                    400,
+                    "Bad Request",
+                    "text/plain",
+                    &format!("{e}\n"),
+                );
+                return;
+            }
+        };
+        let _ = self.route(&mut stream, &req);
+    }
+
+    fn route(&self, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => respond(stream, 200, "OK", "text/plain", "ok\n"),
+            ("POST", "/campaigns") => match self.submit(&req.body) {
+                Ok(id) => {
+                    let status = self.status_json(&id).expect("just submitted");
+                    respond(stream, 202, "Accepted", "application/json", &status)
+                }
+                Err(e) => respond(stream, 400, "Bad Request", "text/plain", &format!("{e}\n")),
+            },
+            ("GET", path) => {
+                let Some(rest) = path.strip_prefix("/campaigns/") else {
+                    return respond(stream, 404, "Not Found", "text/plain", "not found\n");
+                };
+                let csv = if let Some(id) = rest.strip_suffix("/aggregate") {
+                    Some((id, true))
+                } else {
+                    rest.strip_suffix("/raw").map(|id| (id, false))
+                };
+                if let Some((id, aggregate)) = csv {
+                    match self.csvs(id) {
+                        Ok((raw, agg)) => {
+                            let body = if aggregate { &agg } else { &raw };
+                            respond(stream, 200, "OK", "text/csv", body)
+                        }
+                        Err((status, msg)) => {
+                            let reason = match status {
+                                404 => "Not Found",
+                                409 => "Conflict",
+                                _ => "Internal Server Error",
+                            };
+                            respond(stream, status, reason, "text/plain", &msg)
+                        }
+                    }
+                } else {
+                    match self.status_json(rest) {
+                        Some(json) => respond(stream, 200, "OK", "application/json", &json),
+                        None => respond(
+                            stream,
+                            404,
+                            "Not Found",
+                            "text/plain",
+                            &format!("unknown campaign `{rest}`\n"),
+                        ),
+                    }
+                }
+            }
+            _ => respond(stream, 404, "Not Found", "text/plain", "not found\n"),
+        }
+    }
+
+    /// Stop the supervisor and the accept loop, kill the worker fleet.
+    /// The journal and cache survive — a new [`Daemon::start`] on the same
+    /// directories resumes every campaign from cache.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut sh = self.shared.lock().expect("daemon state");
+        sh.stopping = true;
+        for slot in sh.workers.iter_mut().flatten() {
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if !self.stop.load(Ordering::SeqCst) {
+            self.shutdown();
+        }
+    }
+}
+
+/// Resolve a sibling binary of the current executable (`lsps-campaignd` →
+/// `lsps-worker` in the same target directory), falling back to `name` on
+/// `PATH`.
+pub fn sibling_binary(name: &str) -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            let candidate = exe.parent()?.join(name);
+            candidate.exists().then_some(candidate)
+        })
+        .unwrap_or_else(|| PathBuf::from(name))
+}
+
+/// Shared CLI default: the worker binary expected next to whichever
+/// binary is running. Callers that can degrade gracefully (benches)
+/// should check `is_file()` on the result before booting a daemon.
+pub fn default_worker_cmd() -> PathBuf {
+    sibling_binary(if cfg!(windows) {
+        "lsps-worker.exe"
+    } else {
+        "lsps-worker"
+    })
+}
+
+/// Spawn-side helper for tests and benches: a config pointed at temp
+/// directories under `root`, with `worker_cmd` explicit.
+pub fn config_under(root: &Path, worker_cmd: impl Into<PathBuf>) -> DaemonConfig {
+    let mut cfg = DaemonConfig::new(worker_cmd);
+    cfg.cache_dir = root.join("cache");
+    cfg.journal_dir = root.join("journal");
+    cfg
+}

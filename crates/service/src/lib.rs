@@ -1,0 +1,33 @@
+//! The campaign service tier: a long-running daemon (`lsps-campaignd`)
+//! that accepts [`lsps_scenario::CampaignSpec`] JSON over a minimal
+//! HTTP/1.1 API and shards cell execution across supervised `lsps-worker`
+//! child processes.
+//!
+//! The crate is deliberately std-only: the HTTP server is a hand-rolled
+//! request/response loop over [`std::net::TcpListener`] (one thread per
+//! connection, `Connection: close`), and the worker protocol is
+//! newline-delimited JSON over stdin/stdout — no async runtime, no
+//! external network stack, matching the workspace's offline-shim
+//! constraint.
+//!
+//! The design leans entirely on two invariants of the scenario layer:
+//!
+//! * [`lsps_scenario::CampaignPlan`] expands a spec into a canonical cell
+//!   list; daemon and worker expand the *same* spec, so a bare cell index
+//!   is an unambiguous work unit.
+//! * the content-addressed cell cache round-trips cells losslessly, so a
+//!   cell computed in a worker process, shipped back as JSON and stored in
+//!   the daemon's cache is byte-identical to one computed in-process —
+//!   the service aggregate equals [`lsps_scenario::run_campaign`]'s.
+//!
+//! [`daemon`] holds the service state machine (submission, journal,
+//! sharding, supervision, query API), [`worker`] the child-process loop,
+//! [`protocol`] the wire types, [`http`] the transport.
+
+pub mod daemon;
+pub mod http;
+pub mod protocol;
+pub mod worker;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use protocol::{FromWorker, ToWorker};

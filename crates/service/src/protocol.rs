@@ -1,0 +1,73 @@
+//! The daemon ↔ worker wire protocol: one JSON message per line, requests
+//! on the worker's stdin, replies on its stdout.
+//!
+//! A campaign is shipped once per worker process as a [`ToWorker::Load`]
+//! carrying the full spec; after that, work units are bare cell indices
+//! into the canonical [`lsps_scenario::CampaignPlan`] order — daemon and
+//! worker expand the same spec, so both sides agree on what an index
+//! means without ever serializing a cell's inputs twice.
+//!
+//! The worker answers every `Run` with exactly one [`FromWorker::Done`]
+//! or [`FromWorker::Error`]; the daemon treats anything else (EOF,
+//! garbage, silence past the cell timeout) as a worker failure and
+//! reassigns the in-flight cells.
+
+use lsps_scenario::{CampaignSpec, Cell};
+use serde::{Deserialize, Serialize};
+
+/// Daemon → worker requests.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ToWorker {
+    /// Expand `spec` and cache the resulting plan under `id`; must precede
+    /// any [`ToWorker::Run`] for that campaign (stdin is read serially, so
+    /// ordering is guaranteed by the transport).
+    Load {
+        /// Campaign id the plan is cached under.
+        id: String,
+        /// The full campaign spec, as submitted.
+        spec: CampaignSpec,
+        /// Directory relative trace paths resolve against.
+        base_dir: Option<String>,
+    },
+    /// Run one cell of a previously loaded campaign.
+    Run {
+        /// Campaign id of a prior `Load`.
+        id: String,
+        /// Canonical cell index into the campaign's plan.
+        cell: usize,
+    },
+}
+
+/// Worker → daemon replies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum FromWorker {
+    /// A `Load` succeeded; `cells` echoes the plan size as a cross-check
+    /// that both sides expanded the same grid.
+    Loaded {
+        /// Campaign id.
+        id: String,
+        /// Cell count of the expanded plan.
+        cells: usize,
+    },
+    /// A `Run` completed; `data` is the full cell, which round-trips
+    /// losslessly through JSON (shortest-roundtrip floats). Boxed to keep
+    /// the reply enum small — `Loaded`/`Error` are the common frames on
+    /// the supervision paths.
+    Done {
+        /// Campaign id.
+        id: String,
+        /// The cell index that ran.
+        cell: usize,
+        /// The computed cell.
+        data: Box<Cell>,
+    },
+    /// A request failed; `cell` is `None` for `Load` failures.
+    Error {
+        /// Campaign id.
+        id: String,
+        /// The failing cell index, if the request was a `Run`.
+        cell: Option<usize>,
+        /// Error rendering.
+        error: String,
+    },
+}

@@ -1,0 +1,109 @@
+//! The `lsps-worker` loop: read [`ToWorker`] requests line-by-line from
+//! stdin, answer each with one [`FromWorker`] line on stdout.
+//!
+//! The worker is intentionally dumb: it holds the expanded
+//! [`CampaignPlan`] per campaign id and runs whatever cell index the
+//! daemon asks for, one at a time, single-threaded — parallelism is the
+//! daemon's job (it runs N workers), and crash isolation is the whole
+//! point of the process boundary. A worker that dies mid-cell loses only
+//! that cell; the daemon reassigns it.
+//!
+//! For fault-injection tests, `LSPS_WORKER_FAULT=crash:<n>` exits the
+//! process right before the n-th `Run` executes, and `hang:<n>` sleeps
+//! long past any reasonable cell timeout instead. The daemon only passes
+//! that environment to first-generation workers, so respawns run clean.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+
+use lsps_scenario::{CampaignOptions, CampaignPlan};
+
+use crate::protocol::{FromWorker, ToWorker};
+
+/// Apply `LSPS_WORKER_FAULT` before the `runs`-th cell execution.
+fn apply_fault(fault: &Option<String>, runs: usize) {
+    let Some(f) = fault else { return };
+    let Some((kind, n)) = f.split_once(':') else {
+        return;
+    };
+    if n.parse() != Ok(runs) {
+        return;
+    }
+    match kind {
+        "crash" => std::process::exit(3),
+        "hang" => std::thread::sleep(std::time::Duration::from_secs(3600)),
+        _ => {}
+    }
+}
+
+/// Serve requests from stdin until EOF (the daemon closing our stdin is
+/// the shutdown signal).
+pub fn worker_main() -> io::Result<()> {
+    let fault = std::env::var("LSPS_WORKER_FAULT").ok();
+    let mut runs = 0usize;
+    let mut plans: HashMap<String, CampaignPlan> = HashMap::new();
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match serde_json::from_str::<ToWorker>(&line) {
+            Err(e) => FromWorker::Error {
+                id: String::new(),
+                cell: None,
+                error: format!("unparseable request: {e}"),
+            },
+            Ok(ToWorker::Load { id, spec, base_dir }) => {
+                let opts = CampaignOptions {
+                    cache_dir: None,
+                    threads: 1,
+                    base_dir: base_dir.map(PathBuf::from),
+                };
+                match CampaignPlan::expand(&spec, &opts) {
+                    Ok(plan) => {
+                        let cells = plan.cells().len();
+                        plans.insert(id.clone(), plan);
+                        FromWorker::Loaded { id, cells }
+                    }
+                    Err(e) => FromWorker::Error {
+                        id,
+                        cell: None,
+                        error: e.to_string(),
+                    },
+                }
+            }
+            Ok(ToWorker::Run { id, cell }) => {
+                runs += 1;
+                apply_fault(&fault, runs);
+                match plans.get(&id) {
+                    Some(plan) if cell < plan.cells().len() => FromWorker::Done {
+                        id,
+                        cell,
+                        data: Box::new(plan.run_cell(cell)),
+                    },
+                    Some(plan) => FromWorker::Error {
+                        id,
+                        cell: Some(cell),
+                        error: format!("cell {cell} out of range ({} cells)", plan.cells().len()),
+                    },
+                    None => FromWorker::Error {
+                        id,
+                        cell: Some(cell),
+                        error: "campaign not loaded".into(),
+                    },
+                }
+            }
+        };
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string(&reply).expect("replies serialize")
+        )?;
+        out.flush()?;
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Worker-protocol fault injection: first-generation workers are
+//! sabotaged through `LSPS_WORKER_FAULT` (crash mid-campaign, hang past
+//! the cell timeout) and the daemon must reassign their cells, finish the
+//! campaign, and still produce the exact bytes of an in-process run —
+//! crash recovery must be invisible in the output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use lsps_scenario::{run_campaign, CampaignOptions, CampaignSpec};
+use lsps_service::daemon::config_under;
+use lsps_service::Daemon;
+
+fn examples_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples")
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lsps-faults-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp root");
+    dir
+}
+
+fn wait_complete(daemon: &Daemon, id: &str, deadline: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        let status = daemon.status_json(id).expect("submitted campaign");
+        if status.contains("\"complete\":true") {
+            return status;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "campaign {id} did not complete in {deadline:?}: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Run `outcomes_campaign.json` under an injected worker fault and assert
+/// the daemon still emits the in-process bytes with zero failed cells.
+fn survives_fault(fault: &str, cell_timeout: Duration, tag: &str) {
+    let spec_text =
+        fs::read_to_string(examples_dir().join("outcomes_campaign.json")).expect("example spec");
+    let spec: CampaignSpec = serde_json::from_str(&spec_text).expect("spec parses");
+    let reference = run_campaign(
+        &spec,
+        &CampaignOptions {
+            cache_dir: None,
+            threads: 0,
+            base_dir: Some(examples_dir()),
+        },
+    )
+    .expect("in-process run");
+
+    let root = temp_root(tag);
+    let mut cfg = config_under(&root, env!("CARGO_BIN_EXE_lsps-worker"));
+    cfg.workers = 2;
+    cfg.base_dir = Some(examples_dir());
+    cfg.cell_timeout = cell_timeout;
+    // Every first-generation worker carries the fault; respawns run clean
+    // (that is the daemon's contract, and what lets the campaign finish).
+    cfg.worker_env = vec![("LSPS_WORKER_FAULT".into(), fault.into())];
+
+    let daemon = Daemon::start(cfg).expect("daemon starts");
+    let id = daemon.submit(&spec_text).expect("spec accepted");
+    let status = wait_complete(&daemon, &id, Duration::from_secs(300));
+    assert!(
+        status.contains("\"failed\":0"),
+        "no cell may end up failed: {status}"
+    );
+    let (raw, agg) = daemon.csvs(&id).expect("complete campaign has CSVs");
+    assert_eq!(raw, reference.raw_csv, "raw CSV differs after {fault}");
+    assert_eq!(
+        agg, reference.aggregate_csv,
+        "aggregate CSV differs after {fault}"
+    );
+    daemon.shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn worker_crash_mid_campaign_is_recovered() {
+    // Both first-generation workers exit right before their 3rd cell:
+    // in-flight work is requeued onto the clean respawns.
+    survives_fault("crash:3", Duration::from_secs(120), "crash");
+}
+
+#[test]
+fn worker_hang_past_cell_timeout_is_recovered() {
+    // Both first-generation workers wedge before their 2nd cell; the
+    // supervisor must notice the stalled in-flight queue, kill them, and
+    // reassign. The tight timeout keeps the test fast.
+    survives_fault("hang:2", Duration::from_secs(2), "hang");
+}

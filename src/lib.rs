@@ -31,6 +31,7 @@ pub use lsps_grid as grid;
 pub use lsps_metrics as metrics;
 pub use lsps_platform as platform;
 pub use lsps_scenario as scenario;
+pub use lsps_service as service;
 pub use lsps_workload as workload;
 
 /// The most commonly used items from every sub-crate.
