@@ -30,7 +30,7 @@ use serde::{Serialize, Value};
 
 use lsps_core::backfill::{backfill_schedule_estimated, BackfillPolicy};
 use lsps_core::policy::{Backfilling, PolicyCtx, ReleaseMode};
-use lsps_des::{Dur, SimRng, Time};
+use lsps_des::{Dur, EventQueue, SimRng, Time};
 use lsps_platform::{BookingKind, ProcSet, Timeline};
 use lsps_scenario::families::{large_scale_instance, trace_instance};
 use lsps_scenario::runner::{des_online, des_online_open};
@@ -161,6 +161,27 @@ fn measure(samples: usize) -> (Vec<Datapoint>, Vec<Datapoint>) {
         }),
     );
 
+    // The clone_from + in-place-op churn every hot timeline caller runs:
+    // refresh a scratch set from a wide (heap-repr) source, mask it, then
+    // do the same over a 64-proc inline source — the DES bench machine
+    // width. Tracks that the pooling path stays allocation-free.
+    let small_a = ProcSet::from_indices((0..64).filter(|i| i % 3 != 0));
+    let small_b = ProcSet::from_indices((0..64).filter(|i| i % 2 == 0));
+    let mut scratch = ProcSet::new();
+    push(
+        &mut micro,
+        "procset_clone_hot",
+        0,
+        median_ns(samples, 4096, || {
+            scratch.clone_from(&a);
+            scratch.subtract(&b);
+            std::hint::black_box(scratch.len());
+            scratch.clone_from(&small_a);
+            scratch.intersect_with(&small_b);
+            std::hint::black_box(scratch.len());
+        }),
+    );
+
     // Scheduler loops, one-shot. Batch placement: conservative + EASY
     // backfill of a full `large-scale` instance — the workload
     // `examples/large_scale_campaign.json` sweeps.
@@ -177,6 +198,37 @@ fn measure(samples: usize) -> (Vec<Datapoint>, Vec<Datapoint>) {
         assert_eq!(sched.len(), n);
         push(&mut ops, name, n, ns);
     }
+
+    // Raw event-queue throughput: a million schedule/cancel/pop rounds
+    // against a rolling live set — the slab + 4-ary-heap hot path the DES
+    // engine hits once per event, with a third of the events cancelled so
+    // the tombstone compaction policy is part of what gets timed.
+    let n = 1_000_000;
+    let mut q: EventQueue<u64> = EventQueue::new();
+    let mut rng = SimRng::seed_from(11);
+    let mut live_keys = Vec::new();
+    let mut clock: u64 = 0;
+    let mut digest: u64 = 0;
+    let t0 = Instant::now();
+    for i in 0..n as u64 {
+        clock += rng.int_range(0, 3);
+        live_keys.push(q.schedule(Time::from_ticks(clock + rng.int_range(1, 1_000)), i));
+        if i % 3 == 0 {
+            let victim = rng.int_range(0, live_keys.len() as u64 - 1) as usize;
+            q.cancel(live_keys.swap_remove(victim));
+        }
+        if q.len() > 8_192 {
+            if let Some((at, _, ev)) = q.pop() {
+                digest = digest.wrapping_add(at.ticks() ^ ev);
+            }
+        }
+    }
+    while let Some((at, _, ev)) = q.pop() {
+        digest = digest.wrapping_add(at.ticks() ^ ev);
+    }
+    let ns = t0.elapsed().as_nanos() as u64;
+    std::hint::black_box(digest);
+    push(&mut ops, "event_queue_1m_churn", n, ns);
 
     // Event-driven placement: the full 100k-job `trace-100k` replay the
     // campaign `examples/trace_100k_campaign.json` runs — one decision per

@@ -76,8 +76,11 @@ pub trait IncrementalPlanner {
 
     /// Place `pending` (all arrived: every release `<= now`) around all
     /// previously planned work, no earlier than `now`, and absorb the
-    /// placements into the planner state at their true lengths.
-    fn plan(&mut self, pending: &[Job], now: Time) -> Schedule;
+    /// placements into the planner state at their true lengths. The result
+    /// lands in `out`, which the caller hands back cleared each decision —
+    /// planners run once per event, so the schedule buffer is recycled
+    /// rather than reallocated.
+    fn plan(&mut self, pending: &[Job], now: Time, out: &mut Schedule);
 
     /// Jobs examined across all [`plan`](IncrementalPlanner::plan) calls —
     /// the instrumentation the O(dirty) regression tests read. A full
@@ -98,6 +101,13 @@ pub struct BackfillPlanner {
     /// replacement for the full path's per-event `gc` scan.
     expiry: BinaryHeap<Reverse<(Time, BookingId)>>,
     touched: u64,
+    /// Scratch: release-bumped copies of the batch, reused across `plan`
+    /// calls so the per-decision cost is the job copies, not a `Vec`
+    /// allocation (rigid jobs are plain data — the copy itself is flat).
+    bumped: Vec<Job>,
+    /// Scratch: `(booking, true_end)` pairs the passes emit, reused
+    /// alongside `bumped`.
+    created: Vec<(BookingId, Time)>,
 }
 
 impl BackfillPlanner {
@@ -127,6 +137,8 @@ impl BackfillPlanner {
             tl,
             expiry: BinaryHeap::new(),
             touched: 0,
+            bumped: Vec::new(),
+            created: Vec::new(),
         }
     }
 }
@@ -142,39 +154,40 @@ impl IncrementalPlanner for BackfillPlanner {
         }
     }
 
-    fn plan(&mut self, pending: &[Job], now: Time) -> Schedule {
-        let mut sched = Schedule::new(self.m);
+    fn plan(&mut self, pending: &[Job], now: Time, out: &mut Schedule) {
+        debug_assert!(
+            out.is_empty(),
+            "caller hands the scratch schedule back cleared"
+        );
         if pending.is_empty() {
-            return sched;
+            return;
         }
         self.touched += pending.len() as u64;
-        let bumped: Vec<Job> = pending
-            .iter()
-            .map(|j| {
-                assert!(
-                    matches!(j.kind, JobKind::Rigid { .. }) && j.min_procs() <= self.m,
-                    "planner expects prepared rigid jobs fitting the machine; job {} is not",
-                    j.id
-                );
-                let mut j = j.clone();
-                j.release = j.release.max(now);
-                j
-            })
-            .collect();
-        let order = fcfs_order(&bumped);
-        let mut created = Vec::with_capacity(bumped.len());
+        self.bumped.clear();
+        self.bumped.extend(pending.iter().map(|j| {
+            assert!(
+                matches!(j.kind, JobKind::Rigid { .. }) && j.min_procs() <= self.m,
+                "planner expects prepared rigid jobs fitting the machine; job {} is not",
+                j.id
+            );
+            let mut j = j.clone();
+            j.release = j.release.max(now);
+            j
+        }));
+        let order = fcfs_order(&self.bumped);
+        self.created.clear();
         match self.flavour {
             BackfillPolicy::Conservative => {
-                conservative_pass(&order, &mut self.tl, self.factor, &mut sched, &mut created)
+                conservative_pass(&order, &mut self.tl, self.factor, out, &mut self.created)
             }
             BackfillPolicy::Easy => {
-                easy_pass(&order, &mut self.tl, self.factor, &mut sched, &mut created)
+                easy_pass(&order, &mut self.tl, self.factor, out, &mut self.created)
             }
         }
         // Pin the batch at true lengths: the next decision must see exactly
         // the committed (true) intervals, not the estimate tails — that is
         // what the full replan re-books from its commitment table.
-        for (bk, true_end) in created {
+        for &(bk, true_end) in &self.created {
             self.tl.truncate(bk, true_end);
             // Zero-length work vanishes on truncation (and the EASY replay
             // may already have dropped it mid-pass) — nothing to expire.
@@ -182,7 +195,6 @@ impl IncrementalPlanner for BackfillPlanner {
                 self.expiry.push(Reverse((true_end, bk)));
             }
         }
-        sched
     }
 
     fn touched(&self) -> u64 {

@@ -78,6 +78,13 @@ pub struct RunStats {
     pub events_dispatched: u64,
     /// Simulated time of the last dispatched event.
     pub last_event_time: Time,
+    /// High-water mark of *live* queued events over the simulation's
+    /// lifetime — the agenda depth the model actually required.
+    pub peak_queue_live: usize,
+    /// High-water mark of the queue's heap footprint (live + tombstoned
+    /// entries). Compaction keeps this within 2× the live count; a gap
+    /// between the two peaks measures how cancel-heavy the run was.
+    pub peak_queue_heap: usize,
 }
 
 /// Event-driven simulation: clock + queue + model.
@@ -87,6 +94,8 @@ pub struct Simulation<M: Model> {
     model: M,
     trace: Trace,
     dispatched: u64,
+    peak_live: usize,
+    peak_heap: usize,
 }
 
 impl<M: Model> Simulation<M> {
@@ -98,6 +107,8 @@ impl<M: Model> Simulation<M> {
             model,
             trace: Trace::disabled(),
             dispatched: 0,
+            peak_live: 0,
+            peak_heap: 0,
         }
     }
 
@@ -130,7 +141,9 @@ impl<M: Model> Simulation<M> {
     /// Seed the agenda before running.
     pub fn schedule_at(&mut self, at: Time, event: M::Event) -> EventKey {
         assert!(at >= self.now, "cannot seed event in the past");
-        self.queue.schedule(at, event)
+        let key = self.queue.schedule(at, event);
+        self.note_queue_health();
+        key
     }
 
     /// Number of pending events.
@@ -144,8 +157,19 @@ impl<M: Model> Simulation<M> {
         self.dispatched
     }
 
+    /// Record the queue's current live/heap depths into the lifetime
+    /// high-water marks reported through [`RunStats`]. Sampled once per
+    /// dispatch (after the previous handler's schedules landed), so the
+    /// cost is two comparisons per event.
+    #[inline]
+    fn note_queue_health(&mut self) {
+        self.peak_live = self.peak_live.max(self.queue.len());
+        self.peak_heap = self.peak_heap.max(self.queue.heap_len());
+    }
+
     /// Dispatch a single event; returns `false` when the agenda is empty.
     pub fn step(&mut self) -> bool {
+        self.note_queue_health();
         match self.queue.pop() {
             Some((at, _key, event)) => {
                 debug_assert!(at >= self.now, "event queue went backwards");
@@ -178,6 +202,8 @@ impl<M: Model> Simulation<M> {
         RunStats {
             events_dispatched: self.dispatched - start,
             last_event_time: self.now,
+            peak_queue_live: self.peak_live,
+            peak_queue_heap: self.peak_heap,
         }
     }
 
@@ -195,9 +221,12 @@ impl<M: Model> Simulation<M> {
                 _ => break,
             }
         }
+        self.note_queue_health();
         RunStats {
             events_dispatched: self.dispatched - start,
             last_event_time: self.now,
+            peak_queue_live: self.peak_live,
+            peak_queue_heap: self.peak_heap,
         }
     }
 
@@ -271,6 +300,17 @@ mod tests {
         assert_eq!(sim.pending(), 1);
         sim.run_to_completion(10);
         assert_eq!(sim.model().fired.len(), 2);
+    }
+
+    #[test]
+    fn run_stats_report_queue_peaks() {
+        let mut sim = Simulation::new(Counter { fired: vec![] });
+        for i in 0..5 {
+            sim.schedule_at(Time::from_ticks(i), Ev::Tick(i));
+        }
+        let stats = sim.run_to_completion(100);
+        assert_eq!(stats.peak_queue_live, 5);
+        assert!(stats.peak_queue_heap >= stats.peak_queue_live);
     }
 
     #[test]

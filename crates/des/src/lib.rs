@@ -20,10 +20,22 @@
 //! * Events with equal timestamps pop in insertion (FIFO) order: the queue is
 //!   keyed by `(Time, sequence)`. Determinism of the whole stack depends on
 //!   this.
-//! * Cancellation is lazy: [`EventQueue::cancel`] marks a key dead and the
-//!   entry is dropped when it surfaces. This is O(1) and keeps the heap
-//!   simple; the trade-off (stale entries occupy memory until popped) is
-//!   irrelevant at our event volumes.
+//! * The queue is a 4-ary implicit heap of plain `(Time, seq, slot)` words
+//!   over a generation-stamped slot slab holding the payloads — schedule,
+//!   pop and cancel never hash, and sift operations move 24-byte entries,
+//!   never an event. At 1M-job streams the per-event queue cost is the
+//!   dominant simulation term, so the hot path allocates nothing in steady
+//!   state (slots and heap capacity are recycled).
+//! * Cancellation is O(1): [`EventQueue::cancel`] vacates the slot at once
+//!   (the payload drops immediately) and leaves only a 24-byte heap
+//!   tombstone behind. Tombstones are bounded, not ignored: whenever dead
+//!   entries exceed half the heap, the queue compacts in place (retain live
+//!   entries, rebuild bottom-up, O(n)), so the heap is always ≥ 50% live
+//!   and memory stays proportional to live events even under cancel-heavy
+//!   models. [`EventQueue::len`] counts live events only;
+//!   [`EventQueue::heap_len`] / [`EventQueue::occupancy`] expose the
+//!   live/dead accounting, and [`RunStats`] reports both high-water marks
+//!   as queue-health counters.
 
 pub mod engine;
 pub mod online;

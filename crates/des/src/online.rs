@@ -46,10 +46,20 @@ pub trait Dispatcher {
     type Job;
 
     /// Decide at `now` over the pending set (arrival order). Jobs the
-    /// dispatcher commits must be *removed* from `pending`; whatever is
-    /// left stays queued and the dispatcher runs again at the next arrival
-    /// or completion. Every commitment must satisfy `now <= start <= end`.
-    fn decide(&mut self, now: Time, pending: &mut Vec<Self::Job>) -> Vec<Commitment<Self::Job>>;
+    /// dispatcher commits must be *removed* from `pending` and pushed onto
+    /// `out`; whatever is left stays queued and the dispatcher runs again at
+    /// the next arrival or completion. Every commitment must satisfy
+    /// `now <= start <= end`.
+    ///
+    /// `out` arrives empty and is owned by the machine, which recycles it
+    /// across invocations — at millions of decisions per run, returning a
+    /// fresh `Vec` per call would put an allocation on every event.
+    fn decide(
+        &mut self,
+        now: Time,
+        pending: &mut Vec<Self::Job>,
+        out: &mut Vec<Commitment<Self::Job>>,
+    );
 }
 
 /// Event alphabet of the online machine.
@@ -71,6 +81,10 @@ pub struct OnlineMachine<D: Dispatcher> {
     pending: Vec<D::Job>,
     running: Vec<Option<Commitment<D::Job>>>,
     completed: Vec<Commitment<D::Job>>,
+    /// Recycled scratch handed to [`Dispatcher::decide`] — cleared before
+    /// every invocation, so the dispatch loop allocates nothing in steady
+    /// state.
+    commitments: Vec<Commitment<D::Job>>,
     /// Instant a `Decide` is already scheduled for (coalesces same-time
     /// decision requests into one policy invocation).
     decide_at: Option<Time>,
@@ -85,6 +99,7 @@ impl<D: Dispatcher> OnlineMachine<D> {
             pending: Vec::new(),
             running: Vec::new(),
             completed: Vec::new(),
+            commitments: Vec::new(),
             decide_at: None,
             decisions: 0,
         }
@@ -132,13 +147,16 @@ impl<D: Dispatcher> OnlineMachine<D> {
         }
         self.decisions += 1;
         let before = self.pending.len();
-        let commitments = self.dispatcher.decide(now, &mut self.pending);
+        let mut commitments = std::mem::take(&mut self.commitments);
+        commitments.clear();
+        self.dispatcher
+            .decide(now, &mut self.pending, &mut commitments);
         assert_eq!(
             before,
             self.pending.len() + commitments.len(),
             "dispatcher must drain exactly the jobs it commits"
         );
-        for c in commitments {
+        for c in commitments.drain(..) {
             assert!(
                 now <= c.start && c.start <= c.end,
                 "commitment [{:?}, {:?}) violates causality at {:?}",
@@ -151,6 +169,7 @@ impl<D: Dispatcher> OnlineMachine<D> {
             self.running.push(Some(c));
             ctx.schedule_at(end, OnlineEvent::Finish(slot));
         }
+        self.commitments = commitments;
     }
 }
 
@@ -221,6 +240,10 @@ pub struct OpenOnlineMachine<D: Dispatcher, S, F> {
     pending: Vec<D::Job>,
     running: Vec<Option<Commitment<D::Job>>>,
     free_slots: Vec<usize>,
+    /// Recycled scratch handed to [`Dispatcher::decide`] (see
+    /// [`OnlineMachine`]) — one decision per event at steady state makes
+    /// this the allocation that matters.
+    commitments: Vec<Commitment<D::Job>>,
     decide_at: Option<Time>,
     decisions: u64,
     arrivals: u64,
@@ -247,6 +270,7 @@ where
             pending: Vec::new(),
             running: Vec::new(),
             free_slots: Vec::new(),
+            commitments: Vec::new(),
             decide_at: None,
             decisions: 0,
             arrivals: 0,
@@ -335,13 +359,16 @@ where
         }
         self.decisions += 1;
         let before = self.pending.len();
-        let commitments = self.dispatcher.decide(now, &mut self.pending);
+        let mut commitments = std::mem::take(&mut self.commitments);
+        commitments.clear();
+        self.dispatcher
+            .decide(now, &mut self.pending, &mut commitments);
         assert_eq!(
             before,
             self.pending.len() + commitments.len(),
             "dispatcher must drain exactly the jobs it commits"
         );
-        for c in commitments {
+        for c in commitments.drain(..) {
             assert!(
                 now <= c.start && c.start <= c.end,
                 "commitment [{:?}, {:?}) violates causality at {:?}",
@@ -364,6 +391,7 @@ where
             };
             ctx.schedule_at(end, OnlineEvent::Finish(slot));
         }
+        self.commitments = commitments;
         self.note_live();
     }
 }
@@ -422,19 +450,19 @@ mod tests {
 
     impl Dispatcher for Fcfs {
         type Job = u32;
-        fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
+        fn decide(&mut self, now: Time, pending: &mut Vec<u32>, out: &mut Vec<Commitment<u32>>) {
             // Commit only the head, and only if the machine is idle now.
             if self.free_at > now || pending.is_empty() {
-                return Vec::new();
+                return;
             }
             let job = pending.remove(0);
             let len = self.lens.iter().find(|(i, _)| *i == job).expect("known").1;
             self.free_at = now + len;
-            vec![Commitment {
+            out.push(Commitment {
                 job,
                 start: now,
                 end: self.free_at,
-            }]
+            });
         }
     }
 
@@ -476,20 +504,17 @@ mod tests {
 
     impl Dispatcher for DrainAll {
         type Job = u32;
-        fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
+        fn decide(&mut self, now: Time, pending: &mut Vec<u32>, out: &mut Vec<Commitment<u32>>) {
             let mut at = now;
-            pending
-                .drain(..)
-                .map(|job| {
-                    let c = Commitment {
-                        job,
-                        start: at,
-                        end: at + Dur::from_ticks(u64::from(job)),
-                    };
-                    at = c.end;
-                    c
-                })
-                .collect()
+            out.extend(pending.drain(..).map(|job| {
+                let c = Commitment {
+                    job,
+                    start: at,
+                    end: at + Dur::from_ticks(u64::from(job)),
+                };
+                at = c.end;
+                c
+            }));
         }
     }
 
@@ -513,15 +538,17 @@ mod tests {
         struct Defer;
         impl Dispatcher for Defer {
             type Job = u32;
-            fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
-                pending
-                    .drain(..)
-                    .map(|job| Commitment {
-                        job,
-                        start: now + Dur::from_ticks(100),
-                        end: now + Dur::from_ticks(101),
-                    })
-                    .collect()
+            fn decide(
+                &mut self,
+                now: Time,
+                pending: &mut Vec<u32>,
+                out: &mut Vec<Commitment<u32>>,
+            ) {
+                out.extend(pending.drain(..).map(|job| Commitment {
+                    job,
+                    start: now + Dur::from_ticks(100),
+                    end: now + Dur::from_ticks(101),
+                }));
             }
         }
         let mut sim = Simulation::new(OnlineMachine::new(Defer));
@@ -672,13 +699,18 @@ mod tests {
         struct Sloppy;
         impl Dispatcher for Sloppy {
             type Job = u32;
-            fn decide(&mut self, now: Time, pending: &mut Vec<u32>) -> Vec<Commitment<u32>> {
+            fn decide(
+                &mut self,
+                now: Time,
+                pending: &mut Vec<u32>,
+                out: &mut Vec<Commitment<u32>>,
+            ) {
                 // Commits the job but forgets to remove it from pending.
-                vec![Commitment {
+                out.push(Commitment {
                     job: pending[0],
                     start: now,
                     end: now,
-                }]
+                });
             }
         }
         let mut sim = Simulation::new(OnlineMachine::new(Sloppy));

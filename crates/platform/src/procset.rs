@@ -4,12 +4,22 @@
 //! free maps and reservation masks are all `ProcSet`s; set algebra (union,
 //! intersection, difference, disjointness) is word-parallel over `u64`s.
 //!
+//! Storage is small-size optimized: sets spanning up to
+//! `INLINE_WORDS * 64 = 256` processors live inline in the struct (no heap
+//! allocation — cloning a busy mask inside the availability-profile sweep
+//! is a 4-word copy), and only wider sets spill to a `Vec<u64>`. The two
+//! representations are observationally identical: equality, hashing and the
+//! serialized form (`{"words": [...]}`) depend only on the logical word
+//! content, never on where it is stored.
+//!
 //! The representation keeps a trailing-zero-word invariant (`normalize`),
-//! so equality and emptiness checks are structural.
+//! so equality and emptiness checks are structural; the inline repr
+//! additionally keeps its unused words zeroed.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// Index of a processor within a [`Platform`](crate::Platform)'s global
 /// numbering (cluster-major, node-major inside the cluster).
@@ -38,32 +48,100 @@ const WORD_BITS: usize = 64;
 /// machine is 16 words = 4 chunks per operation.
 const LANES: usize = 4;
 
+/// Words stored inline before spilling to the heap — 256 processors, which
+/// covers every rectangle-policy machine in the paper sweeps and the whole
+/// open-arrival bench family.
+const INLINE_WORDS: usize = 4;
+
+/// The two storage forms. `Inline` keeps `words[len..]` zeroed so kernels
+/// can hand out `&words[..len]` without masking.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, words: [u64; INLINE_WORDS] },
+    Heap(Vec<u64>),
+}
+
 /// A set of processors, stored as a bitset.
-#[derive(Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ProcSet {
-    words: Vec<u64>,
+    repr: Repr,
+}
+
+impl Default for ProcSet {
+    fn default() -> Self {
+        ProcSet::new()
+    }
 }
 
 impl Clone for ProcSet {
     fn clone(&self) -> ProcSet {
-        ProcSet {
-            words: self.words.clone(),
+        // Compact on clone: a heap-stored set that fits inline comes back
+        // inline (representation never leaks — see `PartialEq`/`Hash`).
+        let words = self.words();
+        match Repr::inline_from(words) {
+            Some(repr) => ProcSet { repr },
+            None => ProcSet {
+                repr: Repr::Heap(words.to_vec()),
+            },
         }
     }
 
-    /// Reuses the existing word buffer — the profile-maintenance hot loops
+    /// Reuses the existing storage — the profile-maintenance hot loops
     /// clone into scratch sets every query, so this avoids an allocation
-    /// per query.
+    /// per query. A heap destination keeps its buffer even for small
+    /// sources (that buffer is exactly what the scratch exists to retain).
     fn clone_from(&mut self, source: &ProcSet) {
-        self.words.clear();
-        self.words.extend_from_slice(&source.words);
+        let src = source.words();
+        if let Repr::Heap(v) = &mut self.repr {
+            v.clear();
+            v.extend_from_slice(src);
+        } else if let Some(repr) = Repr::inline_from(src) {
+            self.repr = repr;
+        } else {
+            self.repr = Repr::Heap(src.to_vec());
+        }
+    }
+}
+
+impl PartialEq for ProcSet {
+    fn eq(&self, other: &ProcSet) -> bool {
+        self.words() == other.words()
+    }
+}
+impl Eq for ProcSet {}
+
+impl Hash for ProcSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Same bytes a `Vec<u64>` would feed the hasher (length prefix +
+        // elements), so the repr split is invisible to hash maps.
+        self.words().hash(state);
+    }
+}
+
+impl Repr {
+    /// Inline repr holding exactly `words` (already normalized), or `None`
+    /// if it needs more than [`INLINE_WORDS`].
+    fn inline_from(words: &[u64]) -> Option<Repr> {
+        if words.len() > INLINE_WORDS {
+            return None;
+        }
+        let mut inline = [0u64; INLINE_WORDS];
+        inline[..words.len()].copy_from_slice(words);
+        Some(Repr::Inline {
+            len: words.len() as u8,
+            words: inline,
+        })
     }
 }
 
 impl ProcSet {
     /// The empty set.
     pub fn new() -> Self {
-        ProcSet { words: Vec::new() }
+        ProcSet {
+            repr: Repr::Inline {
+                len: 0,
+                words: [0; INLINE_WORDS],
+            },
+        }
     }
 
     /// The set `{0, 1, …, n-1}` — the full capacity of an `n`-processor
@@ -92,25 +170,94 @@ impl ProcSet {
         s
     }
 
+    /// The logical word content — normalized (no trailing zero words),
+    /// independent of where it is stored.
+    #[inline]
+    fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline { len, words } => &words[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Mutable view of the logical words (length unchanged).
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        match &mut self.repr {
+            Repr::Inline { len, words } => &mut words[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Number of logical words.
+    #[inline]
+    fn word_len(&self) -> usize {
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Grow to `n` words (zero-filled), spilling inline → heap when `n`
+    /// exceeds the inline capacity. Never shrinks.
+    fn grow_words(&mut self, n: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, words } => {
+                if n <= INLINE_WORDS {
+                    // Unused inline words are already zero.
+                    *len = (*len).max(n as u8);
+                } else {
+                    let mut v = Vec::with_capacity(n);
+                    v.extend_from_slice(&words[..*len as usize]);
+                    v.resize(n, 0);
+                    self.repr = Repr::Heap(v);
+                }
+            }
+            Repr::Heap(v) => {
+                if v.len() < n {
+                    v.resize(n, 0);
+                }
+            }
+        }
+    }
+
+    /// Shrink to `n` words (no-op if already at most `n`). Inline storage
+    /// re-zeroes the dropped words to keep the repr invariant.
+    fn truncate_words(&mut self, n: usize) {
+        match &mut self.repr {
+            Repr::Inline { len, words } => {
+                if n < *len as usize {
+                    words[n..*len as usize].fill(0);
+                    *len = n as u8;
+                }
+            }
+            Repr::Heap(v) => v.truncate(n),
+        }
+    }
+
     #[inline]
     fn ensure_word(&mut self, w: usize) {
-        if self.words.len() <= w {
-            self.words.resize(w + 1, 0);
+        if self.word_len() <= w {
+            self.grow_words(w + 1);
         }
     }
 
     fn normalize(&mut self) {
-        while matches!(self.words.last(), Some(0)) {
-            self.words.pop();
+        let words = self.words();
+        let mut n = words.len();
+        while n > 0 && words[n - 1] == 0 {
+            n -= 1;
         }
+        self.truncate_words(n);
     }
 
     /// Add processor `i`. Returns `true` if it was not already present.
     pub fn insert(&mut self, i: usize) -> bool {
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
         self.ensure_word(w);
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] |= 1 << b;
+        let word = &mut self.words_mut()[w];
+        let had = *word & (1 << b) != 0;
+        *word |= 1 << b;
         !had
     }
 
@@ -121,12 +268,10 @@ impl ProcSet {
         }
         let last = (hi - 1) / WORD_BITS;
         self.ensure_word(last);
-        for w in lo / WORD_BITS..=last {
-            let from = if w == lo / WORD_BITS {
-                lo % WORD_BITS
-            } else {
-                0
-            };
+        let words = self.words_mut();
+        let first = lo / WORD_BITS;
+        for (w, word) in words.iter_mut().enumerate().take(last + 1).skip(first) {
+            let from = if w == first { lo % WORD_BITS } else { 0 };
             let to = if w == last {
                 (hi - 1) % WORD_BITS + 1
             } else {
@@ -137,18 +282,19 @@ impl ProcSet {
             } else {
                 ((1u64 << (to - from)) - 1) << from
             };
-            self.words[w] |= mask;
+            *word |= mask;
         }
     }
 
     /// Remove processor `i`. Returns `true` if it was present.
     pub fn remove(&mut self, i: usize) -> bool {
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
-        if w >= self.words.len() {
+        if w >= self.word_len() {
             return false;
         }
-        let had = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
+        let word = &mut self.words_mut()[w];
+        let had = *word & (1 << b) != 0;
+        *word &= !(1 << b);
         self.normalize();
         had
     }
@@ -157,12 +303,14 @@ impl ProcSet {
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
         let (w, b) = (i / WORD_BITS, i % WORD_BITS);
-        self.words.get(w).is_some_and(|&word| word & (1 << b) != 0)
+        self.words()
+            .get(w)
+            .is_some_and(|&word| word & (1 << b) != 0)
     }
 
     /// Number of processors in the set.
     pub fn len(&self) -> usize {
-        let (chunks, tail) = self.words.as_chunks::<LANES>();
+        let (chunks, tail) = self.words().as_chunks::<LANES>();
         let mut n = 0usize;
         for c in chunks {
             n += c.iter().map(|w| w.count_ones() as usize).sum::<usize>();
@@ -172,12 +320,12 @@ impl ProcSet {
 
     /// True iff the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.words().is_empty()
     }
 
     /// Smallest index in the set.
     pub fn first(&self) -> Option<usize> {
-        for (wi, &w) in self.words.iter().enumerate() {
+        for (wi, &w) in self.words().iter().enumerate() {
             if w != 0 {
                 return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
             }
@@ -187,7 +335,7 @@ impl ProcSet {
 
     /// Largest index in the set.
     pub fn last(&self) -> Option<usize> {
-        for (wi, &w) in self.words.iter().enumerate().rev() {
+        for (wi, &w) in self.words().iter().enumerate().rev() {
             if w != 0 {
                 return Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
             }
@@ -197,34 +345,37 @@ impl ProcSet {
 
     /// In-place union.
     pub fn union_with(&mut self, other: &ProcSet) {
-        self.ensure_word(other.words.len().saturating_sub(1));
-        let n = other.words.len();
-        let (a_chunks, _) = self.words[..n].as_chunks_mut::<LANES>();
-        let (b_chunks, _) = other.words.as_chunks::<LANES>();
+        let n = other.word_len();
+        self.ensure_word(n.saturating_sub(1));
+        let words = self.words_mut();
+        let (a_chunks, _) = words[..n].as_chunks_mut::<LANES>();
+        let (b_chunks, _) = other.words().as_chunks::<LANES>();
         for (a, b) in a_chunks.iter_mut().zip(b_chunks) {
             for i in 0..LANES {
                 a[i] |= b[i];
             }
         }
-        for i in (n / LANES) * LANES..n {
-            self.words[i] |= other.words[i];
+        let tail = (n / LANES) * LANES;
+        for (a, b) in words[tail..n].iter_mut().zip(&other.words()[tail..n]) {
+            *a |= *b;
         }
         self.normalize();
     }
 
     /// In-place intersection.
     pub fn intersect_with(&mut self, other: &ProcSet) {
-        let n = self.words.len().min(other.words.len());
-        self.words.truncate(n);
-        let (a_chunks, a_tail) = self.words.as_chunks_mut::<LANES>();
-        let (b_chunks, _) = other.words.as_chunks::<LANES>();
+        let n = self.word_len().min(other.word_len());
+        self.truncate_words(n);
+        let words = self.words_mut();
+        let (a_chunks, a_tail) = words.as_chunks_mut::<LANES>();
+        let (b_chunks, _) = other.words().as_chunks::<LANES>();
         for (a, b) in a_chunks.iter_mut().zip(b_chunks) {
             for i in 0..LANES {
                 a[i] &= b[i];
             }
         }
-        let off = a_chunks.len() * LANES;
-        for (a, &b) in a_tail.iter_mut().zip(&other.words[off..n]) {
+        let off = (n / LANES) * LANES;
+        for (a, &b) in a_tail.iter_mut().zip(&other.words()[off..n]) {
             *a &= b;
         }
         self.normalize();
@@ -232,16 +383,17 @@ impl ProcSet {
 
     /// In-place difference (`self \ other`).
     pub fn subtract(&mut self, other: &ProcSet) {
-        let n = self.words.len().min(other.words.len());
-        let (a_chunks, a_tail) = self.words[..n].as_chunks_mut::<LANES>();
-        let (b_chunks, _) = other.words.as_chunks::<LANES>();
+        let n = self.word_len().min(other.word_len());
+        let words = self.words_mut();
+        let (a_chunks, a_tail) = words[..n].as_chunks_mut::<LANES>();
+        let (b_chunks, _) = other.words().as_chunks::<LANES>();
         for (a, b) in a_chunks.iter_mut().zip(b_chunks) {
             for i in 0..LANES {
                 a[i] &= !b[i];
             }
         }
-        let off = a_chunks.len() * LANES;
-        for (a, &b) in a_tail.iter_mut().zip(&other.words[off..n]) {
+        let off = (n / LANES) * LANES;
+        for (a, &b) in a_tail.iter_mut().zip(&other.words()[off..n]) {
             *a &= !b;
         }
         self.normalize();
@@ -270,9 +422,10 @@ impl ProcSet {
 
     /// True iff the two sets share no processor.
     pub fn is_disjoint(&self, other: &ProcSet) -> bool {
-        let n = self.words.len().min(other.words.len());
-        let (a_chunks, _) = self.words[..n].as_chunks::<LANES>();
-        let (b_chunks, _) = other.words[..n].as_chunks::<LANES>();
+        let (sw, ow) = (self.words(), other.words());
+        let n = sw.len().min(ow.len());
+        let (a_chunks, _) = sw[..n].as_chunks::<LANES>();
+        let (b_chunks, _) = ow[..n].as_chunks::<LANES>();
         for (a, b) in a_chunks.iter().zip(b_chunks) {
             let mut acc = 0u64;
             for i in 0..LANES {
@@ -283,17 +436,18 @@ impl ProcSet {
             }
         }
         let off = (n / LANES) * LANES;
-        self.words[off..n]
+        sw[off..n]
             .iter()
-            .zip(&other.words[off..n])
+            .zip(&ow[off..n])
             .all(|(&a, &b)| a & b == 0)
     }
 
     /// True iff every processor of `self` is in `other`.
     pub fn is_subset(&self, other: &ProcSet) -> bool {
-        let n = self.words.len().min(other.words.len());
-        let (a_chunks, _) = self.words[..n].as_chunks::<LANES>();
-        let (b_chunks, _) = other.words[..n].as_chunks::<LANES>();
+        let (sw, ow) = (self.words(), other.words());
+        let n = sw.len().min(ow.len());
+        let (a_chunks, _) = sw[..n].as_chunks::<LANES>();
+        let (b_chunks, _) = ow[..n].as_chunks::<LANES>();
         for (a, b) in a_chunks.iter().zip(b_chunks) {
             let mut acc = 0u64;
             for i in 0..LANES {
@@ -304,16 +458,16 @@ impl ProcSet {
             }
         }
         let off = (n / LANES) * LANES;
-        if !self.words[off..n]
+        if !sw[off..n]
             .iter()
-            .zip(&other.words[off..n])
+            .zip(&ow[off..n])
             .all(|(&a, &b)| a & !b == 0)
         {
             return false;
         }
         // The normalize invariant allows non-zero words only up to len();
         // anything of `self` beyond `other`'s words is outside `other`.
-        self.words[n..].iter().all(|&a| a == 0)
+        sw[n..].iter().all(|&a| a == 0)
     }
 
     /// `|self \ other|` without materializing the difference — the
@@ -321,9 +475,10 @@ impl ProcSet {
     /// `width` of the capacity procs outside this busy union?") runs this
     /// per candidate start, so it must not allocate.
     pub fn difference_len(&self, other: &ProcSet) -> usize {
-        let n = self.words.len().min(other.words.len());
-        let (a_chunks, _) = self.words[..n].as_chunks::<LANES>();
-        let (b_chunks, _) = other.words[..n].as_chunks::<LANES>();
+        let (sw, ow) = (self.words(), other.words());
+        let n = sw.len().min(ow.len());
+        let (a_chunks, _) = sw[..n].as_chunks::<LANES>();
+        let (b_chunks, _) = ow[..n].as_chunks::<LANES>();
         let mut count = 0usize;
         for (a, b) in a_chunks.iter().zip(b_chunks) {
             for i in 0..LANES {
@@ -331,12 +486,12 @@ impl ProcSet {
             }
         }
         let off = (n / LANES) * LANES;
-        for (&a, &b) in self.words[off..n].iter().zip(&other.words[off..n]) {
+        for (&a, &b) in sw[off..n].iter().zip(&ow[off..n]) {
             count += (a & !b).count_ones() as usize;
         }
         // Words of `self` past `other`'s length survive the difference
         // whole.
-        for &a in &self.words[n..] {
+        for &a in &sw[n..] {
             count += a.count_ones() as usize;
         }
         count
@@ -357,7 +512,7 @@ impl ProcSet {
         // popcount fits in `remaining` are copied wholesale; the scan
         // drops to word granularity only inside the block holding the
         // k-th member.
-        let (chunks, _) = self.words.as_chunks::<LANES>();
+        let (chunks, _) = self.words().as_chunks::<LANES>();
         let mut wi0 = 0usize;
         for c in chunks {
             let here: usize = c.iter().map(|w| w.count_ones() as usize).sum();
@@ -365,20 +520,22 @@ impl ProcSet {
                 break;
             }
             if here > 0 {
+                let block = *c;
                 out.ensure_word(wi0 + LANES - 1);
-                out.words[wi0..wi0 + LANES].copy_from_slice(c);
+                out.words_mut()[wi0..wi0 + LANES].copy_from_slice(&block);
                 remaining -= here;
             }
             wi0 += LANES;
         }
-        for (wi, &w) in self.words.iter().enumerate().skip(wi0) {
+        for wi in wi0..self.word_len() {
+            let w = self.words()[wi];
             let here = w.count_ones() as usize;
             if here == 0 {
                 continue;
             }
             if here <= remaining {
                 out.ensure_word(wi);
-                out.words[wi] = w;
+                out.words_mut()[wi] = w;
                 remaining -= here;
             } else {
                 // The k-th member lies in this word: keep its `remaining`
@@ -391,7 +548,7 @@ impl ProcSet {
                     bits ^= lowest;
                 }
                 out.ensure_word(wi);
-                out.words[wi] = kept;
+                out.words_mut()[wi] = kept;
                 remaining = 0;
             }
             if remaining == 0 {
@@ -404,16 +561,57 @@ impl ProcSet {
     /// Iterate over members in increasing index order.
     pub fn iter(&self) -> ProcSetIter<'_> {
         ProcSetIter {
-            set: self,
+            words: self.words(),
             word: 0,
-            bits: self.words.first().copied().unwrap_or(0),
+            bits: self.words().first().copied().unwrap_or(0),
         }
+    }
+
+    /// Force the heap representation — test hook for the inline-vs-heap
+    /// equivalence proptests (the public API never exposes the repr).
+    #[cfg(test)]
+    fn spilled(self) -> ProcSet {
+        ProcSet {
+            repr: Repr::Heap(self.words().to_vec()),
+        }
+    }
+
+    /// True iff the words are stored inline — test hook.
+    #[cfg(test)]
+    fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+}
+
+// The wire form is `{"words": [...]}` — exactly what the pre-SSO
+// `#[derive]` on `struct ProcSet { words: Vec<u64> }` produced. Campaign
+// cache keys hash this JSON, so the representation split must never show
+// up here.
+impl Serialize for ProcSet {
+    fn to_value(&self) -> Value {
+        let words = Value::Seq(self.words().iter().map(|w| w.to_value()).collect());
+        Value::Map(vec![("words".into(), words)])
+    }
+}
+
+impl Deserialize for ProcSet {
+    fn from_value(v: &Value) -> Result<ProcSet, SerdeError> {
+        let words: Vec<u64> = Deserialize::from_value(serde::field(v, "words")?)?;
+        let mut s = match Repr::inline_from(&words) {
+            Some(repr) => ProcSet { repr },
+            None => ProcSet {
+                repr: Repr::Heap(words),
+            },
+        };
+        // Tolerate non-normalized input (hand-written fixtures).
+        s.normalize();
+        Ok(s)
     }
 }
 
 /// Iterator over the members of a [`ProcSet`].
 pub struct ProcSetIter<'a> {
-    set: &'a ProcSet,
+    words: &'a [u64],
     word: usize,
     bits: u64,
 }
@@ -429,10 +627,10 @@ impl Iterator for ProcSetIter<'_> {
                 return Some(ProcId((self.word * WORD_BITS + b) as u32));
             }
             self.word += 1;
-            if self.word >= self.set.words.len() {
+            if self.word >= self.words.len() {
                 return None;
             }
-            self.bits = self.set.words[self.word];
+            self.bits = self.words[self.word];
         }
     }
 }
@@ -553,6 +751,38 @@ mod tests {
     }
 
     #[test]
+    fn small_sets_stay_inline_and_spill_transparently() {
+        // Up to 256 procs: inline, no heap.
+        let mut s = ProcSet::full(256);
+        assert!(s.is_inline());
+        assert!(s.clone().is_inline());
+        // Bit 256 needs a fifth word: spills, logically unchanged.
+        s.insert(256);
+        assert!(!s.is_inline());
+        assert_eq!(s.len(), 257);
+        assert!(ProcSet::full(256).is_subset(&s));
+        // Clone compacts back once the wide tail is gone.
+        s.remove(256);
+        assert!(s.clone().is_inline());
+        assert_eq!(s, ProcSet::full(256));
+    }
+
+    #[test]
+    fn inline_and_heap_reprs_are_equal_and_hash_alike() {
+        use std::collections::hash_map::DefaultHasher;
+        let inline = ProcSet::from_indices([3, 70, 128]);
+        let heap = inline.clone().spilled();
+        assert!(inline.is_inline() && !heap.is_inline());
+        assert_eq!(inline, heap);
+        let h = |s: &ProcSet| {
+            let mut hasher = DefaultHasher::new();
+            s.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&inline), h(&heap));
+    }
+
+    #[test]
     fn first_last_iter() {
         let s = ProcSet::from_indices([3, 70, 128]);
         assert_eq!(s.first(), Some(3));
@@ -606,6 +836,18 @@ mod tests {
         c.clone_from(&ProcSet::new());
         assert_eq!(c, ProcSet::new());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn serde_form_is_repr_independent() {
+        let inline = ProcSet::from_indices([3, 70, 128]);
+        let heap = inline.clone().spilled();
+        assert_eq!(inline.to_value(), heap.to_value());
+        let wide = ProcSet::from_indices([1, 300]);
+        for s in [&inline, &heap, &wide, &ProcSet::new()] {
+            let back = ProcSet::from_value(&s.to_value()).expect("roundtrip");
+            assert_eq!(&back, s);
+        }
     }
 
     #[test]
@@ -672,6 +914,47 @@ mod proptests {
             let mut scratch = ProcSet::full(64);
             scratch.clone_from(&sa);
             prop_assert_eq!(&scratch, &sa);
+        }
+
+        /// Every binary op agrees across all four inline/heap repr pairings,
+        /// and in-place ops land in the same logical state regardless of the
+        /// receiver's repr. Indices up to 400 cross the 256-proc inline
+        /// boundary, so sets sit on both sides of the spill threshold and
+        /// word counts hit the 4-word edge exactly.
+        #[test]
+        fn inline_and_heap_reprs_agree(a in prop::collection::btree_set(idx(), 0..60),
+                                       b in prop::collection::btree_set(idx(), 0..60)) {
+            let ai = ProcSet::from_indices(a.iter().copied());
+            let bi = ProcSet::from_indices(b.iter().copied());
+            let ah = ai.clone().spilled();
+            let bh = bi.clone().spilled();
+            prop_assert_eq!(&ai, &ah);
+            for (x, y) in [(&ai, &bi), (&ai, &bh), (&ah, &bi), (&ah, &bh)] {
+                prop_assert_eq!(x.union(y), ai.union(&bi));
+                prop_assert_eq!(x.intersection(y), ai.intersection(&bi));
+                prop_assert_eq!(x.difference(y), ai.difference(&bi));
+                prop_assert_eq!(x.is_disjoint(y), ai.is_disjoint(&bi));
+                prop_assert_eq!(x.is_subset(y), ai.is_subset(&bi));
+                prop_assert_eq!(x.difference_len(y), ai.difference_len(&bi));
+            }
+            for recv in [ai.clone(), ah.clone()] {
+                let mut u = recv.clone();
+                u.union_with(&bh);
+                prop_assert_eq!(&u, &ai.union(&bi));
+                let mut i = recv.clone();
+                i.intersect_with(&bh);
+                prop_assert_eq!(&i, &ai.intersection(&bi));
+                let mut d = recv.clone();
+                d.subtract(&bh);
+                prop_assert_eq!(&d, &ai.difference(&bi));
+                let mut c = recv;
+                c.clone_from(&bh);
+                prop_assert_eq!(&c, &bi);
+            }
+            if !a.is_empty() {
+                let k = a.len() / 2;
+                prop_assert_eq!(ai.take_first(k), ah.take_first(k));
+            }
         }
 
         /// `insert_range` equals element-wise insertion.

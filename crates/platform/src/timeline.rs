@@ -22,21 +22,27 @@
 //! availability profile** — the structure production batch schedulers
 //! (Slurm, OAR, EASY \[Lifka 95\]) keep to make placement sublinear. The
 //! profile is a piecewise-constant map from time to the *busy* processor
-//! set, stored as a `BTreeMap<Time, ProcSet>` keyed by segment start:
+//! set, stored as a sorted array of `(segment start, busy set)` pairs:
 //!
 //! * an entry `(t, busy)` means exactly `busy` is occupied on
 //!   `[t, next key)`; the last segment extends to [`Time::MAX`];
-//! * the map always contains a segment starting at [`Time::ZERO`];
+//! * the array always contains a segment starting at [`Time::ZERO`];
 //! * adjacent segments hold *distinct* busy sets (boundaries are
 //!   coalesced away as bookings come and go), so every boundary is a real
 //!   change point and the segment count is bounded by 2 × live bookings.
+//!
+//! The sorted-array layout (rather than an ordered tree) is a deliberate
+//! hot-path choice: the bound above keeps the whole profile a few cache
+//! lines wide, so binary search beats pointer-chasing, range walks are
+//! contiguous slice scans, and boundary insertion is a short `memmove`
+//! with no per-node allocation.
 //!
 //! Every mutation ([`Timeline::try_book`], [`Timeline::remove`],
 //! [`Timeline::truncate`], [`Timeline::gc`]) updates the touched segments
 //! in O(log S + touched); every query reads the profile instead of
 //! scanning the booking table:
 //!
-//! * [`Timeline::free_at`] is one `BTreeMap` lookup,
+//! * [`Timeline::free_at`] is one binary search,
 //! * [`Timeline::free_during`] unions the busy sets of the covered
 //!   segments,
 //! * [`Timeline::free_profile`] is a range read,
@@ -48,9 +54,7 @@
 //! (`naive::NaiveTimeline`) as the reference oracle for the differential
 //! property tests at the bottom of this module.
 
-use std::collections::BTreeMap;
 use std::fmt;
-use std::ops::Bound::{Excluded, Included};
 
 use serde::{Deserialize, Serialize};
 
@@ -159,27 +163,34 @@ impl Seg {
     }
 }
 
-/// The piecewise-constant busy profile (see the module docs). Key =
-/// segment start; value = processors busy on `[key, next key)`.
+/// The piecewise-constant busy profile (see the module docs), stored as a
+/// **sorted array** of `(segment start, busy set)` pairs rather than an
+/// ordered tree: the segment count is bounded by 2 × live bookings, so the
+/// whole profile stays a few cache lines wide, point lookups are one
+/// branchless binary search, range walks are contiguous slice scans, and
+/// boundary insertion/removal is a short `memmove` — no node allocation on
+/// the book/remove hot path.
 #[derive(Clone, Debug)]
 struct Profile {
-    segs: BTreeMap<Time, Seg>,
+    /// Sorted by segment start; never empty, `segs[0].0 == Time::ZERO`.
+    segs: Vec<(Time, Seg)>,
 }
 
 impl Profile {
     fn new() -> Profile {
-        let mut segs = BTreeMap::new();
-        segs.insert(Time::ZERO, Seg::empty());
-        Profile { segs }
+        Profile {
+            segs: vec![(Time::ZERO, Seg::empty())],
+        }
+    }
+
+    /// Index of the segment covering instant `t` (the last start `<= t`).
+    fn idx_at(&self, t: Time) -> usize {
+        self.segs.partition_point(|&(k, _)| k <= t) - 1
     }
 
     /// The segment covering instant `t`.
     fn seg_at(&self, t: Time) -> &Seg {
-        self.segs
-            .range(..=t)
-            .next_back()
-            .expect("profile always has a segment at Time::ZERO")
-            .1
+        &self.segs[self.idx_at(t)].1
     }
 
     /// The busy set at instant `t`.
@@ -187,14 +198,31 @@ impl Profile {
         &self.seg_at(t).busy
     }
 
+    /// Segments whose start lies in the open interval `(after, before)` —
+    /// the range read every windowed query walks.
+    fn between(&self, after: Time, before: Time) -> &[(Time, Seg)] {
+        let lo = self.segs.partition_point(|&(k, _)| k <= after);
+        let hi = self.segs.partition_point(|&(k, _)| k < before);
+        &self.segs[lo..hi.max(lo)]
+    }
+
+    /// Segments whose start lies in the half-open interval `(after, upto]`.
+    fn between_inclusive(&self, after: Time, upto: Time) -> &[(Time, Seg)] {
+        let lo = self.segs.partition_point(|&(k, _)| k <= after);
+        let hi = self.segs.partition_point(|&(k, _)| k <= upto);
+        &self.segs[lo..hi.max(lo)]
+    }
+
     /// Ensure a boundary exists at `t`, splitting the covering segment.
-    fn split_at(&mut self, t: Time) {
-        if let Some((&k, seg)) = self.segs.range(..=t).next_back() {
-            if k != t {
-                let copy = seg.clone();
-                self.segs.insert(t, copy);
-            }
+    /// Returns the index of the segment starting at `t`.
+    fn split_at(&mut self, t: Time) -> usize {
+        let i = self.idx_at(t);
+        if self.segs[i].0 == t {
+            return i;
         }
+        let copy = self.segs[i].1.clone();
+        self.segs.insert(i + 1, (t, copy));
+        i + 1
     }
 
     /// Drop the boundary at `t` if it no longer changes the busy set.
@@ -202,15 +230,12 @@ impl Profile {
         if t == Time::ZERO {
             return;
         }
-        let Some(cur) = self.segs.get(&t) else { return };
-        let prev = self
-            .segs
-            .range(..t)
-            .next_back()
-            .expect("a segment at Time::ZERO precedes every other")
-            .1;
-        if prev.count == cur.count && prev.busy == cur.busy {
-            self.segs.remove(&t);
+        let Ok(i) = self.segs.binary_search_by_key(&t, |&(k, _)| k) else {
+            return;
+        };
+        // `i >= 1`: the anchor at `Time::ZERO` precedes every other key.
+        if self.segs[i - 1].1 == self.segs[i].1 {
+            self.segs.remove(i);
         }
     }
 
@@ -222,9 +247,11 @@ impl Profile {
             return;
         }
         let delta = procs.len() as u32;
-        self.split_at(start);
-        self.split_at(end);
-        for (_, seg) in self.segs.range_mut(start..end) {
+        let lo = self.split_at(start);
+        // `end > start`, so this insert cannot shift indices at or below
+        // `lo`: the segments covering `[start, end)` are exactly `lo..hi`.
+        let hi = self.split_at(end);
+        for (_, seg) in &mut self.segs[lo..hi] {
             seg.busy.union_with(procs);
             // Disjointness is the booking invariant, so the union grows by
             // exactly |procs|.
@@ -242,9 +269,9 @@ impl Profile {
             return;
         }
         let delta = procs.len() as u32;
-        self.split_at(start);
-        self.split_at(end);
-        for (_, seg) in self.segs.range_mut(start..end) {
+        let lo = self.split_at(start);
+        let hi = self.split_at(end);
+        for (_, seg) in &mut self.segs[lo..hi] {
             seg.busy.subtract(procs);
             seg.count -= delta;
         }
@@ -401,8 +428,8 @@ impl Timeline {
         let clash = !self.profile.busy_at(start).is_disjoint(procs)
             || self
                 .profile
-                .segs
-                .range((Excluded(start), Excluded(end)))
+                .between(start, end)
+                .iter()
                 .any(|(_, seg)| !seg.busy.is_disjoint(procs));
         if !clash {
             return None;
@@ -522,7 +549,7 @@ impl Timeline {
         if end <= start {
             return;
         }
-        for (_, seg) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+        for (_, seg) in self.profile.between(start, end) {
             free.subtract(&seg.busy);
         }
     }
@@ -537,7 +564,7 @@ impl Timeline {
         let cap = self.capacity.len();
         let mut max_busy = self.profile.seg_at(start).count as usize;
         if end > start {
-            for (_, seg) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+            for (_, seg) in self.profile.between(start, end) {
                 max_busy = max_busy.max(seg.count as usize);
             }
         }
@@ -556,7 +583,7 @@ impl Timeline {
         if end <= start {
             return true;
         }
-        for (_, seg) in self.profile.segs.range((Excluded(start), Excluded(end))) {
+        for (_, seg) in self.profile.between(start, end) {
             busy.union_with(&seg.busy);
             if self.capacity.difference_len(busy) < width {
                 return false;
@@ -604,9 +631,13 @@ impl Timeline {
         // does every later candidate — the whole search is infeasible.
         let first_end = earliest.checked_add(dur)?;
         let mut busy = ProcSet::new();
-        let check = |tl: &Timeline, t: Time, end: Time, busy: &mut ProcSet| {
+        let mut free = ProcSet::new();
+        // Scratch-threaded probe: `busy` backs the feasibility walk and
+        // `free` the materialized window, so repeated candidates reuse the
+        // same two buffers instead of building a set per probe.
+        let mut check = |tl: &Timeline, t: Time, end: Time, busy: &mut ProcSet| {
             if tl.window_fits(t, end, width, busy) {
-                let free = tl.free_during(t, end);
+                tl.free_during_into(t, end, &mut free);
                 Some((t, free.take_first(width)))
             } else {
                 None
@@ -640,11 +671,7 @@ impl Timeline {
         let mut prev_busy = &start_seg.busy;
         let mut prev_count = start_seg.count;
         let mut skip_until: Option<Time> = None;
-        for (&t, seg) in self
-            .profile
-            .segs
-            .range((Excluded(earliest), Included(latest_start)))
-        {
+        for &(t, ref seg) in self.profile.between_inclusive(earliest, latest_start) {
             let shrinks = seg.count < prev_count || prev_busy.difference_len(&seg.busy) > 0;
             prev_busy = &seg.busy;
             prev_count = seg.count;
@@ -658,7 +685,7 @@ impl Timeline {
             if cap_len - (seg.count as usize) < width {
                 blocked_at = Some(t);
             } else if end > t {
-                for (&u, s2) in self.profile.segs.range((Excluded(t), Excluded(end))) {
+                for &(u, ref s2) in self.profile.between(t, end) {
                     if cap_len - (s2.count as usize) < width {
                         blocked_at = Some(u);
                         break;
@@ -688,13 +715,16 @@ impl Timeline {
         }
         let mut cur_start = from;
         let mut cur_free = self.free_at(from);
-        for (&t, seg) in self.profile.segs.range((Excluded(from), Excluded(to))) {
-            let mut free = self.capacity.clone();
+        // Scratch free set: segments whose free set matches the running one
+        // are folded in without materializing a fresh ProcSet each.
+        let mut free = ProcSet::new();
+        for &(t, ref seg) in self.profile.between(from, to) {
+            free.clone_from(&self.capacity);
             free.subtract(&seg.busy);
             if free != cur_free {
                 segments.push((cur_start, t, cur_free));
                 cur_start = t;
-                cur_free = free;
+                cur_free = free.clone();
             }
         }
         segments.push((cur_start, to, cur_free));
@@ -713,7 +743,7 @@ impl Timeline {
         let mut busy_ticks: u128 = 0;
         let mut seg_start = from;
         let mut seg_busy = self.profile.seg_at(from).count as usize;
-        for (&t, seg) in self.profile.segs.range((Excluded(from), Excluded(to))) {
+        for &(t, ref seg) in self.profile.between(from, to) {
             busy_ticks += (t - seg_start).ticks() as u128 * seg_busy as u128;
             seg_start = t;
             seg_busy = seg.count as usize;
@@ -738,9 +768,13 @@ impl Timeline {
     /// booking table.
     #[cfg(test)]
     fn assert_profile_consistent(&self) {
-        assert!(self.profile.segs.contains_key(&Time::ZERO));
+        assert_eq!(self.profile.segs[0].0, Time::ZERO);
+        assert!(
+            self.profile.segs.windows(2).all(|w| w[0].0 < w[1].0),
+            "segment starts must be strictly sorted"
+        );
         let mut prev: Option<&Seg> = None;
-        for seg in self.profile.segs.values() {
+        for (_, seg) in &self.profile.segs {
             assert!(seg.busy.is_subset(&self.capacity));
             assert_eq!(seg.busy.len(), seg.count as usize, "cached count drifted");
             assert_ne!(prev, Some(seg), "adjacent segments must differ");
@@ -763,6 +797,8 @@ mod naive {
     //! oracle: every query is a full linear scan over the booking table.
     //! The differential proptests below drive it in lockstep with the
     //! profile-based implementation and compare every answer.
+
+    use std::collections::BTreeMap;
 
     use super::*;
 

@@ -734,33 +734,47 @@ struct PolicyDispatch<'a> {
     /// instead of an O(live) availability rebuild, and the planner's own
     /// expiry heap subsumes the `committed` bookkeeping entirely.
     planner: Option<Box<dyn IncrementalPlanner>>,
+    /// Scratch schedule the planner fills each decision — cleared and
+    /// reused so the per-event path performs no allocation.
+    plan_scratch: Schedule,
 }
 
 impl Dispatcher for PolicyDispatch<'_> {
     type Job = Job;
 
-    fn decide(&mut self, now: Time, pending: &mut Vec<Job>) -> Vec<Commitment<Job>> {
+    fn decide(&mut self, now: Time, pending: &mut Vec<Job>, out: &mut Vec<Commitment<Job>>) {
+        // Drain the job a (known-valid) assignment names out of `pending`
+        // by linear scan — decision batches are dirty windows of a handful
+        // of jobs, so a scan beats building a `HashMap` per decision (the
+        // allocation that used to sit on every event of the open path).
+        fn drain_job(pending: &mut Vec<Job>, id: JobId, policy: &str) -> Job {
+            match pending.iter().position(|j| j.id == id) {
+                Some(i) => pending.swap_remove(i),
+                None => panic!("{policy}: scheduled unknown job {id}"),
+            }
+        }
         if let Some(planner) = self.planner.as_deref_mut() {
             planner.advance(now);
-            let placed = planner.plan(pending, now);
-            let mut by_id: HashMap<JobId, Job> = pending.drain(..).map(|j| (j.id, j)).collect();
-            return placed
-                .assignments()
-                .iter()
-                .map(|a| {
-                    let job = by_id.remove(&a.job).unwrap_or_else(|| {
-                        panic!("{}: scheduled unknown job {}", self.policy.name(), a.job)
-                    });
-                    if let Some(s) = &mut self.schedule {
-                        s.push(a.clone());
-                    }
-                    Commitment {
-                        job,
-                        start: a.start,
-                        end: a.end,
-                    }
-                })
-                .collect();
+            self.plan_scratch.clear();
+            planner.plan(pending, now, &mut self.plan_scratch);
+            for a in self.plan_scratch.assignments() {
+                let job = drain_job(pending, a.job, self.policy.name());
+                if let Some(s) = &mut self.schedule {
+                    s.push(a.clone());
+                }
+                out.push(Commitment {
+                    job,
+                    start: a.start,
+                    end: a.end,
+                });
+            }
+            assert!(
+                pending.is_empty(),
+                "{}: planner left {} pending jobs unscheduled",
+                self.policy.name(),
+                pending.len()
+            );
+            return;
         }
         // Completed commitments no longer constrain placement.
         self.committed.gc(now);
@@ -768,7 +782,7 @@ impl Dispatcher for PolicyDispatch<'_> {
             // Hole-blind policy with work still running: keep accumulating.
             // The final completion of the running batch re-invokes us with
             // an empty commitment set.
-            return Vec::new();
+            return;
         }
         let live: Vec<PinnedBooking> = self
             .committed
@@ -782,33 +796,32 @@ impl Dispatcher for PolicyDispatch<'_> {
         let placed = self
             .policy
             .schedule_pending(pending, self.m, now, &live, self.ctx);
-        let mut by_id: HashMap<JobId, Job> = pending.drain(..).map(|j| (j.id, j)).collect();
-        placed
-            .assignments()
-            .iter()
-            .map(|a| {
-                let job = by_id.remove(&a.job).unwrap_or_else(|| {
-                    panic!("{}: scheduled unknown job {}", self.policy.name(), a.job)
+        for a in placed.assignments() {
+            let job = drain_job(pending, a.job, self.policy.name());
+            self.committed
+                .try_book(a.start, a.end, a.procs.clone(), BookingKind::Job)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}: commitment for job {} collides with running work: {e}",
+                        self.policy.name(),
+                        a.job
+                    )
                 });
-                self.committed
-                    .try_book(a.start, a.end, a.procs.clone(), BookingKind::Job)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "{}: commitment for job {} collides with running work: {e}",
-                            self.policy.name(),
-                            a.job
-                        )
-                    });
-                if let Some(s) = &mut self.schedule {
-                    s.push(a.clone());
-                }
-                Commitment {
-                    job,
-                    start: a.start,
-                    end: a.end,
-                }
-            })
-            .collect()
+            if let Some(s) = &mut self.schedule {
+                s.push(a.clone());
+            }
+            out.push(Commitment {
+                job,
+                start: a.start,
+                end: a.end,
+            });
+        }
+        assert!(
+            pending.is_empty(),
+            "{}: left {} pending jobs unscheduled",
+            self.policy.name(),
+            pending.len()
+        );
     }
 }
 
@@ -892,6 +905,7 @@ fn des_online_impl(
         } else {
             None
         },
+        plan_scratch: Schedule::new(m),
     });
     let mut sim = Simulation::new(machine);
     for job in &prepared {
@@ -1018,6 +1032,7 @@ pub fn des_online_open(
             committed: Timeline::with_procs(m),
             schedule: None,
             planner: policy.incremental_planner(m, ctx),
+            plan_scratch: Schedule::new(m),
         },
         source,
         feed_until,
