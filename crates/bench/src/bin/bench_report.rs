@@ -455,6 +455,15 @@ fn main() {
         ("ops".into(), to_json(&ops, "n")),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serializable");
-    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("write {out}: {e}"));
+    let path = std::path::Path::new(&out);
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => std::path::Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .unwrap_or_else(|| panic!("output path `{out}` has no file name"))
+        .to_string_lossy();
+    lsps_scenario::write_file_atomic(dir, &name, &(json + "\n"));
     println!("[written] {out}");
 }

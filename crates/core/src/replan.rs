@@ -47,7 +47,7 @@
 //! the retained full-replan path as the oracle.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use lsps_des::Time;
 use lsps_platform::{BookingId, BookingKind, Timeline};
@@ -87,6 +87,36 @@ pub trait IncrementalPlanner {
     /// replan would count O(live + batch) per event; an incremental
     /// planner counts O(batch).
     fn touched(&self) -> u64;
+
+    /// `(booking, true_end)` pairs created by the **last**
+    /// [`plan`](IncrementalPlanner::plan) call, aligned 1:1 with the
+    /// placements it wrote into `out` (insertion order). Failure-aware
+    /// executors read this to associate each commitment with its planner
+    /// booking, so a later kill can name the booking to evict.
+    ///
+    /// Default: volatility unsupported — fail loudly rather than let a
+    /// failure-blind planner drift from the oracle.
+    fn last_created(&self) -> &[(BookingId, Time)] {
+        unimplemented!("this planner does not support node volatility")
+    }
+
+    /// Evict a still-live booking: the commitment behind it was killed by
+    /// a node failure. This is the explicit relaxation of the
+    /// "commitments are final" invariant — the booked interval leaves the
+    /// profile *now*, and the planner must keep the dirty-window invariant
+    /// against an oracle that no longer re-books the dead commitment.
+    fn invalidate(&mut self, id: BookingId) {
+        let _ = id;
+        unimplemented!("this planner does not support node volatility")
+    }
+
+    /// Book a node outage: processor `node` is unavailable on
+    /// `[start, end)`. The window expires off the profile at `end` exactly
+    /// like a completed commitment, matching the full replan's `gc`.
+    fn add_outage(&mut self, node: u32, start: Time, end: Time) {
+        let _ = (node, start, end);
+        unimplemented!("this planner does not support node volatility")
+    }
 }
 
 /// [`IncrementalPlanner`] for the backfill family (conservative + EASY).
@@ -108,6 +138,11 @@ pub struct BackfillPlanner {
     /// Scratch: `(booking, true_end)` pairs the passes emit, reused
     /// alongside `bumped`.
     created: Vec<(BookingId, Time)>,
+    /// Bookings evicted by [`IncrementalPlanner::invalidate`] whose expiry
+    /// entry is still in the heap — `advance` skips these instead of
+    /// demanding they be present, keeping the missing-booking panic for
+    /// genuine bugs.
+    invalidated: HashSet<BookingId>,
 }
 
 impl BackfillPlanner {
@@ -139,6 +174,7 @@ impl BackfillPlanner {
             touched: 0,
             bumped: Vec::new(),
             created: Vec::new(),
+            invalidated: HashSet::new(),
         }
     }
 }
@@ -150,6 +186,9 @@ impl IncrementalPlanner for BackfillPlanner {
                 break;
             }
             self.expiry.pop();
+            if self.invalidated.remove(&id) {
+                continue;
+            }
             self.tl.remove(id).expect("expired booking still present");
         }
     }
@@ -159,6 +198,9 @@ impl IncrementalPlanner for BackfillPlanner {
             out.is_empty(),
             "caller hands the scratch schedule back cleared"
         );
+        // Clear even on the empty-batch path: `last_created` must describe
+        // *this* call, never a stale predecessor.
+        self.created.clear();
         if pending.is_empty() {
             return;
         }
@@ -175,7 +217,6 @@ impl IncrementalPlanner for BackfillPlanner {
             j
         }));
         let order = fcfs_order(&self.bumped);
-        self.created.clear();
         match self.flavour {
             BackfillPolicy::Conservative => {
                 conservative_pass(&order, &mut self.tl, self.factor, out, &mut self.created)
@@ -199,5 +240,32 @@ impl IncrementalPlanner for BackfillPlanner {
 
     fn touched(&self) -> u64 {
         self.touched
+    }
+
+    fn last_created(&self) -> &[(BookingId, Time)] {
+        &self.created
+    }
+
+    fn invalidate(&mut self, id: BookingId) {
+        self.tl
+            .remove(id)
+            .expect("invalidated booking still present");
+        self.invalidated.insert(id);
+    }
+
+    fn add_outage(&mut self, node: u32, start: Time, end: Time) {
+        assert!(end > start, "empty outage [{start:?}, {end:?})");
+        let id = self
+            .tl
+            .try_book(
+                start,
+                end,
+                lsps_platform::ProcSet::from_indices([node as usize]),
+                BookingKind::Reservation,
+            )
+            .unwrap_or_else(|e| {
+                panic!("outage [{start:?}, {end:?}) on node {node} collides: {e:?}")
+            });
+        self.expiry.push(Reverse((end, id)));
     }
 }

@@ -17,13 +17,20 @@
 //!   scheduled at `now` fires after every already-queued event of the same
 //!   timestamp — the queue is FIFO on ties), so a batch policy sees the
 //!   whole simultaneous burst, not one job at a time;
-//! * a commitment is final: the machine schedules its completion and never
-//!   revisits it — revision policies model preemption *inside* their
-//!   dispatcher instead;
-//! * everything is deterministic: identical arrival streams and a
-//!   deterministic dispatcher give bit-identical completion logs.
+//! * a commitment is final **unless a node fails under it**: the machine
+//!   schedules its completion and never revisits it on its own, but an
+//!   [`OnlineEvent::NodeDown`] invokes the dispatcher's
+//!   [`Dispatcher::node_down`] hook, which may kill running commitments
+//!   (their queued `Finish` events are cancelled in O(1)) and resubmit
+//!   replacement jobs into the pending set — the explicit invalidation
+//!   path failure-aware executors build on. Revision policies beyond that
+//!   still model preemption *inside* their dispatcher;
+//! * everything is deterministic: identical arrival streams, failure
+//!   traces, and a deterministic dispatcher give bit-identical completion
+//!   logs.
 
 use crate::engine::{Ctx, Model};
+use crate::queue::EventKey;
 use crate::time::Time;
 
 /// A decision the dispatcher made for one job: run it over `[start, end)`.
@@ -60,6 +67,35 @@ pub trait Dispatcher {
         pending: &mut Vec<Self::Job>,
         out: &mut Vec<Commitment<Self::Job>>,
     );
+
+    /// A node failed at `now` and will be repaired at `up`. Inspect the
+    /// running table (slot-indexed; `None` entries already finished or
+    /// were killed earlier) and push the slots to kill into `kill` and
+    /// the replacement jobs to queue into `resubmit`. The machine then
+    /// cancels each killed slot's completion event, re-queues the
+    /// resubmitted jobs, and requests a decision at `now`.
+    ///
+    /// Only slots holding `Some` commitment may be killed, and a slot at
+    /// most once. The default ignores failures entirely — volatility-blind
+    /// dispatchers keep their exact behaviour.
+    fn node_down(
+        &mut self,
+        now: Time,
+        node: u32,
+        up: Time,
+        running: &[Option<Commitment<Self::Job>>],
+        kill: &mut Vec<usize>,
+        resubmit: &mut Vec<Self::Job>,
+    ) {
+        let _ = (now, node, up, running, kill, resubmit);
+    }
+
+    /// The node failed earlier is repaired at `now`. Bookkeeping only —
+    /// the machine follows up with a decision request, so newly freed
+    /// capacity is replanned immediately.
+    fn node_up(&mut self, now: Time, node: u32) {
+        let _ = (now, node);
+    }
 }
 
 /// Event alphabet of the online machine.
@@ -71,6 +107,20 @@ pub enum OnlineEvent<J> {
     Decide,
     /// A committed run finishes (index into the machine's running table).
     Finish(usize),
+    /// A node fails, repaired at `up` — the repair instant rides along so
+    /// failure-aware dispatchers can plan around the outage window.
+    NodeDown {
+        /// Failed node index.
+        node: u32,
+        /// Repair-complete instant (a matching [`OnlineEvent::NodeUp`] is
+        /// expected there).
+        up: Time,
+    },
+    /// A previously failed node comes back.
+    NodeUp {
+        /// Repaired node index.
+        node: u32,
+    },
 }
 
 /// The event-driven machine around a [`Dispatcher`]: plug into
@@ -80,15 +130,24 @@ pub struct OnlineMachine<D: Dispatcher> {
     dispatcher: D,
     pending: Vec<D::Job>,
     running: Vec<Option<Commitment<D::Job>>>,
+    /// Queued `Finish` event of each slot, parallel to `running` — the
+    /// handle that lets a node failure cancel a doomed completion in O(1)
+    /// instead of leaving a stale event to fire on an emptied slot.
+    finish_keys: Vec<EventKey>,
     completed: Vec<Commitment<D::Job>>,
     /// Recycled scratch handed to [`Dispatcher::decide`] — cleared before
     /// every invocation, so the dispatch loop allocates nothing in steady
     /// state.
     commitments: Vec<Commitment<D::Job>>,
+    /// Recycled scratch handed to [`Dispatcher::node_down`].
+    kill_scratch: Vec<usize>,
+    resubmit_scratch: Vec<D::Job>,
     /// Instant a `Decide` is already scheduled for (coalesces same-time
     /// decision requests into one policy invocation).
     decide_at: Option<Time>,
     decisions: u64,
+    kills: u64,
+    resubmits: u64,
 }
 
 impl<D: Dispatcher> OnlineMachine<D> {
@@ -98,10 +157,15 @@ impl<D: Dispatcher> OnlineMachine<D> {
             dispatcher,
             pending: Vec::new(),
             running: Vec::new(),
+            finish_keys: Vec::new(),
             completed: Vec::new(),
             commitments: Vec::new(),
+            kill_scratch: Vec::new(),
+            resubmit_scratch: Vec::new(),
             decide_at: None,
             decisions: 0,
+            kills: 0,
+            resubmits: 0,
         }
     }
 
@@ -123,6 +187,16 @@ impl<D: Dispatcher> OnlineMachine<D> {
     /// Number of dispatcher invocations so far.
     pub fn decisions(&self) -> u64 {
         self.decisions
+    }
+
+    /// Commitments killed by node failures so far.
+    pub fn kills(&self) -> u64 {
+        self.kills
+    }
+
+    /// Jobs resubmitted after a kill so far.
+    pub fn resubmits(&self) -> u64 {
+        self.resubmits
     }
 
     /// Tear down into `(dispatcher, completions, still-pending)` — the
@@ -167,9 +241,41 @@ impl<D: Dispatcher> OnlineMachine<D> {
             let slot = self.running.len();
             let end = c.end;
             self.running.push(Some(c));
-            ctx.schedule_at(end, OnlineEvent::Finish(slot));
+            self.finish_keys
+                .push(ctx.schedule_at(end, OnlineEvent::Finish(slot)));
         }
         self.commitments = commitments;
+    }
+
+    fn node_down(
+        &mut self,
+        now: Time,
+        node: u32,
+        up: Time,
+        ctx: &mut Ctx<'_, OnlineEvent<D::Job>>,
+    ) {
+        let mut kill = std::mem::take(&mut self.kill_scratch);
+        let mut resubmit = std::mem::take(&mut self.resubmit_scratch);
+        kill.clear();
+        resubmit.clear();
+        self.dispatcher
+            .node_down(now, node, up, &self.running, &mut kill, &mut resubmit);
+        for slot in kill.drain(..) {
+            let c = self.running[slot]
+                .take()
+                .expect("dispatcher killed an empty or already-killed slot");
+            debug_assert!(c.end > now, "killed a commitment that already completed");
+            assert!(
+                ctx.cancel(self.finish_keys[slot]),
+                "killed commitment's finish already fired"
+            );
+            self.kills += 1;
+        }
+        self.resubmits += resubmit.len() as u64;
+        self.pending.append(&mut resubmit);
+        self.kill_scratch = kill;
+        self.resubmit_scratch = resubmit;
+        self.request_decide(now, ctx);
     }
 }
 
@@ -192,6 +298,11 @@ impl<D: Dispatcher> Model for OnlineMachine<D> {
                 // A completion is new information: re-invoke the dispatcher
                 // if work is still waiting (no-op for full-commitment
                 // dispatchers, which never leave jobs pending).
+                self.request_decide(now, ctx);
+            }
+            OnlineEvent::NodeDown { node, up } => self.node_down(now, node, up, ctx),
+            OnlineEvent::NodeUp { node } => {
+                self.dispatcher.node_up(now, node);
                 self.request_decide(now, ctx);
             }
         }
@@ -427,6 +538,12 @@ where
                 self.completions += 1;
                 (self.sink)(c);
                 self.request_decide(now, ctx);
+            }
+            // Steady-state analysis assumes a reliable platform; feeding
+            // volatility events into the open machine is a driver bug, not
+            // a condition to silently ignore.
+            OnlineEvent::NodeDown { node, .. } | OnlineEvent::NodeUp { node } => {
+                panic!("open online machine does not model node volatility (node {node} event)")
             }
         }
     }
@@ -691,6 +808,119 @@ mod tests {
         let mut sim = Simulation::new(machine);
         sim.schedule_at(first.0, OnlineEvent::Arrive(first.1));
         sim.run_to_completion(100);
+    }
+
+    /// [`Fcfs`] plus failure-awareness on its single implicit node: any
+    /// commitment overlapping the outage is killed and resubmitted at full
+    /// length, and the machine is treated as busy until the repair.
+    struct VolatileFcfs {
+        fcfs: Fcfs,
+    }
+
+    impl Dispatcher for VolatileFcfs {
+        type Job = u32;
+        fn decide(&mut self, now: Time, pending: &mut Vec<u32>, out: &mut Vec<Commitment<u32>>) {
+            self.fcfs.decide(now, pending, out);
+        }
+        fn node_down(
+            &mut self,
+            now: Time,
+            _node: u32,
+            up: Time,
+            running: &[Option<Commitment<u32>>],
+            kill: &mut Vec<usize>,
+            resubmit: &mut Vec<u32>,
+        ) {
+            for (slot, c) in running.iter().enumerate() {
+                if let Some(c) = c {
+                    if c.end > now && c.start < up {
+                        kill.push(slot);
+                        resubmit.push(c.job);
+                    }
+                }
+            }
+            if !kill.is_empty() {
+                self.fcfs.free_at = up;
+            }
+        }
+    }
+
+    #[test]
+    fn node_down_kills_and_resubmits() {
+        let lens = vec![(1u32, Dur::from_ticks(10))];
+        let mut sim = Simulation::new(OnlineMachine::new(VolatileFcfs {
+            fcfs: Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+        }));
+        sim.schedule_at(t(0), OnlineEvent::Arrive(1));
+        sim.schedule_at(t(4), OnlineEvent::NodeDown { node: 0, up: t(7) });
+        sim.schedule_at(t(7), OnlineEvent::NodeUp { node: 0 });
+        sim.run_to_completion(100);
+        let m = sim.model();
+        assert_eq!(m.kills(), 1);
+        assert_eq!(m.resubmits(), 1);
+        assert_eq!(m.running(), 0);
+        assert!(m.pending().is_empty());
+        // The original [0, 10) run died at 4; the resubmitted copy starts
+        // at the repair (the NodeUp decision) and runs its full length.
+        assert_eq!(
+            m.completed(),
+            &[Commitment {
+                job: 1,
+                start: t(7),
+                end: t(17)
+            }]
+        );
+    }
+
+    #[test]
+    fn failure_at_commitment_end_neither_double_kills_nor_loses_the_job() {
+        // The outage starts exactly when the job ends. NodeDown events are
+        // seeded before the run, so FIFO tie-break fires the failure first;
+        // the `end > now` victim rule must leave the job alone, and its
+        // queued Finish must then complete it exactly once.
+        let lens = vec![(1u32, Dur::from_ticks(10))];
+        let mut sim = Simulation::new(OnlineMachine::new(VolatileFcfs {
+            fcfs: Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+        }));
+        sim.schedule_at(t(0), OnlineEvent::Arrive(1));
+        sim.schedule_at(t(10), OnlineEvent::NodeDown { node: 0, up: t(12) });
+        sim.schedule_at(t(12), OnlineEvent::NodeUp { node: 0 });
+        sim.run_to_completion(100);
+        let m = sim.model();
+        assert_eq!(m.kills(), 0);
+        assert_eq!(m.resubmits(), 0);
+        assert_eq!(
+            m.completed(),
+            &[Commitment {
+                job: 1,
+                start: t(0),
+                end: t(10)
+            }]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not model node volatility")]
+    fn open_machine_rejects_volatility_events() {
+        let lens = vec![(0u32, Dur::from_ticks(1))];
+        let machine = OpenOnlineMachine::new(
+            Fcfs {
+                free_at: Time::ZERO,
+                lens,
+            },
+            std::iter::empty::<(Time, u32)>(),
+            Time::MAX,
+            |_| {},
+        );
+        let mut sim = Simulation::new(machine);
+        sim.schedule_at(t(0), OnlineEvent::NodeDown { node: 3, up: t(5) });
+        sim.run_to_completion(10);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod fairness;
 pub mod lower_bounds;
 pub mod steady;
 pub mod summary;
+pub mod volatility;
 
 pub use completed::CompletedJob;
 pub use criteria::{Criteria, CriteriaAcc};
@@ -35,6 +36,7 @@ pub use lower_bounds::{
 };
 pub use steady::{batch_means_ci95, ClassResponse, SteadyState, WarmupSpec};
 pub use summary::Summary;
+pub use volatility::FailureStats;
 
 /// Commonly used items.
 pub mod prelude {
@@ -47,4 +49,5 @@ pub mod prelude {
     };
     pub use crate::steady::{batch_means_ci95, ClassResponse, SteadyState, WarmupSpec};
     pub use crate::summary::Summary;
+    pub use crate::volatility::FailureStats;
 }

@@ -1,0 +1,88 @@
+//! Volatility metrics: what node failures cost a schedule.
+//!
+//! A failure-aware run distinguishes *useful* work (processor-ticks that
+//! contributed to a completed job) from *wasted* work (ticks executed by
+//! commitments later killed by an outage, minus whatever a checkpoint
+//! preserved). [`FailureStats`] packages the four quantities the
+//! aggregate CSV sweeps across failure regimes and recovery policies.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one failure-aware run, computed by the online executor.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureStats {
+    /// Commitments killed by node outages.
+    pub kills: u64,
+    /// Jobs re-queued after a kill (equals `kills` under the policies
+    /// shipped today, but the schema keeps them distinct — a policy may
+    /// abandon work instead of resubmitting it).
+    pub resubmits: u64,
+    /// Processor-ticks executed and then lost (work of killed attempts
+    /// not covered by a checkpoint).
+    pub wasted_ticks: u64,
+    /// Useful area over total area burnt:
+    /// `Σ job area / (Σ job area + wasted_ticks)` — 1.0 on a reliable
+    /// platform, dropping as outages destroy work.
+    pub goodput: f64,
+    /// Mean slowdown (flow over sequential-equivalent length) of the jobs
+    /// that were interrupted at least once; `None` when nothing was
+    /// interrupted (an empty CSV column, not a zero).
+    pub interrupted_slowdown: Option<f64>,
+}
+
+impl FailureStats {
+    /// Assemble the stats from run counters. `useful_area` is the total
+    /// processor-tick area of the workload (every job counted once, at
+    /// full length); `interrupted_slowdowns` holds one flow/length ratio
+    /// per interrupted job.
+    pub fn evaluate(
+        useful_area: u64,
+        wasted_ticks: u64,
+        kills: u64,
+        resubmits: u64,
+        interrupted_slowdowns: &[f64],
+    ) -> FailureStats {
+        let burnt = useful_area + wasted_ticks;
+        FailureStats {
+            kills,
+            resubmits,
+            wasted_ticks,
+            goodput: if burnt == 0 {
+                1.0
+            } else {
+                useful_area as f64 / burnt as f64
+            },
+            interrupted_slowdown: if interrupted_slowdowns.is_empty() {
+                None
+            } else {
+                Some(interrupted_slowdowns.iter().sum::<f64>() / interrupted_slowdowns.len() as f64)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_is_useful_over_burnt() {
+        let s = FailureStats::evaluate(900, 100, 3, 3, &[2.0, 4.0]);
+        assert!((s.goodput - 0.9).abs() < 1e-12);
+        assert_eq!(s.interrupted_slowdown, Some(3.0));
+    }
+
+    #[test]
+    fn reliable_run_is_perfect_goodput_with_empty_slowdown() {
+        let s = FailureStats::evaluate(500, 0, 0, 0, &[]);
+        assert_eq!(s.goodput, 1.0);
+        assert_eq!(s.interrupted_slowdown, None);
+        assert_eq!(s.kills, 0);
+    }
+
+    #[test]
+    fn empty_workload_does_not_divide_by_zero() {
+        let s = FailureStats::evaluate(0, 0, 0, 0, &[]);
+        assert_eq!(s.goodput, 1.0);
+    }
+}

@@ -28,8 +28,9 @@ use crate::spec::fnv64;
 /// Bumped whenever the cell schema or key layout changes; stale shards
 /// then miss instead of deserializing wrongly. (2: trial-overhead counters
 /// on cells, machine/knowledge axes in the key preimage. 3: open-arrival
-/// per-class response distributions on cells.)
-pub const CACHE_VERSION: u32 = 3;
+/// per-class response distributions on cells. 4: failure stats on cells,
+/// `failures` axis in the key preimage of volatile cells.)
+pub const CACHE_VERSION: u32 = 4;
 
 #[derive(Serialize, Deserialize)]
 struct Shard {
@@ -155,6 +156,13 @@ mod tests {
                 max_slowdown: 1.5,
                 ci95_flow_s: 0.25,
             }]),
+            failures: Some(lsps_metrics::FailureStats {
+                kills: 2,
+                resubmits: 2,
+                wasted_ticks: 700,
+                goodput: 0.875,
+                interrupted_slowdown: Some(2.5),
+            }),
         }
     }
 

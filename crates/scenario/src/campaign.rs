@@ -2,7 +2,7 @@
 //! the cached ones, run the rest, aggregate replications.
 //!
 //! The canonical cell order is executor-major, then the runner's own order
-//! (platform → workload entry → replication → policy). The cache never
+//! (platform → failure entry → workload entry → replication → policy). The cache never
 //! affects ordering — a warm, partially warm or cold run emits exactly the
 //! same bytes — so interrupting a campaign and re-running it *is* resume.
 //!
@@ -26,9 +26,10 @@ use serde::{Serialize, Value};
 use crate::cache::{CellCache, CACHE_VERSION};
 use crate::families::builtin_family;
 use crate::runner::{
-    des_online_open, to_csv, Cell, Executor, ExperimentRunner, PlatformCase, WorkloadCase,
+    des_online_open, to_csv, Cell, Executor, ExperimentRunner, PlatformCase, VolatilityCase,
+    WorkloadCase,
 };
-use crate::spec::{fnv64, CampaignSpec, SpecError, WorkloadSource};
+use crate::spec::{fnv64, CampaignSpec, FailureEntry, SpecError, WorkloadSource};
 
 /// How a campaign runs: where the cache lives, how wide the pool is, and
 /// what relative trace paths resolve against.
@@ -211,7 +212,8 @@ fn build_cases(spec: &CampaignSpec, expanded: &[ExpandedEntry]) -> ExpandedCases
 }
 
 /// The key preimage of one cell: everything its outcome depends on, as
-/// canonical compact JSON.
+/// canonical compact JSON. One argument per cell-grid axis, by design.
+#[allow(clippy::too_many_arguments)]
 fn cell_key(
     spec: &CampaignSpec,
     executor: crate::runner::Executor,
@@ -220,9 +222,10 @@ fn cell_key(
     entry: &ExpandedEntry,
     entry_name: &str,
     seed: u64,
+    failure: &FailureEntry,
 ) -> String {
     let plat = &spec.platforms[platform_idx];
-    let key = Value::Map(vec![
+    let mut key = vec![
         ("v".into(), Value::UInt(CACHE_VERSION as u64)),
         ("policy".into(), spec.policies[policy_idx].to_value()),
         ("executor".into(), executor.name().to_value()),
@@ -231,14 +234,19 @@ fn cell_key(
         ("seed".into(), Value::UInt(seed)),
         ("source".into(), entry.canonical_source.clone()),
         ("ctx".into(), spec.ctx.to_value()),
-    ]);
-    serde_json::to_string(&key).expect("keys serialize")
+    ];
+    // Reliable entries carry no key field: the key text of a cell without
+    // failures is exactly what it was before the axis existed.
+    if failure.trace.is_some() {
+        key.push(("failures".into(), failure.to_value()));
+    }
+    serde_json::to_string(&Value::Map(key)).expect("keys serialize")
 }
 
 /// One cell of an expanded campaign: the grid coordinates that determine
 /// its outcome plus its content-addressed cache key. Cells live in the
-/// canonical campaign order (executor-major, then platform → workload
-/// entry → replication → policy), and the index of a cell in
+/// canonical campaign order (executor-major, then platform → failure
+/// entry → workload entry → replication → policy), and the index of a cell in
 /// [`CampaignPlan::cells`] is its stable identity for sharded execution —
 /// the daemon ships `(campaign, cell index)` pairs to workers and both
 /// sides agree on what the index means because both expanded the same
@@ -249,6 +257,9 @@ pub struct PlannedCell {
     pub executor: Executor,
     /// Index into [`CampaignSpec::platforms`].
     pub platform: usize,
+    /// Index into [`CampaignSpec::failures`] (0 when the spec has no
+    /// `failures` block — the implicit reliable entry).
+    pub failure: usize,
     /// Index into [`CampaignSpec::policies`].
     pub policy: usize,
     /// Index into [`CampaignSpec::workloads`].
@@ -293,29 +304,33 @@ impl CampaignPlan {
         let mut cells = Vec::with_capacity(spec.cell_count());
         for &executor in &spec.executors {
             for pi in 0..spec.platforms.len() {
-                let mut case = 0usize;
-                for exp in &expanded {
-                    for &seed in &exp.seeds {
-                        for ki in 0..spec.policies.len() {
-                            cells.push(PlannedCell {
-                                executor,
-                                platform: pi,
-                                policy: ki,
-                                entry: exp.entry_idx,
-                                seed,
-                                key: cell_key(
-                                    spec,
+                for fi in 0..spec.failures.len() {
+                    let mut case = 0usize;
+                    for exp in &expanded {
+                        for &seed in &exp.seeds {
+                            for ki in 0..spec.policies.len() {
+                                cells.push(PlannedCell {
                                     executor,
-                                    pi,
-                                    ki,
-                                    exp,
-                                    &spec.workloads[exp.entry_idx].name,
+                                    platform: pi,
+                                    failure: fi,
+                                    policy: ki,
+                                    entry: exp.entry_idx,
                                     seed,
-                                ),
-                                case,
-                            });
+                                    key: cell_key(
+                                        spec,
+                                        executor,
+                                        pi,
+                                        ki,
+                                        exp,
+                                        &spec.workloads[exp.entry_idx].name,
+                                        seed,
+                                        &spec.failures[fi],
+                                    ),
+                                    case,
+                                });
+                            }
+                            case += 1;
                         }
-                        case += 1;
                     }
                 }
             }
@@ -351,9 +366,30 @@ impl CampaignPlan {
         serde_json::to_string(&self.spec).expect("specs serialize")
     }
 
-    /// The runner for one executor sweep, cases in canonical order.
+    /// The runner for one executor sweep, cases in canonical order. The
+    /// runner's platform axis is the spec's platforms × failure entries
+    /// (platform-major): index `pi * n_failures + fi`, with volatile
+    /// entries suffixing the display name so CSV rows group per regime.
     fn runner(&self, executor: Executor, threads: usize) -> ExperimentRunner {
         let (workloads, _meta) = build_cases(&self.spec, &self.expanded);
+        let mut platforms =
+            Vec::with_capacity(self.spec.platforms.len() * self.spec.failures.len());
+        for p in &self.spec.platforms {
+            for f in &self.spec.failures {
+                platforms.push(PlatformCase {
+                    name: match &f.trace {
+                        Some(_) => format!("{}+{}", p.name, f.name),
+                        None => p.name.clone(),
+                    },
+                    m: p.m,
+                    speeds: p.speeds.clone(),
+                    volatility: f.trace.clone().map(|trace| VolatilityCase {
+                        trace,
+                        policy: f.policy,
+                    }),
+                });
+            }
+        }
         ExperimentRunner {
             policies: self
                 .spec
@@ -362,16 +398,7 @@ impl CampaignPlan {
                 .map(|p| by_name(p).expect("validated policy"))
                 .collect(),
             workloads,
-            platforms: self
-                .spec
-                .platforms
-                .iter()
-                .map(|p| PlatformCase {
-                    name: p.name.clone(),
-                    m: p.m,
-                    speeds: p.speeds.clone(),
-                })
-                .collect(),
+            platforms,
             ctx: self.spec.ctx.to_policy_ctx(),
             executor,
             threads,
@@ -408,6 +435,7 @@ impl CampaignPlan {
             wasted_ticks: None,
             class_names: Some(open.stream.classes.iter().map(|c| c.name.clone()).collect()),
             responses: Some(out.responses),
+            failures: None,
         }
     }
 
@@ -422,7 +450,8 @@ impl CampaignPlan {
             return self.open_cell(c, policy.as_ref());
         }
         let runner = self.runner(c.executor, 1);
-        let mut fresh = runner.run_cells(&[(c.platform, c.case, c.policy)]);
+        let plat = c.platform * self.spec.failures.len() + c.failure;
+        let mut fresh = runner.run_cells(&[(plat, c.case, c.policy)]);
         fresh.pop().expect("one task yields one cell")
     }
 
@@ -459,7 +488,11 @@ impl CampaignPlan {
                 .iter()
                 .map(|&idx| {
                     let c = &self.cells[idx];
-                    (c.platform, c.case, c.policy)
+                    (
+                        c.platform * self.spec.failures.len() + c.failure,
+                        c.case,
+                        c.policy,
+                    )
                 })
                 .collect();
             out.extend(self.runner(executor, threads).run_cells(&tasks));
@@ -584,8 +617,26 @@ const AGG_RESPONSE_COLUMNS: [&str; 8] = [
     "resp_max_slowdown",
 ];
 
-/// Header of the aggregate CSV.
+/// The failure-accounting columns appended after the response columns:
+/// per-group means of the volatile-run counters ([`lsps_metrics::FailureStats`]).
+/// The whole block is present only when some cell of the campaign carries
+/// failure stats — a campaign without a volatile `failures` axis emits
+/// exactly the pre-axis header, byte for byte.
+pub const AGG_FAILURE_COLUMNS: [&str; 4] = [
+    "fail_goodput",
+    "fail_wasted_ticks",
+    "fail_resubmits",
+    "fail_interrupted_slowdown",
+];
+
+/// Header of the aggregate CSV (without the volatile failure block — the
+/// stable prefix every campaign shares).
 pub fn aggregate_header() -> String {
+    aggregate_header_for(false)
+}
+
+/// Header of the aggregate CSV, with the failure block iff `volatile`.
+pub fn aggregate_header_for(volatile: bool) -> String {
     let mut h = String::from("policy,executor,workload,platform,m,reps");
     for (metric, _) in AGG_METRICS {
         for stat in AGG_STATS {
@@ -602,6 +653,12 @@ pub fn aggregate_header() -> String {
     for col in AGG_RESPONSE_COLUMNS {
         h.push(',');
         h.push_str(col);
+    }
+    if volatile {
+        for col in AGG_FAILURE_COLUMNS {
+            h.push(',');
+            h.push_str(col);
+        }
     }
     h
 }
@@ -643,9 +700,15 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
         m: usize,
         metrics: Vec<Summary>,
         trial: [Summary; 3],
+        /// goodput / wasted_ticks / resubmits means, volatile groups only.
+        fail: [Summary; 3],
+        /// Interrupted-job slowdown mean, over the replications where some
+        /// job was actually interrupted.
+        fail_slow: Summary,
         class_names: Vec<String>,
         resp: std::collections::BTreeMap<u32, RespAgg>,
     }
+    let volatile = cells.iter().any(|c| c.failures.is_some());
     let mut order: Vec<(usize, GroupKey)> = Vec::new();
     let mut groups: std::collections::HashMap<GroupKey, Group> = std::collections::HashMap::new();
     for (ci, c) in cells.iter().enumerate() {
@@ -661,6 +724,8 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
                 m: c.m,
                 metrics: AGG_METRICS.iter().map(|_| Summary::new()).collect(),
                 trial: [Summary::new(), Summary::new(), Summary::new()],
+                fail: [Summary::new(), Summary::new(), Summary::new()],
+                fail_slow: Summary::new(),
                 class_names: c.class_names.clone().unwrap_or_default(),
                 resp: std::collections::BTreeMap::new(),
             }
@@ -671,6 +736,14 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
         for (counter, s) in [c.trials, c.kills, c.wasted_ticks].iter().zip(&mut g.trial) {
             if let Some(v) = counter {
                 s.add(*v as f64);
+            }
+        }
+        if let Some(f) = &c.failures {
+            g.fail[0].add(f.goodput);
+            g.fail[1].add(f.wasted_ticks as f64);
+            g.fail[2].add(f.resubmits as f64);
+            if let Some(s) = f.interrupted_slowdown {
+                g.fail_slow.add(s);
             }
         }
         for r in c.responses.iter().flatten() {
@@ -693,7 +766,7 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
         }
     }
     order.sort_by_key(|&(first_cell, _)| first_cell);
-    let mut out = aggregate_header();
+    let mut out = aggregate_header_for(volatile);
     out.push('\n');
     for (_, key) in order {
         let g = &groups[&key];
@@ -721,9 +794,31 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
                 stats.push_str(&format!(",{:.2}", s.mean()));
             }
         }
+        // Failure columns trail every row of a volatile campaign; groups
+        // without failure stats (and replications that interrupted no job)
+        // leave them empty — an absent measurement, not a zero.
+        let fail_cols = if !volatile {
+            String::new()
+        } else if g.fail[0].n() == 0 {
+            ",".repeat(AGG_FAILURE_COLUMNS.len())
+        } else {
+            let mut s = format!(
+                ",{:.6},{:.2},{:.2}",
+                g.fail[0].mean(),
+                g.fail[1].mean(),
+                g.fail[2].mean()
+            );
+            if g.fail_slow.n() == 0 {
+                s.push(',');
+            } else {
+                s.push_str(&format!(",{:.6}", g.fail_slow.mean()));
+            }
+            s
+        };
         if g.resp.is_empty() {
             out.push_str(&stats);
             out.push_str(&",".repeat(AGG_RESPONSE_COLUMNS.len()));
+            out.push_str(&fail_cols);
             out.push('\n');
             continue;
         }
@@ -740,7 +835,7 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
             };
             out.push_str(&stats);
             out.push_str(&format!(
-                ",{name},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+                ",{name},{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
                 agg.n,
                 agg.means.mean(),
                 ci,
@@ -749,6 +844,8 @@ pub fn aggregate_csv(cells: &[Cell]) -> String {
                 agg.p99.mean(),
                 agg.max_slowdown,
             ));
+            out.push_str(&fail_cols);
+            out.push('\n');
         }
     }
     out

@@ -35,7 +35,8 @@ pub use campaign::{
 };
 pub use io::{list_file_names, results_dir, write_file_atomic};
 pub use runner::{
-    des_online_open, Cell, Executor, ExperimentRunner, OpenOutcome, PlatformCase, WorkloadCase,
+    des_online_open, des_online_volatile, Cell, Executor, ExperimentRunner, FailurePlan,
+    OpenOutcome, PlatformCase, VolatileOutcome, VolatilityCase, WorkloadCase,
 };
-pub use spec::{CampaignSpec, OpenEntry};
+pub use spec::{CampaignSpec, FailureEntry, OpenEntry};
 pub use table::Table;

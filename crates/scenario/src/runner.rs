@@ -25,7 +25,7 @@
 //! sequential order no matter how the OS schedules the workers.
 
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::Path;
 use std::str::FromStr;
@@ -39,16 +39,16 @@ use lsps_core::policy::{PinnedBooking, Policy, PolicyCtx, PolicyRun, ReleaseMode
 use lsps_core::replan::IncrementalPlanner;
 use lsps_core::schedule::Schedule;
 use lsps_des::{
-    Commitment, Ctx, Dispatcher, Model, OnlineEvent, OnlineMachine, OpenOnlineMachine, RunStats,
-    SimRng, Simulation, Time,
+    Commitment, Ctx, Dispatcher, Dur, Model, OnlineEvent, OnlineMachine, OpenOnlineMachine,
+    RunStats, SimRng, Simulation, Time,
 };
 use lsps_metrics::{
     cmax_lower_bound, csum_lower_bound, uniform_cmax_lower_bound, uniform_csum_lower_bound,
     uniform_wsum_lower_bound, wsum_lower_bound, ClassResponse, CompletedJob, Criteria, CriteriaAcc,
-    SteadyState, Summary,
+    FailureStats, SteadyState, Summary,
 };
-use lsps_platform::{BookingKind, Timeline};
-use lsps_workload::{Job, JobId, WorkloadSpec};
+use lsps_platform::{BookingId, BookingKind, ProcSet, Timeline};
+use lsps_workload::{FailurePolicy, FailureTraceSpec, Job, JobId, JobKind, Outage, WorkloadSpec};
 
 use crate::spec::OpenEntry;
 use crate::Table;
@@ -68,6 +68,21 @@ pub struct PlatformCase {
     /// set, the length equals `m` and the values are injected into every
     /// cell's [`PolicyCtx::speeds`].
     pub speeds: Option<Vec<f64>>,
+    /// Node volatility: when set, cells on this platform run through the
+    /// failure-aware online executor ([`des_online_volatile`]) — the
+    /// failure trace is regenerated per cell from the workload seed and
+    /// the platform name, so replications sweep the failure realization
+    /// along with the workload.
+    pub volatility: Option<VolatilityCase>,
+}
+
+/// Failure regime × recovery policy attached to a platform.
+#[derive(Clone, Debug)]
+pub struct VolatilityCase {
+    /// Failure/repair trace generator.
+    pub trace: FailureTraceSpec,
+    /// What happens to killed jobs.
+    pub policy: FailurePolicy,
 }
 
 impl PlatformCase {
@@ -77,6 +92,7 @@ impl PlatformCase {
             name: name.into(),
             m,
             speeds: None,
+            volatility: None,
         }
     }
 
@@ -90,7 +106,14 @@ impl PlatformCase {
             name: name.into(),
             m: speeds.len(),
             speeds: Some(speeds),
+            volatility: None,
         }
+    }
+
+    /// This platform with node volatility attached.
+    pub fn with_volatility(mut self, trace: FailureTraceSpec, policy: FailurePolicy) -> Self {
+        self.volatility = Some(VolatilityCase { trace, policy });
+        self
     }
 }
 
@@ -309,6 +332,11 @@ pub struct Cell {
     /// Open-arrival cells only: per-class post-warmup response-time
     /// distributions (mean/p50/p95/p99, max slowdown, batch-means CI).
     pub responses: Option<Vec<ClassResponse>>,
+    /// Failure-aware cells only: goodput, wasted proc-ticks, resubmit
+    /// counts and interrupted-job slowdown (`None` — empty aggregate
+    /// columns — for reliable-platform cells, which keep today's output
+    /// byte-identical).
+    pub failures: Option<FailureStats>,
 }
 
 /// The one CSV schema every runner-based binary emits.
@@ -552,6 +580,57 @@ impl ExperimentRunner {
                 ..self.ctx.clone()
             }),
         };
+        // Volatile platforms run the failure-aware online driver. No
+        // retained-schedule validation: killed attempts are not part of
+        // any final rectangle schedule — overlap safety is enforced per
+        // commitment by the dispatcher's timelines instead.
+        if let Some(vol) = &platform.volatility {
+            assert!(
+                matches!(self.executor, Executor::DesOnline),
+                "{}: a volatile platform requires the des-online executor",
+                cell_id()
+            );
+            // Failure realization: a pure function of (platform name,
+            // workload seed), so replications resample the failure trace
+            // along with the workload.
+            let trace_seed = crate::spec::splitmix64(
+                workload.seed ^ crate::spec::fnv64(platform.name.as_bytes()),
+            );
+            let outages = vol
+                .trace
+                .generate(platform.m, &mut SimRng::seed_from(trace_seed));
+            let plan = FailurePlan {
+                outages,
+                policy: vol.policy,
+            };
+            let out = des_online_volatile(policy, jobs, platform.m, &ctx, &plan, true);
+            let criteria = Criteria::evaluate(&out.records);
+            let (cmax_lb, csum_lb, wsum_lb) = (
+                cmax_lower_bound(&out.jobs, platform.m).as_secs_f64(),
+                csum_lower_bound(&out.jobs, platform.m),
+                wsum_lower_bound(&out.jobs, platform.m),
+            );
+            return Cell {
+                policy: policy.name().to_string(),
+                executor: self.executor.name().to_string(),
+                workload: workload.name.clone(),
+                seed: workload.seed,
+                platform: platform.name.clone(),
+                m: platform.m,
+                n: out.jobs.len(),
+                utilization: criteria.utilization(platform.m),
+                cmax_ratio: criteria.cmax / cmax_lb.max(f64::MIN_POSITIVE),
+                csum_ratio: criteria.sum_completion / csum_lb.max(f64::MIN_POSITIVE),
+                wsum_ratio: criteria.weighted_sum_completion / wsum_lb.max(f64::MIN_POSITIVE),
+                criteria,
+                trials: None,
+                kills: None,
+                wasted_ticks: None,
+                class_names: None,
+                responses: None,
+                failures: Some(out.failures),
+            };
+        }
         let (orun, mut records) = match self.executor {
             Executor::Direct => {
                 // The generalized path: every outcome kind (rectangle,
@@ -647,6 +726,7 @@ impl ExperimentRunner {
             wasted_ticks: stats.map(|s| s.wasted_ticks),
             class_names: None,
             responses: None,
+            failures: None,
         }
     }
 }
@@ -737,6 +817,33 @@ struct PolicyDispatch<'a> {
     /// Scratch schedule the planner fills each decision — cleared and
     /// reused so the per-event path performs no allocation.
     plan_scratch: Schedule,
+    /// Failure bookkeeping, present only on the volatile path
+    /// ([`des_online_volatile`]). Tracks the booking behind every live
+    /// commitment so a node failure can evict exactly the affected work,
+    /// and accumulates the recovery accounting.
+    volatile: Option<VolatileState>,
+}
+
+/// The booking a live commitment occupies, for targeted eviction on kill.
+struct LiveBooking {
+    booking: BookingId,
+    procs: ProcSet,
+}
+
+/// Per-run failure bookkeeping of [`PolicyDispatch`].
+struct VolatileState {
+    /// Checkpoint interval in ticks (`None` = resubmit from scratch).
+    checkpoint: Option<Dur>,
+    /// Original (full-length, original-release) prepared job shapes — the
+    /// reference for recovery accounting and completion records.
+    originals: HashMap<JobId, Job>,
+    /// Booking behind every committed-but-unfinished job.
+    live: HashMap<JobId, LiveBooking>,
+    /// Proc-ticks executed by killed attempts and not saved by a
+    /// checkpoint.
+    wasted_ticks: u64,
+    /// Jobs interrupted at least once.
+    interrupted: HashSet<JobId>,
 }
 
 impl Dispatcher for PolicyDispatch<'_> {
@@ -757,6 +864,25 @@ impl Dispatcher for PolicyDispatch<'_> {
             planner.advance(now);
             self.plan_scratch.clear();
             planner.plan(pending, now, &mut self.plan_scratch);
+            if let Some(vol) = &mut self.volatile {
+                // Remember which planner booking backs each commitment so
+                // a later node failure can evict exactly the killed work.
+                let created = planner.last_created();
+                assert_eq!(
+                    created.len(),
+                    self.plan_scratch.assignments().len(),
+                    "planner bookings must align 1:1 with placements"
+                );
+                for (a, &(bk, _)) in self.plan_scratch.assignments().iter().zip(created) {
+                    vol.live.insert(
+                        a.job,
+                        LiveBooking {
+                            booking: bk,
+                            procs: a.procs.clone(),
+                        },
+                    );
+                }
+            }
             for a in self.plan_scratch.assignments() {
                 let job = drain_job(pending, a.job, self.policy.name());
                 if let Some(s) = &mut self.schedule {
@@ -798,7 +924,8 @@ impl Dispatcher for PolicyDispatch<'_> {
             .schedule_pending(pending, self.m, now, &live, self.ctx);
         for a in placed.assignments() {
             let job = drain_job(pending, a.job, self.policy.name());
-            self.committed
+            let bk = self
+                .committed
                 .try_book(a.start, a.end, a.procs.clone(), BookingKind::Job)
                 .unwrap_or_else(|e| {
                     panic!(
@@ -807,6 +934,15 @@ impl Dispatcher for PolicyDispatch<'_> {
                         a.job
                     )
                 });
+            if let Some(vol) = &mut self.volatile {
+                vol.live.insert(
+                    a.job,
+                    LiveBooking {
+                        booking: bk,
+                        procs: a.procs.clone(),
+                    },
+                );
+            }
             if let Some(s) = &mut self.schedule {
                 s.push(a.clone());
             }
@@ -822,6 +958,96 @@ impl Dispatcher for PolicyDispatch<'_> {
             self.policy.name(),
             pending.len()
         );
+    }
+
+    fn node_down(
+        &mut self,
+        now: Time,
+        node: u32,
+        up: Time,
+        running: &[Option<Commitment<Job>>],
+        kill: &mut Vec<usize>,
+        resubmit: &mut Vec<Job>,
+    ) {
+        let vol = self
+            .volatile
+            .as_mut()
+            .expect("volatility events reached a reliable-platform dispatcher");
+        let node_idx = node as usize;
+        // Victims in slot order (deterministic, shared by the planner and
+        // full-replan paths): every commitment holding the failed node over
+        // part of the outage window. `end == now` survives — the FIFO
+        // tie-break fires this NodeDown before the same-instant Finish, and
+        // a job that completed the instant the node died lost nothing.
+        for (slot, c) in running.iter().enumerate() {
+            let Some(c) = c else { continue };
+            let holds_node = vol
+                .live
+                .get(&c.job.id)
+                .expect("running commitment has a live booking")
+                .procs
+                .contains(node_idx);
+            if !holds_node || c.end <= now || c.start >= up {
+                continue;
+            }
+            let lb = vol.live.remove(&c.job.id).expect("checked above");
+            match self.planner.as_deref_mut() {
+                Some(planner) => planner.invalidate(lb.booking),
+                None => {
+                    self.committed
+                        .remove(lb.booking)
+                        .expect("killed booking still present");
+                }
+            }
+            kill.push(slot);
+            // Recovery accounting, in ticks. The commitment's span is the
+            // job's *current* (possibly checkpoint-trimmed) length, so the
+            // original length splits into work already checkpointed before
+            // this attempt plus this attempt's span.
+            let orig = &vol.originals[&c.job.id];
+            let (q, orig_len) = match orig.kind {
+                JobKind::Rigid { procs, len } => (procs, len.ticks()),
+                _ => unreachable!("volatile driver prepares rigid jobs"),
+            };
+            let attempt = (c.end - c.start).ticks();
+            let done_before = orig_len - attempt;
+            let work_this = now.saturating_sub(c.start).ticks();
+            let cum = done_before + work_this;
+            let kept = match vol.checkpoint {
+                None => 0,
+                Some(p) => cum / p.ticks() * p.ticks(),
+            };
+            debug_assert!(
+                kept <= cum && cum < orig_len,
+                "kill implies unfinished work"
+            );
+            vol.wasted_ticks += (cum - kept) * q as u64;
+            vol.interrupted.insert(c.job.id);
+            let mut job = orig.clone();
+            job.release = now;
+            job.kind = JobKind::Rigid {
+                procs: q,
+                len: Dur::from_ticks(orig_len - kept),
+            };
+            resubmit.push(job);
+        }
+        // The node is gone until `up`: pin the outage window so every
+        // subsequent placement (the resubmits included) plans around it.
+        // It expires off the profile at the repair instant exactly like a
+        // completed commitment, on both paths.
+        match self.planner.as_deref_mut() {
+            Some(planner) => planner.add_outage(node, now, up),
+            None => {
+                self.committed
+                    .try_book(
+                        now,
+                        up,
+                        ProcSet::from_indices([node_idx]),
+                        BookingKind::Reservation,
+                    )
+                    .unwrap_or_else(|e| panic!("outage on node {node} collides: {e:?}"));
+            }
+        }
     }
 }
 
@@ -906,6 +1132,7 @@ fn des_online_impl(
             None
         },
         plan_scratch: Schedule::new(m),
+        volatile: None,
     });
     let mut sim = Simulation::new(machine);
     for job in &prepared {
@@ -939,6 +1166,185 @@ fn des_online_impl(
         },
         records,
         stats,
+        replan_touched,
+    }
+}
+
+/// Failure realization + recovery policy for one volatile run.
+pub struct FailurePlan {
+    /// Concrete outages (already generated from a
+    /// [`FailureTraceSpec`]), every node `< m`.
+    pub outages: Vec<Outage>,
+    /// What happens to a commitment killed mid-flight.
+    pub policy: FailurePolicy,
+}
+
+/// Outcome of one failure-aware online execution
+/// ([`des_online_volatile`]).
+pub struct VolatileOutcome {
+    /// Completion records against the **original** job shapes (original
+    /// release, full length) with the final attempt's start/end — a killed
+    /// job's flow includes every lost attempt. Sorted by job id.
+    pub records: Vec<CompletedJob>,
+    /// Engine counters.
+    pub stats: RunStats,
+    /// Kill/waste/goodput accounting for the aggregate CSV.
+    pub failures: FailureStats,
+    /// The prepared (as-scheduled) job view, for lower bounds.
+    pub jobs: Vec<Job>,
+    /// Planner instrumentation (`None` on the full-replan oracle path).
+    pub replan_touched: Option<u64>,
+}
+
+/// Drive `policy` through the event engine over a *volatile* platform:
+/// nodes fail and recover per `plan`, every failure kills the commitments
+/// running on the node, and killed jobs come back per the recovery policy
+/// (resubmitted from scratch, or from the last checkpoint). This is the
+/// explicit relaxation of the "commitments are final" invariant — a kill
+/// evicts the commitment's booking and the outage window is pinned as a
+/// reservation until repair, so all replanning (incremental or full) packs
+/// around the hole.
+///
+/// Restrictions (asserted): pinned-capable policy, [`ReleaseMode::Online`],
+/// identical machines, no reservations or pinned bookings. With
+/// `use_planner` both the incremental planner and the full-replan oracle
+/// run the same kill rule, so the two paths stay bit-identical — the
+/// differential property the failure proptests pin down.
+pub fn des_online_volatile(
+    policy: &dyn Policy,
+    jobs: &[Job],
+    m: usize,
+    ctx: &PolicyCtx,
+    plan: &FailurePlan,
+    use_planner: bool,
+) -> VolatileOutcome {
+    assert!(
+        policy.supports_pinned(),
+        "{}: volatility needs a pinned-capable policy (it must plan around outage windows)",
+        policy.name()
+    );
+    assert!(
+        matches!(ctx.release_mode, ReleaseMode::Online),
+        "volatility is an online phenomenon; offline release stripping is meaningless"
+    );
+    assert!(
+        ctx.reservations.is_empty() && ctx.pinned.is_empty() && ctx.is_identical_machine(),
+        "volatile runs support neither reservations, pinned bookings nor speeds"
+    );
+    for o in &plan.outages {
+        assert!(
+            (o.node as usize) < m && o.end > o.start,
+            "outage {o:?} does not fit an {m}-processor machine"
+        );
+    }
+    let prepared = policy.prepare(jobs, m, ctx).into_owned();
+    let mut originals = HashMap::with_capacity(prepared.len());
+    let mut useful_area = 0u64;
+    for j in &prepared {
+        let JobKind::Rigid { procs, len } = j.kind else {
+            panic!(
+                "volatile driver expects prepared rigid jobs; job {} is not",
+                j.id
+            )
+        };
+        assert!(len.ticks() >= 1, "job {} has zero length", j.id);
+        useful_area += len.ticks() * procs as u64;
+        originals.insert(j.id, j.clone());
+    }
+    let machine = OnlineMachine::new(PolicyDispatch {
+        policy,
+        m,
+        ctx,
+        committed: Timeline::with_procs(m),
+        // No end-of-run Schedule: a killed job commits more than once, so
+        // the one-assignment-per-job rectangle validation does not apply —
+        // overlap safety is enforced per commitment by the timelines.
+        schedule: None,
+        planner: if use_planner {
+            policy.incremental_planner(m, ctx)
+        } else {
+            None
+        },
+        plan_scratch: Schedule::new(m),
+        volatile: Some(VolatileState {
+            checkpoint: plan.policy.checkpoint_period(),
+            originals,
+            live: HashMap::new(),
+            wasted_ticks: 0,
+            interrupted: HashSet::new(),
+        }),
+    });
+    let mut sim = Simulation::new(machine);
+    for job in &prepared {
+        sim.schedule_at(job.release, OnlineEvent::Arrive(job.clone()));
+    }
+    // Failure events are seeded before the run, so the FIFO tie-break fires
+    // a NodeDown *before* any same-instant Finish (scheduled later, at
+    // commit time): a job ending exactly when its node dies has already
+    // finished and is not killed.
+    for o in &plan.outages {
+        sim.schedule_at(
+            o.start,
+            OnlineEvent::NodeDown {
+                node: o.node,
+                up: o.end,
+            },
+        );
+        sim.schedule_at(o.end, OnlineEvent::NodeUp { node: o.node });
+    }
+    // Budget: every job arrives once and can be killed at most once per
+    // outage (a kill needs a node to go down), plus two events per outage;
+    // ×4 covers the decision fan-out, +16 is slack.
+    let n = prepared.len() as u64;
+    let k = plan.outages.len() as u64;
+    let stats = sim.run_to_completion(4 * (n + n * k + 2 * k) + 16);
+    let (kills, resubmits) = (sim.model().kills(), sim.model().resubmits());
+    let (dispatch, completed, still_pending) = sim.into_model().into_parts();
+    assert!(
+        still_pending.is_empty(),
+        "{}: {} jobs never committed",
+        policy.name(),
+        still_pending.len()
+    );
+    let replan_touched = dispatch.planner.as_ref().map(|p| p.touched());
+    let vol = dispatch.volatile.expect("volatile driver keeps its state");
+    let mut records: Vec<CompletedJob> = completed
+        .iter()
+        .map(|c| {
+            let orig = &vol.originals[&c.job.id];
+            CompletedJob::from_job(orig, c.start, c.end, orig.min_procs())
+        })
+        .collect();
+    records.sort_by_key(|r| r.id);
+    assert_eq!(
+        records.len(),
+        prepared.len(),
+        "every job must complete exactly once"
+    );
+    debug_assert!(
+        records.windows(2).all(|w| w[0].id < w[1].id),
+        "duplicate completion records"
+    );
+    // Interrupted-job slowdowns in sorted-id order: deterministic, and
+    // identical across the planner and oracle paths.
+    let slowdowns: Vec<f64> = records
+        .iter()
+        .filter(|r| vol.interrupted.contains(&r.id))
+        .map(|r| {
+            let len = match vol.originals[&r.id].kind {
+                JobKind::Rigid { len, .. } => len.ticks(),
+                _ => unreachable!(),
+            };
+            r.flow().ticks() as f64 / len as f64
+        })
+        .collect();
+    let failures =
+        FailureStats::evaluate(useful_area, vol.wasted_ticks, kills, resubmits, &slowdowns);
+    VolatileOutcome {
+        records,
+        stats,
+        failures,
+        jobs: prepared,
         replan_touched,
     }
 }
@@ -1033,6 +1439,7 @@ pub fn des_online_open(
             schedule: None,
             planner: policy.incremental_planner(m, ctx),
             plan_scratch: Schedule::new(m),
+            volatile: None,
         },
         source,
         feed_until,
@@ -1330,6 +1737,7 @@ mod tests {
             wasted_ticks: None,
             class_names: None,
             responses: None,
+            failures: None,
         };
         let cells = vec![mk("b", 1.0), mk("a", 2.0), mk("b", 3.0)];
         let grouped = summarize_by(&cells, |c| c.policy.clone(), |c| c.cmax_ratio);
@@ -1407,6 +1815,170 @@ mod replan_tests {
             );
             prop_assert_eq!(&fast.records, &slow.records, "records diverged");
         }
+
+        /// Failure-aware planner vs the naive kill-and-rerun oracle (full
+        /// replan, no persistent state) over random failure interleavings:
+        /// records, kill counts and waste accounting must all agree, under
+        /// both recovery policies and all estimate regimes.
+        #[test]
+        fn volatile_planner_matches_kill_and_rerun_oracle(
+            specs in prop::collection::vec((1usize..4, 1u64..40, 0u64..80), 1..20),
+            raw_outages in prop::collection::vec((0u32..4, 0u64..150, 1u64..40), 0..10),
+            factor_pick in 0usize..3,
+            easy in any::<bool>(),
+            checkpoint_ticks in 0u64..25,
+        ) {
+            let m = 4;
+            let jobs: Vec<Job> = specs.iter().enumerate()
+                .map(|(i, &(q, len, rel))| {
+                    Job::rigid(i as u64, q.min(m), Dur::from_ticks(len))
+                        .released_at(Time::from_ticks(rel))
+                })
+                .collect();
+            // Raw draws → per-node non-overlapping outages: sort by
+            // (node, start) and drop any outage starting inside its
+            // predecessor's repair window.
+            let mut sorted = raw_outages.clone();
+            sorted.sort_by_key(|&(node, start, _)| (node, start));
+            let mut outages: Vec<Outage> = Vec::new();
+            let mut last_end = HashMap::new();
+            for (node, start, len) in sorted {
+                let start = Time::from_ticks(start);
+                if last_end.get(&node).is_some_and(|&e| start < e) {
+                    continue;
+                }
+                let end = start + Dur::from_ticks(len);
+                last_end.insert(node, end);
+                outages.push(Outage { node, start, end });
+            }
+            outages.sort_by_key(|o| (o.start, o.node));
+            let plan = FailurePlan {
+                outages,
+                // 0 = resubmit-from-scratch; otherwise checkpoint every
+                // `checkpoint_ticks` ticks.
+                policy: match checkpoint_ticks {
+                    0 => FailurePolicy::Resubmit,
+                    t => FailurePolicy::Checkpoint { period_s: t as f64 / 1000.0 },
+                },
+            };
+            let ctx = online_ctx([1.0, 1.3, 2.0][factor_pick]);
+            let policy: Box<dyn Policy> = if easy {
+                Box::new(Backfilling::easy())
+            } else {
+                Box::new(Backfilling::conservative())
+            };
+            let fast = des_online_volatile(policy.as_ref(), &jobs, m, &ctx, &plan, true);
+            let slow = des_online_volatile(policy.as_ref(), &jobs, m, &ctx, &plan, false);
+            prop_assert!(fast.replan_touched.is_some(), "planner must be active");
+            prop_assert!(slow.replan_touched.is_none(), "oracle must not use the planner");
+            prop_assert_eq!(&fast.records, &slow.records, "records diverged");
+            prop_assert_eq!(&fast.failures, &slow.failures, "failure accounting diverged");
+            prop_assert_eq!(fast.records.len(), jobs.len(), "every job completes once");
+            prop_assert!(fast.failures.goodput > 0.0 && fast.failures.goodput <= 1.0);
+        }
+    }
+
+    /// A failure landing exactly on a commitment boundary: the job that
+    /// ends at the failure instant has already completed (the NodeDown is
+    /// seeded first and the FIFO tie-break fires it before the same-instant
+    /// Finish, but `end == now` is not a victim), so nothing is killed,
+    /// nothing double-killed, and no booking leaks — later work still plans
+    /// cleanly around the outage window on both paths.
+    #[test]
+    fn failure_at_commitment_boundary_neither_double_kills_nor_leaks_a_booking() {
+        use lsps_workload::{FailureRegime, ScriptedOutage};
+        let jobs = vec![
+            Job::rigid(0, 1, Dur::from_secs(10)),
+            Job::rigid(1, 1, Dur::from_secs(2)).released_at(Time::from_secs(11)),
+        ];
+        let trace = FailureTraceSpec {
+            regime: FailureRegime::Scripted {
+                outages: vec![ScriptedOutage {
+                    node: 0,
+                    down_s: 10.0, // exactly job 0's completion instant
+                    up_s: 15.0,
+                }],
+            },
+            repair_s: lsps_workload::DistSpec::Fixed(1.0),
+            horizon_s: 100.0,
+        };
+        let plan = FailurePlan {
+            outages: trace.generate(1, &mut SimRng::seed_from(0)),
+            policy: FailurePolicy::Resubmit,
+        };
+        let ctx = online_ctx(1.0);
+        let policy = Backfilling::easy();
+        for use_planner in [true, false] {
+            let out = des_online_volatile(&policy, &jobs, 1, &ctx, &plan, use_planner);
+            assert_eq!(out.failures.kills, 0, "boundary completion must survive");
+            assert_eq!(out.failures.resubmits, 0);
+            assert_eq!(out.failures.wasted_ticks, 0);
+            assert_eq!(out.failures.goodput, 1.0);
+            assert_eq!(out.records.len(), 2);
+            assert_eq!(out.records[0].completion, Time::from_secs(10));
+            // Job 1 arrives mid-outage: it must wait for the repair — the
+            // outage window is booked, not leaked, on both paths.
+            assert_eq!(out.records[1].start, Time::from_secs(15));
+            assert_eq!(out.records[1].completion, Time::from_secs(17));
+        }
+    }
+
+    /// Deterministic recovery accounting on one machine: a kill 4 s into a
+    /// 10 s job wastes 4 s under resubmit, but only 1 s under 3 s
+    /// checkpointing (the last completed checkpoint at 3 s survives).
+    #[test]
+    fn checkpoint_policy_trims_the_rerun_and_the_waste() {
+        use lsps_workload::{FailureRegime, ScriptedOutage};
+        let jobs = vec![Job::rigid(0, 1, Dur::from_secs(10))];
+        let trace = FailureTraceSpec {
+            regime: FailureRegime::Scripted {
+                outages: vec![ScriptedOutage {
+                    node: 0,
+                    down_s: 4.0,
+                    up_s: 6.0,
+                }],
+            },
+            repair_s: lsps_workload::DistSpec::Fixed(1.0),
+            horizon_s: 100.0,
+        };
+        let outages = trace.generate(1, &mut SimRng::seed_from(0));
+        let ctx = online_ctx(1.0);
+        let policy = Backfilling::conservative();
+        let resubmit = des_online_volatile(
+            &policy,
+            &jobs,
+            1,
+            &ctx,
+            &FailurePlan {
+                outages: outages.clone(),
+                policy: FailurePolicy::Resubmit,
+            },
+            true,
+        );
+        assert_eq!(resubmit.failures.kills, 1);
+        assert_eq!(resubmit.failures.resubmits, 1);
+        assert_eq!(resubmit.failures.wasted_ticks, Dur::from_secs(4).ticks());
+        // Restart from scratch at repair: [6, 16).
+        assert_eq!(resubmit.records[0].start, Time::from_secs(6));
+        assert_eq!(resubmit.records[0].completion, Time::from_secs(16));
+        let ckpt = des_online_volatile(
+            &policy,
+            &jobs,
+            1,
+            &ctx,
+            &FailurePlan {
+                outages,
+                policy: FailurePolicy::Checkpoint { period_s: 3.0 },
+            },
+            true,
+        );
+        assert_eq!(ckpt.failures.kills, 1);
+        // 4 s of work, checkpoint at 3 s → 1 s lost, 7 s left: [6, 13).
+        assert_eq!(ckpt.failures.wasted_ticks, Dur::from_secs(1).ticks());
+        assert_eq!(ckpt.records[0].start, Time::from_secs(6));
+        assert_eq!(ckpt.records[0].completion, Time::from_secs(13));
+        assert_eq!(ckpt.failures.interrupted_slowdown, Some(1.3));
+        assert!(ckpt.failures.goodput > resubmit.failures.goodput);
     }
 
     fn sample_open_entry(rho: f64, stop: u64) -> OpenEntry {

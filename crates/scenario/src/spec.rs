@@ -20,7 +20,7 @@ use lsps_core::outcome::OutcomeKind;
 use lsps_core::policy::{by_name, Knowledge, PolicyCtx, ReleaseMode, DEFAULT_INITIAL_ESTIMATE};
 use lsps_des::Dur;
 use lsps_metrics::WarmupSpec;
-use lsps_workload::{OpenStreamSpec, WorkloadSpec};
+use lsps_workload::{FailurePolicy, FailureTraceSpec, OpenStreamSpec, WorkloadSpec};
 
 use crate::families::builtin_family;
 use crate::runner::Executor;
@@ -274,6 +274,56 @@ impl Serialize for PlatformSpec {
     }
 }
 
+/// One point on the campaign's *failures* axis: a named failure regime ×
+/// recovery policy. Every platform is crossed with every failure entry;
+/// `trace: None` is the reliable baseline (today's execution path,
+/// byte-identical output). A volatile entry (`trace: Some`) runs its cells
+/// through the failure-aware online executor with the platform name
+/// suffixed `<platform>+<entry>` in the CSVs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailureEntry {
+    /// Display name; suffixes the platform name for volatile cells.
+    pub name: String,
+    /// Failure trace generator; `None` = reliable platform.
+    pub trace: Option<FailureTraceSpec>,
+    /// Recovery policy for killed jobs (ignored when `trace` is `None`).
+    pub policy: FailurePolicy,
+}
+
+impl FailureEntry {
+    /// The implicit axis of a spec without a `failures` block: one
+    /// reliable entry, so the cross product degenerates to today's grid.
+    pub fn reliable() -> FailureEntry {
+        FailureEntry {
+            name: "none".into(),
+            trace: None,
+            policy: FailurePolicy::Resubmit,
+        }
+    }
+}
+
+impl Deserialize for FailureEntry {
+    fn from_value(v: &Value) -> Result<FailureEntry, SerdeError> {
+        check_keys(v, &["name", "trace", "policy"])?;
+        Ok(FailureEntry {
+            name: Deserialize::from_value(serde::field(v, "name")?)?,
+            trace: opt_or(v, "trace", None)?,
+            policy: opt_or(v, "policy", FailurePolicy::Resubmit)?,
+        })
+    }
+}
+
+impl Serialize for FailureEntry {
+    fn to_value(&self) -> Value {
+        let mut map = vec![("name".into(), self.name.to_value())];
+        if let Some(trace) = &self.trace {
+            map.push(("trace".into(), trace.to_value()));
+        }
+        map.push(("policy".into(), self.policy.to_value()));
+        Value::Map(map)
+    }
+}
+
 /// The scheduling-context knobs a spec may set (reservations and pinned
 /// bookings are runtime concerns, not spec data).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -343,6 +393,9 @@ pub struct CampaignSpec {
     pub platforms: Vec<PlatformSpec>,
     /// Workload entries.
     pub workloads: Vec<WorkloadEntry>,
+    /// Failures axis: every platform × every entry (default: one reliable
+    /// entry, i.e. no axis at all).
+    pub failures: Vec<FailureEntry>,
     /// Replication block.
     pub replication: ReplicationSpec,
     /// Scheduling context.
@@ -359,9 +412,15 @@ impl CampaignSpec {
             executors: vec![Executor::Direct],
             platforms: Vec::new(),
             workloads: Vec::new(),
+            failures: vec![FailureEntry::reliable()],
             replication: ReplicationSpec::default(),
             ctx: CtxSpec::default(),
         }
+    }
+
+    /// Whether any failure entry actually injects failures.
+    pub fn is_volatile(&self) -> bool {
+        self.failures.iter().any(|f| f.trace.is_some())
     }
 
     /// Semantic validation beyond JSON shape: non-empty axes, resolvable
@@ -525,6 +584,77 @@ impl CampaignSpec {
                 }
             }
         }
+        if self.failures.is_empty() {
+            problems.push(
+                "`failures` must be non-empty (omit the block for the reliable default)".into(),
+            );
+        }
+        let mut seen_failures = std::collections::HashSet::new();
+        for f in &self.failures {
+            if !seen_failures.insert(f.name.as_str()) {
+                problems.push(format!("duplicate failure entry name `{}`", f.name));
+            }
+            let Some(trace) = &f.trace else { continue };
+            for p in trace.validate() {
+                problems.push(format!("failure entry `{}`: {p}", f.name));
+            }
+            for p in f.policy.validate() {
+                problems.push(format!("failure entry `{}`: {p}", f.name));
+            }
+            if let Some(max_node) = trace.max_node() {
+                for plat in &self.platforms {
+                    if max_node as usize >= plat.m {
+                        problems.push(format!(
+                            "failure entry `{}` scripts node {max_node}, but platform \
+                             `{}` only has m = {}",
+                            f.name, plat.name, plat.m
+                        ));
+                    }
+                }
+            }
+        }
+        // A volatile axis changes the execution model the same way open
+        // entries do: cells must be *driven* (kills happen mid-flight), so
+        // the campaign has to be uniformly des-online with honest releases,
+        // pinned-capable policies (they plan around outage windows),
+        // identical machines, and finite workloads.
+        if self.is_volatile() {
+            if self.executors != vec![Executor::DesOnline] {
+                problems.push(
+                    "a volatile `failures` axis runs under exactly `[\"des-online\"]` executors"
+                        .into(),
+                );
+            }
+            if self.ctx.release_mode != ReleaseMode::Online {
+                problems.push(
+                    "a volatile `failures` axis requires `ctx.release_mode: \"online\"`".into(),
+                );
+            }
+            for p in &self.policies {
+                if by_name(p).is_some_and(|pol| !pol.supports_pinned()) {
+                    problems.push(format!(
+                        "policy `{p}` cannot plan around outage windows \
+                         (pinned-capable policies only under a volatile `failures` axis)"
+                    ));
+                }
+            }
+            for plat in self.platforms.iter().filter(|pl| pl.speeds.is_some()) {
+                problems.push(format!(
+                    "platform `{}` has per-processor speeds, which the volatile \
+                     executor does not model",
+                    plat.name
+                ));
+            }
+            if self
+                .workloads
+                .iter()
+                .any(|w| matches!(w.source, WorkloadSource::Open(_)))
+            {
+                problems.push(
+                    "open-arrival workloads cannot combine with a volatile `failures` axis".into(),
+                );
+            }
+        }
         if self.replication.replications == 0 {
             problems.push("`replication.replications` must be >= 1".into());
         }
@@ -550,7 +680,11 @@ impl CampaignSpec {
             .iter()
             .map(|w| self.replication.seeds_for(w).len())
             .sum();
-        self.policies.len() * self.executors.len() * self.platforms.len() * reps
+        self.policies.len()
+            * self.executors.len()
+            * self.platforms.len()
+            * self.failures.len()
+            * reps
     }
 }
 
@@ -745,6 +879,7 @@ impl Deserialize for CampaignSpec {
                 "executors",
                 "platforms",
                 "workloads",
+                "failures",
                 "replication",
                 "ctx",
             ],
@@ -762,6 +897,7 @@ impl Deserialize for CampaignSpec {
             executors,
             platforms: Deserialize::from_value(serde::field(v, "platforms")?)?,
             workloads: Deserialize::from_value(serde::field(v, "workloads")?)?,
+            failures: opt_or(v, "failures", vec![FailureEntry::reliable()])?,
             replication: opt_or(v, "replication", ReplicationSpec::default())?,
             ctx: opt_or(v, "ctx", CtxSpec::default())?,
         })
@@ -770,7 +906,7 @@ impl Deserialize for CampaignSpec {
 
 impl Serialize for CampaignSpec {
     fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut map = vec![
             ("name".into(), self.name.to_value()),
             ("policies".into(), self.policies.to_value()),
             (
@@ -779,9 +915,16 @@ impl Serialize for CampaignSpec {
             ),
             ("platforms".into(), self.platforms.to_value()),
             ("workloads".into(), self.workloads.to_value()),
-            ("replication".into(), self.replication.to_value()),
-            ("ctx".into(), self.ctx.to_value()),
-        ])
+        ];
+        // The degenerate (reliable-only) axis is elided so the canonical
+        // spec JSON — campaign ids, journals — of a pre-failure-axis spec
+        // is unchanged.
+        if self.failures != vec![FailureEntry::reliable()] {
+            map.push(("failures".into(), self.failures.to_value()));
+        }
+        map.push(("replication".into(), self.replication.to_value()));
+        map.push(("ctx".into(), self.ctx.to_value()));
+        Value::Map(map)
     }
 }
 

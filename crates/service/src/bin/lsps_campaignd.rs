@@ -3,6 +3,7 @@
 //! ```text
 //! lsps-campaignd [--port P] [--workers N] [--cache-dir DIR] [--journal-dir DIR]
 //!                [--base-dir DIR] [--cell-timeout-s S] [--worker-cmd PATH]
+//!                [--grace-s S]
 //! ```
 //!
 //! Boots the worker fleet, replays the spec journal (resuming every
@@ -18,10 +19,18 @@
 //!
 //! `--port 0` (the default) binds an ephemeral port — scripts scrape it
 //! from the `listening on` line.
+//!
+//! SIGTERM drains instead of dying (Unix): new submissions get 503,
+//! in-flight cells have `--grace-s` seconds to finish and persist to the
+//! cell cache, then the fleet stops. A subsequent boot on the same
+//! journal and cache resumes every campaign without recomputing anything
+//! the grace period covered. SIGKILL is also safe — just slower to
+//! resume.
 
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use lsps_service::daemon::default_worker_cmd;
@@ -29,16 +38,43 @@ use lsps_service::{Daemon, DaemonConfig};
 
 const USAGE: &str = "usage: lsps-campaignd [--port P] [--workers N] [--cache-dir DIR] \
                      [--journal-dir DIR] [--base-dir DIR] [--cell-timeout-s S] \
-                     [--worker-cmd PATH]";
+                     [--worker-cmd PATH] [--grace-s S]";
+
+/// SIGTERM flag + handler, installed through the C `signal` entry point
+/// std already links — no new dependency. The handler only flips an
+/// atomic; the watcher thread in `run` does the actual drain.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static RECEIVED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        RECEIVED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_term);
+        }
+    }
+}
 
 struct Args {
     port: u16,
+    grace: Duration,
     cfg: DaemonConfig,
 }
 
 /// `Ok(None)` means help was requested: print usage to stdout, exit 0.
 fn parse_args() -> Result<Option<Args>, String> {
     let mut port = 0u16;
+    let mut grace = Duration::from_secs(30);
     let mut cfg = DaemonConfig::new(default_worker_cmd());
     let mut argv = std::env::args().skip(1);
     let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -66,21 +102,57 @@ fn parse_args() -> Result<Option<Args>, String> {
                 cfg.cell_timeout = Duration::from_secs(secs);
             }
             "--worker-cmd" => cfg.worker_cmd = PathBuf::from(value(&mut argv, "--worker-cmd")?),
+            "--grace-s" => {
+                let v = value(&mut argv, "--grace-s")?;
+                let secs: u64 = v.parse().map_err(|_| format!("bad grace period `{v}`"))?;
+                grace = Duration::from_secs(secs);
+            }
             "--help" | "-h" => return Ok(None),
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Some(Args { port, cfg }))
+    Ok(Some(Args { port, grace, cfg }))
 }
 
 fn run() -> Result<(), String> {
-    let Some(args) = parse_args()? else {
+    let Some(mut args) = parse_args()? else {
         println!("{USAGE}");
         return Ok(());
     };
+    // Chaos hook: a fault in the daemon's own environment applies to
+    // first-generation workers only. Scrub it from our environment so
+    // respawned workers (which inherit it) run clean — the daemon's
+    // recovery contract, and what CI's chaos smoke relies on.
+    if let Ok(fault) = std::env::var("LSPS_WORKER_FAULT") {
+        eprintln!("[campaignd] LSPS_WORKER_FAULT={fault}: first-generation workers run faulty");
+        args.cfg
+            .worker_env
+            .push(("LSPS_WORKER_FAULT".into(), fault));
+        std::env::remove_var("LSPS_WORKER_FAULT");
+    }
     let listener = TcpListener::bind(("127.0.0.1", args.port)).map_err(|e| format!("bind: {e}"))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
     let daemon = Daemon::start(args.cfg).map_err(|e| format!("start: {e}"))?;
+    #[cfg(unix)]
+    {
+        sigterm::install();
+        let daemon = Arc::clone(&daemon);
+        let grace = args.grace;
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            while !sigterm::RECEIVED.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            eprintln!("[campaignd] SIGTERM: draining (grace {}s)", grace.as_secs());
+            let drained = daemon.drain(grace);
+            eprintln!(
+                "[campaignd] drain {}; shut down",
+                if drained { "complete" } else { "timed out" }
+            );
+        });
+    }
+    #[cfg(not(unix))]
+    let _ = (args.grace, Arc::strong_count(&daemon));
     println!("listening on http://{addr}");
     daemon.serve(listener).map_err(|e| format!("serve: {e}"))
 }

@@ -22,10 +22,25 @@
 //! thread ticks every ~50 ms: a worker with outstanding work but no
 //! activity past the per-cell timeout is killed; dead workers have their
 //! in-flight cells requeued (up to [`DaemonConfig::max_attempts`], then
-//! `Failed`) and are respawned with a clean environment. Fresh results
-//! are stored back into the cell cache, which is what makes restart
-//! resume free: the replayed campaign finds every completed cell already
-//! cached.
+//! `Failed`) and are respawned with a clean environment. Respawns back
+//! off exponentially per slot (deterministic jitter, see
+//! [`respawn_delay`]) and the whole fleet is capped at
+//! [`DaemonConfig::max_respawns_per_min`] — a worker binary that dies on
+//! startup costs a bounded trickle of spawns, not a fork bomb. Fresh
+//! results are stored back into the cell cache, which is what makes
+//! restart resume free: the replayed campaign finds every completed cell
+//! already cached.
+//!
+//! ## Shutdown
+//!
+//! [`Daemon::drain`] is the graceful path (the `lsps-campaignd` binary
+//! wires it to SIGTERM): new `POST /campaigns` submissions are refused
+//! with 503, no further queued cells are dispatched, and in-flight cells
+//! get a bounded grace period to finish — each completion is persisted to
+//! the cell cache as it lands, so whatever the grace period covers is
+//! progress a restart never recomputes. [`Daemon::shutdown`] is the
+//! immediate path (kill the fleet); the journal and cache make even that
+//! safe to resume from.
 //!
 //! Completed campaigns serve `GET /campaigns/{id}/aggregate` (and
 //! `.../raw`, the per-cell rows) with the exact bytes
@@ -78,6 +93,13 @@ pub struct DaemonConfig {
     /// Extra environment for *first-generation* workers only — the
     /// fault-injection hook. Respawned workers always run clean.
     pub worker_env: Vec<(String, String)>,
+    /// Base delay before respawning a dead worker; doubles per
+    /// consecutive failure of the same slot (capped, jittered — see
+    /// [`respawn_delay`]).
+    pub respawn_backoff: Duration,
+    /// Hard ceiling on fleet-wide respawns per rolling minute; a slot
+    /// that would exceed it stays down until the window frees.
+    pub max_respawns_per_min: usize,
 }
 
 impl DaemonConfig {
@@ -92,8 +114,32 @@ impl DaemonConfig {
             base_dir: None,
             worker_cmd: worker_cmd.into(),
             worker_env: Vec::new(),
+            respawn_backoff: Duration::from_millis(100),
+            max_respawns_per_min: 60,
         }
     }
+}
+
+/// Delay before respawning slot `widx` after its `failures`-th
+/// consecutive loss: `base × 2^(failures−1)` capped at 64×, plus a
+/// deterministic jitter of up to 25% derived from the slot and failure
+/// count — slots that die together come back staggered, and the schedule
+/// is reproducible run to run.
+pub fn respawn_delay(widx: usize, failures: u32, base: Duration) -> Duration {
+    let exp = failures.saturating_sub(1).min(6);
+    let backoff = base.saturating_mul(1u32 << exp);
+    let mut tag = [0u8; 12];
+    tag[..8].copy_from_slice(&(widx as u64).to_le_bytes());
+    tag[8..].copy_from_slice(&failures.to_le_bytes());
+    let quarter = (backoff.as_nanos() / 4).min(u64::MAX as u128) as u64;
+    let jitter = if quarter == 0 {
+        0
+    } else {
+        fnv64(&tag) % quarter
+    };
+    backoff
+        .checked_add(Duration::from_nanos(jitter))
+        .unwrap_or(backoff)
 }
 
 /// Where one cell of a tracked campaign stands.
@@ -178,6 +224,17 @@ struct Shared {
     next_gen: u64,
     /// Set by [`Daemon::shutdown`]; readers stop requeueing.
     stopping: bool,
+    /// Lifetime respawn count per slot (first spawns not counted).
+    respawns: Vec<u64>,
+    /// Consecutive losses per slot since its last completed cell; drives
+    /// the exponential backoff, reset on any successful completion.
+    consecutive_failures: Vec<u32>,
+    /// Earliest instant the supervisor may respawn each slot.
+    next_spawn_at: Vec<Instant>,
+    /// Fleet-wide respawn timestamps inside the rolling rate window.
+    respawn_times: VecDeque<Instant>,
+    /// Edge detector so the rate-cap warning fires once per episode.
+    rate_capped: bool,
 }
 
 /// The campaign service. Cheap to share: all state lives behind one
@@ -187,6 +244,9 @@ pub struct Daemon {
     cache: CellCache,
     shared: Mutex<Shared>,
     stop: AtomicBool,
+    /// Set by [`Daemon::begin_drain`]: refuse new campaigns, stop
+    /// dispatching queued cells, let in-flight cells finish.
+    draining: AtomicBool,
 }
 
 impl Daemon {
@@ -203,10 +263,16 @@ impl Daemon {
                 queue: VecDeque::new(),
                 next_gen: 0,
                 stopping: false,
+                respawns: vec![0; cfg.workers],
+                consecutive_failures: vec![0; cfg.workers],
+                next_spawn_at: vec![Instant::now(); cfg.workers],
+                respawn_times: VecDeque::new(),
+                rate_capped: false,
             }),
             cache,
             cfg,
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         });
         {
             let mut sh = daemon.shared.lock().expect("daemon state");
@@ -221,7 +287,11 @@ impl Daemon {
     }
 
     /// Re-submit every journaled spec (sorted for a deterministic replay
-    /// order); completed campaigns resume entirely from the cache.
+    /// order); completed campaigns resume entirely from the cache. Replay
+    /// is tolerant of torn entries: a shard that is not valid JSON —
+    /// e.g. a write truncated by power loss on a filesystem that fsyncs
+    /// lazily — is skipped with a warning instead of aborting the replay,
+    /// and every *parseable* campaign still resumes.
     fn replay_journal(self: &Arc<Daemon>) {
         let mut names = lsps_scenario::list_file_names(&self.cfg.journal_dir);
         names.sort();
@@ -229,6 +299,13 @@ impl Daemon {
             let path = self.cfg.journal_dir.join(name);
             match std::fs::read_to_string(&path) {
                 Ok(text) => {
+                    if serde_json::from_str::<Value>(&text).is_err() {
+                        eprintln!(
+                            "[campaignd] journal {name}: torn or truncated entry, skipping \
+                             (resubmit the spec to re-journal it)"
+                        );
+                        continue;
+                    }
                     if let Err(e) = self.submit(&text) {
                         eprintln!("[campaignd] journal {name}: {e}");
                     }
@@ -357,6 +434,13 @@ impl Daemon {
         slot.dead = true;
         let _ = slot.child.kill();
         let inflight = std::mem::take(&mut slot.inflight);
+        sh.consecutive_failures[widx] = sh.consecutive_failures[widx].saturating_add(1);
+        sh.next_spawn_at[widx] = Instant::now()
+            + respawn_delay(
+                widx,
+                sh.consecutive_failures[widx],
+                self.cfg.respawn_backoff,
+            );
         for (cid, cell) in inflight {
             let Some(camp) = sh.campaigns.get_mut(&cid) else {
                 continue;
@@ -398,6 +482,9 @@ impl Daemon {
                 }
             }
             FromWorker::Done { id, cell, data } => {
+                // A completed cell proves the slot healthy; the next loss
+                // starts the backoff ladder from the bottom again.
+                sh.consecutive_failures[widx] = 0;
                 let slot = sh.workers[widx].as_mut().expect("checked above");
                 slot.inflight.retain(|(c, i)| !(c == &id && *i == cell));
                 if let Some(camp) = sh.campaigns.get_mut(&id) {
@@ -454,6 +541,12 @@ impl Daemon {
     /// wins, ties broken by the cell's home slot (`fnv64(key) % workers`)
     /// so assignment is deterministic and content-sticky.
     fn dispatch(&self, sh: &mut Shared) {
+        if self.draining.load(Ordering::SeqCst) {
+            // Draining: in-flight cells finish (and persist to the cell
+            // cache), queued cells wait for the journal replay of the
+            // next boot.
+            return;
+        }
         while let Some((cid, cell)) = sh.queue.pop_front() {
             // Skip entries whose cell moved on (requeue dedup, load failure).
             let key = match sh.campaigns.get(&cid) {
@@ -492,7 +585,7 @@ impl Daemon {
                 (!slot.loaded.contains(&cid)).then(|| {
                     serde_json::to_string(&ToWorker::Load {
                         id: cid.clone(),
-                        spec: camp.plan.spec().clone(),
+                        spec: Box::new(camp.plan.spec().clone()),
                         base_dir: self
                             .cfg
                             .base_dir
@@ -559,8 +652,45 @@ impl Daemon {
                         }
                         s.dead
                     });
-                    if dead {
+                    if dead && !self.draining.load(Ordering::SeqCst) {
+                        let now = Instant::now();
+                        if now < sh.next_spawn_at[w] {
+                            continue; // backoff window still open
+                        }
+                        let window = Duration::from_secs(60);
+                        while sh
+                            .respawn_times
+                            .front()
+                            .is_some_and(|t| now.duration_since(*t) > window)
+                        {
+                            sh.respawn_times.pop_front();
+                        }
+                        if sh.respawn_times.len() >= self.cfg.max_respawns_per_min {
+                            if !sh.rate_capped {
+                                sh.rate_capped = true;
+                                eprintln!(
+                                    "[campaignd] respawn rate cap hit ({}/min): worker {w} \
+                                     stays down until the window frees",
+                                    self.cfg.max_respawns_per_min
+                                );
+                            }
+                            continue;
+                        }
+                        sh.rate_capped = false;
+                        sh.respawn_times.push_back(now);
+                        sh.respawns[w] += 1;
                         if let Err(e) = self.spawn_worker(&mut sh, w, false) {
+                            // Spawn itself failed (missing binary, fd
+                            // exhaustion): climb the same backoff ladder
+                            // so the retry loop cannot run hot.
+                            sh.consecutive_failures[w] =
+                                sh.consecutive_failures[w].saturating_add(1);
+                            sh.next_spawn_at[w] = now
+                                + respawn_delay(
+                                    w,
+                                    sh.consecutive_failures[w],
+                                    self.cfg.respawn_backoff,
+                                );
                             eprintln!("[campaignd] worker {w}: respawn failed: {e}");
                         }
                     }
@@ -586,6 +716,17 @@ impl Daemon {
             ("done".into(), Value::UInt(done as u64)),
             ("failed".into(), Value::UInt(failed as u64)),
             ("complete".into(), Value::Bool(camp.complete())),
+            // Fleet health alongside progress: how often workers had to
+            // be respawned (lifetime, across all slots), and whether the
+            // daemon is refusing new work.
+            (
+                "worker_respawns".into(),
+                Value::UInt(sh.respawns.iter().sum()),
+            ),
+            (
+                "draining".into(),
+                Value::Bool(self.draining.load(Ordering::SeqCst)),
+            ),
         ]);
         Some(serde_json::to_string(&v).expect("status serializes"))
     }
@@ -656,6 +797,13 @@ impl Daemon {
     fn route(&self, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
         match (req.method.as_str(), req.path.as_str()) {
             ("GET", "/healthz") => respond(stream, 200, "OK", "text/plain", "ok\n"),
+            ("POST", "/campaigns") if self.draining.load(Ordering::SeqCst) => respond(
+                stream,
+                503,
+                "Service Unavailable",
+                "text/plain",
+                "draining: not accepting new campaigns\n",
+            ),
             ("POST", "/campaigns") => match self.submit(&req.body) {
                 Ok(id) => {
                     let status = self.status_json(&id).expect("just submitted");
@@ -702,6 +850,46 @@ impl Daemon {
             }
             _ => respond(stream, 404, "Not Found", "text/plain", "not found\n"),
         }
+    }
+
+    /// Enter drain mode without blocking: refuse new `POST /campaigns`
+    /// with 503, stop dispatching queued cells, let in-flight cells run.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the daemon is draining (or already stopped).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: [`Self::begin_drain`], wait up to `grace` for
+    /// every in-flight cell to finish (each completion is persisted to
+    /// the cell cache as it lands), then [`Self::shutdown`]. Queued cells
+    /// are not started — the journal replay of the next boot picks them
+    /// up, finding everything the grace period covered already cached.
+    /// Returns `true` if the fleet went idle inside the grace period.
+    pub fn drain(&self, grace: Duration) -> bool {
+        self.begin_drain();
+        let deadline = Instant::now() + grace;
+        let drained = loop {
+            let idle = {
+                let sh = self.shared.lock().expect("daemon state");
+                sh.workers
+                    .iter()
+                    .flatten()
+                    .all(|s| s.dead || s.inflight.is_empty())
+            };
+            if idle {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        self.shutdown();
+        drained
     }
 
     /// Stop the supervisor and the accept loop, kill the worker fleet.
@@ -757,4 +945,44 @@ pub fn config_under(root: &Path, worker_cmd: impl Into<PathBuf>) -> DaemonConfig
     cfg.cache_dir = root.join("cache");
     cfg.journal_dir = root.join("journal");
     cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respawn_delay_backs_off_exponentially_and_saturates() {
+        let base = Duration::from_millis(100);
+        // Jitter adds at most 25%, so consecutive rungs never overlap.
+        for failures in 1..=6u32 {
+            let d = respawn_delay(0, failures, base);
+            let rung = base * (1 << (failures - 1));
+            assert!(d >= rung, "failures={failures}: {d:?} < {rung:?}");
+            assert!(d < rung + rung / 4 + Duration::from_nanos(1));
+        }
+        // Past the cap the rung stops growing.
+        let capped = base * 64;
+        for failures in [7u32, 10, 100, u32::MAX] {
+            let d = respawn_delay(0, failures, base);
+            assert!(d >= capped && d <= capped + capped / 4);
+        }
+    }
+
+    #[test]
+    fn respawn_delay_is_deterministic_and_staggers_slots() {
+        let base = Duration::from_millis(100);
+        assert_eq!(respawn_delay(3, 2, base), respawn_delay(3, 2, base));
+        // Slots that die together come back at distinct instants.
+        let delays: std::collections::HashSet<Duration> =
+            (0..8).map(|w| respawn_delay(w, 1, base)).collect();
+        assert!(delays.len() > 1, "jitter must separate slots: {delays:?}");
+    }
+
+    #[test]
+    fn respawn_delay_survives_degenerate_bases() {
+        assert_eq!(respawn_delay(0, 1, Duration::ZERO), Duration::ZERO);
+        let huge = respawn_delay(0, u32::MAX, Duration::from_secs(u64::MAX / 2));
+        assert!(huge >= Duration::from_secs(u64::MAX / 2));
+    }
 }

@@ -24,8 +24,9 @@ pub enum ToWorker {
     Load {
         /// Campaign id the plan is cached under.
         id: String,
-        /// The full campaign spec, as submitted.
-        spec: CampaignSpec,
+        /// The full campaign spec, as submitted. Boxed to keep the
+        /// request enum small — `Run` is the common frame.
+        spec: Box<CampaignSpec>,
         /// Directory relative trace paths resolve against.
         base_dir: Option<String>,
     },

@@ -74,6 +74,15 @@ fn survives_fault(fault: &str, cell_timeout: Duration, tag: &str) {
         status.contains("\"failed\":0"),
         "no cell may end up failed: {status}"
     );
+    // The status JSON surfaces fleet health: recovering from the fault
+    // means at least one worker was respawned, and that shows up.
+    let respawns: u64 = status
+        .split("\"worker_respawns\":")
+        .nth(1)
+        .and_then(|r| r.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("status carries worker_respawns: {status}"));
+    assert!(respawns >= 1, "fault recovery implies a respawn: {status}");
     let (raw, agg) = daemon.csvs(&id).expect("complete campaign has CSVs");
     assert_eq!(raw, reference.raw_csv, "raw CSV differs after {fault}");
     assert_eq!(

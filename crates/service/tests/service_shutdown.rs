@@ -1,0 +1,155 @@
+//! Graceful shutdown and journal robustness: a draining daemon refuses
+//! new campaigns with 503 while in-flight cells finish and persist, a
+//! restart resumes the drained campaign from the journal + cache, and a
+//! torn journal entry is skipped with a warning instead of wedging the
+//! replay.
+
+use std::fs;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lsps_scenario::{run_campaign, CampaignOptions, CampaignSpec};
+use lsps_service::daemon::config_under;
+use lsps_service::http::{get, post};
+use lsps_service::Daemon;
+
+fn examples_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples")
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "lsps-shutdown-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("temp root");
+    dir
+}
+
+fn example_text(file: &str) -> String {
+    fs::read_to_string(examples_dir().join(file)).expect("example spec")
+}
+
+fn reference(spec_text: &str) -> lsps_scenario::CampaignReport {
+    let spec: CampaignSpec = serde_json::from_str(spec_text).expect("spec parses");
+    run_campaign(
+        &spec,
+        &CampaignOptions {
+            cache_dir: None,
+            threads: 0,
+            base_dir: Some(examples_dir()),
+        },
+    )
+    .expect("in-process run")
+}
+
+fn wait_complete(daemon: &Daemon, id: &str, deadline: Duration) -> String {
+    let start = Instant::now();
+    loop {
+        let status = daemon.status_json(id).expect("submitted campaign");
+        if status.contains("\"complete\":true") {
+            return status;
+        }
+        assert!(
+            start.elapsed() < deadline,
+            "campaign {id} did not complete in {deadline:?}: {status}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn drain_refuses_new_campaigns_persists_progress_and_resumes() {
+    let root = temp_root("drain");
+    let spec_text = example_text("outcomes_campaign.json");
+    let reference = reference(&spec_text);
+
+    let mut cfg = config_under(&root, env!("CARGO_BIN_EXE_lsps-worker"));
+    cfg.workers = 2;
+    cfg.base_dir = Some(examples_dir());
+    let daemon = Daemon::start(cfg).expect("daemon starts");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        std::thread::spawn(move || daemon.serve(listener))
+    };
+
+    let (status, body) = post(&addr, "/campaigns", &spec_text).expect("submit");
+    assert_eq!(status, 202, "{body}");
+    let id = body
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|r| r.split('"').next())
+        .expect("status body carries the id")
+        .to_string();
+
+    // Enter drain mode (the binary wires this to SIGTERM): submissions
+    // bounce with 503 while reads keep serving, then the blocking drain
+    // gives the in-flight cells a generous grace period to finish.
+    daemon.begin_drain();
+    assert!(daemon.is_draining());
+    let (status, body) = post(&addr, "/campaigns", &spec_text).expect("post while draining");
+    assert_eq!(status, 503, "draining daemon must refuse work: {body}");
+    let (status, body) = get(&addr, &format!("/campaigns/{id}")).expect("status read");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"draining\":true"), "{body}");
+    assert!(
+        daemon.drain(Duration::from_secs(120)),
+        "fleet went idle inside the grace period"
+    );
+    server.join().expect("server thread").expect("serve exits");
+
+    // Restart on the same directories: the journal replays the campaign
+    // and everything the drain persisted comes straight from cache.
+    let mut cfg = config_under(&root, env!("CARGO_BIN_EXE_lsps-worker"));
+    cfg.workers = 2;
+    cfg.base_dir = Some(examples_dir());
+    let daemon = Daemon::start(cfg).expect("daemon restarts");
+    wait_complete(&daemon, &id, Duration::from_secs(300));
+    let (raw, agg) = daemon.csvs(&id).expect("complete campaign");
+    assert_eq!(raw, reference.raw_csv, "raw CSV differs after drain+resume");
+    assert_eq!(agg, reference.aggregate_csv, "aggregate differs");
+    daemon.shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_journal_entry_is_skipped_and_the_rest_replays() {
+    let root = temp_root("torn");
+    let spec_text = example_text("outcomes_campaign.json");
+    let reference = reference(&spec_text);
+
+    // Journal a valid campaign the honest way, then plant a torn entry
+    // next to it (a half-written JSON line, as a crashed write without
+    // the atomic rename would leave behind).
+    let mut cfg = config_under(&root, env!("CARGO_BIN_EXE_lsps-worker"));
+    cfg.workers = 2;
+    cfg.base_dir = Some(examples_dir());
+    let daemon = Daemon::start(cfg).expect("daemon starts");
+    let id = daemon.submit(&spec_text).expect("spec accepted");
+    wait_complete(&daemon, &id, Duration::from_secs(300));
+    daemon.shutdown();
+    let torn = &spec_text[..spec_text.len() / 2];
+    fs::write(root.join("journal").join("00torn.json"), torn).expect("plant torn entry");
+
+    // Replay must skip the torn entry (sorted first, so it cannot shadow
+    // the real one) and still resume the valid campaign from cache.
+    let mut cfg = config_under(&root, env!("CARGO_BIN_EXE_lsps-worker"));
+    cfg.workers = 2;
+    cfg.base_dir = Some(examples_dir());
+    let daemon = Daemon::start(cfg).expect("daemon restarts despite torn entry");
+    let status = wait_complete(&daemon, &id, Duration::from_secs(60));
+    assert!(
+        status.contains(&format!("\"cached\":{}", reference.total)),
+        "valid campaign resumes fully cached: {status}"
+    );
+    let (raw, _) = daemon.csvs(&id).expect("resumed campaign");
+    assert_eq!(raw, reference.raw_csv);
+    daemon.shutdown();
+    let _ = fs::remove_dir_all(&root);
+}

@@ -19,6 +19,7 @@
 //! a lossless JSON-lines format.
 
 pub mod campaign;
+pub mod failure;
 pub mod gen;
 pub mod job;
 pub mod open;
@@ -26,6 +27,7 @@ pub mod speedup;
 pub mod swf;
 
 pub use campaign::{campaign, Campaign};
+pub use failure::{FailurePolicy, FailureRegime, FailureTraceSpec, Outage, ScriptedOutage};
 pub use gen::{ArrivalSpec, CommunityProfile, DistSpec, WorkloadSpec};
 pub use job::{Job, JobId, JobKind, UserId};
 pub use open::{JobClass, OpenArrival, OpenStream, OpenStreamSpec};
@@ -34,6 +36,7 @@ pub use speedup::{MoldableProfile, SpeedupModel};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::campaign::{campaign, Campaign};
+    pub use crate::failure::{FailurePolicy, FailureRegime, FailureTraceSpec, Outage};
     pub use crate::gen::{ArrivalSpec, CommunityProfile, DistSpec, WorkloadSpec};
     pub use crate::job::{Job, JobId, JobKind, UserId};
     pub use crate::open::{JobClass, OpenArrival, OpenStream, OpenStreamSpec};
